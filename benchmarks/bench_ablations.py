@@ -1,0 +1,162 @@
+"""Ablations of HPC-Whisk design choices (DESIGN.md §4).
+
+Not in the paper as experiments, but each isolates a design decision the
+paper motivates: the fast-lane handoff, the SIGTERM grace period, the
+pilot-queue depth, and the warm-up cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import CoverageSimulator
+from repro.cluster import JobSpec, SlurmConfig
+from repro.faas import ActivationStatus, FaaSConfig, FunctionDef
+from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
+from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
+from repro.workloads.gatling import GatlingClient
+from repro.workloads.idleness import IdlenessTraceGenerator
+from repro.workloads.hpc_trace import trace_to_prime_jobs
+
+
+def _churn_run(use_fast_lane: bool, horizon: float = 3600.0, seed: int = 99):
+    """A small cluster under heavy pilot churn with constant load."""
+    faas = FaaSConfig(use_fast_lane=use_fast_lane)
+    config = HPCWhiskConfig(
+        supply_model=SupplyModel.FIB,
+        length_set=JobLengthSet("churn", (2, 4)),  # short pilots: max churn
+        queue_per_length=8,
+        faas=faas,
+    )
+    system = build_system(config, SlurmConfig(num_nodes=8), seed=seed)
+    env = system.env
+    trace = IdlenessTraceGenerator(
+        system.streams.stream("trace"), num_nodes=8,
+        outage_share=0.0, min_intensity=4.0,
+    ).generate(horizon)
+    trace_to_prime_jobs(trace, system.streams.stream("lead")).submit_all(env, system.slurm)
+    functions = [FunctionDef(name=f"f{i}", duration=2.0) for i in range(20)]
+    for function in functions:
+        system.controller.deploy(function)
+    client = GatlingClient(
+        env, system.client, [f.name for f in functions],
+        rate_per_second=2.0, duration=2.0, rng=system.streams.stream("gatling"),
+    )
+    client.start(horizon)
+    env.run(until=horizon + 120)
+    return client.report
+
+
+def test_ablation_fastlane(benchmark):
+    """Without the fast lane, churn converts accepted requests into losses."""
+
+    def run_both():
+        with_lane = _churn_run(True)
+        without_lane = _churn_run(False)
+        return with_lane, without_lane
+
+    with_lane, without_lane = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lost_with = with_lane.count(ActivationStatus.TIMEOUT)
+    lost_without = without_lane.count(ActivationStatus.TIMEOUT)
+    benchmark.extra_info["lost_with_fastlane"] = lost_with
+    benchmark.extra_info["lost_without_fastlane"] = lost_without
+    benchmark.extra_info["success_with"] = round(with_lane.success_share_of_invoked, 4)
+    benchmark.extra_info["success_without"] = round(without_lane.success_share_of_invoked, 4)
+    assert lost_without > lost_with
+    assert with_lane.success_share_of_invoked > without_lane.success_share_of_invoked
+
+
+def test_ablation_grace_period(benchmark):
+    """A pilot whose drain exceeds the grace period is SIGKILLed; prime
+    jobs wait the full grace.  Sweep grace 30 s → 300 s."""
+    from repro.cluster.partition import Partition, PreemptMode
+    from repro.cluster.slurmctld import SlurmController
+    from repro.sim import Environment, Interrupt
+
+    def run(grace):
+        env = Environment()
+        partitions = {
+            "main": Partition(name="main", priority_tier=1),
+            "whisk": Partition(
+                name="whisk", priority_tier=0,
+                preempt_mode=PreemptMode.CANCEL, grace_time=grace,
+            ),
+        }
+        controller = SlurmController(env, SlurmConfig(num_nodes=1), partitions=partitions)
+
+        def stubborn_body(env, job, nodes):
+            try:
+                yield env.timeout(10**9)
+            except Interrupt:
+                yield env.timeout(10**9)  # never drains voluntarily
+
+        pilot = controller.submit(
+            JobSpec(name="pilot", partition="whisk", time_limit=7200, body=stubborn_body)
+        )
+        env.run(until=60)
+        prime = controller.submit(JobSpec(name="prime", time_limit=600, actual_runtime=60))
+        env.run(until=4000)
+        return prime.start_time - 60.0  # delay imposed on the prime job
+
+    def sweep():
+        return {grace: run(grace) for grace in (30.0, 180.0, 300.0)}
+
+    delays = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for grace, delay in delays.items():
+        benchmark.extra_info[f"delay_at_grace_{int(grace)}s"] = round(delay, 1)
+        # The prime job waits essentially the full grace (stubborn pilot)…
+        assert delay == pytest.approx(grace, abs=20.0)
+    # …so the delay is monotone in the configured grace.
+    assert delays[30.0] < delays[180.0] < delays[300.0]
+
+
+def test_ablation_queue_depth(benchmark):
+    """Too few queued pilots starve placement; the paper keeps 10/length."""
+
+    def run(depth):
+        config = HPCWhiskConfig(
+            supply_model=SupplyModel.FIB, length_set=SET_A1, queue_per_length=depth
+        )
+        system = build_system(config, SlurmConfig(num_nodes=16), seed=5)
+        trace = IdlenessTraceGenerator(
+            system.streams.stream("trace"), num_nodes=16,
+            outage_share=0.0, min_intensity=6.0,
+        ).generate(3600.0)
+        trace_to_prime_jobs(trace, system.streams.stream("lead")).submit_all(
+            system.env, system.slurm
+        )
+        system.env.run(until=3600.0)
+        samples_whisk = sum(
+            1 for t in system.pilot_timelines if t.healthy_at is not None
+        )
+        healthy_time = sum(t.healthy_duration for t in system.pilot_timelines)
+        return healthy_time
+
+    def sweep():
+        return {depth: run(depth) for depth in (1, 10)}
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"healthy_s_depth_{d}": round(v) for d, v in result.items()})
+    # Depth 10 harvests at least as much serving time as depth 1.
+    assert result[10] >= result[1] * 0.95
+
+
+def test_ablation_warmup_cost(benchmark):
+    """Coverage sensitivity to warm-up: the clairvoyant simulator's ready
+    share decays linearly-ish with the per-job warm-up charge."""
+    rng = np.random.default_rng(17)
+    trace = IdlenessTraceGenerator(rng, num_nodes=256).generate(24 * 3600.0)
+    intervals = {}
+    for period in trace.periods:
+        intervals.setdefault(period.node, []).append((period.start, period.end))
+
+    def sweep():
+        return {
+            warmup: CoverageSimulator(warmup=warmup).run(intervals, SET_A1).ready_share
+            for warmup in (0.0, 20.0, 60.0)
+        }
+
+    shares = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"ready_at_{int(w)}s": round(s, 4) for w, s in shares.items()})
+    assert shares[0.0] > shares[20.0] > shares[60.0]
+    # At zero warm-up, ready = used (only residues unused).
+    assert shares[0.0] >= 0.75

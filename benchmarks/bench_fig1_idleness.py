@@ -1,0 +1,37 @@
+"""Fig 1: idleness analysis of the (synthetic) production cluster.
+
+Paper anchors — idle nodes: mean 9.23, p25 2, median 5; zero-idle 10.11%
+of time; idle periods: median 2 min, p75 4 min, mean >5 min, 5% >23 min;
+idle surface >37,000 core-hours over the week.
+"""
+
+import numpy as np
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_idleness(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig1,
+        kwargs=dict(seed=2022, horizon=scale["week"], num_nodes=scale["num_nodes"]),
+        rounds=1,
+        iterations=1,
+    )
+    stats = result.stats
+    benchmark.extra_info.update({k: round(v, 4) for k, v in stats.items()})
+    print()
+    print(result.render())
+
+    # Shape assertions (generous: single synthetic week).
+    assert 0.4 * 9.23 <= stats["idle_nodes_mean"] <= 1.8 * 9.23
+    assert 60.0 <= stats["period_median_s"] <= 240.0
+    assert 0.02 <= stats["period_share_gt_23min"] <= 0.10
+    assert 0.03 <= stats["zero_idle_share"] <= 0.20
+
+    # Fig 1a CDF data is monotonic and complete.
+    values, probabilities = result.count_cdf()
+    assert probabilities[-1] == 1.0
+    # Fig 1c series exists at the 10-s cadence.
+    times, counts = result.time_series()
+    assert len(times) == len(counts)
+    assert np.all(np.diff(times) > 0)

@@ -1,0 +1,33 @@
+"""Fig 2: CDFs of prime-job declared limits, runtimes and slack.
+
+Paper anchors: 74k jobs/week; median declared limit 60 min; 95% declare
+at least 15 min; runtimes well below limits (visible slack mass).
+"""
+
+import numpy as np
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_job_population(benchmark, scale):
+    count = 74000 if scale["week"] > 2 * 24 * 3600 else 20000
+    result = benchmark.pedantic(
+        run_fig2, kwargs=dict(seed=2022, count=count), rounds=1, iterations=1
+    )
+    stats = result.stats
+    benchmark.extra_info.update({k: round(v, 3) for k, v in stats.items()})
+    print()
+    print(result.render())
+
+    assert 50.0 <= stats["limit_median_min"] <= 70.0          # ≈ 60 min
+    assert stats["share_limit_ge_15min"] >= 0.92              # ≈ 95%
+    assert stats["runtime_median_min"] < stats["limit_median_min"]
+    assert stats["slack_mean_min"] > 0
+
+    # The three CDFs of the figure.
+    limits, limit_p = result.limit_cdf()
+    runtimes, _ = result.runtime_cdf()
+    slack, slack_p = result.slack_cdf()
+    assert limits[-1] <= 72 * 60.0 * 60.0
+    # Runtime CDF dominates the limit CDF (runtimes are smaller).
+    assert np.median(runtimes) <= np.median(limits)

@@ -1,0 +1,27 @@
+"""Fig 3: the 5-node, 4-job motivating example with pilot fill.
+
+Paper anchors: 1.2 idle nodes on average in a minimal-makespan schedule;
+pilot jobs of 2/4/6/10 minutes cover ~83% of the previously idle slots
+with ready invokers.
+"""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_example(benchmark):
+    result = benchmark.pedantic(run_fig3, kwargs=dict(seed=7), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "avg_idle_without_pilots": round(result.stats["avg_idle_nodes_without_pilots"], 3),
+            "pilot_coverage": round(result.coverage, 3),
+            "ready_coverage": round(result.ready_coverage, 3),
+        }
+    )
+    print()
+    print(result.render())
+
+    # ≈1.2 idle nodes on average without pilots.
+    assert 0.9 <= result.stats["avg_idle_nodes_without_pilots"] <= 1.6
+    # ≈83% ready coverage.
+    assert 0.70 <= result.ready_coverage <= 0.95
+    assert result.pilots_started >= 2

@@ -1,0 +1,55 @@
+"""Figs 5b/5c + Sec. V-C (fib side): responsiveness under constant load.
+
+Paper anchors (fib day, 10 QPS × 100 sleep functions): 95.29% of requests
+accepted (4.71% → 503), 95.19% of accepted succeed, median Gatling
+response 865 ms.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import cdf
+from repro.experiments.day import DayConfig, run_day
+from repro.hpcwhisk.config import SupplyModel
+
+
+def test_fig5b_fib_queries_and_responsiveness(benchmark, scale):
+    config = DayConfig(
+        model=SupplyModel.FIB,
+        seed=317,
+        horizon=scale["day"],
+        num_nodes=scale["day_nodes"],
+        with_load=True,
+    )
+    result = benchmark.pedantic(run_day, args=(config,), rounds=1, iterations=1)
+    report = result.gatling
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "requests": report.total,
+            "accepted_share": round(report.invoked_share, 4),
+            "success_of_accepted": round(report.success_share_of_invoked, 4),
+            "median_response_ms": round(report.response_time_percentile(50) * 1000, 1),
+        }
+    )
+
+    # Sec. V-C anchors (fib): nearly everything accepted and successful.
+    assert report.invoked_share >= 0.90
+    assert report.success_share_of_invoked >= 0.90
+    median_ms = report.response_time_percentile(50) * 1000
+    assert 500 <= median_ms <= 1400  # paper: 865 ms
+
+    # Fig 5b: per-minute series sums to the request count.
+    series = result.per_minute
+    total = sum(int(s.sum()) for s in series.values())
+    assert total == report.total
+    # Load was steady at ~10 QPS → ~600/min in served minutes.
+    busy_minutes = series["successful"] + series["failed"] + series["lost"] + series["rejected"]
+    assert np.median(busy_minutes) >= 0.9 * config.qps * 60
+
+    # Fig 5c: CDFs of idle / whisk / available counts.
+    for key in ("idle_counts", "whisk_counts", "available_counts"):
+        values, probabilities = cdf(result.series[key])
+        assert probabilities[-1] == 1.0
+    # Available dominates whisk pointwise in distribution.
+    assert result.series["available_counts"].mean() >= result.series["whisk_counts"].mean()

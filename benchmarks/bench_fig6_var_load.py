@@ -1,0 +1,74 @@
+"""Figs 6b/6c + Sec. V-C (var side): responsiveness on the poorer day.
+
+Paper anchors (var day): only 78.28% of requests accepted (21.72% → 503),
+96.99% of accepted succeed, median response 1,227 ms — visibly worse than
+the fib day on acceptance and latency, similar on success-of-accepted.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import cdf
+from repro.experiments.day import DayConfig, run_day
+from repro.hpcwhisk.config import SupplyModel
+
+
+def test_fig6b_var_queries_and_responsiveness(benchmark, scale):
+    config = DayConfig(
+        model=SupplyModel.VAR,
+        seed=321,
+        horizon=scale["day"],
+        num_nodes=scale["day_nodes"],
+        with_load=True,
+    )
+    result = benchmark.pedantic(run_day, args=(config,), rounds=1, iterations=1)
+    report = result.gatling
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "requests": report.total,
+            "accepted_share": round(report.invoked_share, 4),
+            "success_of_accepted": round(report.success_share_of_invoked, 4),
+            "median_response_ms": round(report.response_time_percentile(50) * 1000, 1),
+        }
+    )
+
+    # var accepts visibly less than fib's ~95% but still most requests.
+    assert 0.55 <= report.invoked_share <= 0.97
+    assert report.success_share_of_invoked >= 0.90
+    # 503 bursts exist (outage windows), visible as rejected minutes.
+    assert result.per_minute["rejected"].sum() > 0
+
+    for key in ("idle_counts", "whisk_counts", "available_counts"):
+        values, probabilities = cdf(result.series[key])
+        assert probabilities[-1] == 1.0
+
+
+def test_var_worse_than_fib_for_clients(benchmark, scale):
+    """Cross-day client-visible comparison (Sec. V-C)."""
+
+    def both():
+        fib = run_day(
+            DayConfig(model=SupplyModel.FIB, seed=317, horizon=scale["day"],
+                      num_nodes=scale["day_nodes"], with_load=True)
+        )
+        var = run_day(
+            DayConfig(model=SupplyModel.VAR, seed=321, horizon=scale["day"],
+                      num_nodes=scale["day_nodes"], with_load=True)
+        )
+        return fib, var
+
+    fib, var = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["fib_accepted"] = round(fib.gatling.invoked_share, 4)
+    benchmark.extra_info["var_accepted"] = round(var.gatling.invoked_share, 4)
+    benchmark.extra_info["fib_median_ms"] = round(
+        fib.gatling.response_time_percentile(50) * 1000, 1
+    )
+    benchmark.extra_info["var_median_ms"] = round(
+        var.gatling.response_time_percentile(50) * 1000, 1
+    )
+    assert fib.gatling.invoked_share > var.gatling.invoked_share
+    assert (
+        var.gatling.response_time_percentile(50)
+        >= 0.95 * fib.gatling.response_time_percentile(50)
+    )

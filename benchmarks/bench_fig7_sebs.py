@@ -1,0 +1,56 @@
+"""Fig 7: SeBS compute performance — HPC node vs AWS Lambda at 2 GB.
+
+Paper anchor: a consistent ≈15% performance advantage for the Prometheus
+node on all three compute-intensive functions (bfs, mst, pagerank).
+"""
+
+import pytest
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_sebs_vs_lambda(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs=dict(
+            seed=2022,
+            invocations=scale["sebs_invocations"],
+            graph_size=scale["sebs_graph"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        benchmark.extra_info[f"{row.function}_advantage"] = round(row.advantage, 4)
+        benchmark.extra_info[f"{row.function}_node_ms"] = round(
+            row.prometheus_median_s * 1000, 2
+        )
+
+    assert {row.function for row in result.rows} == {"bfs", "mst", "pagerank"}
+    for row in result.rows:
+        # The ≈15% advantage, consistent across functions.
+        assert row.advantage == pytest.approx(0.15, abs=0.04), row.function
+        # Real compute happened.
+        assert row.prometheus_median_s > 0.005, row.function
+        # Lambda quartiles bracket sensibly.
+        assert row.lambda_p25_s <= row.lambda_median_s <= row.lambda_p75_s
+
+
+def test_fig7_memory_scaling_sensitivity(benchmark, scale):
+    """Extension: at low memory the Lambda gap widens (CPU share model)."""
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs=dict(
+            seed=2022,
+            invocations=max(5, scale["sebs_invocations"] // 4),
+            graph_size=scale["sebs_graph"] // 2,
+            memory_mb=512.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # 512 MB → cpu share 512/1792 ≈ 0.286 → ≥3x slower than the node.
+        assert row.advantage > 2.0, row.function

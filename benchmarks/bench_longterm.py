@@ -1,0 +1,30 @@
+"""Future-work extension: long-horizon workload patterns (Sec. VII).
+
+Generates a multi-week trace with diurnal structure, verifies that the
+pattern is statistically detectable (the paper's proposed direction for a
+smarter job manager), and quantifies the pattern-aware supply's gain.
+"""
+
+from repro.experiments.longterm import run_longterm
+
+
+def test_longterm_patterns(benchmark, scale):
+    weeks = 2 if scale["week"] > 2 * 24 * 3600 else 1
+    result = benchmark.pedantic(
+        run_longterm,
+        kwargs=dict(seed=2022, weeks=weeks, num_nodes=scale["num_nodes"] // 2,
+                    diurnal_amplitude=0.6),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "daily_autocorrelation": round(result.daily_autocorrelation, 4),
+            "static_ready": round(result.static_coverage.ready_share, 4),
+            "adaptive_ready": round(result.adaptive_ready_share, 4),
+        }
+    )
+    assert result.daily_autocorrelation > 0.1
+    assert result.adaptive_ready_share >= result.static_coverage.ready_share - 0.01

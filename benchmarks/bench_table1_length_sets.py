@@ -1,0 +1,39 @@
+"""Table I: coverage simulation for the six job-length sets.
+
+Paper anchors (7-day trace, 20 s warm-up): ready share ≈ 80–81% for every
+set; "not used" identical across sets; B places the most jobs (12,348) and
+pays the most warm-up; C2 the fewest (9,115); A1 best among Fibonacci
+variants; non-availability ≈ 14.7–14.9%.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_length_sets(benchmark, scale):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(seed=2022, horizon=scale["week"], num_nodes=scale["num_nodes"]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    coverages = {name: result.coverage(name) for name in result.results}
+    for name, cov in coverages.items():
+        benchmark.extra_info[f"{name}_ready_share"] = round(cov.ready_share, 4)
+        benchmark.extra_info[f"{name}_jobs"] = cov.num_jobs
+
+    # Identical "not used" across sets (exact tiling of even windows).
+    unused = {round(c.unused_share, 6) for c in coverages.values()}
+    assert len(unused) == 1
+
+    # Orderings from the paper.
+    assert coverages["B"].num_jobs > coverages["A1"].num_jobs > coverages["C2"].num_jobs
+    assert coverages["C2"].ready_share >= coverages["A1"].ready_share >= coverages["B"].ready_share
+    assert coverages["A1"].ready_share >= coverages["A2"].ready_share - 0.002
+
+    # Magnitudes: ready share in the 70–85% zone, warm-up a few percent.
+    for name, cov in coverages.items():
+        assert 0.65 <= cov.ready_share <= 0.90, name
+        assert 0.01 <= cov.warmup_share <= 0.08, name

@@ -1,0 +1,45 @@
+"""Sec. IV-B: pilot warm-up time measurement.
+
+Paper anchors: median 12.48 s, 95th percentile 26.50 s between Slurm
+starting the HPC-Whisk job and the invoker registering as healthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SlurmConfig
+from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
+from repro.hpcwhisk.lengths import JobLengthSet
+
+
+def measure_warmups(seed: int = 2022, horizon: float = 4 * 3600.0):
+    """Run pilots on a fully idle mini-cluster and collect warm-ups."""
+    config = HPCWhiskConfig(
+        supply_model=SupplyModel.FIB,
+        length_set=JobLengthSet("w", (2,)),  # constant churn: many samples
+        queue_per_length=8,
+    )
+    system = build_system(config, SlurmConfig(num_nodes=8), seed=seed)
+    system.env.run(until=horizon)
+    return np.array(
+        [
+            t.warmup_duration
+            for t in system.pilot_timelines
+            if t.warmup_duration is not None
+        ]
+    )
+
+
+def test_warmup_distribution(benchmark):
+    warmups = benchmark.pedantic(measure_warmups, rounds=1, iterations=1)
+    median = float(np.median(warmups))
+    p95 = float(np.percentile(warmups, 95))
+    benchmark.extra_info["samples"] = len(warmups)
+    benchmark.extra_info["median_s"] = round(median, 2)
+    benchmark.extra_info["p95_s"] = round(p95, 2)
+    print(f"\nwarm-up: n={len(warmups)} median={median:.2f}s p95={p95:.2f}s "
+          f"(paper: 12.48 s / 26.50 s)")
+    assert len(warmups) > 100
+    # Warm-up = model draw + registration latency: slightly above 12.48.
+    assert median == pytest.approx(12.48, rel=0.15)
+    assert p95 == pytest.approx(26.50, rel=0.20)

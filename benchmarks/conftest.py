@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+attaches the headline numbers as ``extra_info`` so they appear in the
+pytest-benchmark JSON/terminal output next to the timing.
+
+Two scales:
+
+* default ("quick") — reduced horizons/sizes; minutes of wall time total;
+  preserves every qualitative conclusion;
+* ``REPRO_FULL=1`` — the paper's full scale (7-day traces, 24-hour
+  experiment days, 864k requests); tens of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Scale factors used across benchmarks."""
+    if full_scale():
+        return {
+            "week": 7 * 24 * 3600.0,
+            "day": 24 * 3600.0,
+            "num_nodes": 2239,
+            "day_nodes": 300,
+            "sebs_invocations": 200,
+            "sebs_graph": 40000,
+        }
+    return {
+        "week": 24 * 3600.0,        # one day stands in for the week
+        "day": 3 * 3600.0,          # three hours stand in for a day
+        "num_nodes": 512,
+        "day_nodes": 128,
+        "sebs_invocations": 20,
+        "sebs_graph": 12000,
+    }

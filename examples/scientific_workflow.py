@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A scientific FaaS workload on harvested idle nodes (future work, Sec. VII).
+
+The paper suggests benchmarking HPC-Whisk with "a representative scientific
+FaaS workload".  This example runs a map-reduce-style parameter study — the
+bag-of-tasks pattern HyperFlow/PyWren-class systems execute — through the
+Alg. 1-wrapped client: 3 stages × many tasks, with stage barriers.
+
+    python examples/scientific_workflow.py
+"""
+
+from repro.cluster import SlurmConfig
+from repro.faas import FunctionDef
+from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
+from repro.workloads.hpc_trace import trace_to_prime_jobs
+from repro.workloads.idleness import IdlenessTraceGenerator
+
+HORIZON = 3 * 3600.0
+
+system = build_system(HPCWhiskConfig(supply_model=SupplyModel.FIB),
+                      SlurmConfig(num_nodes=32), seed=21)
+env = system.env
+
+trace = IdlenessTraceGenerator(
+    system.streams.stream("trace"), num_nodes=32, min_intensity=5.0, outage_share=0.01
+).generate(HORIZON)
+trace_to_prime_jobs(trace, system.streams.stream("lead")).submit_all(env, system.slurm)
+
+# The workflow's three stages as deployed functions.
+system.controller.deploy(FunctionDef(name="preprocess", duration=1.2))
+system.controller.deploy(FunctionDef(name="simulate", duration=4.0))
+system.controller.deploy(FunctionDef(name="reduce", duration=2.5))
+
+TASKS_PER_STAGE = {"preprocess": 40, "simulate": 120, "reduce": 8}
+stage_log = []
+
+
+def run_task(env, name, attempts=4, backoff=5.0):
+    """One task with retries — wide fan-outs overload the few harvested
+    invokers ("invoker overloaded" failures), so a workflow engine retries
+    with backoff, exactly like real bag-of-tasks runners do."""
+    tries = 0
+    while True:
+        tries += 1
+        result = yield from system.wrapped_client.invoke(name)
+        if result.ok or tries >= attempts:
+            return result, tries
+        yield env.timeout(backoff * tries)
+
+
+def run_stage(env, name, count):
+    """Fan out *count* tasks, wait for all (a stage barrier)."""
+    started = env.now
+    procs = [env.process(run_task(env, name)) for _ in range(count)]
+    results = []
+    for proc in procs:
+        results.append((yield proc))
+    ok = sum(1 for r, _t in results if r.ok)
+    retried = sum(1 for _r, t in results if t > 1)
+    commercial = sum(1 for r, _t in results if r.backend == "commercial")
+    stage_log.append(
+        dict(stage=name, tasks=count, ok=ok, commercial=commercial,
+             retried=retried, makespan=env.now - started)
+    )
+
+
+def workflow(env):
+    yield env.timeout(180.0)  # let the first pilots warm up
+    t0 = env.now
+    for stage, count in TASKS_PER_STAGE.items():
+        yield from run_stage(env, stage, count)
+    stage_log.append(dict(stage="TOTAL", tasks=sum(TASKS_PER_STAGE.values()),
+                          ok=sum(s["ok"] for s in stage_log),
+                          commercial=sum(s["commercial"] for s in stage_log),
+                          retried=sum(s["retried"] for s in stage_log),
+                          makespan=env.now - t0))
+
+
+env.process(workflow(env))
+system.run(until=HORIZON)
+
+print("=== scientific workflow over HPC-Whisk (bag-of-tasks, 3 stages) ===")
+print(f"{'stage':<12} {'tasks':>6} {'ok':>5} {'retried':>8} {'via cloud':>10} {'makespan':>10}")
+for entry in stage_log:
+    print(f"{entry['stage']:<12} {entry['tasks']:>6} {entry['ok']:>5} "
+          f"{entry['retried']:>8} {entry['commercial']:>10} {entry['makespan']:>9.1f}s")
+harvested = stage_log[-1]["tasks"] - stage_log[-1]["commercial"]
+print(f"\n=> {harvested}/{stage_log[-1]['tasks']} tasks computed on otherwise-idle "
+      "HPC nodes; the rest absorbed by the Alg. 1 commercial fallback")
+assert stage_log[-1]["ok"] == stage_log[-1]["tasks"], "workflow must fully succeed"

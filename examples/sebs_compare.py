@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Fig 7 reproduction: SeBS compute kernels, this machine vs AWS Lambda.
+
+Runs real bfs / mst / pagerank implementations on seeded synthetic graphs
+("Prometheus node" side) and compares against the calibrated Lambda
+performance model across several memory configurations.
+
+    python examples/sebs_compare.py [--invocations N] [--graph-size N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.fig7 import run_fig7
+from repro.workloads.lambda_model import LambdaPerformanceModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--invocations", type=int, default=30)
+    parser.add_argument("--graph-size", type=int, default=20000)
+    args = parser.parse_args()
+
+    print(f"timing {args.invocations} warm invocations per function "
+          f"(graph size {args.graph_size}) ...\n")
+    result = run_fig7(
+        seed=2022, invocations=args.invocations, graph_size=args.graph_size
+    )
+    print(result.render())
+
+    print("\nLambda memory scaling (model):")
+    model = LambdaPerformanceModel(jitter_sigma=0.0)
+    rng = np.random.default_rng(0)
+    base = result.rows[0].prometheus_median_s
+    for memory in (512, 1024, 1792, 2048):
+        t = model.execution_time(base, memory, rng)
+        print(f"  {memory:>5} MB: bfs would take {t * 1000:7.1f} ms "
+              f"({t / base:4.2f}x the node)")
+    print("\npaper anchor: the HPC node is ~15% faster than Lambda @ 2 GB "
+          "on all three functions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools but no ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  ``python setup.py develop`` provides the equivalent editable
+install through setuptools' legacy path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

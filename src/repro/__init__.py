@@ -1,0 +1,29 @@
+"""repro — a reproduction of HPC-Whisk (SC 2022).
+
+*Using Unused: Non-Invasive Dynamic FaaS Infrastructure with HPC-Whisk*
+builds a Function-as-a-Service layer on the transient idle nodes of a
+production HPC cluster.  This package reimplements the full stack as a
+discrete-event simulation plus real compute kernels:
+
+``repro.sim``
+    A from-scratch generator-based discrete-event simulation kernel.
+``repro.cluster``
+    A Slurm-like workload manager: priority tiers, preemption with a grace
+    period, EASY backfill on 2-minute slots, variable-length jobs.
+``repro.faas``
+    An OpenWhisk-like FaaS middleware: controller, message broker with
+    per-invoker topics plus a global fast lane, invokers, container pools.
+``repro.hpcwhisk``
+    The paper's contribution: pilot jobs and the fib/var job managers that
+    keep Slurm supplied with preemptible FaaS workers.
+``repro.workloads``
+    Workload generators calibrated to the paper's published statistics, the
+    SeBS compute kernels (bfs/mst/pagerank) and an AWS Lambda model.
+``repro.analysis``
+    Samplers, logs, the a-posteriori clairvoyant coverage simulator, and
+    table/figure renderers for every experiment in the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

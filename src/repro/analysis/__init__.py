@@ -1,0 +1,58 @@
+"""Measurement and analysis: the paper's three perspectives (Sec. IV-A).
+
+1. **Slurm-level** — :mod:`repro.analysis.sampler` polls node states every
+   ~10 s (with the measured response-latency jitter) and
+   :mod:`repro.analysis.idle_periods` reconstructs idle intervals from the
+   samples.
+2. **OpenWhisk-level** — :mod:`repro.analysis.owlog` combines the
+   controller's second-accurate event log with pilot timelines into
+   warm-up / healthy / irresponsive state series.
+3. **Simulation** — :mod:`repro.analysis.coverage` runs the a-posteriori,
+   clairvoyant greedy packing that upper-bounds achievable coverage
+   (Tables I–III).
+
+:mod:`repro.analysis.metrics` holds the shared statistics toolbox;
+:mod:`repro.analysis.report` renders the paper's table layouts.
+"""
+
+from repro.analysis.metrics import (
+    cdf,
+    interval_coverage,
+    percentile_summary,
+    time_weighted_counts,
+)
+from repro.analysis.sampler import SlurmSampler, SlurmSample
+from repro.analysis.idle_periods import samples_to_intervals, intervals_by_node
+from repro.analysis.coverage import (
+    CoverageResult,
+    CoverageSimulator,
+    greedy_fill_window,
+)
+from repro.analysis.owlog import OWLevelStates, ow_level_states
+from repro.analysis.figures import ascii_cdf, ascii_timeseries, histogram, sparkline
+from repro.analysis.report import (
+    render_table1,
+    render_table23,
+)
+
+__all__ = [
+    "CoverageResult",
+    "CoverageSimulator",
+    "OWLevelStates",
+    "SlurmSample",
+    "SlurmSampler",
+    "ascii_cdf",
+    "ascii_timeseries",
+    "histogram",
+    "sparkline",
+    "cdf",
+    "greedy_fill_window",
+    "interval_coverage",
+    "intervals_by_node",
+    "ow_level_states",
+    "percentile_summary",
+    "render_table1",
+    "render_table23",
+    "samples_to_intervals",
+    "time_weighted_counts",
+]

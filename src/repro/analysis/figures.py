@@ -1,0 +1,125 @@
+"""Terminal-renderable figures (no matplotlib in this environment).
+
+Every figure in the paper is a time series or a CDF; these renderers give
+the benchmark harness and the examples a way to *show* the regenerated
+figures, not just their summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 80) -> str:
+    """One-line block-character rendering of a series."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return ""
+    if array.size > width:
+        # Bucket means so the full range is represented.
+        edges = np.linspace(0, array.size, width + 1, dtype=int)
+        array = np.array([array[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])])
+    low, high = float(array.min()), float(array.max())
+    span = (high - low) or 1.0
+    indices = ((array - low) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def ascii_timeseries(
+    times: Sequence[float],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 78,
+    height: int = 12,
+    time_unit: float = 3600.0,
+    time_label: str = "h",
+) -> str:
+    """A multi-line scatter/step rendering of (times, values)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return title + "\n(empty series)"
+    v_max = max(float(values.max()), 1.0)
+    t_min, t_max = float(times.min()), float(times.max())
+    t_span = (t_max - t_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in zip(times, values):
+        col = min(width - 1, int((t - t_min) / t_span * (width - 1)))
+        row = min(height - 1, int(v / v_max * (height - 1)))
+        grid[height - 1 - row][col] = "•"
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        label = v_max if index == 0 else (0 if index == height - 1 else None)
+        prefix = f"{label:>6.0f} |" if label is not None else "       |"
+        lines.append(prefix + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(
+        f"        {t_min / time_unit:.1f}{time_label}"
+        + " " * max(0, width - 16)
+        + f"{t_max / time_unit:.1f}{time_label}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    values: Sequence[float],
+    title: str = "",
+    width: int = 70,
+    height: int = 12,
+    x_transform=None,
+    x_label: str = "",
+) -> str:
+    """A CDF curve drawn with block characters."""
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        return title + "\n(empty)"
+    transform = x_transform or (lambda x: x)
+    xs = transform(array)
+    x_min, x_max = float(xs.min()), float(xs.max())
+    x_span = (x_max - x_min) or 1.0
+    probabilities = np.arange(1, array.size + 1) / array.size
+    grid = [[" "] * width for _ in range(height)]
+    for x, p in zip(xs, probabilities):
+        col = min(width - 1, int((x - x_min) / x_span * (width - 1)))
+        row = min(height - 1, int(p * (height - 1)))
+        grid[height - 1 - row][col] = "·"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  1.0 |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("      |" + "".join(row))
+    lines.append("  0.0 |" + "".join(grid[-1]))
+    lines.append("      +" + "-" * width)
+    if x_label:
+        lines.append(f"       {x_label}: [{array.min():.3g} .. {array.max():.3g}]")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    title: str = "",
+    width: int = 50,
+    value_format: str = "{:.0f}",
+) -> str:
+    """A horizontal-bar histogram."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return title + "\n(empty)"
+    counts, edges = np.histogram(array, bins=bins)
+    peak = counts.max() or 1
+    lines = [title] if title else []
+    for count, low, high in zip(counts, edges, edges[1:]):
+        bar = "#" * int(count / peak * width)
+        lines.append(
+            f"  {value_format.format(low):>8}–{value_format.format(high):<8} "
+            f"{bar} {count}"
+        )
+    return "\n".join(lines)

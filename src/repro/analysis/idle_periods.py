@@ -1,0 +1,72 @@
+"""Reconstructing per-node intervals from sampled logs.
+
+The Slurm-level perspective only sees ~10-second snapshots; a node is
+taken to hold a state for the whole gap between a sample that shows it and
+the next sample.  This is exactly the granularity the paper's analyses
+work at — idle periods shorter than the sampling gap are invisible, which
+is fine: they are unusable by 2-minute backfill slots anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.sampler import SlurmSample
+
+
+def samples_to_intervals(
+    samples: Sequence[SlurmSample],
+    selector: Callable[[SlurmSample], Sequence[str]],
+    end_time: float | None = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-node intervals during which *selector* includes the node.
+
+    ``selector`` picks the node list of interest from each sample
+    (``lambda s: s.idle_nodes``, ``s.whisk_nodes`` or
+    ``s.available_nodes``).  Consecutive samples containing the node are
+    merged into one interval ending at the first sample without it (or at
+    *end_time* / the last sample).
+    """
+    intervals: Dict[str, List[Tuple[float, float]]] = {}
+    open_since: Dict[str, float] = {}
+    last_time = None
+    for sample in samples:
+        current = set(selector(sample))
+        for node in list(open_since):
+            if node not in current:
+                start = open_since.pop(node)
+                intervals.setdefault(node, []).append((start, sample.time))
+        for node in current:
+            if node not in open_since:
+                open_since[node] = sample.time
+        last_time = sample.time
+    close_at = end_time if end_time is not None else last_time
+    if close_at is not None:
+        for node, start in open_since.items():
+            if close_at > start:
+                intervals.setdefault(node, []).append((start, close_at))
+    return intervals
+
+
+def intervals_by_node(
+    samples: Sequence[SlurmSample], kind: str = "available", end_time: float | None = None
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Convenience wrapper: kind in {"idle", "whisk", "available"}."""
+    selectors = {
+        "idle": lambda s: s.idle_nodes,
+        "whisk": lambda s: s.whisk_nodes,
+        "available": lambda s: s.available_nodes,
+    }
+    try:
+        selector = selectors[kind]
+    except KeyError:
+        raise ValueError(f"unknown interval kind {kind!r}") from None
+    return samples_to_intervals(samples, selector, end_time=end_time)
+
+
+def flatten(intervals: Dict[str, List[Tuple[float, float]]]) -> List[Tuple[float, float]]:
+    """All nodes' intervals in one list (for count series / totals)."""
+    out: List[Tuple[float, float]] = []
+    for node_intervals in intervals.values():
+        out.extend(node_intervals)
+    return out

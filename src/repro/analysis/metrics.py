@@ -1,0 +1,138 @@
+"""Shared statistics toolbox for all analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probabilities)."""
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        return array, array
+    probabilities = np.arange(1, array.size + 1) / array.size
+    return array, probabilities
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """The paper's standard "25-50-75p avg" row."""
+
+    p25: float
+    p50: float
+    p75: float
+    avg: float
+
+    def row(self) -> str:
+        return f"{self.p25:.0f}-{self.p50:.0f}-{self.p75:.0f}  {self.avg:.2f}"
+
+
+def percentile_summary(values: Sequence[float]) -> PercentileSummary:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return PercentileSummary(float("nan"), float("nan"), float("nan"), float("nan"))
+    return PercentileSummary(
+        p25=float(np.percentile(array, 25)),
+        p50=float(np.percentile(array, 50)),
+        p75=float(np.percentile(array, 75)),
+        avg=float(array.mean()),
+    )
+
+
+def merge_intervals(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping intervals."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def interval_total(intervals: Iterable[Tuple[float, float]]) -> float:
+    """Total length of a union of intervals."""
+    return sum(end - start for start, end in merge_intervals(intervals))
+
+
+def node_surface(intervals_by_node: Dict[str, List[Tuple[float, float]]]) -> float:
+    """Total node-seconds across a per-node interval map.
+
+    Merging happens *within* each node only — intervals of different nodes
+    legitimately overlap in time and must all count.  (Flattening a
+    multi-node map into :func:`interval_total` would union them away.)
+    """
+    return sum(interval_total(ivs) for ivs in intervals_by_node.values())
+
+
+def interval_coverage(
+    base: Iterable[Tuple[float, float]],
+    cover: Iterable[Tuple[float, float]],
+) -> float:
+    """Fraction of the *base* surface covered by *cover* (both unions)."""
+    base_merged = merge_intervals(base)
+    cover_merged = merge_intervals(cover)
+    base_total = sum(e - s for s, e in base_merged)
+    if base_total == 0:
+        return 0.0
+    covered = 0.0
+    j = 0
+    for b_start, b_end in base_merged:
+        while j < len(cover_merged) and cover_merged[j][1] <= b_start:
+            j += 1
+        k = j
+        while k < len(cover_merged) and cover_merged[k][0] < b_end:
+            covered += max(
+                0.0, min(cover_merged[k][1], b_end) - max(cover_merged[k][0], b_start)
+            )
+            k += 1
+    return covered / base_total
+
+
+def time_weighted_counts(
+    intervals: Iterable[Tuple[float, float]],
+    horizon: float,
+    step: float = 10.0,
+) -> np.ndarray:
+    """Count of concurrently active intervals, sampled every *step* s."""
+    events: List[Tuple[float, int]] = []
+    for start, end in intervals:
+        if end <= start:
+            continue
+        events.append((start, 1))
+        events.append((end, -1))
+    events.sort()
+    times = np.arange(0.0, horizon, step)
+    counts = np.zeros(len(times), dtype=int)
+    level = 0
+    j = 0
+    for i, t in enumerate(times):
+        while j < len(events) and events[j][0] <= t:
+            level += events[j][1]
+            j += 1
+        counts[i] = level
+    return counts
+
+
+def share_at_zero(counts: np.ndarray) -> float:
+    """Fraction of samples with a zero count (non-availability share)."""
+    if counts.size == 0:
+        return 0.0
+    return float(np.mean(counts == 0))
+
+
+def per_minute_bins(
+    times: Sequence[float], horizon: float
+) -> np.ndarray:
+    """Histogram of event times into whole-minute bins over [0, horizon)."""
+    bins = int(np.ceil(horizon / 60.0))
+    counts = np.zeros(bins, dtype=int)
+    for t in times:
+        if 0 <= t < horizon:
+            counts[int(t // 60.0)] += 1
+    return counts

@@ -1,0 +1,94 @@
+"""Text renderers matching the paper's table layouts."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.analysis.coverage import CoverageResult
+from repro.analysis.metrics import PercentileSummary
+
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:5.2f}%"
+
+
+def render_table1(results: Mapping[str, tuple]) -> str:
+    """Table I: coverage simulation per job-length set.
+
+    ``results`` maps set name → (JobLengthSet, CoverageResult).
+    """
+    lines = [
+        "TABLE I: simulated coverage of idleness periods "
+        "(20 s warm-up per job, max job length 120 min)",
+        f"{'Set':<4} {'Job lengths [min]':<28} {'# jobs':>7} "
+        f"{'warm up':>8} {'ready':>8} {'not used':>9}  "
+        f"{'25-50-75%ile':>13} {'Avg':>6} {'Non-avail':>9}",
+    ]
+    for name, (length_set, cov) in results.items():
+        lengths = ", ".join(str(m) for m in length_set.minutes)
+        if len(lengths) > 26:
+            lengths = lengths[:23] + "..."
+        w = cov.ready_workers
+        lines.append(
+            f"{name:<4} {lengths:<28} {cov.num_jobs:>7d} "
+            f"{_pct(cov.warmup_share):>8} {_pct(cov.ready_share):>8} "
+            f"{_pct(cov.unused_share):>9}  "
+            f"{w.p25:>3.0f}-{w.p50:.0f}-{w.p75:.0f}{'':>4} {w.avg:>6.2f} "
+            f"{_pct(cov.non_availability):>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_table23(
+    title: str,
+    simulation: CoverageResult,
+    slurm_workers: PercentileSummary,
+    slurm_used_share: float,
+    ow_warmup: PercentileSummary,
+    ow_healthy: PercentileSummary,
+    ow_irresponsive: PercentileSummary,
+) -> str:
+    """Tables II/III: three-perspective comparison for one experiment day."""
+    lines = [
+        title,
+        f"{'Perspective':<12} {'state':<10} {'25-50-75p':>12} {'avg':>7}   "
+        f"{'used':>7} {'not used':>9}",
+    ]
+
+    def row(perspective: str, state: str, s: PercentileSummary, used="", not_used=""):
+        lines.append(
+            f"{perspective:<12} {state:<10} "
+            f"{s.p25:>3.0f}-{s.p50:.0f}-{s.p75:.0f}{'':>3} {s.avg:>7.2f}   "
+            f"{used:>7} {not_used:>9}"
+        )
+
+    row(
+        "Simulation",
+        "warm up",
+        simulation.warming_workers,
+        _pct(simulation.warmup_share),
+        _pct(simulation.unused_share),
+    )
+    row("", "ready", simulation.ready_workers, _pct(simulation.ready_share), "")
+    row(
+        "Slurm-level",
+        "all states",
+        slurm_workers,
+        _pct(slurm_used_share),
+        _pct(1.0 - slurm_used_share),
+    )
+    row("OW-level", "warm up", ow_warmup)
+    row("", "healthy", ow_healthy)
+    row("", "irresp.", ow_irresponsive)
+    return "\n".join(lines)
+
+
+def render_kv(title: str, data: Dict[str, object]) -> str:
+    """Simple aligned key/value block for ad-hoc reports."""
+    width = max(len(k) for k in data) if data else 0
+    lines = [title]
+    for key, value in data.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"  {key:<{width}} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Runs any packaged experiment and prints its rendered table/figure data —
+the one-command paths behind every number in EXPERIMENTS.md.
+
+Subcommands::
+
+    fig1       idleness analysis (Fig 1a/1b/1c)
+    fig2       job population CDFs (Fig 2)
+    fig3       the 5-node example (Fig 3)
+    table1     job-length-set simulation (Table I)
+    day        a full experiment day (Tables II/III, Figs 5/6, Sec. V-C)
+    fig7       SeBS vs Lambda (Fig 7)
+    optimize   length-set optimization (Sec. IV-B)
+    longterm   multi-week pattern study (future work)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser, seed: int) -> None:
+    parser.add_argument("--seed", type=int, default=seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HPC-Whisk reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="idleness analysis")
+    _add_common(p, 2022)
+    p.add_argument("--days", type=float, default=7.0)
+    p.add_argument("--nodes", type=int, default=2239)
+    p.add_argument("--plot", action="store_true", help="render ASCII figures")
+
+    p = sub.add_parser("fig2", help="job population CDFs")
+    _add_common(p, 2022)
+    p.add_argument("--count", type=int, default=74000)
+
+    p = sub.add_parser("fig3", help="5-node example")
+    _add_common(p, 7)
+
+    p = sub.add_parser("table1", help="job-length-set simulation")
+    _add_common(p, 2022)
+    p.add_argument("--days", type=float, default=7.0)
+    p.add_argument("--nodes", type=int, default=2239)
+
+    p = sub.add_parser("day", help="experiment day (Tables II/III)")
+    p.add_argument("--model", choices=("fib", "var"), default="fib")
+    p.add_argument("--hours", type=float, default=24.0)
+    p.add_argument("--nodes", type=int, default=300)
+    p.add_argument("--no-load", action="store_true")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--plot", action="store_true")
+
+    p = sub.add_parser("fig7", help="SeBS vs Lambda")
+    _add_common(p, 2022)
+    p.add_argument("--invocations", type=int, default=50)
+    p.add_argument("--graph-size", type=int, default=40000)
+
+    p = sub.add_parser("optimize", help="length-set optimization")
+    _add_common(p, 2022)
+    p.add_argument("--days", type=float, default=2.0)
+    p.add_argument("--nodes", type=int, default=512)
+
+    p = sub.add_parser("longterm", help="multi-week pattern study")
+    _add_common(p, 2022)
+    p.add_argument("--weeks", type=int, default=2)
+    p.add_argument("--nodes", type=int, default=512)
+    p.add_argument("--amplitude", type=float, default=0.6)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig1":
+        from repro.analysis.figures import ascii_cdf, ascii_timeseries
+        from repro.experiments import run_fig1
+
+        result = run_fig1(seed=args.seed, horizon=args.days * 86400.0, num_nodes=args.nodes)
+        print(result.render())
+        if args.plot:
+            times, counts = result.time_series()
+            print(ascii_timeseries(times, counts, title="Fig 1c — idle nodes over time"))
+            import numpy as np
+
+            print(ascii_cdf(result.trace.lengths(), title="Fig 1b — idle period lengths",
+                            x_transform=np.log10, x_label="log10 seconds"))
+    elif args.command == "fig2":
+        from repro.experiments import run_fig2
+
+        print(run_fig2(seed=args.seed, count=args.count).render())
+    elif args.command == "fig3":
+        from repro.experiments import run_fig3
+
+        print(run_fig3(seed=args.seed).render())
+    elif args.command == "table1":
+        from repro.experiments import run_table1
+
+        result = run_table1(seed=args.seed, horizon=args.days * 86400.0, num_nodes=args.nodes)
+        print(result.render())
+    elif args.command == "day":
+        from repro.experiments import DayConfig, run_day
+        from repro.hpcwhisk.config import SupplyModel
+
+        model = SupplyModel.FIB if args.model == "fib" else SupplyModel.VAR
+        seed = args.seed if args.seed is not None else (317 if model is SupplyModel.FIB else 321)
+        result = run_day(
+            DayConfig(model=model, seed=seed, horizon=args.hours * 3600.0,
+                      num_nodes=args.nodes, with_load=not args.no_load)
+        )
+        print(result.render())
+        if args.plot:
+            from repro.analysis.figures import ascii_timeseries
+
+            print(ascii_timeseries(
+                result.series["sample_times"], result.series["whisk_counts"],
+                title=f"Fig {'5a' if args.model == 'fib' else '6a'} — "
+                      "HPC-Whisk worker jobs (Slurm-level)",
+            ))
+    elif args.command == "fig7":
+        from repro.experiments import run_fig7
+
+        print(run_fig7(seed=args.seed, invocations=args.invocations,
+                       graph_size=args.graph_size).render())
+    elif args.command == "optimize":
+        import numpy as np
+
+        from repro.hpcwhisk.optimizer import LengthSetOptimizer
+        from repro.workloads.idleness import IdlenessTraceGenerator
+
+        rng = np.random.default_rng(args.seed)
+        trace = IdlenessTraceGenerator(rng, num_nodes=args.nodes).generate(
+            args.days * 86400.0
+        )
+        print(LengthSetOptimizer().optimize(trace).render())
+    elif args.command == "longterm":
+        from repro.experiments import run_longterm
+
+        print(run_longterm(seed=args.seed, weeks=args.weeks, num_nodes=args.nodes,
+                           diurnal_amplitude=args.amplitude).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""``sacct``-like job accounting over a controller's history.
+
+Summaries the experiments and examples use when reporting on the prime
+workload's experience — crucially, evidence for design goal 1 (minimal
+invasiveness): queue-wait statistics of prime jobs with and without the
+HPC-Whisk supply must be indistinguishable up to drain-time effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.slurmctld import SlurmController
+
+
+@dataclass
+class PartitionAccounting:
+    """Aggregates for one partition."""
+
+    partition: str
+    jobs_total: int = 0
+    by_state: Dict[str, int] = field(default_factory=dict)
+    node_seconds: float = 0.0
+    #: submit → start delays of started jobs, seconds
+    wait_times: List[float] = field(default_factory=list)
+    #: start → end durations of finished jobs, seconds
+    run_times: List[float] = field(default_factory=list)
+
+    @property
+    def mean_wait(self) -> float:
+        return float(np.mean(self.wait_times)) if self.wait_times else 0.0
+
+    @property
+    def median_wait(self) -> float:
+        return float(np.median(self.wait_times)) if self.wait_times else 0.0
+
+    @property
+    def node_hours(self) -> float:
+        return self.node_seconds / 3600.0
+
+
+def summarize(controller: "SlurmController") -> Dict[str, PartitionAccounting]:
+    """Build per-partition accounting from a controller's job history."""
+    accounts: Dict[str, PartitionAccounting] = {}
+    jobs: List[Job] = list(controller.completed) + controller.running_jobs()
+    for job in jobs:
+        partition = job.spec.partition
+        account = accounts.get(partition)
+        if account is None:
+            account = PartitionAccounting(partition=partition)
+            accounts[partition] = account
+        account.jobs_total += 1
+        account.by_state[job.state.value] = account.by_state.get(job.state.value, 0) + 1
+        if job.start_time is not None:
+            effective_start = (
+                job.spec.begin_time
+                if job.spec.begin_time is not None and job.spec.begin_time > job.submit_time
+                else job.submit_time
+            )
+            account.wait_times.append(max(0.0, job.start_time - effective_start))
+            end = job.end_time if job.end_time is not None else controller.env.now
+            account.run_times.append(end - job.start_time)
+            account.node_seconds += (end - job.start_time) * job.spec.num_nodes
+    return accounts
+
+
+def render_sacct(accounts: Dict[str, PartitionAccounting]) -> str:
+    """A compact text view of the accounting."""
+    lines = [
+        f"{'partition':<10} {'jobs':>6} {'node-hours':>11} {'mean wait':>10} "
+        f"{'median wait':>12}  states"
+    ]
+    for partition in sorted(accounts):
+        account = accounts[partition]
+        states = ", ".join(
+            f"{state}:{count}" for state, count in sorted(account.by_state.items())
+        )
+        lines.append(
+            f"{partition:<10} {account.jobs_total:>6d} {account.node_hours:>11.2f} "
+            f"{account.mean_wait:>9.1f}s {account.median_wait:>11.1f}s  {states}"
+        )
+    return "\n".join(lines)
+
+
+def prime_wait_comparison(
+    with_whisk: Dict[str, PartitionAccounting],
+    without_whisk: Dict[str, PartitionAccounting],
+    partition: str = "main",
+) -> Dict[str, float]:
+    """Design-goal-1 evidence: prime-job wait deltas with vs without pilots."""
+    a = with_whisk.get(partition)
+    b = without_whisk.get(partition)
+    if a is None or b is None:
+        raise ValueError(f"partition {partition!r} missing from one side")
+    return {
+        "mean_wait_with": a.mean_wait,
+        "mean_wait_without": b.mean_wait,
+        "mean_wait_delta": a.mean_wait - b.mean_wait,
+        "median_wait_with": a.median_wait,
+        "median_wait_without": b.median_wait,
+    }

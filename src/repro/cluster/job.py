@@ -1,0 +1,151 @@
+"""Jobs: specifications, runtime state, and termination signals."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.sim.core import Environment
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job, mirroring Slurm's visible states."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"      # body finished on its own
+    TIMEOUT = "timeout"          # killed at its granted time limit
+    PREEMPTED = "preempted"      # cancelled to make room for a higher tier
+    CANCELLED = "cancelled"      # withdrawn while pending, or scancel'd
+    FAILED = "failed"            # body raised
+    NODE_FAIL = "node_fail"      # node went down under the job
+
+
+class JobSignal(enum.Enum):
+    """Signals slurmd delivers into a job body (as Interrupt causes)."""
+
+    SIGTERM = "SIGTERM"
+    SIGKILL = "SIGKILL"
+
+
+#: A job body: a generator factory invoked as ``body(env, job, nodes)``.
+#: Prime HPC jobs sleep for their actual runtime; HPC-Whisk pilot jobs run
+#: an OpenWhisk invoker.  ``None`` bodies sleep until killed at the limit.
+JobBody = Callable[["Environment", "Job", Sequence["Node"]], Generator]
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class JobSpec:
+    """What a user submits: ``sbatch``-level parameters.
+
+    ``time_min`` enables Slurm's variable-length jobs (``--time-min`` +
+    ``--time``): the scheduler may grant any limit in
+    ``[time_min, time_limit]`` to fit an availability window.  All times are
+    seconds.
+    """
+
+    name: str
+    num_nodes: int = 1
+    time_limit: float = 3600.0
+    time_min: Optional[float] = None
+    partition: str = "main"
+    #: larger = more urgent within the partition's tier.  The fib manager
+    #: sets priority proportional to job length (Sec. III-D).
+    priority: float = 0.0
+    body: Optional[JobBody] = None
+    #: pin the job to specific nodes (trace replay uses this)
+    required_nodes: Optional[tuple[str, ...]] = None
+    #: earliest start (``--begin``); None = as soon as possible.  Trace
+    #: replay uses this so early job completions do not compress the trace.
+    begin_time: Optional[float] = None
+    #: actual work duration for prime jobs (completes early vs the limit);
+    #: None means run until the granted limit
+    actual_runtime: Optional[float] = None
+    user: str = "user"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        if self.time_min is not None:
+            if self.time_min <= 0 or self.time_min > self.time_limit:
+                raise ValueError(
+                    f"time_min ({self.time_min}) must be in (0, time_limit]"
+                )
+        if self.required_nodes is not None and len(self.required_nodes) < self.num_nodes:
+            raise ValueError("required_nodes shorter than num_nodes")
+
+    @property
+    def is_flexible(self) -> bool:
+        """True for variable-length (``--time-min``) jobs."""
+        return self.time_min is not None and self.time_min < self.time_limit
+
+
+class Job:
+    """A submitted job tracked by the controller."""
+
+    def __init__(self, spec: JobSpec, submit_time: float) -> None:
+        self.job_id: int = next(_job_ids)
+        self.spec = spec
+        self.state = JobState.PENDING
+        self.submit_time = submit_time
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        #: the limit the scheduler granted (== spec.time_limit for fixed
+        #: jobs; anything in [time_min, time_limit] for flexible jobs)
+        self.granted_time: Optional[float] = None
+        self.nodes: tuple["Node", ...] = ()
+        #: time SIGTERM was delivered, if any
+        self.sigterm_time: Optional[float] = None
+        #: why SIGTERM was sent ("preempt" | "timeout" | "cancel")
+        self.term_reason: Optional[str] = None
+        #: set by slurmd; interrupting this process delivers signals
+        self.process: Any = None
+        #: arbitrary results the body left behind (pilot statistics etc.)
+        self.result: Any = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_pending(self) -> bool:
+        return self.state is JobState.PENDING
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is JobState.RUNNING
+
+    @property
+    def finished(self) -> bool:
+        return self.state not in (JobState.PENDING, JobState.RUNNING)
+
+    @property
+    def planned_end(self) -> Optional[float]:
+        """Scheduler's view of when the job ends (start + granted limit)."""
+        if self.start_time is None or self.granted_time is None:
+            return None
+        return self.start_time + self.granted_time
+
+    def runtime(self) -> Optional[float]:
+        """Wall-clock the job actually ran, once finished."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Job {self.job_id} {self.spec.name!r} {self.state.value}"
+            f" nodes={self.spec.num_nodes}>"
+        )
+
+
+def reset_job_ids() -> None:
+    """Restart the global job-id counter (test isolation)."""
+    global _job_ids
+    _job_ids = itertools.count(1)

@@ -1,0 +1,89 @@
+"""Cluster nodes and their states."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.job import Job
+
+
+class NodeState(enum.Enum):
+    """Slurm-style node states, reduced to what the experiments observe."""
+
+    #: available and empty
+    IDLE = "idle"
+    #: running a job (prime or pilot)
+    ALLOCATED = "allocated"
+    #: out of service (maintenance / failure) — invisible to scheduling
+    DOWN = "down"
+    #: held by a commercial block reservation — never harvested
+    RESERVED = "reserved"
+
+
+class Node:
+    """A whole-node allocation unit.
+
+    Prometheus' main partition schedules these jobs node-exclusively, so a
+    node runs at most one job at a time.  ``cores``/``memory_mb`` default to
+    the Prometheus hardware (2× 12-core Xeon E5-2680v3, 128 GB).
+    """
+
+    __slots__ = ("name", "cores", "memory_mb", "state", "job", "idle_since")
+
+    def __init__(
+        self,
+        name: str,
+        cores: int = 24,
+        memory_mb: int = 131072,
+    ) -> None:
+        self.name = name
+        self.cores = cores
+        self.memory_mb = memory_mb
+        self.state = NodeState.IDLE
+        self.job: Optional["Job"] = None
+        #: simulation time at which the node last became idle (for metrics)
+        self.idle_since: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """True if the node can be allocated right now."""
+        return self.state is NodeState.IDLE
+
+    def allocate(self, job: "Job", now: float) -> None:
+        if self.state is not NodeState.IDLE:
+            raise RuntimeError(
+                f"node {self.name} is {self.state.value}, cannot allocate {job.job_id}"
+            )
+        self.state = NodeState.ALLOCATED
+        self.job = job
+
+    def release(self, now: float) -> None:
+        if self.state is not NodeState.ALLOCATED:
+            raise RuntimeError(f"node {self.name} is {self.state.value}, cannot release")
+        self.state = NodeState.IDLE
+        self.job = None
+        self.idle_since = now
+
+    def set_down(self) -> None:
+        if self.job is not None:
+            raise RuntimeError(f"node {self.name} has a running job")
+        self.state = NodeState.DOWN
+
+    def set_reserved(self) -> None:
+        if self.job is not None:
+            raise RuntimeError(f"node {self.name} has a running job")
+        self.state = NodeState.RESERVED
+
+    def set_idle(self, now: float) -> None:
+        """Return a DOWN/RESERVED node to service."""
+        if self.state is NodeState.ALLOCATED:
+            raise RuntimeError(f"node {self.name} has a running job")
+        self.state = NodeState.IDLE
+        self.idle_since = now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        tag = self.job.job_id if self.job else "-"
+        return f"<Node {self.name} {self.state.value} job={tag}>"

@@ -1,0 +1,74 @@
+"""Partitions: priority tiers and preemption policy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class PreemptMode(enum.Enum):
+    """Slurm ``PreemptMode`` values the reproduction uses."""
+
+    OFF = "off"
+    #: preempted jobs are cancelled (after GraceTime) — HPC-Whisk's setting
+    CANCEL = "cancel"
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A named partition with a priority tier.
+
+    The paper's configuration (Sec. III-D): the HPC-Whisk partition has
+    ``PriorityTier`` 0 — the lowest possible — and ``PreemptMode=CANCEL``;
+    prime partitions have tier >= 1.  Slurm never allots a lower-tier job
+    where it would delay any higher-tier job, and jobs in a CANCEL
+    partition may be evicted with a grace period.
+    """
+
+    name: str
+    priority_tier: int = 1
+    preempt_mode: PreemptMode = PreemptMode.OFF
+    #: SIGTERM → SIGKILL grace for preempted jobs, seconds (GraceTime)
+    grace_time: float = 180.0
+    #: maximum time limit a job in this partition may declare, seconds
+    max_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.priority_tier < 0:
+            raise ValueError("priority_tier must be >= 0")
+        if self.grace_time < 0:
+            raise ValueError("grace_time must be >= 0")
+        if self.max_time is not None and self.max_time <= 0:
+            raise ValueError("max_time must be positive")
+
+    @property
+    def preemptible(self) -> bool:
+        """True if jobs in this partition may be preempted."""
+        return self.preempt_mode is PreemptMode.CANCEL
+
+    def validate_time_limit(self, time_limit: float) -> None:
+        if self.max_time is not None and time_limit > self.max_time:
+            raise ValueError(
+                f"time limit {time_limit}s exceeds partition {self.name!r}"
+                f" MaxTime {self.max_time}s"
+            )
+
+
+def default_partitions(grace_time: float = 180.0) -> dict[str, Partition]:
+    """The two-partition layout from the paper.
+
+    ``main`` hosts the prime HPC workload at tier 1; ``whisk`` hosts
+    preemptible pilot jobs at tier 0 with a 2-hour MaxTime (the backfill
+    window).
+    """
+    return {
+        "main": Partition(name="main", priority_tier=1, preempt_mode=PreemptMode.OFF),
+        "whisk": Partition(
+            name="whisk",
+            priority_tier=0,
+            preempt_mode=PreemptMode.CANCEL,
+            grace_time=grace_time,
+            max_time=7200.0,
+        ),
+    }

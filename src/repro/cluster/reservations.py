@@ -1,0 +1,81 @@
+"""Commercial block reservations.
+
+On Prometheus, commercial customers reserve blocks of nodes for long
+periods, managed outside Slurm's scientific queue: *no scientific job can be
+executed on an idle, yet reserved node* (Sec. I).  The paper excludes such
+nodes from all idleness analyses; we model them so the analysis layer has
+something real to exclude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.slurmctld import SlurmController
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A block of nodes held for a customer over a time range."""
+
+    name: str
+    node_names: Tuple[str, ...]
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("reservation must have positive duration")
+        if not self.node_names:
+            raise ValueError("reservation must cover at least one node")
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class ReservationManager:
+    """Applies reservations to a controller's nodes over simulated time.
+
+    Reserved nodes are flipped to ``RESERVED`` at the reservation start and
+    released at its end.  A reservation whose nodes are busy at start time
+    raises — generators must place reservations on nodes they keep free,
+    exactly as the real cluster's separately-managed commercial blocks are.
+    """
+
+    def __init__(self, controller: "SlurmController", reservations: Iterable[Reservation]) -> None:
+        self.controller = controller
+        self.reservations: List[Reservation] = sorted(reservations, key=lambda r: r.start)
+        for reservation in self.reservations:
+            for name in reservation.node_names:
+                if name not in controller.nodes:
+                    raise ValueError(f"reservation {reservation.name!r}: unknown node {name}")
+        controller.env.process(self._run())
+
+    def reserved_node_names(self, now: float) -> set[str]:
+        """Names of nodes under an active reservation at *now*."""
+        return {
+            name
+            for reservation in self.reservations
+            if reservation.active_at(now)
+            for name in reservation.node_names
+        }
+
+    def _run(self):
+        env = self.controller.env
+        events: List[Tuple[float, bool, Reservation]] = []
+        for reservation in self.reservations:
+            events.append((reservation.start, True, reservation))
+            events.append((reservation.end, False, reservation))
+        events.sort(key=lambda item: (item[0], not item[1]))
+        for when, is_start, reservation in events:
+            if when > env.now:
+                yield env.timeout(when - env.now)
+            for name in reservation.node_names:
+                node = self.controller.nodes[name]
+                if is_start:
+                    node.set_reserved()
+                else:
+                    node.set_idle(env.now)
+            self.controller.request_pass()

@@ -1,0 +1,253 @@
+"""Job execution on nodes: signal delivery and lifecycle.
+
+One :class:`JobExecution` drives one running job, playing the role of the
+``slurmd`` daemons on the job's nodes:
+
+* runs the job body (a generator; prime jobs are simple sleeps),
+* enforces the granted time limit — SIGTERM at the limit, SIGKILL
+  ``kill_wait`` seconds later (Slurm's ``KillWait``),
+* implements preemption — SIGTERM immediately, SIGKILL after the
+  partition's ``GraceTime`` (3 minutes in the paper's configuration).
+
+Signals are delivered as :class:`~repro.sim.process.Interrupt` with a
+:class:`TermSignal` cause, which pilot-job bodies catch to run the
+drain-and-deregister handoff (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.cluster.job import Job, JobSignal, JobState
+from repro.sim import Environment, Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+
+@dataclass(frozen=True)
+class TermSignal:
+    """Cause object attached to termination interrupts."""
+
+    signal: JobSignal
+    #: "preempt" | "timeout" | "cancel"
+    reason: str
+    #: seconds until SIGKILL follows (grace for preempt, kill_wait for timeout)
+    grace: float
+
+
+class _Preempt(Exception):
+    """Internal cause used to wake the execution watchdog."""
+
+    def __init__(self, reason: str, grace: float) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.grace = grace
+
+
+def _wrap_body(generator):
+    """Run a job body, converting every outcome into a plain return value.
+
+    The watchdog waits on the wrapped process with ``yield body | timer``;
+    if the body process itself could *fail*, that condition would re-raise
+    inside the watchdog.  Wrapping keeps the watchdog's control flow linear:
+    the outcome is inspected as a ``(status, payload)`` tuple.
+    """
+    try:
+        value = yield from generator
+        return ("completed", value)
+    except Interrupt as interrupt:
+        # An uncaught SIGTERM/SIGKILL: the body made no attempt to drain.
+        return ("killed", interrupt.cause)
+    except Exception as exc:  # noqa: BLE001 - body bugs become FAILED jobs
+        return ("failed", exc)
+
+
+class NodeDaemon:
+    """Factory for job executions; one logical daemon per cluster.
+
+    Real Slurm runs one ``slurmd`` per node; since our nodes share one
+    event loop there is no benefit to per-node processes, but the class
+    boundary keeps signal logic out of the controller.
+    """
+
+    def __init__(self, env: Environment, kill_wait: float = 30.0) -> None:
+        self.env = env
+        self.kill_wait = kill_wait
+
+    def execute(
+        self,
+        job: Job,
+        nodes: Sequence["Node"],
+        granted_time: float,
+        on_end: Callable[[Job], None],
+    ) -> "JobExecution":
+        execution = JobExecution(self, job, nodes, granted_time, on_end)
+        execution.start()
+        return execution
+
+
+class JobExecution:
+    """Drives one running job to completion, timeout, or preemption."""
+
+    def __init__(
+        self,
+        daemon: NodeDaemon,
+        job: Job,
+        nodes: Sequence["Node"],
+        granted_time: float,
+        on_end: Callable[[Job], None],
+    ) -> None:
+        self.daemon = daemon
+        self.env = daemon.env
+        self.job = job
+        self.nodes = tuple(nodes)
+        self.granted_time = granted_time
+        self.on_end = on_end
+        self._watchdog: Optional[Process] = None
+        self._body: Optional[Process] = None
+        self._preempting = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        env = self.env
+        job = self.job
+        job.state = JobState.RUNNING
+        job.start_time = env.now
+        job.granted_time = self.granted_time
+        job.nodes = self.nodes
+        for node in self.nodes:
+            node.allocate(job, env.now)
+        self._watchdog = env.process(self._run())
+        self._watchdog.name = f"exec-{job.job_id}"
+
+    def preempt(self, reason: str = "preempt", grace: Optional[float] = None) -> None:
+        """Begin eviction: SIGTERM now, SIGKILL after *grace* seconds."""
+        if self._preempting or self.job.finished:
+            return
+        self._preempting = True
+        if grace is None:
+            grace = 180.0
+        assert self._watchdog is not None
+        self._watchdog.interrupt(_Preempt(reason, grace))
+
+    def cancel(self) -> None:
+        """scancel a running job (same signal path, zero political grace)."""
+        self.preempt(reason="cancel", grace=self.daemon.kill_wait)
+
+    def node_fail(self) -> None:
+        """The node died under the job: hard kill, no SIGTERM, no drain."""
+        if self._preempting or self.job.finished:
+            return
+        self._preempting = True
+        assert self._watchdog is not None
+        self._watchdog.interrupt(_Preempt("node_fail", 0.0))
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        env = self.env
+        job = self.job
+        body_gen = None
+        if job.spec.body is not None:
+            body_gen = job.spec.body(env, job, self.nodes)
+
+        if body_gen is not None:
+            self._body = env.process(_wrap_body(body_gen))
+            self._body.name = f"body-{job.job_id}"
+            job.process = self._body
+
+        final_state = JobState.COMPLETED
+        reason: Optional[str] = None
+        try:
+            if self._body is not None:
+                limit = env.timeout(self.granted_time)
+                yield self._body | limit
+                if self._body.is_alive:
+                    # Granted limit reached: SIGTERM, then SIGKILL.
+                    final_state = JobState.TIMEOUT
+                    reason = "timeout"
+                    yield from self._signal_sequence("timeout", self.daemon.kill_wait)
+                elif self._body.value[0] == "failed":
+                    final_state = JobState.FAILED
+            else:
+                # Sleep job: runs for its actual runtime, capped at the limit.
+                actual = job.spec.actual_runtime
+                duration = self.granted_time if actual is None else min(actual, self.granted_time)
+                yield env.timeout(duration)
+                if actual is not None and actual > self.granted_time:
+                    final_state = JobState.TIMEOUT
+        except Interrupt as interrupt:
+            cause = interrupt.cause
+            if not isinstance(cause, _Preempt):  # pragma: no cover - defensive
+                raise
+            if cause.reason == "node_fail":
+                final_state = JobState.NODE_FAIL
+            elif cause.reason == "preempt":
+                final_state = JobState.PREEMPTED
+            else:
+                final_state = JobState.CANCELLED
+            reason = cause.reason
+            if cause.reason == "node_fail":
+                # Hard kill: straight to SIGKILL, no grace, no drain.
+                if self._body is not None and self._body.is_alive:
+                    job.sigterm_time = env.now
+                    job.term_reason = reason
+                    self._body.interrupt(TermSignal(JobSignal.SIGKILL, reason, 0.0))
+                    yield self._body
+            elif self._body is not None and self._body.is_alive:
+                yield from self._signal_sequence(cause.reason, cause.grace)
+            elif self._body is not None:
+                # Race: the body finished at the very instant of preemption.
+                final_state = (
+                    JobState.COMPLETED
+                    if self._body.value[0] == "completed"
+                    else JobState.FAILED
+                )
+                reason = None
+            elif self._body is None:
+                # Sleep job under eviction: it ends at SIGKILL unless its
+                # natural end comes first.
+                assert job.start_time is not None
+                actual = job.spec.actual_runtime
+                natural_remaining = (
+                    None
+                    if actual is None
+                    else max(0.0, (job.start_time + actual) - env.now)
+                )
+                if natural_remaining is not None and natural_remaining <= cause.grace:
+                    yield env.timeout(natural_remaining)
+                    final_state = JobState.COMPLETED
+                else:
+                    yield env.timeout(cause.grace)
+
+        self._finish(final_state, reason)
+
+    def _signal_sequence(self, reason: str, grace: float):
+        """SIGTERM the body; SIGKILL after *grace* if it is still alive."""
+        env = self.env
+        job = self.job
+        assert self._body is not None
+        job.sigterm_time = env.now
+        job.term_reason = reason
+        self._body.interrupt(TermSignal(JobSignal.SIGTERM, reason, grace))
+        deadline = env.timeout(grace)
+        yield self._body | deadline
+        if self._body.is_alive:
+            self._body.interrupt(TermSignal(JobSignal.SIGKILL, reason, 0.0))
+            yield self._body  # bodies must exit promptly on SIGKILL
+
+    def _finish(self, state: JobState, reason: Optional[str]) -> None:
+        env = self.env
+        job = self.job
+        job.state = state
+        job.end_time = env.now
+        if reason is not None:
+            job.term_reason = reason
+        if self._body is not None and self._body.processed and self._body.ok:
+            status, payload = self._body.value
+            if status == "completed":
+                job.result = payload
+        for node in self.nodes:
+            node.release(env.now)
+        self.on_end(job)

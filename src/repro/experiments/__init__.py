@@ -1,0 +1,44 @@
+"""Packaged reproductions of every experiment in the paper.
+
+One module per table/figure family; each exposes a ``run_*`` function
+returning a plain result object with a ``render()`` text view.  The
+benchmark harness under ``benchmarks/`` and the record in
+``EXPERIMENTS.md`` are thin wrappers over these.
+
+========================  =======================================
+Module                    Reproduces
+========================  =======================================
+:mod:`.fig1`              Fig 1a/1b/1c — idleness analysis
+:mod:`.fig2`              Fig 2 — job limits/runtimes/slack CDFs
+:mod:`.fig3`              Fig 3 — the 5-node motivating example
+:mod:`.table1`            Table I — job-length-set simulation
+:mod:`.day`               Tables II/III, Figs 5a-c/6a-c, Sec. V-C
+:mod:`.fig7`              Fig 7 — SeBS vs AWS Lambda
+========================  =======================================
+"""
+
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.day import DayConfig, DayResult, run_day
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.longterm import LongTermResult, run_longterm
+
+__all__ = [
+    "DayConfig",
+    "DayResult",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig7Result",
+    "LongTermResult",
+    "run_longterm",
+    "Table1Result",
+    "run_day",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig7",
+    "run_table1",
+]

@@ -1,0 +1,281 @@
+"""The 24-hour production experiments (Tables II/III, Figs 5/6, Sec. V-C).
+
+One run assembles the full stack — cluster + prime trace replay + the
+chosen pilot supply manager + the FaaS middleware + a constant-rate
+Gatling client — and measures it from the paper's three perspectives.
+
+Paper anchors:
+
+========================  ==========  ==========
+metric                    fib (3/17)  var (3/21)
+========================  ==========  ==========
+avg available nodes          11.85       7.38
+coverage (Slurm-level)       90%         68%
+coverage (clairvoyant)       92%         84%
+avg healthy invokers         10.39       4.96
+requests accepted            95.29%      78.28%
+success of accepted          95.19%      96.99%
+median response (Gatling)    865 ms      1227 ms
+========================  ==========  ==========
+
+The two days differed materially in idle supply; ``intensity_scale``
+reproduces that (DESIGN.md §7).  ``num_nodes`` defaults to 300 — the
+idleness process is calibrated in *absolute* node counts, so the harvest
+dynamics are unchanged versus a 2,239-node backdrop while the prime-job
+replay stays cheap; pass 2239 for the full-size cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.coverage import CoverageResult, CoverageSimulator
+from repro.analysis.idle_periods import intervals_by_node
+from repro.analysis.metrics import PercentileSummary, percentile_summary
+from repro.analysis.owlog import OWLevelStates, ow_level_states, ready_period_stats
+from repro.analysis.report import render_table23
+from repro.analysis.sampler import SlurmSampler
+from repro.cluster.slurmctld import SlurmConfig
+from repro.faas.functions import sleep_functions
+from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
+from repro.hpcwhisk.deploy import HPCWhiskSystem, build_system
+from repro.hpcwhisk.lengths import SET_A1, SET_C2
+from repro.workloads.gatling import GatlingClient, GatlingReport
+from repro.workloads.hpc_trace import trace_to_prime_jobs
+from repro.workloads.idleness import IdlenessTraceGenerator
+
+
+@dataclass
+class DayConfig:
+    """Parameters of one experiment day."""
+
+    model: SupplyModel = SupplyModel.FIB
+    seed: int = 317
+    horizon: float = 24 * 3600.0
+    num_nodes: int = 300
+    #: idle-supply scale; defaults reproduce the two days' supply gap
+    intensity_scale: Optional[float] = None
+    #: idle-window length scale; defaults reproduce each day's regime
+    length_scale: Optional[float] = None
+    #: supply-outage share (None = per-model default: the fib day saw
+    #: essentially no zero-available time, the var day plenty)
+    outage_share: Optional[float] = None
+    #: floor on idle supply (None = per-model default)
+    min_intensity: Optional[float] = None
+    #: scheduler tunables (None = per-model defaults, see resolved_scheduler)
+    scheduler: Optional["SchedulerConfig"] = None
+    #: Gatling request rate (paper: 10 QPS against 100 sleep functions)
+    qps: float = 10.0
+    num_functions: int = 100
+    function_duration: float = 0.010
+    #: run the load client at all (coverage-only runs switch it off)
+    with_load: bool = True
+
+    def resolved_scale(self) -> float:
+        if self.intensity_scale is not None:
+            return self.intensity_scale
+        # Calibrated so the fib day averages ≈11.85 available nodes and
+        # the var day ≈7.38 (the paper's measured supply gap).
+        return 0.55 if self.model is SupplyModel.FIB else 1.2
+
+    def resolved_length_scale(self) -> float:
+        if self.length_scale is not None:
+            return self.length_scale
+        # Both experiment days showed longer worker periods than the
+        # calibration week (fib median ready ≈ 11 min, var ≈ 7 min); the
+        # var day's windows were visibly shorter than fib's.
+        return 3.0 if self.model is SupplyModel.FIB else 1.3
+
+    def resolved_outage_share(self) -> float:
+        if self.outage_share is not None:
+            return self.outage_share
+        # fib day: zero available nodes in 0.6% of samples; var day: 9.44%.
+        return 0.006 if self.model is SupplyModel.FIB else 0.06
+
+    def resolved_min_intensity(self) -> float:
+        if self.min_intensity is not None:
+            return self.min_intensity
+        # The fib day had a stable baseline of idle supply (Fig 5a).
+        return 9.0 if self.model is SupplyModel.FIB else 0.0
+
+    def resolved_scheduler(self) -> "SchedulerConfig":
+        from repro.cluster.backfill import SchedulerConfig
+
+        if self.scheduler is not None:
+            return self.scheduler
+        if self.model is SupplyModel.VAR:
+            # Calibrated to the paper's var-day gap: flexible placement is
+            # slower (90 s cadence, ≤4 starts/pass) and extensions grant
+            # only part of the feasible window (Sec. V-B2's explanation).
+            return SchedulerConfig(
+                bf_flex_interval=90.0,
+                max_flex_starts_per_pass=4,
+                flex_extension_min=0.4,
+            )
+        return SchedulerConfig()
+
+
+@dataclass
+class DayResult:
+    """Everything Tables II/III and Figs 5/6 need."""
+
+    config: DayConfig
+    #: clairvoyant upper bound on the same day's surface
+    simulation: CoverageResult
+    #: Slurm-level: sampled whisk-node counts
+    slurm_workers: PercentileSummary
+    #: Slurm-level: sampled available (idle ∪ whisk) counts
+    available_workers: PercentileSummary
+    #: whisk surface / available surface (the 90% / 68% headline)
+    slurm_used_share: float
+    #: share of samples with zero available nodes
+    zero_available_share: float
+    ow: OWLevelStates
+    gatling: Optional[GatlingReport]
+    ready_periods: Dict[str, float]
+    #: per-minute Fig 5b/6b series (successful/failed/lost/rejected)
+    per_minute: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: sampled count series for Fig 5a/6a and Fig 5c/6c
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def render(self) -> str:
+        name = "II (fib)" if self.config.model is SupplyModel.FIB else "III (var)"
+        table = render_table23(
+            f"TABLE {name}: three-perspective comparison",
+            self.simulation,
+            self.slurm_workers,
+            self.slurm_used_share,
+            self.ow.warmup,
+            self.ow.healthy,
+            self.ow.irresponsive,
+        )
+        lines = [table, ""]
+        if self.gatling is not None:
+            report = self.gatling
+            lines += [
+                f"requests total           : {report.total}",
+                f"accepted by controller   : {report.invoked_share * 100:.2f}%",
+                f"success of accepted      : {report.success_share_of_invoked * 100:.2f}%",
+                f"median response time     : {report.response_time_percentile(50) * 1000:.0f} ms",
+            ]
+        lines += [
+            f"avg available nodes      : {self.available_workers.avg:.2f}",
+            f"zero-available share     : {self.zero_available_share * 100:.2f}%",
+            f"invoker ready period med : {self.ready_periods.get('median', float('nan')) / 60:.1f} min",
+            f"controller outage total  : {self.ow.total_outage() / 60:.0f} min",
+            f"longest outage           : {self.ow.longest_outage() / 60:.1f} min",
+        ]
+        return "\n".join(lines)
+
+
+def run_day(config: Optional[DayConfig] = None) -> DayResult:
+    """Run one full experiment day and analyse it."""
+    config = config or DayConfig()
+    length_set = SET_A1 if config.model is SupplyModel.FIB else SET_C2
+    whisk_config = HPCWhiskConfig(supply_model=config.model, length_set=SET_A1)
+    system = build_system(
+        whisk_config,
+        SlurmConfig(num_nodes=config.num_nodes, scheduler=config.resolved_scheduler()),
+        seed=config.seed,
+    )
+    env = system.env
+
+    # Prime workload: trace replay of a generated idleness day.
+    trace_rng = system.streams.stream("trace")
+    trace = IdlenessTraceGenerator(
+        trace_rng,
+        num_nodes=config.num_nodes,
+        intensity_scale=config.resolved_scale(),
+        length_scale=config.resolved_length_scale(),
+        outage_share=config.resolved_outage_share(),
+        min_intensity=config.resolved_min_intensity(),
+    ).generate(config.horizon)
+    workload = trace_to_prime_jobs(trace, system.streams.stream("lead"))
+    workload.submit_all(env, system.slurm)
+
+    # Load client.
+    gatling: Optional[GatlingClient] = None
+    if config.with_load:
+        functions = sleep_functions(config.num_functions, config.function_duration)
+        for function in functions:
+            system.controller.deploy(function)
+        gatling = GatlingClient(
+            env,
+            system.client,
+            [f.name for f in functions],
+            rate_per_second=config.qps,
+            duration=config.function_duration,
+            rng=system.streams.stream("gatling"),
+        )
+        gatling.start(config.horizon)
+
+    sampler = SlurmSampler(env, system.slurm, system.streams.stream("sampler"))
+    env.run(until=config.horizon)
+    sampler.stop()
+    system.manager.stop()
+
+    return _analyse(config, system, sampler, gatling, length_set)
+
+
+def _analyse(
+    config: DayConfig,
+    system: HPCWhiskSystem,
+    sampler: SlurmSampler,
+    gatling: Optional[GatlingClient],
+    length_set,
+) -> DayResult:
+    samples = sampler.log.samples
+    horizon = config.horizon
+
+    available = intervals_by_node(samples, "available", end_time=horizon)
+    whisk_counts = sampler.log.whisk_counts()
+    available_counts = sampler.log.available_counts()
+    idle_counts = sampler.log.idle_counts()
+
+    total_available = float(available_counts.sum())
+    slurm_used_share = (
+        float(whisk_counts.sum()) / total_available if total_available else 0.0
+    )
+
+    simulation = CoverageSimulator().run(available, length_set, horizon=horizon)
+
+    timelines = [t for t in system.pilot_timelines if t.job_started_at < horizon]
+    ow = ow_level_states(timelines, horizon)
+
+    per_minute: Dict[str, np.ndarray] = {}
+    report = None
+    if gatling is not None:
+        report = gatling.report
+        per_minute = report.per_minute(horizon)
+
+    from repro.analysis.metrics import time_weighted_counts
+
+    warmup = CoverageSimulator().warmup
+    sim_ready_intervals = [
+        (start + min(warmup, end - start), end) for _node, start, end in simulation.jobs
+    ]
+    series = {
+        "sample_times": np.array([s.time for s in samples]),
+        "idle_counts": idle_counts,
+        "whisk_counts": whisk_counts,
+        "available_counts": available_counts,
+        "ow_healthy_counts": ow.healthy_counts,
+        "sim_ready_counts": time_weighted_counts(sim_ready_intervals, horizon),
+    }
+
+    return DayResult(
+        config=config,
+        simulation=simulation,
+        slurm_workers=percentile_summary(whisk_counts),
+        available_workers=percentile_summary(available_counts),
+        slurm_used_share=slurm_used_share,
+        zero_available_share=float(np.mean(available_counts == 0)),
+        ow=ow,
+        gatling=report,
+        ready_periods=ready_period_stats(timelines),
+        per_minute=per_minute,
+        series=series,
+    )

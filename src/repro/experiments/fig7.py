@@ -1,0 +1,86 @@
+"""Fig 7: SeBS compute benchmarks — HPC node vs AWS Lambda.
+
+The three compute-intensive SeBS functions (bfs, mst, pagerank) are
+executed for real on this machine (the "Prometheus node" side — scaled
+runs, same code paths) and compared against the calibrated Lambda model
+at its fastest configuration (2,048 MB).  Paper anchor: a consistent
+≈15% advantage for the HPC node across all three functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import render_kv
+from repro.workloads.lambda_model import LambdaPerformanceModel
+from repro.workloads.sebs import SeBSFunction, build_sebs_functions, time_invocations
+
+
+@dataclass
+class Fig7Row:
+    function: str
+    prometheus_median_s: float
+    lambda_median_s: float
+    prometheus_p25_s: float
+    prometheus_p75_s: float
+    lambda_p25_s: float
+    lambda_p75_s: float
+
+    @property
+    def advantage(self) -> float:
+        """Relative Lambda slowdown: lambda/prometheus − 1 (paper ≈ 0.15)."""
+        return self.lambda_median_s / self.prometheus_median_s - 1.0
+
+
+@dataclass
+class Fig7Result:
+    rows: List[Fig7Row] = field(default_factory=list)
+    memory_mb: float = 2048.0
+
+    def row(self, name: str) -> Fig7Row:
+        for row in self.rows:
+            if row.function == name:
+                return row
+        raise KeyError(name)
+
+    def render(self) -> str:
+        lines = [
+            f"Fig 7 — SeBS warm performance, local node vs Lambda @ {self.memory_mb:.0f} MB",
+            f"{'function':<10} {'node median':>12} {'lambda median':>14} {'advantage':>10}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.function:<10} {row.prometheus_median_s * 1000:>10.1f}ms "
+                f"{row.lambda_median_s * 1000:>12.1f}ms {row.advantage * 100:>9.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_fig7(
+    seed: int = 2022,
+    invocations: int = 200,
+    graph_size: int = 40000,
+    memory_mb: float = 2048.0,
+) -> Fig7Result:
+    """Time the kernels for real; synthesize the Lambda comparison."""
+    rng = np.random.default_rng(seed)
+    model = LambdaPerformanceModel()
+    result = Fig7Result(memory_mb=memory_mb)
+    for function in build_sebs_functions(rng, graph_size=graph_size):
+        local_times = time_invocations(function, invocations)
+        lambda_times = model.execution_times(local_times, memory_mb, rng)
+        result.rows.append(
+            Fig7Row(
+                function=function.name,
+                prometheus_median_s=float(np.median(local_times)),
+                lambda_median_s=float(np.median(lambda_times)),
+                prometheus_p25_s=float(np.percentile(local_times, 25)),
+                prometheus_p75_s=float(np.percentile(local_times, 75)),
+                lambda_p25_s=float(np.percentile(lambda_times, 25)),
+                lambda_p75_s=float(np.percentile(lambda_times, 75)),
+            )
+        )
+    return result

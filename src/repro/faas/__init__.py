@@ -1,0 +1,70 @@
+"""An OpenWhisk-like FaaS middleware, with the paper's modifications.
+
+Components mirror a standard OpenWhisk deployment (Sec. II):
+
+* a **controller** (:mod:`repro.faas.controller`) routing invocations to
+  invokers by hashed function name over per-invoker message topics;
+* **invokers** (:mod:`repro.faas.invoker`) — one per worker node — pulling
+  from their topic and executing calls in warm/cold **containers**
+  (:mod:`repro.faas.containers`) on a Docker- or Singularity-like runtime
+  (:mod:`repro.faas.runtime`);
+* an in-simulation **message broker** (:mod:`repro.faas.broker`) standing in
+  for Apache Kafka (FIFO topics, consumer pull).
+
+Plus the paper's modifications (Sec. III-B/C):
+
+* a dynamic invoker registry — invokers register, report status, drain and
+  de-register as pilot jobs come and go;
+* the global **fast-lane topic**: a departing invoker republishes its
+  buffered requests there, and the controller moves the unpulled remainder;
+  every invoker serves the fast lane before its own topic;
+* immediate **503** responses when no healthy invoker exists, plus the
+  client-side wrapper of Alg. 1 (:mod:`repro.faas.client`) that off-loads
+  to a commercial cloud for 60 s after a 503.
+"""
+
+from repro.faas.activation import ActivationRecord, ActivationResult, ActivationStatus
+from repro.faas.broker import Broker, FASTLANE_TOPIC
+from repro.faas.client import Alg1Wrapper, CommercialCloud, FaaSClient
+from repro.faas.config import FaaSConfig
+from repro.faas.containers import Container, ContainerPool
+from repro.faas.controller import Controller, InvokerRecord, InvokerStatus
+from repro.faas.functions import FunctionDef, FunctionRegistry
+from repro.faas.invoker import Invoker, InvokerStats
+from repro.faas.messages import (
+    ActivationMessage,
+    CompletionMessage,
+    PingMessage,
+)
+from repro.faas.loadbalancer import HashAffinity, LeastLoaded, LoadBalancer, RoundRobin
+from repro.faas.runtime import ContainerRuntime, DockerRuntime, SingularityRuntime
+
+__all__ = [
+    "ActivationMessage",
+    "ActivationRecord",
+    "ActivationResult",
+    "ActivationStatus",
+    "Alg1Wrapper",
+    "Broker",
+    "CommercialCloud",
+    "Container",
+    "ContainerPool",
+    "ContainerRuntime",
+    "Controller",
+    "DockerRuntime",
+    "FASTLANE_TOPIC",
+    "FaaSClient",
+    "FaaSConfig",
+    "FunctionDef",
+    "FunctionRegistry",
+    "HashAffinity",
+    "LeastLoaded",
+    "LoadBalancer",
+    "RoundRobin",
+    "Invoker",
+    "InvokerRecord",
+    "InvokerStats",
+    "InvokerStatus",
+    "PingMessage",
+    "SingularityRuntime",
+]

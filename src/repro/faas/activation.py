@@ -1,0 +1,65 @@
+"""Activation records and results: the request-level ledger."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class ActivationStatus(enum.Enum):
+    """Final status of an invocation attempt, as the client sees it."""
+
+    #: executed and returned a result
+    SUCCESS = "success"
+    #: executed but errored (developer error, resource exhaustion)
+    FAILED = "failed"
+    #: accepted by the controller but never answered within the timeout —
+    #: Fig 5b/6b's "lost" queries
+    TIMEOUT = "timeout"
+    #: rejected immediately: no healthy invoker (HTTP 503)
+    UNAVAILABLE = "503"
+
+
+@dataclass
+class ActivationResult:
+    """What an ``invoke`` call returns to the caller."""
+
+    activation_id: str
+    function: str
+    status: ActivationStatus
+    result: Any = None
+    error: Optional[str] = None
+    #: client-observed end-to-end response time, seconds
+    response_time: float = 0.0
+    #: where it ran ("hpc-whisk" | "commercial" | "")
+    backend: str = "hpc-whisk"
+    #: True if served after re-routing through the fast lane
+    fast_laned: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ActivationStatus.SUCCESS
+
+
+@dataclass
+class ActivationRecord:
+    """Controller-side ledger entry for one accepted activation."""
+
+    activation_id: str
+    function: str
+    submitted_at: float
+    invoker_id: str
+    #: set when the completion arrives
+    completed_at: Optional[float] = None
+    status: Optional[ActivationStatus] = None
+    wait_time: float = 0.0
+    init_time: float = 0.0
+    duration: float = 0.0
+    retries: int = 0
+    fast_laned: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None

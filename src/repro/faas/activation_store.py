@@ -1,0 +1,137 @@
+"""An activation store: OpenWhisk's CouchDB-backed activation history.
+
+Real OpenWhisk persists every activation's record and serves
+``wsk activation list / get / result``.  The controller's in-memory ledger
+(:attr:`~repro.faas.controller.Controller.records`) is the raw data; this
+module adds the query surface on top — time-range and status filters,
+per-function aggregation, and the paper-relevant latency decomposition
+(wait vs init vs run, Sec. II's warm/cold distinction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.faas.activation import ActivationRecord, ActivationStatus
+
+
+@dataclass
+class FunctionSummary:
+    """Aggregate view of one function's activations."""
+
+    function: str
+    invocations: int
+    successes: int
+    failures: int
+    timeouts: int
+    cold_starts: int
+    median_duration: float
+    median_wait: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.invocations if self.invocations else 0.0
+
+    @property
+    def cold_start_rate(self) -> float:
+        return self.cold_starts / self.invocations if self.invocations else 0.0
+
+
+class ActivationStore:
+    """Query layer over a sequence of activation records."""
+
+    def __init__(self, records: Sequence[ActivationRecord]) -> None:
+        self._records = list(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- wsk activation list ------------------------------------------------
+    def list(
+        self,
+        function: Optional[str] = None,
+        status: Optional[ActivationStatus] = None,
+        since: Optional[float] = None,
+        upto: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[ActivationRecord]:
+        """Newest-first filtered listing (the ``wsk activation list`` shape)."""
+        out = []
+        for record in reversed(self._records):
+            if function is not None and record.function != function:
+                continue
+            if status is not None and record.status is not status:
+                continue
+            if since is not None and record.submitted_at < since:
+                continue
+            if upto is not None and record.submitted_at >= upto:
+                continue
+            out.append(record)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def get(self, activation_id: str) -> ActivationRecord:
+        for record in self._records:
+            if record.activation_id == activation_id:
+                return record
+        raise KeyError(f"activation {activation_id!r} not found")
+
+    # -- aggregation ----------------------------------------------------------
+    def summarize_function(self, function: str) -> FunctionSummary:
+        records = [r for r in self._records if r.function == function]
+        durations = [r.duration for r in records if r.status is ActivationStatus.SUCCESS]
+        waits = [r.wait_time for r in records if r.status is ActivationStatus.SUCCESS]
+        return FunctionSummary(
+            function=function,
+            invocations=len(records),
+            successes=sum(1 for r in records if r.status is ActivationStatus.SUCCESS),
+            failures=sum(1 for r in records if r.status is ActivationStatus.FAILED),
+            timeouts=sum(1 for r in records if r.status is ActivationStatus.TIMEOUT),
+            cold_starts=sum(1 for r in records if r.init_time > 0),
+            median_duration=float(np.median(durations)) if durations else 0.0,
+            median_wait=float(np.median(waits)) if waits else 0.0,
+        )
+
+    def summaries(self) -> Dict[str, FunctionSummary]:
+        functions = sorted({r.function for r in self._records})
+        return {f: self.summarize_function(f) for f in functions}
+
+    # -- latency decomposition ------------------------------------------------
+    def latency_breakdown(self) -> Dict[str, float]:
+        """Median wait / init / run split over successful activations."""
+        ok = [r for r in self._records if r.status is ActivationStatus.SUCCESS]
+        if not ok:
+            return {"wait": 0.0, "init": 0.0, "run": 0.0, "count": 0}
+        return {
+            "wait": float(np.median([r.wait_time for r in ok])),
+            "init": float(np.median([r.init_time for r in ok])),
+            "run": float(np.median([r.duration for r in ok])),
+            "count": len(ok),
+        }
+
+    def fast_laned_share(self) -> float:
+        """Share of finished activations that travelled the fast lane."""
+        finished = [r for r in self._records if r.finished]
+        if not finished:
+            return 0.0
+        return sum(1 for r in finished if r.fast_laned) / len(finished)
+
+    def render(self, limit: int = 20) -> str:
+        """Aligned text view of per-function summaries."""
+        lines = [
+            f"{'function':<16} {'calls':>7} {'ok':>7} {'fail':>6} {'lost':>6} "
+            f"{'cold%':>6} {'med run':>8} {'med wait':>9}"
+        ]
+        for name, summary in list(self.summaries().items())[:limit]:
+            lines.append(
+                f"{name:<16} {summary.invocations:>7d} {summary.successes:>7d} "
+                f"{summary.failures:>6d} {summary.timeouts:>6d} "
+                f"{summary.cold_start_rate * 100:>5.1f}% "
+                f"{summary.median_duration * 1000:>6.1f}ms "
+                f"{summary.median_wait * 1000:>7.1f}ms"
+            )
+        return "\n".join(lines)

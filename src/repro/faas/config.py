@@ -1,0 +1,68 @@
+"""FaaS middleware configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaaSConfig:
+    """Tunables of the OpenWhisk-like stack.
+
+    Defaults match the behaviour described in the paper and standard
+    OpenWhisk deployments; ablation benchmarks sweep the interesting ones.
+    """
+
+    # -- transport ------------------------------------------------------
+    #: broker publish→deliver latency, seconds (Kafka-scale)
+    publish_latency: float = 0.002
+
+    # -- controller -----------------------------------------------------
+    #: blocking-invocation timeout: controller gives up waiting, seconds
+    activation_timeout: float = 60.0
+    #: controller-side scan interval for missed pings, seconds
+    health_check_interval: float = 2.0
+    #: an invoker missing pings for this long is declared gone, seconds
+    ping_timeout: float = 10.0
+
+    # -- invoker ----------------------------------------------------------
+    #: invoker → controller status ping interval, seconds
+    ping_interval: float = 2.0
+    #: maximum simultaneously existing containers per invoker
+    max_containers: int = 16
+    #: maximum buffered (pulled, unexecuted) activations; beyond this the
+    #: invoker fails new activations ("upper limit of concurrently running
+    #: container processes", Sec. V-C)
+    buffer_limit: int = 64
+    #: median per-activation overhead outside the function body (HTTP
+    #: front door, controller processing, Kafka round trips, result
+    #: store), seconds — calibrated so a warm 10 ms sleep function answers
+    #: in ≈865 ms end to end, the paper's fib-day Gatling median (Sec. V-C)
+    system_overhead: float = 0.72
+    #: lognormal shape of the overhead jitter
+    overhead_sigma: float = 0.25
+
+    # -- drain / handoff (Sec. III-C) ------------------------------------
+    #: master switch for the fast-lane handoff; False reverts to stock
+    #: OpenWhisk behaviour (departing workers strand their messages) —
+    #: used by the fast-lane ablation benchmark
+    use_fast_lane: bool = True
+    #: interrupt the currently-running execution and requeue it (the paper
+    #: default; clients may opt out per function)
+    interrupt_running: bool = True
+    #: delay for telling the controller we are draining, seconds
+    drain_notify_delay: float = 0.2
+    #: delay per buffered message republished to the fast lane, seconds
+    drain_republish_delay: float = 0.01
+    #: delay for final deregistration, seconds
+    drain_deregister_delay: float = 0.2
+    #: maximum retries for a re-routed (fast-laned) activation
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.activation_timeout <= 0:
+            raise ValueError("activation_timeout must be positive")
+        if self.ping_interval <= 0 or self.ping_timeout <= self.ping_interval:
+            raise ValueError("ping_timeout must exceed ping_interval")
+        if self.max_containers < 1:
+            raise ValueError("max_containers must be >= 1")

@@ -1,0 +1,314 @@
+"""The OpenWhisk-like controller with dynamic invoker support.
+
+Stock OpenWhisk assumes the invoker set never shrinks; a vanished invoker
+means timeouts for everything routed to it (Sec. II).  The paper's
+modified controller — reproduced here — instead:
+
+* maintains a **dynamic registry** driven by status messages (register /
+  healthy / draining / deregister) plus a ping-timeout scanner for
+  ungraceful losses;
+* on a *draining* notice, immediately moves the invoker's **unpulled**
+  messages to the global fast-lane topic (the invoker republishes its own
+  internal buffer);
+* answers **503** instantly when no healthy invoker exists, enabling the
+  client-side commercial fallback of Alg. 1.
+
+Routing keeps OpenWhisk's hash-by-function-name affinity over the sorted
+list of currently-healthy invokers, maximizing warm-container hits.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faas.activation import ActivationRecord, ActivationResult, ActivationStatus
+from repro.faas.broker import Broker, COMPLETED_TOPIC, FASTLANE_TOPIC, HEALTH_TOPIC
+from repro.faas.config import FaaSConfig
+from repro.faas.functions import FunctionDef, FunctionRegistry
+from repro.faas.messages import (
+    ActivationMessage,
+    CompletionMessage,
+    PingMessage,
+    next_activation_id,
+)
+from repro.sim import Environment, Event
+
+
+class InvokerStatus(enum.Enum):
+    """Controller-side view of an invoker."""
+
+    HEALTHY = "healthy"
+    DRAINING = "draining"
+    GONE = "gone"
+
+
+@dataclass
+class InvokerRecord:
+    """Registry entry for one (current or past) invoker."""
+
+    invoker_id: str
+    node: str
+    status: InvokerStatus
+    registered_at: float
+    last_ping: float
+    status_since: float
+    gone_at: Optional[float] = None
+
+
+@dataclass
+class ControllerEvent:
+    """One entry of the OpenWhisk-level, second-accurate event log."""
+
+    time: float
+    kind: str
+    invoker_id: str = ""
+    detail: dict = field(default_factory=dict)
+
+
+class Controller:
+    """Routes invocations, tracks invokers, resolves completions."""
+
+    def __init__(
+        self,
+        env: Environment,
+        broker: Broker,
+        config: Optional[FaaSConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        load_balancer=None,
+    ) -> None:
+        from repro.faas.loadbalancer import HashAffinity
+
+        self.env = env
+        self.broker = broker
+        self.config = config or FaaSConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.load_balancer = load_balancer or HashAffinity()
+        self.registry = FunctionRegistry()
+        self.invokers: Dict[str, InvokerRecord] = {}
+        self._pending: Dict[str, Tuple[Event, ActivationRecord]] = {}
+        #: every accepted activation, in submit order (the request ledger)
+        self.records: List[ActivationRecord] = []
+        #: count of immediate 503 rejections
+        self.unavailable_count = 0
+        #: second-accurate event log (registrations, drains, losses, 503s)
+        self.events: List[ControllerEvent] = []
+
+        env.process(self._completion_consumer())
+        env.process(self._health_consumer())
+        env.process(self._ping_scanner())
+
+    # ------------------------------------------------------------------
+    # deployment & views
+    # ------------------------------------------------------------------
+    def deploy(self, function: FunctionDef) -> None:
+        self.registry.deploy(function)
+
+    def healthy_invokers(self) -> List[str]:
+        return sorted(
+            record.invoker_id
+            for record in self.invokers.values()
+            if record.status is InvokerStatus.HEALTHY
+        )
+
+    def invoker_topic(self, invoker_id: str) -> str:
+        return f"invoker-{invoker_id}"
+
+    # ------------------------------------------------------------------
+    # invocation path
+    # ------------------------------------------------------------------
+    def choose_invoker(self, function: str) -> Optional[str]:
+        """Delegate to the configured load-balancing strategy (default:
+        OpenWhisk's hash-by-name affinity over the sorted healthy list)."""
+        return self.load_balancer.choose(function, self.healthy_invokers(), self.broker)
+
+    def invoke(
+        self,
+        function: str,
+        params: Any = None,
+        duration: Optional[float] = None,
+        interruptible: bool = True,
+    ):
+        """A process generator: performs one blocking invocation.
+
+        Yields until the result arrives, the activation times out, or —
+        with no healthy invoker — immediately returns a 503 result.
+        """
+        env = self.env
+        submitted = env.now
+        if function not in self.registry:
+            return ActivationResult(
+                activation_id="",
+                function=function,
+                status=ActivationStatus.FAILED,
+                error=f"function {function!r} is not deployed",
+            )
+        target = self.choose_invoker(function)
+        if target is None:
+            self.unavailable_count += 1
+            self.events.append(
+                ControllerEvent(time=env.now, kind="503", detail={"function": function})
+            )
+            return ActivationResult(
+                activation_id="",
+                function=function,
+                status=ActivationStatus.UNAVAILABLE,
+                error="no healthy invoker (503)",
+                response_time=0.0,
+            )
+
+        activation_id = next_activation_id()
+        message = ActivationMessage(
+            activation_id=activation_id,
+            function=function,
+            params=params,
+            submitted_at=submitted,
+            duration=duration,
+            interruptible=interruptible,
+        )
+        record = ActivationRecord(
+            activation_id=activation_id,
+            function=function,
+            submitted_at=submitted,
+            invoker_id=target,
+        )
+        self.records.append(record)
+        done = Event(env)
+        self._pending[activation_id] = (done, record)
+        self.broker.publish(self.invoker_topic(target), message)
+
+        deadline = env.timeout(self.config.activation_timeout)
+        yield done | deadline
+        if done.processed:
+            completion: CompletionMessage = done.value
+            status = (
+                ActivationStatus.SUCCESS if completion.success else ActivationStatus.FAILED
+            )
+            return ActivationResult(
+                activation_id=activation_id,
+                function=function,
+                status=status,
+                result=completion.result,
+                error=completion.error,
+                response_time=env.now - submitted,
+                fast_laned=record.fast_laned,
+            )
+        # Timed out: stop tracking; a late completion is dropped.
+        self._pending.pop(activation_id, None)
+        record.status = ActivationStatus.TIMEOUT
+        record.completed_at = env.now
+        return ActivationResult(
+            activation_id=activation_id,
+            function=function,
+            status=ActivationStatus.TIMEOUT,
+            error="activation timed out",
+            response_time=env.now - submitted,
+            fast_laned=record.fast_laned,
+        )
+
+    # ------------------------------------------------------------------
+    # consumers
+    # ------------------------------------------------------------------
+    def _completion_consumer(self):
+        env = self.env
+        while True:
+            completion: CompletionMessage = yield self.broker.get(COMPLETED_TOPIC)
+            entry = self._pending.pop(completion.activation_id, None)
+            if entry is None:
+                continue  # late completion after timeout: dropped
+            done, record = entry
+            record.completed_at = env.now
+            record.status = (
+                ActivationStatus.SUCCESS if completion.success else ActivationStatus.FAILED
+            )
+            record.wait_time = completion.wait_time
+            record.init_time = completion.init_time
+            record.duration = completion.duration
+            record.invoker_id = completion.invoker_id
+            record.fast_laned = record.fast_laned or completion.fast_laned
+            done.succeed(completion)
+
+    def _health_consumer(self):
+        env = self.env
+        while True:
+            ping: PingMessage = yield self.broker.get(HEALTH_TOPIC)
+            if ping.kind == "register":
+                self.invokers[ping.invoker_id] = InvokerRecord(
+                    invoker_id=ping.invoker_id,
+                    node=ping.node,
+                    status=InvokerStatus.HEALTHY,
+                    registered_at=env.now,
+                    last_ping=env.now,
+                    status_since=env.now,
+                )
+                self.events.append(
+                    ControllerEvent(env.now, "invoker_registered", ping.invoker_id)
+                )
+            elif ping.kind == "healthy":
+                record = self.invokers.get(ping.invoker_id)
+                if record is not None and record.status is not InvokerStatus.GONE:
+                    record.last_ping = env.now
+            elif ping.kind == "draining":
+                record = self.invokers.get(ping.invoker_id)
+                if record is not None and record.status is InvokerStatus.HEALTHY:
+                    record.status = InvokerStatus.DRAINING
+                    record.status_since = env.now
+                    record.last_ping = env.now
+                    moved = 0
+                    if self.config.use_fast_lane:
+                        moved = self.broker.move_all(
+                            self.invoker_topic(ping.invoker_id), FASTLANE_TOPIC
+                        )
+                    for message in self.broker.topic(FASTLANE_TOPIC).peek_all():
+                        if isinstance(message, ActivationMessage):
+                            message.fast_laned = True
+                            entry = self._pending.get(message.activation_id)
+                            if entry is not None:
+                                entry[1].fast_laned = True
+                    self.events.append(
+                        ControllerEvent(
+                            env.now,
+                            "invoker_draining",
+                            ping.invoker_id,
+                            {"moved_to_fastlane": moved},
+                        )
+                    )
+            elif ping.kind == "deregister":
+                record = self.invokers.get(ping.invoker_id)
+                if record is not None and record.status is not InvokerStatus.GONE:
+                    record.status = InvokerStatus.GONE
+                    record.status_since = env.now
+                    record.gone_at = env.now
+                    self.events.append(
+                        ControllerEvent(env.now, "invoker_deregistered", ping.invoker_id)
+                    )
+
+    def _ping_scanner(self):
+        """Detect ungraceful losses (SIGKILL before drain finished)."""
+        env = self.env
+        while True:
+            yield env.timeout(self.config.health_check_interval)
+            deadline = env.now - self.config.ping_timeout
+            for record in self.invokers.values():
+                if record.status is InvokerStatus.GONE:
+                    continue
+                if record.last_ping < deadline:
+                    record.status = InvokerStatus.GONE
+                    record.status_since = env.now
+                    record.gone_at = env.now
+                    # Stock-OpenWhisk behaviour for a crashed worker: its
+                    # unpulled messages are stranded and their activations
+                    # will time out — the failure mode the drain protocol
+                    # exists to avoid.
+                    self.events.append(
+                        ControllerEvent(
+                            env.now,
+                            "invoker_lost",
+                            record.invoker_id,
+                            {"stranded": self.broker.depth(self.invoker_topic(record.invoker_id))},
+                        )
+                    )

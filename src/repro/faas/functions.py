@@ -1,0 +1,99 @@
+"""Function (action) definitions and the registry.
+
+A :class:`FunctionDef` describes a deployed action: its runtime image, how
+long an invocation computes (a fixed value, a sampler, or a real Python
+callable for the SeBS kernels), and resource limits.  The registry is the
+controller's catalogue, mirroring OpenWhisk's action store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+
+@dataclass
+class FunctionDef:
+    """One deployed stateless function."""
+
+    name: str
+    #: container image identifier; functions sharing an image can share
+    #: warm containers after an image-level cold start
+    image: str = "python:3"
+    #: fixed execution duration in seconds (e.g. 0.010 for the paper's
+    #: sleep-based responsiveness functions)
+    duration: Optional[float] = None
+    #: alternatively, a sampler ``fn(rng) -> seconds``
+    duration_sampler: Optional[Callable[[np.random.Generator], float]] = None
+    #: alternatively, a real callable executed outside simulated time
+    #: (used by the SeBS performance experiments); returns the payload
+    callable: Optional[Callable[[Any], Any]] = None
+    #: memory limit, MB (OpenWhisk default 256)
+    memory_mb: int = 256
+    #: per-invocation hard timeout, seconds (OpenWhisk default 60)
+    timeout: float = 60.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration is None and self.duration_sampler is None and self.callable is None:
+            # Default: a trivial no-op function.
+            self.duration = 0.01
+        if self.duration is not None and self.duration < 0:
+            raise ValueError("duration must be >= 0")
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+
+    def sample_duration(self, rng: np.random.Generator) -> float:
+        """Simulated compute time of one invocation."""
+        if self.duration is not None:
+            return self.duration
+        if self.duration_sampler is not None:
+            return float(self.duration_sampler(rng))
+        raise RuntimeError(
+            f"function {self.name!r} has a real callable; simulated duration "
+            "must be provided per message"
+        )
+
+
+class FunctionRegistry:
+    """Catalogue of deployed functions (the controller's action store)."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionDef] = {}
+
+    def deploy(self, function: FunctionDef) -> None:
+        """Create or update an action."""
+        self._functions[function.name] = function
+
+    def deploy_many(self, functions: Iterator[FunctionDef]) -> None:
+        for function in functions:
+            self.deploy(function)
+
+    def remove(self, name: str) -> None:
+        self._functions.pop(name, None)
+
+    def get(self, name: str) -> FunctionDef:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} is not deployed") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+
+def sleep_functions(count: int, duration: float = 0.010) -> list[FunctionDef]:
+    """The responsiveness workload: *count* identical sleep functions with
+    distinct names, "to always utilize as many warmed-up invokers as
+    possible" (Sec. V-C)."""
+    return [
+        FunctionDef(name=f"sleep-{i:03d}", duration=duration) for i in range(count)
+    ]

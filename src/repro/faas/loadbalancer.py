@@ -1,0 +1,72 @@
+"""Controller-side load-balancing strategies.
+
+OpenWhisk routes by hashed function name to maximize warm-container reuse
+(Sec. II) — that is :class:`HashAffinity`, the default.  Two alternatives
+are provided for the ablation benchmarks:
+
+* :class:`RoundRobin` — even spread, oblivious to warm containers;
+* :class:`LeastLoaded` — route to the invoker with the shallowest queue
+  (topic depth), trading warm hits for queueing delay.
+
+The paper's responsiveness experiment sidesteps the affinity/balance trade
+by deploying 100 identically-bodied functions with distinct names; the
+ablation quantifies what that trick buys.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faas.broker import Broker
+
+
+class LoadBalancer:
+    """Strategy interface: pick a healthy invoker for a function call."""
+
+    name = "base"
+
+    def choose(
+        self, function: str, healthy: List[str], broker: "Broker"
+    ) -> Optional[str]:
+        raise NotImplementedError
+
+
+class HashAffinity(LoadBalancer):
+    """Stock OpenWhisk: hash the function name over the healthy list."""
+
+    name = "hash-affinity"
+
+    def choose(self, function: str, healthy: List[str], broker: "Broker") -> Optional[str]:
+        if not healthy:
+            return None
+        index = zlib.crc32(function.encode("utf-8")) % len(healthy)
+        return healthy[index]
+
+
+class RoundRobin(LoadBalancer):
+    """Cycle through healthy invokers regardless of function."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, function: str, healthy: List[str], broker: "Broker") -> Optional[str]:
+        if not healthy:
+            return None
+        choice = healthy[self._counter % len(healthy)]
+        self._counter += 1
+        return choice
+
+
+class LeastLoaded(LoadBalancer):
+    """Route to the invoker with the fewest unconsumed messages."""
+
+    name = "least-loaded"
+
+    def choose(self, function: str, healthy: List[str], broker: "Broker") -> Optional[str]:
+        if not healthy:
+            return None
+        return min(healthy, key=lambda i: (broker.depth(f"invoker-{i}"), i))

@@ -1,0 +1,74 @@
+"""Wire messages between controllers and invokers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_activation_ids = itertools.count(1)
+
+
+def next_activation_id() -> str:
+    return f"act-{next(_activation_ids):08d}"
+
+
+def reset_activation_ids() -> None:
+    """Restart the activation-id counter (test isolation)."""
+    global _activation_ids
+    _activation_ids = itertools.count(1)
+
+
+@dataclass
+class ActivationMessage:
+    """A function invocation in flight (Kafka payload in real OpenWhisk)."""
+
+    activation_id: str
+    function: str
+    params: Any
+    #: client submit time (for end-to-end latency accounting)
+    submitted_at: float
+    #: simulated execution duration override; None = use the function's model
+    duration: Optional[float] = None
+    #: times this message has been re-routed through the fast lane
+    retries: int = 0
+    #: True once the message has travelled through the fast lane
+    fast_laned: bool = False
+    #: whether the client allows interrupting a running execution (Sec III-C:
+    #: clients may opt out when functions mutate external state non-atomically)
+    interruptible: bool = True
+
+
+@dataclass
+class CompletionMessage:
+    """Result announcement published by an invoker."""
+
+    activation_id: str
+    invoker_id: str
+    success: bool
+    result: Any = None
+    error: Optional[str] = None
+    #: queueing delay inside the invoker, seconds
+    wait_time: float = 0.0
+    #: container initialization charged to this activation, seconds (cold start)
+    init_time: float = 0.0
+    #: function body execution time, seconds
+    duration: float = 0.0
+    #: True if the activation reached this invoker via the fast lane
+    fast_laned: bool = False
+
+
+@dataclass
+class PingMessage:
+    """Invoker → controller status heartbeat (extended per Sec. III-C:
+    "we extended the set of regular messages sent from workers to
+    controllers so the exact status of each worker node is known to the
+    controller continuously")."""
+
+    invoker_id: str
+    #: "register" | "healthy" | "draining" | "deregister"
+    kind: str
+    time: float
+    node: str = ""
+    free_slots: int = 0
+    metadata: dict = field(default_factory=dict)

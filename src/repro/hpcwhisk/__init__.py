@@ -1,0 +1,53 @@
+"""HPC-Whisk: the FaaS-on-idle-HPC-nodes layer (the paper's contribution).
+
+Glues the two substrates together:
+
+* :mod:`repro.hpcwhisk.lengths` — the candidate pilot-job length sets of
+  Table I (Fibonacci-like A1–A3, powers of two B, slot-multiples C1–C2);
+* :mod:`repro.hpcwhisk.pilot` — the pilot-job body: warm up, start an
+  OpenWhisk invoker, register, serve, and on SIGTERM run the
+  drain/deregister handoff before SIGKILL;
+* :mod:`repro.hpcwhisk.job_manager` — the **fib** and **var** supply
+  models: shell-script-like managers keeping the Slurm queue stocked with
+  preemptible pilot jobs (10 per length for fib; 100 flexible jobs for
+  var), replenishing every 15 s and never exceeding 100 queued;
+* :mod:`repro.hpcwhisk.deploy` — one-call assembly of a complete system
+  (cluster + broker + controller + manager) for experiments and examples.
+"""
+
+from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
+from repro.hpcwhisk.lengths import (
+    JOB_LENGTH_SETS,
+    JobLengthSet,
+    SET_A1,
+    SET_A2,
+    SET_A3,
+    SET_B,
+    SET_C1,
+    SET_C2,
+)
+from repro.hpcwhisk.pilot import PilotTimeline, make_pilot_body
+from repro.hpcwhisk.job_manager import FibJobManager, VarJobManager
+from repro.hpcwhisk.deploy import HPCWhiskSystem, build_system
+from repro.hpcwhisk.optimizer import LengthSetOptimizer, OptimizationResult
+
+__all__ = [
+    "FibJobManager",
+    "HPCWhiskConfig",
+    "HPCWhiskSystem",
+    "JOB_LENGTH_SETS",
+    "JobLengthSet",
+    "LengthSetOptimizer",
+    "OptimizationResult",
+    "PilotTimeline",
+    "SET_A1",
+    "SET_A2",
+    "SET_A3",
+    "SET_B",
+    "SET_C1",
+    "SET_C2",
+    "SupplyModel",
+    "VarJobManager",
+    "build_system",
+    "make_pilot_body",
+]

@@ -1,0 +1,54 @@
+"""HPC-Whisk configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faas.config import FaaSConfig
+from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
+
+
+class SupplyModel(enum.Enum):
+    """The two pilot-job supply models of Sec. III-D."""
+
+    FIB = "fib"
+    VAR = "var"
+
+
+@dataclass
+class HPCWhiskConfig:
+    """Everything the HPC-Whisk layer needs to know."""
+
+    #: which supply model the job manager runs
+    supply_model: SupplyModel = SupplyModel.FIB
+    #: fixed lengths for the fib model
+    length_set: JobLengthSet = field(default_factory=lambda: SET_A1)
+    #: jobs kept queued per length (fib): "10 jobs of each length"
+    queue_per_length: int = 10
+    #: flexible jobs kept queued (var): "100 such flexible jobs"
+    var_queue_depth: int = 100
+    #: flexible job bounds (var): --time-min 2 min, --time 120 min
+    var_time_min: float = 120.0
+    var_time_max: float = 7200.0
+    #: queue replenishment interval: "in 15-second intervals"
+    replenish_interval: float = 15.0
+    #: hard cap on simultaneously queued pilot jobs: "never exceeds 100"
+    max_queued: int = 100
+    #: the Slurm partition pilot jobs are submitted to
+    partition: str = "whisk"
+    #: FaaS middleware settings used by the invokers the pilots start
+    faas: FaaSConfig = field(default_factory=FaaSConfig)
+    #: root seed offset for pilot-local randomness
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queue_per_length < 1 or self.var_queue_depth < 1:
+            raise ValueError("queue depths must be positive")
+        if self.replenish_interval <= 0:
+            raise ValueError("replenish_interval must be positive")
+        if not (0 < self.var_time_min <= self.var_time_max):
+            raise ValueError("invalid var time bounds")
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be positive")

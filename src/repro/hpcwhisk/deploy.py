@@ -1,0 +1,93 @@
+"""One-call assembly of a complete HPC-Whisk system.
+
+:func:`build_system` wires together a simulated cluster, the message
+broker, the (off-cluster) OpenWhisk controller, the pilot-job body
+factory, and the configured supply manager — everything the experiments
+and examples need, with one root seed controlling all randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.partition import default_partitions
+from repro.cluster.slurmctld import SlurmConfig, SlurmController
+from repro.faas.broker import Broker
+from repro.faas.client import Alg1Wrapper, CommercialCloud, FaaSClient
+from repro.faas.controller import Controller
+from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
+from repro.hpcwhisk.job_manager import FibJobManager, VarJobManager, _BaseJobManager
+from repro.hpcwhisk.pilot import PilotTimeline, make_pilot_body
+from repro.sim import Environment, RandomStreams
+
+
+@dataclass
+class HPCWhiskSystem:
+    """Handles to every component of an assembled deployment."""
+
+    env: Environment
+    streams: RandomStreams
+    slurm: SlurmController
+    broker: Broker
+    controller: Controller
+    client: FaaSClient
+    commercial: CommercialCloud
+    wrapped_client: Alg1Wrapper
+    manager: _BaseJobManager
+    config: HPCWhiskConfig
+    #: every pilot's lifecycle record (OW-level log source)
+    pilot_timelines: List[PilotTimeline] = field(default_factory=list)
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to *until* seconds."""
+        self.env.run(until=until)
+
+
+def build_system(
+    config: Optional[HPCWhiskConfig] = None,
+    slurm_config: Optional[SlurmConfig] = None,
+    seed: int = 0,
+    env: Optional[Environment] = None,
+) -> HPCWhiskSystem:
+    """Assemble a full HPC-Whisk deployment on a fresh simulation."""
+    config = config or HPCWhiskConfig()
+    env = env or Environment()
+    streams = RandomStreams(seed=seed)
+
+    slurm = SlurmController(
+        env,
+        slurm_config or SlurmConfig(),
+        partitions=default_partitions(),
+        rng=streams.stream("slurm"),
+    )
+    broker = Broker(env, publish_latency=config.faas.publish_latency)
+    controller = Controller(env, broker, config=config.faas, rng=streams.stream("controller"))
+    client = FaaSClient(controller)
+    commercial = CommercialCloud(env, streams.stream("commercial"))
+    wrapped = Alg1Wrapper(client, commercial)
+
+    timelines: List[PilotTimeline] = []
+    pilot_rng = streams.stream("pilots")
+
+    def body_factory():
+        return make_pilot_body(controller, broker, config, pilot_rng, timelines)
+
+    if config.supply_model is SupplyModel.FIB:
+        manager: _BaseJobManager = FibJobManager(env, slurm, config, body_factory)
+    else:
+        manager = VarJobManager(env, slurm, config, body_factory)
+
+    return HPCWhiskSystem(
+        env=env,
+        streams=streams,
+        slurm=slurm,
+        broker=broker,
+        controller=controller,
+        client=client,
+        commercial=commercial,
+        wrapped_client=wrapped,
+        manager=manager,
+        config=config,
+        pilot_timelines=timelines,
+    )

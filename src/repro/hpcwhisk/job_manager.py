@@ -1,0 +1,132 @@
+"""The fib and var pilot-job supply managers (Sec. III-D-b).
+
+Both managers are the shell-script equivalent from the paper: an external
+process on the head node that watches the queue through the normal job
+management commands and tops it up every 15 seconds, creating new jobs
+only to replace ones that have already started.  Neither exceeds 100
+queued jobs, so Slurm's scheduler is never overloaded.
+
+* :class:`FibJobManager` keeps 10 *fixed-length* jobs queued per length of
+  its :class:`~repro.hpcwhisk.lengths.JobLengthSet`.  Priority within the
+  tier is proportional to length, forcing Slurm into longest-first greedy
+  placement.
+* :class:`VarJobManager` keeps 100 *flexible* jobs queued
+  (``--time-min 2 --time 120``); Slurm decides each granted duration
+  during scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.job import Job, JobSpec
+from repro.cluster.slurmctld import SlurmController
+from repro.hpcwhisk.config import HPCWhiskConfig
+from repro.sim import Environment, Interrupt
+
+_submission_ids = itertools.count(1)
+
+
+@dataclass
+class ManagerStats:
+    """Submission accounting for a supply manager."""
+
+    submitted: int = 0
+    replenish_rounds: int = 0
+    #: queue depth observed at each round (diagnostics)
+    queue_depths: List[int] = field(default_factory=list)
+
+
+class _BaseJobManager:
+    """Common replenishment loop."""
+
+    def __init__(
+        self,
+        env: Environment,
+        controller: SlurmController,
+        config: HPCWhiskConfig,
+        body_factory: Callable,
+    ) -> None:
+        self.env = env
+        self.controller = controller
+        self.config = config
+        self.body_factory = body_factory
+        self.stats = ManagerStats()
+        self._proc = env.process(self._run())
+
+    def stop(self) -> None:
+        if self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    # -- to implement -----------------------------------------------------
+    def _desired_submissions(self, pending: List[Job]) -> List[JobSpec]:
+        raise NotImplementedError
+
+    # -- loop ---------------------------------------------------------------
+    def _run(self):
+        env = self.env
+        try:
+            while True:
+                pending = self.controller.pending_jobs(partition=self.config.partition)
+                self.stats.queue_depths.append(len(pending))
+                budget = self.config.max_queued - len(pending)
+                for spec in self._desired_submissions(pending)[: max(0, budget)]:
+                    self.controller.submit(spec)
+                    self.stats.submitted += 1
+                self.stats.replenish_rounds += 1
+                yield env.timeout(self.config.replenish_interval)
+        except Interrupt:
+            return
+
+
+class FibJobManager(_BaseJobManager):
+    """Fixed-length supply: 10 queued jobs of each length."""
+
+    def _desired_submissions(self, pending: List[Job]) -> List[JobSpec]:
+        config = self.config
+        counts: Dict[float, int] = {seconds: 0 for seconds in config.length_set.seconds}
+        for job in pending:
+            counts[job.spec.time_limit] = counts.get(job.spec.time_limit, 0) + 1
+        specs: List[JobSpec] = []
+        # Longest first so that, under the shared queue cap, long jobs
+        # (highest priority anyway) are never crowded out.
+        for seconds in sorted(config.length_set.seconds, reverse=True):
+            deficit = config.queue_per_length - counts.get(seconds, 0)
+            for _ in range(max(0, deficit)):
+                specs.append(self._spec(seconds))
+        return specs
+
+    def _spec(self, seconds: float) -> JobSpec:
+        return JobSpec(
+            name=f"whisk-fib-{next(_submission_ids):07d}",
+            num_nodes=1,
+            time_limit=seconds,
+            partition=self.config.partition,
+            # "The higher the execution time, the higher the job's
+            # priority within its priority tier."
+            priority=seconds,
+            body=self.body_factory(),
+            user="hpc-whisk",
+        )
+
+
+class VarJobManager(_BaseJobManager):
+    """Flexible-length supply: 100 queued ``--time-min/--time`` jobs."""
+
+    def _desired_submissions(self, pending: List[Job]) -> List[JobSpec]:
+        config = self.config
+        deficit = config.var_queue_depth - len(pending)
+        return [self._spec() for _ in range(max(0, deficit))]
+
+    def _spec(self) -> JobSpec:
+        return JobSpec(
+            name=f"whisk-var-{next(_submission_ids):07d}",
+            num_nodes=1,
+            time_limit=self.config.var_time_max,
+            time_min=self.config.var_time_min,
+            partition=self.config.partition,
+            body=self.body_factory(),
+            user="hpc-whisk",
+        )

@@ -1,0 +1,73 @@
+"""Pilot-job length sets (Table I, Sec. IV-B).
+
+The backfill scheduler operates on 2-minute slots over a 120-minute
+window, so only even minute counts in [2, 120] are considered.  Six
+candidate sets are compared in the paper:
+
+* **A1–A3** — Fibonacci-like progressions: replacing two shorter jobs by
+  one longer job saves one warm-up;
+* **B** — powers of two: risks disproportionately many jobs when an idle
+  window is slightly shorter than a member;
+* **C1** — the ten shortest slot multiples (2..20 min);
+* **C2** — every slot multiple (2, 4, …, 120) — the idealized granularity
+  the *var* model's flexible jobs can achieve.
+
+The paper selects A1 for the fib experiment and C2 (as the var model's
+effective menu) for the var experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class JobLengthSet:
+    """A named set of pilot-job lengths, stored in minutes."""
+
+    name: str
+    minutes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.minutes:
+            raise ValueError("length set cannot be empty")
+        if any(m <= 0 or m % 2 for m in self.minutes):
+            raise ValueError("lengths must be positive even minute counts")
+        if list(self.minutes) != sorted(set(self.minutes)):
+            raise ValueError("lengths must be strictly increasing")
+
+    @property
+    def seconds(self) -> Tuple[float, ...]:
+        return tuple(60.0 * m for m in self.minutes)
+
+    @property
+    def shortest(self) -> int:
+        return self.minutes[0]
+
+    @property
+    def longest(self) -> int:
+        return self.minutes[-1]
+
+    def greedy_pack(self, window_minutes: float) -> list[int]:
+        """Longest-first greedy packing of a window (the Table I simulator:
+        a 21-minute window packs A1 as [14, 6], leaving 1 minute)."""
+        remaining = window_minutes
+        packed: list[int] = []
+        for length in reversed(self.minutes):
+            while remaining >= length:
+                packed.append(length)
+                remaining -= length
+        return packed
+
+
+SET_A1 = JobLengthSet("A1", (2, 4, 6, 8, 14, 22, 34, 56, 90))
+SET_A2 = JobLengthSet("A2", (2, 4, 8, 12, 20, 34, 54, 88))
+SET_A3 = JobLengthSet("A3", (2, 4, 6, 10, 16, 26, 42, 68, 110))
+SET_B = JobLengthSet("B", (2, 4, 8, 16, 32, 64))
+SET_C1 = JobLengthSet("C1", (2, 4, 6, 8, 10, 12, 14, 16, 18, 20))
+SET_C2 = JobLengthSet("C2", tuple(range(2, 121, 2)))
+
+JOB_LENGTH_SETS: Dict[str, JobLengthSet] = {
+    s.name: s for s in (SET_A1, SET_A2, SET_A3, SET_B, SET_C1, SET_C2)
+}

@@ -1,0 +1,138 @@
+"""Job-length-set optimization via the coverage simulator (Sec. IV-B).
+
+The paper: *"We use our simulator to optimize the set of lengths that
+maximizes the coverage of the idleness periods with healthy OpenWhisk
+workers"* — balancing two effects: short jobs fit everywhere but waste
+warm-ups; long jobs amortize warm-ups but are hard to place.
+
+This module generalizes the paper's hand-picked candidates into parametric
+*families* and searches them against a trace:
+
+* Fibonacci-like: ``next = prev + prev2`` from seeds (a, b), floored to
+  even minutes (generates A1-style sets);
+* geometric: ratios r ∈ {1.5, 2, 3} (generates the set-B shape);
+* arithmetic: steps d ∈ {2, 4, …} (generates the C-style slot multiples).
+
+The optimizer scores each candidate by the ready share of a clairvoyant
+packing and returns a ranking — the reproducible version of how the
+authors arrived at A1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.hpcwhisk.lengths import JobLengthSet
+
+if TYPE_CHECKING:  # pragma: no cover - break the analysis<->hpcwhisk cycle
+    from repro.analysis.coverage import CoverageResult
+    from repro.workloads.idleness import IdlenessTrace
+
+
+def _floor_even(value: float) -> int:
+    return max(2, int(value) // 2 * 2)
+
+
+def fibonacci_family(
+    max_minutes: int = 120, seeds: Sequence[Tuple[int, int]] = ((2, 4), (2, 6), (4, 6))
+) -> List[JobLengthSet]:
+    """Fibonacci-like progressions from different seed pairs."""
+    sets = []
+    for a, b in seeds:
+        lengths = [a, b]
+        while True:
+            nxt = _floor_even(lengths[-1] + lengths[-2])
+            if nxt > max_minutes or nxt <= lengths[-1]:
+                break
+            lengths.append(nxt)
+        sets.append(JobLengthSet(f"fib({a},{b})", tuple(lengths)))
+    return sets
+
+
+def geometric_family(
+    max_minutes: int = 120, ratios: Sequence[float] = (1.5, 2.0, 3.0)
+) -> List[JobLengthSet]:
+    """Geometric progressions starting at 2 minutes."""
+    sets = []
+    for ratio in ratios:
+        lengths: List[int] = [2]
+        while True:
+            nxt = _floor_even(lengths[-1] * ratio)
+            if nxt > max_minutes or nxt <= lengths[-1]:
+                break
+            lengths.append(nxt)
+        sets.append(JobLengthSet(f"geo({ratio:g})", tuple(lengths)))
+    return sets
+
+
+def arithmetic_family(
+    max_minutes: int = 120, steps: Sequence[int] = (2, 6, 12)
+) -> List[JobLengthSet]:
+    """Arithmetic progressions of even steps starting at 2 minutes."""
+    sets = []
+    for step in steps:
+        if step % 2:
+            raise ValueError("steps must be even (2-minute slots)")
+        lengths = tuple(range(2, max_minutes + 1, step))
+        sets.append(JobLengthSet(f"ari({step})", lengths))
+    return sets
+
+
+def default_candidates(max_minutes: int = 120) -> List[JobLengthSet]:
+    return (
+        fibonacci_family(max_minutes)
+        + geometric_family(max_minutes)
+        + arithmetic_family(max_minutes)
+    )
+
+
+@dataclass
+class OptimizationResult:
+    """Ranked candidates with their coverage results."""
+
+    ranking: List[Tuple[JobLengthSet, "CoverageResult"]] = field(default_factory=list)
+
+    @property
+    def best(self) -> JobLengthSet:
+        return self.ranking[0][0]
+
+    def render(self) -> str:
+        lines = [
+            f"{'candidate':<12} {'#lengths':>8} {'# jobs':>8} {'warm up':>8} "
+            f"{'ready':>8} {'non-avail':>9}"
+        ]
+        for length_set, coverage in self.ranking:
+            lines.append(
+                f"{length_set.name:<12} {len(length_set.minutes):>8d} "
+                f"{coverage.num_jobs:>8d} {coverage.warmup_share * 100:>7.2f}% "
+                f"{coverage.ready_share * 100:>7.2f}% "
+                f"{coverage.non_availability * 100:>8.2f}%"
+            )
+        return "\n".join(lines)
+
+
+class LengthSetOptimizer:
+    """Searches candidate length sets against an idleness trace."""
+
+    def __init__(
+        self,
+        warmup: float = 20.0,
+        candidates: Optional[Sequence[JobLengthSet]] = None,
+    ) -> None:
+        from repro.analysis.coverage import CoverageSimulator
+
+        self.simulator = CoverageSimulator(warmup=warmup)
+        self.candidates = list(candidates) if candidates is not None else default_candidates()
+
+    def optimize(self, trace: "IdlenessTrace") -> OptimizationResult:
+        """Rank all candidates by ready share (descending)."""
+        intervals: Dict[str, List[Tuple[float, float]]] = {}
+        for period in trace.periods:
+            intervals.setdefault(period.node, []).append((period.start, period.end))
+        scored = [
+            (candidate, self.simulator.run(intervals, candidate, horizon=trace.horizon))
+            for candidate in self.candidates
+        ]
+        scored.sort(key=lambda item: item[1].ready_share, reverse=True)
+        return OptimizationResult(ranking=scored)

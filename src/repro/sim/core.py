@@ -1,0 +1,190 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.events import Event, Timeout
+    from repro.sim.process import Process
+
+#: Simulated time.  One unit is one second throughout this code base.
+SimTime = float
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at an event."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    The environment owns the simulated clock (:attr:`now`) and a binary heap
+    of scheduled events ordered by ``(time, priority, sequence)``.  The
+    sequence number makes the ordering total and deterministic: two events
+    scheduled for the same instant at the same priority fire in the order
+    they were scheduled, which every test in this repository relies on.
+    """
+
+    def __init__(self, initial_time: SimTime = 0.0) -> None:
+        self._now: SimTime = float(initial_time)
+        self._queue: list[tuple[SimTime, int, int, "Event"]] = []
+        self._eid: int = 0
+        self._active_process: Optional["Process"] = None
+
+    # ------------------------------------------------------------------
+    # clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process whose generator is currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> SimTime:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        while self._queue:
+            when, _prio, _eid, event = self._queue[0]
+            if event is not None:
+                return when
+            heapq.heappop(self._queue)
+        return float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        event: "Event",
+        delay: SimTime = 0.0,
+        priority: int = 1,
+    ) -> None:
+        """Queue *event* to fire ``delay`` seconds from now.
+
+        ``priority`` follows the SimPy convention: ``0`` (URGENT) fires
+        before ``1`` (NORMAL) at the same instant.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    # ------------------------------------------------------------------
+    # event/process factories (convenience mirrors of simpy's API)
+    # ------------------------------------------------------------------
+    def event(self) -> "Event":
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: SimTime, value: Any = None) -> "Timeout":
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable["Event"]) -> "Event":
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable["Event"]) -> "Event":
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.
+
+        Advances the clock to the event's scheduled time, marks the event
+        processed and invokes its callbacks.  Raises :class:`EmptySchedule`
+        if nothing is queued.
+        """
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - defensive; cannot happen
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        event._mark_processed()
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event.failed and not event.defused:
+            raise event.value
+
+    def run(self, until: "SimTime | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until the event queue drains.
+        * ``until=<number>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event settles and return its
+          value (raising if the event failed).
+        """
+        from repro.sim.events import Event
+
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until ({horizon}) must not be before now ({self._now})"
+                )
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            # URGENT so the horizon pre-empts same-instant NORMAL events.
+            self.schedule(stop_event, delay=horizon - self._now, priority=0)
+            stop_event.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    break
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and not stop_event.processed:
+            # Queue drained before the stop event fired.
+            if isinstance(until, Event):
+                raise RuntimeError("simulation ended before `until` event")
+        return None
+
+    @staticmethod
+    def _stop_callback(event: "Event") -> None:
+        if event.failed:
+            raise event.value
+        raise StopSimulation(event.value)

@@ -1,0 +1,77 @@
+"""Periodic state monitoring for simulations.
+
+A :class:`Monitor` samples arbitrary callables on a fixed cadence and
+keeps aligned time series — the in-simulation equivalent of a metrics
+scraper.  Examples use it to build Fig 5a-style live series without
+post-processing logs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.core import Environment
+from repro.sim.process import Interrupt
+
+
+class Monitor:
+    """Samples named probes every ``interval`` seconds."""
+
+    def __init__(self, env: Environment, interval: float = 10.0) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.interval = interval
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self.times: List[float] = []
+        self.samples: Dict[str, List[float]] = {}
+        self._proc = None
+
+    def probe(self, name: str, fn: Callable[[], float]) -> "Monitor":
+        """Register a probe; returns self for chaining."""
+        if self._proc is not None:
+            raise RuntimeError("cannot add probes after start()")
+        self._probes[name] = fn
+        self.samples[name] = []
+        return self
+
+    def start(self) -> "Monitor":
+        if self._proc is not None:
+            raise RuntimeError("monitor already started")
+        if not self._probes:
+            raise RuntimeError("no probes registered")
+        self._proc = self.env.process(self._run())
+        return self
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def _run(self):
+        env = self.env
+        try:
+            while True:
+                self.times.append(env.now)
+                for name, fn in self._probes.items():
+                    self.samples[name].append(float(fn()))
+                yield env.timeout(self.interval)
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) for one probe."""
+        if name not in self.samples:
+            raise KeyError(f"unknown probe {name!r}")
+        return np.asarray(self.times), np.asarray(self.samples[name])
+
+    def mean(self, name: str) -> float:
+        values = self.samples.get(name)
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+    def __len__(self) -> int:
+        return len(self.times)

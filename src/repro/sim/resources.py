@@ -1,0 +1,222 @@
+"""Shared resources: counting resources and message stores.
+
+These are the coordination primitives the higher layers build on:
+
+* :class:`Resource` — a counting semaphore with FIFO queuing (container
+  concurrency slots inside an invoker).
+* :class:`Store` — an unbounded FIFO buffer with blocking ``get``; the
+  message broker's topics are stores.
+* :class:`FilterStore` — ``get`` with a predicate.
+* :class:`PriorityStore` — ``get`` returns the smallest item.
+
+``put`` never blocks (capacities here are unbounded; the paper's systems
+apply back-pressure at the protocol layer, not the transport layer), which
+keeps the kernel small without losing any behaviour the reproduction needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+@dataclass(order=True)
+class PriorityItem:
+    """Wrapper giving an arbitrary payload a sort key for PriorityStore."""
+
+    priority: float
+    item: Any = field(compare=False)
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource`; also a context manager."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (e.g. on interrupt)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A counting resource with ``capacity`` slots and FIFO granting."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: list[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a slot.  Releasing an unheld request is a no-op."""
+        if request in self._users:
+            self._users.discard(request)
+            self._grant()
+
+    # -- internal --------------------------------------------------------
+    def _request(self, request: Request) -> None:
+        self._waiting.append(request)
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self._waiting and len(self._users) < self._capacity:
+            request = self._waiting.pop(0)
+            self._users.add(request)
+            request.succeed()
+
+
+class StoreGet(Event):
+    """Pending retrieval from a store."""
+
+    __slots__ = ("store", "predicate")
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.store = store
+        self.predicate = predicate
+        store._getters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw the retrieval (e.g. when a consumer is interrupted)."""
+        try:
+            self.store._getters.remove(self)
+        except ValueError:
+            pass
+
+
+class Store:
+    """Unbounded FIFO store: ``put`` is immediate, ``get`` may block."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.items: list[Any] = []
+        self._getters: list[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Deposit *item* and wake a matching waiting getter, if any."""
+        self._insert(item)
+        self._dispatch()
+
+    def get(self) -> StoreGet:
+        """Return an event that settles with the next available item."""
+        return StoreGet(self)
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of buffered items (does not consume them)."""
+        return list(self.items)
+
+    def drain(self) -> list[Any]:
+        """Atomically remove and return all buffered items.
+
+        Used by the fast-lane handoff: a departing invoker (or the
+        controller, for unpulled messages) empties a topic in one step so
+        no message can be concurrently consumed mid-drain.
+        """
+        items, self.items = self.items, []
+        return items
+
+    # -- internal --------------------------------------------------------
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _next_index(self, predicate: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if predicate is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if predicate(item):
+                return i
+        return None
+
+    def _dispatch(self) -> None:
+        # Repeatedly match the earliest-waiting getter whose predicate some
+        # buffered item satisfies.  FIFO on both sides.
+        made_progress = True
+        while made_progress and self._getters and self.items:
+            made_progress = False
+            for getter in list(self._getters):
+                index = self._next_index(getter.predicate)
+                if index is not None:
+                    self._getters.remove(getter)
+                    item = self.items.pop(index)
+                    getter.succeed(item)
+                    made_progress = True
+                    break
+
+
+class FilterStore(Store):
+    """A store whose ``get`` accepts a predicate over items."""
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        return StoreGet(self, predicate)
+
+
+class PriorityStore(Store):
+    """A store that hands out the smallest item first.
+
+    Items must be mutually comparable; wrap payloads in
+    :class:`PriorityItem` when they are not.
+    """
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _next_index(self, predicate: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if not self.items:
+            return None
+        if predicate is None or predicate(self.items[0]):
+            return 0
+        return None
+
+    def _dispatch(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters[0]
+            if getter.predicate is not None and not getter.predicate(self.items[0]):
+                break
+            self._getters.pop(0)
+            getter.succeed(heapq.heappop(self.items))

@@ -1,0 +1,46 @@
+"""Workload generators and compute kernels.
+
+Everything stochastic about the reproduction's inputs lives here:
+
+* :mod:`repro.workloads.distributions` — the calibrated probability models
+  (idle-period lengths, idle-node intensity, job limits/runtimes/slack,
+  pilot warm-up times) with the paper's published statistics as targets.
+* :mod:`repro.workloads.idleness` — the cluster idleness process: when and
+  where idle periods appear (Fig 1a–c).
+* :mod:`repro.workloads.hpc_trace` — conversion of idleness traces into a
+  pinned prime-job workload for the cluster simulator, plus a free-standing
+  job-population generator (Fig 2).
+* :mod:`repro.workloads.faas_trace` — Azure-like FaaS invocation durations.
+* :mod:`repro.workloads.gatling` — the constant-rate open-model load client
+  used by the responsiveness experiments (Figs 5b/6b, Sec. V-C).
+* :mod:`repro.workloads.sebs` — real bfs/mst/pagerank kernels (SeBS).
+* :mod:`repro.workloads.lambda_model` — the AWS Lambda comparator (Fig 7).
+"""
+
+from repro.workloads.distributions import (
+    IdlePeriodLengthModel,
+    JobPopulationModel,
+    OutageDurationModel,
+    WarmupModel,
+)
+from repro.workloads.idleness import IdlenessTrace, IdlenessTraceGenerator, IdlePeriod
+from repro.workloads.hpc_trace import PrimeWorkload, busy_intervals, trace_to_prime_jobs
+from repro.workloads.faas_trace import AzureDurationModel
+from repro.workloads.gatling import GatlingClient, GatlingReport, RequestOutcome
+
+__all__ = [
+    "AzureDurationModel",
+    "GatlingClient",
+    "GatlingReport",
+    "IdlePeriod",
+    "IdlePeriodLengthModel",
+    "IdlenessTrace",
+    "IdlenessTraceGenerator",
+    "JobPopulationModel",
+    "OutageDurationModel",
+    "PrimeWorkload",
+    "RequestOutcome",
+    "WarmupModel",
+    "busy_intervals",
+    "trace_to_prime_jobs",
+]

@@ -1,0 +1,65 @@
+"""The AWS Lambda comparator model (Fig 7).
+
+The paper runs identical SeBS functions on AWS Lambda and reports that
+Prometheus nodes complete them consistently ≈15% faster than Lambda's
+fastest configuration (2,048 MB).  Lambda's documented behaviour — also
+measured by the SeBS paper — is that CPU share scales linearly with the
+configured memory until one full vCPU at 1,792 MB.
+
+This model converts a locally-measured ("Prometheus") execution time into
+a synthetic Lambda time: apply the node-efficiency factor, the
+memory-proportional CPU share, and multiplicative jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: memory at which a function owns one full vCPU
+FULL_VCPU_MEMORY_MB = 1792.0
+
+
+@dataclass
+class LambdaPerformanceModel:
+    """Synthesize Lambda execution times from local measurements."""
+
+    #: Lambda time / Prometheus time at full CPU share (the paper's ≈15%)
+    node_efficiency_factor: float = 1.15
+    #: multiplicative lognormal jitter (σ of ln-time); SeBS observes a few
+    #: percent of run-to-run variance on warm Lambda invocations
+    jitter_sigma: float = 0.04
+
+    def cpu_share(self, memory_mb: float) -> float:
+        """Fraction of a vCPU available at *memory_mb* (≤ 1.0)."""
+        if memory_mb <= 0:
+            raise ValueError("memory must be positive")
+        return min(1.0, memory_mb / FULL_VCPU_MEMORY_MB)
+
+    def execution_time(
+        self,
+        local_time: float,
+        memory_mb: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """One synthetic Lambda invocation time for a measured local time."""
+        if local_time < 0:
+            raise ValueError("local_time must be >= 0")
+        base = local_time * self.node_efficiency_factor / self.cpu_share(memory_mb)
+        if self.jitter_sigma <= 0:
+            return base
+        return float(base * rng.lognormal(0.0, self.jitter_sigma))
+
+    def execution_times(
+        self,
+        local_times: np.ndarray,
+        memory_mb: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorized version of :meth:`execution_time`."""
+        local_times = np.asarray(local_times, dtype=float)
+        base = local_times * self.node_efficiency_factor / self.cpu_share(memory_mb)
+        if self.jitter_sigma <= 0:
+            return base
+        return base * rng.lognormal(0.0, self.jitter_sigma, size=local_times.shape)

@@ -1,0 +1,30 @@
+"""Shared fixtures: a fresh environment and reset global counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import reset_job_ids
+from repro.faas.messages import reset_activation_ids
+from repro.hpcwhisk.pilot import reset_pilot_ids
+from repro.sim import Environment
+
+
+@pytest.fixture(autouse=True)
+def _reset_counters():
+    """Deterministic ids in every test."""
+    reset_job_ids()
+    reset_activation_ids()
+    reset_pilot_ids()
+    yield
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

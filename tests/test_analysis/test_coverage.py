@@ -1,0 +1,119 @@
+"""Tests for the clairvoyant coverage simulator (Table I machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import CoverageSimulator, greedy_fill_window
+from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, SET_A1, SET_B, SET_C2
+
+
+def test_greedy_fill_paper_example():
+    """21-minute window + A1 → a 14 and a 6, one minute unused."""
+    packed = greedy_fill_window(21 * 60.0, SET_A1.seconds)
+    assert packed == [14 * 60.0, 6 * 60.0]
+
+
+def test_greedy_fill_empty_window():
+    assert greedy_fill_window(60.0, SET_A1.seconds) == []
+
+
+def simple_intervals():
+    return {
+        "n0": [(0.0, 21 * 60.0)],          # 21 min
+        "n1": [(100.0, 100.0 + 4 * 60.0)],  # 4 min
+    }
+
+
+def test_accounting_identity():
+    simulator = CoverageSimulator(warmup=20.0)
+    result = simulator.run(simple_intervals(), SET_A1, horizon=1500.0)
+    assert result.total_surface == pytest.approx(25 * 60.0)
+    assert (
+        result.warmup_surface + result.ready_surface + result.unused_surface
+        == pytest.approx(result.total_surface)
+    )
+    # 3 jobs: 14 + 6 in the long window, 4 in the short one.
+    assert result.num_jobs == 3
+    assert result.warmup_surface == pytest.approx(3 * 20.0)
+    assert result.unused_surface == pytest.approx(60.0)  # 1 odd minute
+
+
+def test_jobs_never_overlap_within_node():
+    rng = np.random.default_rng(0)
+    intervals = {}
+    for i in range(5):
+        cursor = 0.0
+        node_intervals = []
+        for _ in range(5):
+            cursor += float(rng.integers(100, 5000))  # gap
+            width = float(rng.integers(60, 7000))
+            node_intervals.append((cursor, cursor + width))
+            cursor += width
+        intervals[f"n{i}"] = node_intervals
+    simulator = CoverageSimulator()
+    result = simulator.run(intervals, SET_A1)
+    by_node = {}
+    for node, start, end in result.jobs:
+        by_node.setdefault(node, []).append((start, end))
+    for jobs in by_node.values():
+        jobs.sort()
+        for (s1, e1), (s2, e2) in zip(jobs, jobs[1:]):
+            assert e1 <= s2 + 1e-9
+
+
+def test_jobs_stay_inside_their_interval():
+    simulator = CoverageSimulator()
+    intervals = simple_intervals()
+    result = simulator.run(intervals, SET_B)
+    for node, start, end in result.jobs:
+        containing = [
+            iv for iv in intervals[node] if iv[0] - 1e-9 <= start and end <= iv[1] + 1e-9
+        ]
+        assert containing, (node, start, end)
+
+
+def test_unused_share_identical_across_sets():
+    """Table I: every set tiles even windows exactly, so the 'not used'
+    column is identical across sets."""
+    rng = np.random.default_rng(7)
+    intervals = {
+        f"n{i}": [(0.0, float(rng.integers(60, 7200)))] for i in range(200)
+    }
+    shares = set()
+    for name, length_set in JOB_LENGTH_SETS.items():
+        result = CoverageSimulator().run(intervals, length_set, horizon=7200.0)
+        shares.add(round(result.unused_share, 9))
+    assert len(shares) == 1
+
+
+def test_c2_places_fewest_jobs_and_least_warmup():
+    """Table I ordering: finer sets → fewer jobs → less warm-up."""
+    rng = np.random.default_rng(11)
+    intervals = {
+        f"n{i}": [(0.0, float(rng.integers(240, 7200)))] for i in range(300)
+    }
+    a1 = CoverageSimulator().run(intervals, SET_A1, horizon=7200.0)
+    b = CoverageSimulator().run(intervals, SET_B, horizon=7200.0)
+    c2 = CoverageSimulator().run(intervals, SET_C2, horizon=7200.0)
+    assert c2.num_jobs <= a1.num_jobs <= b.num_jobs
+    assert c2.warmup_surface <= a1.warmup_surface <= b.warmup_surface
+    assert c2.ready_share >= a1.ready_share >= b.ready_share
+
+
+def test_short_job_fully_charged_to_warmup():
+    simulator = CoverageSimulator(warmup=200.0)  # longer than a 2-min job
+    result = simulator.run({"n0": [(0.0, 120.0)]}, SET_A1, horizon=120.0)
+    assert result.ready_surface == 0.0
+    assert result.warmup_surface == pytest.approx(120.0)
+
+
+def test_non_availability_tracks_zero_ready():
+    simulator = CoverageSimulator(warmup=20.0, step=10.0)
+    # One 10-minute window in a 1-hour horizon → mostly zero ready workers.
+    result = simulator.run({"n0": [(0.0, 600.0)]}, SET_A1, horizon=3600.0)
+    assert result.non_availability == pytest.approx(1.0 - 580.0 / 3600.0, abs=0.02)
+
+
+def test_warmup_validation():
+    with pytest.raises(ValueError):
+        CoverageSimulator(warmup=-1.0)

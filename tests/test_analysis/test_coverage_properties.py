@@ -1,0 +1,96 @@
+"""Property-based tests of the coverage simulator's packing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import CoverageSimulator, greedy_fill_window
+from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, JobLengthSet, SET_A1
+
+
+@given(window=st.floats(min_value=0.0, max_value=7200.0))
+@settings(max_examples=300, deadline=None)
+def test_greedy_pack_never_overflows_and_is_sorted(window):
+    packed = greedy_fill_window(window, SET_A1.seconds)
+    assert sum(packed) <= window + 1e-9
+    assert packed == sorted(packed, reverse=True)
+    # The residue is smaller than the shortest job.
+    assert window - sum(packed) < min(SET_A1.seconds)or not packed or (
+        window - sum(packed) < min(SET_A1.seconds)
+    )
+
+
+@given(
+    window_minutes=st.integers(min_value=2, max_value=120),
+    set_name=st.sampled_from(sorted(JOB_LENGTH_SETS)),
+)
+@settings(max_examples=300, deadline=None)
+def test_even_windows_tile_exactly(window_minutes, set_name):
+    """Every set tiles every even window in [2,120] exactly — Table I's
+    structurally identical 'not used' column."""
+    if window_minutes % 2:
+        window_minutes += 1
+    length_set = JOB_LENGTH_SETS[set_name]
+    packed = length_set.greedy_pack(window_minutes)
+    assert sum(packed) == window_minutes
+
+
+@given(
+    intervals=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50_000.0),
+            st.floats(min_value=1.0, max_value=9_000.0),
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    warmup=st.floats(min_value=0.0, max_value=120.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_accounting_identity_holds_for_any_input(intervals, warmup):
+    """warm-up + ready + unused == total surface, always."""
+    # Build per-node non-overlapping intervals from (gap, width) pairs.
+    by_node = {}
+    cursor = 0.0
+    node_intervals = []
+    for gap, width in intervals:
+        cursor += gap
+        node_intervals.append((cursor, cursor + width))
+        cursor += width
+    by_node["n0"] = node_intervals
+    result = CoverageSimulator(warmup=warmup).run(by_node, SET_A1)
+    assert result.total_surface == sum(e - s for s, e in node_intervals)
+    assert (
+        abs(
+            result.warmup_surface
+            + result.ready_surface
+            + result.unused_surface
+            - result.total_surface
+        )
+        < 1e-6 * max(result.total_surface, 1.0)
+    )
+    assert result.warmup_surface >= 0
+    assert result.ready_surface >= 0
+    assert result.unused_surface >= -1e-9
+
+
+@given(window_minutes=st.integers(min_value=2, max_value=60))
+@settings(max_examples=60, deadline=None)
+def test_greedy_warmup_count_at_most_optimal_plus_margin(window_minutes):
+    """For even windows, greedy longest-first uses at most a few more jobs
+    than the true minimum (computed by DP) — bounding the warm-up waste the
+    heuristic can cause."""
+    if window_minutes % 2:
+        window_minutes += 1
+    lengths = list(SET_A1.minutes)
+    # DP: minimum number of jobs summing exactly to the window.
+    INF = 10**9
+    best = [INF] * (window_minutes + 1)
+    best[0] = 0
+    for total in range(1, window_minutes + 1):
+        for length in lengths:
+            if length <= total and best[total - length] + 1 < best[total]:
+                best[total] = best[total - length] + 1
+    greedy_count = len(SET_A1.greedy_pack(window_minutes))
+    assert best[window_minutes] < INF
+    assert greedy_count <= best[window_minutes] + 2

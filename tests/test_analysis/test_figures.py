@@ -1,0 +1,67 @@
+"""Tests for the ASCII figure renderers."""
+
+import numpy as np
+
+from repro.analysis.figures import ascii_cdf, ascii_timeseries, histogram, sparkline
+
+
+def test_sparkline_range():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+    assert line[0] == " "
+    assert line[-1] == "█"
+    assert len(line) == 9
+
+
+def test_sparkline_compresses_long_series():
+    line = sparkline(np.sin(np.linspace(0, 10, 1000)), width=60)
+    assert len(line) == 60
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_constant_series():
+    line = sparkline([5.0] * 10)
+    assert len(line) == 10  # no crash on zero span
+
+
+def test_ascii_timeseries_structure():
+    times = np.linspace(0, 7200, 100)
+    values = np.abs(np.sin(times / 1000)) * 10
+    art = ascii_timeseries(times, values, title="workers", height=8)
+    lines = art.splitlines()
+    assert lines[0] == "workers"
+    assert len(lines) == 1 + 8 + 2  # title + grid + axis + labels
+    assert "•" in art
+    assert "2.0h" in lines[-1]
+
+
+def test_ascii_timeseries_empty():
+    assert "(empty series)" in ascii_timeseries([], [], title="t")
+
+
+def test_ascii_cdf_monotone_render():
+    art = ascii_cdf(np.random.default_rng(0).lognormal(0, 1, 500), title="cdf")
+    assert art.splitlines()[0] == "cdf"
+    assert "1.0" in art and "0.0" in art
+    assert "·" in art
+
+
+def test_ascii_cdf_with_transform():
+    values = np.array([1.0, 10.0, 100.0, 1000.0])
+    art = ascii_cdf(values, x_transform=np.log10, x_label="log10 seconds")
+    assert "log10 seconds" in art
+
+
+def test_histogram_bars_and_counts():
+    art = histogram([1, 1, 1, 2, 3], bins=3, title="h")
+    lines = art.splitlines()
+    assert lines[0] == "h"
+    assert len(lines) == 4
+    assert "#" in lines[1]
+    assert lines[1].rstrip().endswith("3")
+
+
+def test_histogram_empty():
+    assert "(empty)" in histogram([], title="h")

@@ -1,0 +1,94 @@
+"""Unit tests for the statistics toolbox."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    cdf,
+    interval_coverage,
+    interval_total,
+    merge_intervals,
+    node_surface,
+    per_minute_bins,
+    percentile_summary,
+    share_at_zero,
+    time_weighted_counts,
+)
+
+
+def test_cdf_basic():
+    values, probabilities = cdf([3.0, 1.0, 2.0])
+    assert list(values) == [1.0, 2.0, 3.0]
+    assert list(probabilities) == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+
+def test_cdf_empty():
+    values, probabilities = cdf([])
+    assert values.size == 0 and probabilities.size == 0
+
+
+def test_percentile_summary():
+    summary = percentile_summary(range(1, 101))
+    assert summary.p25 == pytest.approx(25.75)
+    assert summary.p50 == pytest.approx(50.5)
+    assert summary.p75 == pytest.approx(75.25)
+    assert summary.avg == pytest.approx(50.5)
+
+
+def test_percentile_summary_empty_is_nan():
+    summary = percentile_summary([])
+    assert np.isnan(summary.avg)
+
+
+def test_merge_intervals():
+    merged = merge_intervals([(0, 2), (1, 3), (5, 6), (6, 7)])
+    assert merged == [(0, 3), (5, 7)]
+
+
+def test_merge_drops_empty():
+    assert merge_intervals([(3, 3), (5, 4)]) == []
+
+
+def test_interval_total():
+    assert interval_total([(0, 2), (1, 3), (10, 11)]) == pytest.approx(4.0)
+
+
+def test_node_surface_counts_per_node():
+    """Different nodes' overlapping intervals must all count (regression
+    test for the fig3 under-count bug)."""
+    intervals = {
+        "a": [(0.0, 10.0)],
+        "b": [(0.0, 10.0)],  # same time range, different node
+    }
+    assert node_surface(intervals) == pytest.approx(20.0)
+    # ...while within a node, overlaps merge:
+    assert node_surface({"a": [(0, 10), (5, 15)]}) == pytest.approx(15.0)
+
+
+def test_interval_coverage():
+    base = [(0, 10)]
+    cover = [(2, 4), (6, 8)]
+    assert interval_coverage(base, cover) == pytest.approx(0.4)
+
+
+def test_interval_coverage_clips_outside():
+    assert interval_coverage([(0, 10)], [(-5, 100)]) == pytest.approx(1.0)
+
+
+def test_interval_coverage_empty_base():
+    assert interval_coverage([], [(0, 1)]) == 0.0
+
+
+def test_time_weighted_counts():
+    counts = time_weighted_counts([(0, 30), (10, 20)], horizon=40.0, step=10.0)
+    assert list(counts) == [1, 2, 1, 0]
+
+
+def test_share_at_zero():
+    assert share_at_zero(np.array([0, 1, 0, 2])) == 0.5
+    assert share_at_zero(np.array([])) == 0.0
+
+
+def test_per_minute_bins():
+    bins = per_minute_bins([0.0, 59.0, 60.0, 125.0], horizon=180.0)
+    assert list(bins) == [2, 1, 1]

@@ -1,0 +1,50 @@
+"""Tests for the table renderers."""
+
+from repro.analysis.coverage import CoverageSimulator
+from repro.analysis.metrics import PercentileSummary
+from repro.analysis.report import render_kv, render_table1, render_table23
+from repro.hpcwhisk.lengths import SET_A1, SET_C2
+
+
+def make_coverage():
+    intervals = {"n0": [(0.0, 3600.0)], "n1": [(0.0, 1800.0)]}
+    return CoverageSimulator().run(intervals, SET_A1, horizon=3600.0)
+
+
+def test_render_table1_contains_all_sets():
+    cov = make_coverage()
+    text = render_table1({"A1": (SET_A1, cov), "C2": (SET_C2, cov)})
+    assert "TABLE I" in text
+    assert "A1" in text and "C2" in text
+    assert "%" in text
+    # One header + one rule + two data rows.
+    assert len(text.splitlines()) == 4
+
+
+def test_render_table23_layout():
+    cov = make_coverage()
+    summary = PercentileSummary(p25=2.0, p50=4.0, p75=8.0, avg=5.0)
+    text = render_table23(
+        "TABLE II (test)",
+        cov,
+        slurm_workers=summary,
+        slurm_used_share=0.9,
+        ow_warmup=summary,
+        ow_healthy=summary,
+        ow_irresponsive=summary,
+    )
+    assert "Simulation" in text
+    assert "Slurm-level" in text
+    assert "OW-level" in text
+    assert "90.00%" in text
+    assert "10.00%" in text  # 1 - used
+
+
+def test_render_kv_alignment():
+    text = render_kv("Title", {"alpha": 1.23456, "beta_long_key": "x"})
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1].startswith("  alpha")
+    assert ":" in lines[1] and ":" in lines[2]
+    # floats formatted compactly
+    assert "1.235" in lines[1]

@@ -1,0 +1,150 @@
+"""Tests for the Slurm-level sampler, interval reconstruction and OW log."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.idle_periods import intervals_by_node, samples_to_intervals
+from repro.analysis.owlog import ow_level_states, ready_period_stats
+from repro.analysis.sampler import SlurmSample, SlurmSampler
+from repro.cluster import JobSpec, SlurmConfig, SlurmController
+from repro.hpcwhisk.pilot import PilotTimeline
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------------
+# sampler
+# ----------------------------------------------------------------------
+def test_sampler_cadence_matches_paper(env, rng):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    sampler = SlurmSampler(env, controller, rng)
+    env.run(until=3600)
+    sampler.stop()
+    log = sampler.log
+    # Paper: average distance ≈ 10.3–10.7 s.
+    assert log.mean_gap() == pytest.approx(10.5, abs=0.8)
+    gaps = np.diff([s.time for s in log.samples])
+    assert np.mean(gaps < 11.0) == pytest.approx(0.76, abs=0.12)
+
+
+def test_sampler_sees_cluster_states(env, rng):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    controller.submit(JobSpec(name="j", time_limit=1000, actual_runtime=1000))
+    sampler = SlurmSampler(env, controller, rng)
+    env.run(until=300)
+    sampler.stop()
+    sample = sampler.log.samples[-1]
+    assert len(sample.idle_nodes) == 1
+    assert sampler.log.idle_counts()[-1] == 1
+
+
+def test_available_is_union(env):
+    sample = SlurmSample(time=0.0, idle_nodes=("a", "b"), whisk_nodes=("b", "c"))
+    assert sample.available_nodes == ("a", "b", "c")
+
+
+# ----------------------------------------------------------------------
+# interval reconstruction
+# ----------------------------------------------------------------------
+def make_samples(times_and_idle):
+    return [
+        SlurmSample(time=t, idle_nodes=tuple(idle), whisk_nodes=())
+        for t, idle in times_and_idle
+    ]
+
+
+def test_samples_to_intervals_basic():
+    samples = make_samples([
+        (0.0, ["n1"]),
+        (10.0, ["n1", "n2"]),
+        (20.0, ["n2"]),
+        (30.0, []),
+    ])
+    intervals = samples_to_intervals(samples, lambda s: s.idle_nodes)
+    assert intervals["n1"] == [(0.0, 20.0)]
+    assert intervals["n2"] == [(10.0, 30.0)]
+
+
+def test_samples_to_intervals_closes_at_end_time():
+    samples = make_samples([(0.0, ["n1"]), (10.0, ["n1"])])
+    intervals = samples_to_intervals(samples, lambda s: s.idle_nodes, end_time=25.0)
+    assert intervals["n1"] == [(0.0, 25.0)]
+
+
+def test_samples_to_intervals_reopens():
+    samples = make_samples([
+        (0.0, ["n1"]),
+        (10.0, []),
+        (20.0, ["n1"]),
+        (30.0, []),
+    ])
+    intervals = samples_to_intervals(samples, lambda s: s.idle_nodes)
+    assert intervals["n1"] == [(0.0, 10.0), (20.0, 30.0)]
+
+
+def test_intervals_by_node_kinds():
+    samples = [
+        SlurmSample(time=0.0, idle_nodes=("a",), whisk_nodes=("b",)),
+        SlurmSample(time=10.0, idle_nodes=(), whisk_nodes=()),
+    ]
+    assert intervals_by_node(samples, "idle")["a"] == [(0.0, 10.0)]
+    assert intervals_by_node(samples, "whisk")["b"] == [(0.0, 10.0)]
+    available = intervals_by_node(samples, "available")
+    assert set(available) == {"a", "b"}
+    with pytest.raises(ValueError):
+        intervals_by_node(samples, "bogus")
+
+
+# ----------------------------------------------------------------------
+# OW-level states
+# ----------------------------------------------------------------------
+def timeline(job_start, healthy, sigterm, finished, reason="timeout"):
+    t = PilotTimeline(
+        invoker_id="i", node="n", job_id=1, job_started_at=job_start
+    )
+    t.healthy_at = healthy
+    t.sigterm_at = sigterm
+    t.finished_at = finished
+    t.end_reason = reason
+    return t
+
+
+def test_ow_states_partition_lifecycle():
+    t = timeline(0.0, 15.0, 100.0, 105.0)
+    states = ow_level_states([t], horizon=200.0, step=1.0)
+    # warm-up 0–15, healthy 15–100, irresponsive 100–105
+    assert states.warmup_counts[:15].sum() == 15
+    assert states.healthy_counts[20] == 1
+    assert states.healthy_counts[110] == 0
+    assert states.irresponsive_counts[102] == 1
+    assert states.non_availability == pytest.approx((200 - 85) / 200, abs=0.02)
+
+
+def test_ow_states_never_registered():
+    t = PilotTimeline(invoker_id="i", node="n", job_id=1, job_started_at=10.0)
+    t.finished_at = 40.0
+    states = ow_level_states([t], horizon=100.0, step=1.0)
+    assert states.warmup_counts.sum() == pytest.approx(30, abs=1)
+    assert states.healthy_counts.sum() == 0
+
+
+def test_ow_longest_and_total_outage():
+    t1 = timeline(0.0, 10.0, 50.0, 52.0)
+    t2 = timeline(100.0, 110.0, 150.0, 152.0)
+    states = ow_level_states([t1, t2], horizon=200.0, step=1.0)
+    # healthy in [10,50) and [110,150): outage = 10 + 60 + 50 = 120
+    assert states.total_outage() == pytest.approx(120.0, abs=3.0)
+    assert states.longest_outage() == pytest.approx(60.0, abs=3.0)
+
+
+def test_ready_period_stats():
+    stats = ready_period_stats([
+        timeline(0.0, 10.0, 70.0, 75.0),    # 60 s healthy
+        timeline(0.0, 20.0, 140.0, 145.0),  # 120 s healthy
+    ])
+    assert stats["count"] == 2
+    assert stats["mean"] == pytest.approx(90.0)
+    assert stats["median"] == pytest.approx(90.0)
+
+
+def test_ready_period_stats_empty():
+    assert ready_period_stats([]) == {"count": 0}

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig3_command(capsys):
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 3" in out
+    assert "pilot_coverage" in out
+
+
+def test_fig2_command_small(capsys):
+    assert main(["fig2", "--count", "2000", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "limit_median_min" in out
+
+
+def test_fig1_command_small_with_plot(capsys):
+    assert main(["fig1", "--days", "0.25", "--nodes", "128", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "idle_nodes_mean" in out
+    assert "Fig 1c" in out and "Fig 1b" in out
+
+
+def test_table1_command_small(capsys):
+    assert main(["table1", "--days", "0.25", "--nodes", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE I" in out
+    assert "C2" in out
+
+
+def test_day_command_small(capsys):
+    assert main(["day", "--hours", "0.25", "--nodes", "24", "--no-load"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE II" in out
+
+
+def test_day_var_command_small(capsys):
+    assert main(["day", "--model", "var", "--hours", "0.25", "--nodes", "24",
+                 "--no-load"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE III" in out
+
+
+def test_fig7_command_small(capsys):
+    assert main(["fig7", "--invocations", "2", "--graph-size", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "pagerank" in out
+
+
+def test_optimize_command_small(capsys):
+    assert main(["optimize", "--days", "0.2", "--nodes", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "ari(2)" in out
+
+
+def test_longterm_command_small(capsys):
+    assert main(["longterm", "--weeks", "1", "--nodes", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "Long-term" in out

@@ -1,0 +1,262 @@
+"""Unit tests for the backfill planner (pure planning, no side effects)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.backfill import BackfillScheduler, SchedulerConfig
+from repro.cluster.job import Job, JobSpec
+from repro.cluster.node import Node, NodeState
+from repro.cluster.partition import default_partitions
+
+
+def make_nodes(count):
+    return {f"n{i:04d}": Node(f"n{i:04d}") for i in range(count)}
+
+
+def make_job(now=0.0, **kwargs):
+    return Job(JobSpec(**kwargs), submit_time=now)
+
+
+@pytest.fixture
+def partitions():
+    return default_partitions()
+
+
+@pytest.fixture
+def scheduler():
+    return BackfillScheduler(SchedulerConfig(), rng=np.random.default_rng(0))
+
+
+def plan(scheduler, partitions, nodes, pending, now=0.0, committed=None, **kwargs):
+    return scheduler.plan(
+        now=now,
+        pending=pending,
+        nodes=nodes,
+        partitions=partitions,
+        committed=committed or {},
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# basic placement
+# ----------------------------------------------------------------------
+def test_starts_job_on_idle_nodes(scheduler, partitions):
+    nodes = make_nodes(4)
+    job = make_job(name="j", num_nodes=2, time_limit=600)
+    result = plan(scheduler, partitions, nodes, [job])
+    assert len(result.starts) == 1
+    decision = result.starts[0]
+    assert decision.job is job
+    assert len(decision.nodes) == 2
+    assert decision.granted_time == 600
+
+
+def test_insufficient_nodes_blocks(scheduler, partitions):
+    nodes = make_nodes(1)
+    job = make_job(name="wide", num_nodes=3)
+    result = plan(scheduler, partitions, nodes, [job])
+    assert result.starts == []
+
+
+def test_priority_order_within_tier(scheduler, partitions):
+    nodes = make_nodes(1)
+    low = make_job(name="low", priority=1.0)
+    high = make_job(name="high", priority=9.0)
+    result = plan(scheduler, partitions, nodes, [low, high])
+    assert [d.job.spec.name for d in result.starts] == ["high"]
+
+
+def test_begin_time_gates_eligibility(scheduler, partitions):
+    nodes = make_nodes(2)
+    future = make_job(name="later", begin_time=500.0)
+    result = plan(scheduler, partitions, nodes, [future], now=100.0)
+    assert result.starts == []
+    result = plan(scheduler, partitions, nodes, [future], now=500.0)
+    assert len(result.starts) == 1
+
+
+def test_pinned_job_gets_its_nodes(scheduler, partitions):
+    nodes = make_nodes(4)
+    job = make_job(name="pinned", num_nodes=1, required_nodes=("n0002",))
+    result = plan(scheduler, partitions, nodes, [job])
+    assert result.starts[0].nodes[0].name == "n0002"
+
+
+def test_pinned_job_blocked_by_busy_required_node(scheduler, partitions):
+    nodes = make_nodes(2)
+    blocker = make_job(name="blocker", num_nodes=1)
+    nodes["n0000"].allocate(blocker, 0.0)
+    blocker.state = blocker.state.__class__.RUNNING
+    job = make_job(name="pinned", num_nodes=1, required_nodes=("n0000",))
+    result = plan(scheduler, partitions, nodes, [job])
+    assert result.starts == []
+
+
+# ----------------------------------------------------------------------
+# tier-0 backfill & windows
+# ----------------------------------------------------------------------
+def test_tier0_fixed_fits_only_within_window(scheduler, partitions):
+    nodes = make_nodes(1)
+    # A pinned tier-1 job claims the node at t=600.
+    upcoming = make_job(name="prime", num_nodes=1, required_nodes=("n0000",), begin_time=600.0)
+    short_pilot = make_job(name="p-short", partition="whisk", time_limit=240, priority=240)
+    long_pilot = make_job(name="p-long", partition="whisk", time_limit=1200, priority=1200)
+    result = plan(scheduler, partitions, nodes, [upcoming, long_pilot, short_pilot])
+    # Only the short pilot fits into the 600 s window.
+    assert [d.job.spec.name for d in result.starts] == ["p-short"]
+    assert result.reservations["n0000"] == 600.0
+
+
+def test_tier0_longest_first_in_unbounded_window(scheduler, partitions):
+    nodes = make_nodes(1)
+    short_pilot = make_job(name="p-short", partition="whisk", time_limit=240, priority=240)
+    long_pilot = make_job(name="p-long", partition="whisk", time_limit=1200, priority=1200)
+    result = plan(scheduler, partitions, nodes, [short_pilot, long_pilot])
+    assert [d.job.spec.name for d in result.starts] == ["p-long"]
+
+
+def test_tier0_best_fit_node_choice(scheduler, partitions):
+    """The pilot should take the node with the smallest adequate window."""
+    nodes = make_nodes(2)
+    claim_a = make_job(name="a", num_nodes=1, required_nodes=("n0000",), begin_time=1000.0)
+    claim_b = make_job(name="b", num_nodes=1, required_nodes=("n0001",), begin_time=400.0)
+    pilot = make_job(name="p", partition="whisk", time_limit=300, priority=300)
+    result = plan(scheduler, partitions, nodes, [claim_a, claim_b, pilot])
+    assert result.starts[0].nodes[0].name == "n0001"
+
+
+def test_flexible_job_granted_slot_multiple(partitions):
+    config = SchedulerConfig(flex_extension_min=1.0, flex_extension_max=1.0)
+    scheduler = BackfillScheduler(config, rng=np.random.default_rng(0))
+    nodes = make_nodes(1)
+    claim = make_job(name="prime", num_nodes=1, required_nodes=("n0000",), begin_time=500.0)
+    flexible = make_job(
+        name="flex", partition="whisk", time_limit=7200, time_min=120
+    )
+    result = plan(scheduler, partitions, nodes, [claim, flexible])
+    assert len(result.starts) == 1
+    granted = result.starts[0].granted_time
+    # 500 s window → floor to slot (120 s) → 480 s.
+    assert granted == 480.0
+
+
+def test_flexible_extension_fraction(partitions):
+    config = SchedulerConfig(flex_extension_min=0.5, flex_extension_max=0.5)
+    scheduler = BackfillScheduler(config, rng=np.random.default_rng(0))
+    nodes = make_nodes(1)
+    flexible = make_job(name="flex", partition="whisk", time_limit=7200, time_min=120)
+    result = plan(scheduler, partitions, nodes, [flexible])
+    granted = result.starts[0].granted_time
+    # fit = 7200 (unbounded window, capped at limit); granted = floor(120 + 0.5*7080)
+    assert granted == config.floor_slot(120 + 0.5 * (7200 - 120))
+
+
+def test_flexible_respects_time_min(partitions):
+    config = SchedulerConfig(flex_extension_min=1.0, flex_extension_max=1.0)
+    scheduler = BackfillScheduler(config, rng=np.random.default_rng(0))
+    nodes = make_nodes(1)
+    claim = make_job(name="prime", num_nodes=1, required_nodes=("n0000",), begin_time=100.0)
+    flexible = make_job(name="flex", partition="whisk", time_limit=7200, time_min=120)
+    result = plan(scheduler, partitions, nodes, [claim, flexible])
+    assert result.starts == []  # 100 s window < time_min
+
+
+def test_include_tier0_false_skips_pilots(scheduler, partitions):
+    nodes = make_nodes(2)
+    pilot = make_job(name="p", partition="whisk", time_limit=240)
+    prime = make_job(name="j", partition="main", time_limit=240)
+    result = plan(scheduler, partitions, nodes, [pilot, prime], include_tier0=False)
+    assert [d.job.spec.name for d in result.starts] == ["j"]
+
+
+def test_flex_budget_limits_starts(partitions):
+    config = SchedulerConfig(max_flex_starts_per_pass=2, flex_extension_min=1.0)
+    scheduler = BackfillScheduler(config, rng=np.random.default_rng(0))
+    nodes = make_nodes(8)
+    flex_jobs = [
+        make_job(name=f"f{i}", partition="whisk", time_limit=7200, time_min=120)
+        for i in range(8)
+    ]
+    result = plan(scheduler, partitions, nodes, flex_jobs)
+    assert len(result.starts) == 2
+
+
+def test_fixed_budget_limits_starts(partitions):
+    config = SchedulerConfig(max_fixed_starts_per_pass=3)
+    scheduler = BackfillScheduler(config, rng=np.random.default_rng(0))
+    nodes = make_nodes(8)
+    pilots = [
+        make_job(name=f"p{i}", partition="whisk", time_limit=240) for i in range(8)
+    ]
+    result = plan(scheduler, partitions, nodes, pilots)
+    assert len(result.starts) == 3
+
+
+# ----------------------------------------------------------------------
+# preemption planning
+# ----------------------------------------------------------------------
+def _running_pilot(nodes, node_name, granted=5400.0):
+    pilot = make_job(name="pilot", partition="whisk", time_limit=granted)
+    pilot.state = pilot.state.__class__.RUNNING
+    pilot.start_time = 0.0
+    pilot.granted_time = granted
+    pilot.nodes = (nodes[node_name],)
+    nodes[node_name].allocate(pilot, 0.0)
+    return pilot
+
+
+def test_pinned_prime_preempts_pilot(scheduler, partitions):
+    nodes = make_nodes(1)
+    pilot = _running_pilot(nodes, "n0000")
+    prime = make_job(name="prime", num_nodes=1, required_nodes=("n0000",))
+    result = plan(scheduler, partitions, nodes, [prime], now=100.0)
+    assert len(result.preemptions) == 1
+    assert result.preemptions[0].victim is pilot
+    assert result.commits.get("n0000") == prime.job_id
+
+
+def test_unpinned_prime_preempts_when_needed(scheduler, partitions):
+    nodes = make_nodes(2)
+    pilot = _running_pilot(nodes, "n0001")
+    prime = make_job(name="prime", num_nodes=2)
+    result = plan(scheduler, partitions, nodes, [prime])
+    assert [p.victim for p in result.preemptions] == [pilot]
+    # Both the idle node and the pilot's node are committed.
+    assert set(result.commits) == {"n0000", "n0001"}
+
+
+def test_equal_tier_job_never_preempted(scheduler, partitions):
+    nodes = make_nodes(1)
+    running = make_job(name="running", partition="main", time_limit=1000)
+    running.state = running.state.__class__.RUNNING
+    running.start_time = 0.0
+    running.granted_time = 1000.0
+    running.nodes = (nodes["n0000"],)
+    nodes["n0000"].allocate(running, 0.0)
+    prime = make_job(name="prime", num_nodes=1, required_nodes=("n0000",))
+    result = plan(scheduler, partitions, nodes, [prime], now=10.0)
+    assert result.preemptions == []
+    assert result.starts == []
+
+
+def test_committed_nodes_not_given_to_pilots(scheduler, partitions):
+    nodes = make_nodes(1)
+    pilot = make_job(name="pilot", partition="whisk", time_limit=240)
+    result = plan(
+        scheduler, partitions, nodes, [pilot], committed={"n0000": 999}
+    )
+    assert result.starts == []
+
+
+def test_no_pilot_on_node_with_immediate_claim(scheduler, partitions):
+    """A node claimed *now* by an eligible-but-waiting prime job must not
+    receive a pilot."""
+    nodes = make_nodes(1)
+    # prime is eligible now but its node is occupied by a running pilot.
+    running = _running_pilot(nodes, "n0000")
+    prime = make_job(name="prime", num_nodes=1, required_nodes=("n0000",))
+    new_pilot = make_job(name="p2", partition="whisk", time_limit=240)
+    result = plan(scheduler, partitions, nodes, [prime, new_pilot], now=50.0)
+    names = [d.job.spec.name for d in result.starts]
+    assert "p2" not in names

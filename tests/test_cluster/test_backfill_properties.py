@@ -1,0 +1,138 @@
+"""Property-based invariants of the backfill planner."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.backfill import BackfillScheduler, SchedulerConfig
+from repro.cluster.job import Job, JobSpec
+from repro.cluster.node import Node, NodeState
+from repro.cluster.partition import default_partitions
+
+pilot_spec = st.tuples(
+    st.sampled_from([120.0, 240.0, 480.0, 1320.0, 5400.0]),  # fixed lengths
+    st.booleans(),                                            # flexible?
+)
+
+
+def build_state(num_nodes, busy_mask, claims):
+    """Nodes with some busy (prime jobs) and pending pinned future jobs."""
+    nodes = {f"n{i:04d}": Node(f"n{i:04d}") for i in range(num_nodes)}
+    pending = []
+    for i, busy in enumerate(busy_mask):
+        name = f"n{i:04d}"
+        if busy:
+            job = Job(JobSpec(name="prime", time_limit=3600.0), 0.0)
+            job.state = job.state.__class__.RUNNING
+            job.start_time = 0.0
+            job.granted_time = 3600.0
+            job.nodes = (nodes[name],)
+            nodes[name].allocate(job, 0.0)
+    for i, begin in enumerate(claims):
+        if begin is None:
+            continue
+        name = f"n{i % num_nodes:04d}"
+        pending.append(
+            Job(
+                JobSpec(
+                    name=f"future-{i}", time_limit=1800.0,
+                    required_nodes=(name,), begin_time=float(begin),
+                ),
+                0.0,
+            )
+        )
+    return nodes, pending
+
+
+@given(
+    num_nodes=st.integers(min_value=1, max_value=6),
+    busy=st.lists(st.booleans(), min_size=6, max_size=6),
+    claims=st.lists(
+        st.one_of(st.none(), st.floats(min_value=60.0, max_value=7000.0)),
+        min_size=3,
+        max_size=3,
+    ),
+    pilots=st.lists(pilot_spec, min_size=1, max_size=8),
+)
+@settings(max_examples=150, deadline=None)
+def test_tier0_placements_never_violate_claims(num_nodes, busy, claims, pilots):
+    """A tier-0 start must (a) land on an idle node, (b) fit entirely
+    before any higher-tier claim on that node, and (c) flexible grants are
+    slot multiples within [time_min, time_limit]."""
+    nodes, pending = build_state(num_nodes, busy[:num_nodes], claims)
+    for index, (length, flexible) in enumerate(pilots):
+        if flexible:
+            spec = JobSpec(
+                name=f"p{index}", partition="whisk",
+                time_limit=7200.0, time_min=120.0, priority=1.0,
+            )
+        else:
+            spec = JobSpec(
+                name=f"p{index}", partition="whisk",
+                time_limit=length, priority=length,
+            )
+        pending.append(Job(spec, 0.0))
+
+    config = SchedulerConfig()
+    scheduler = BackfillScheduler(config, rng=np.random.default_rng(0))
+    plan = scheduler.plan(
+        now=0.0,
+        pending=pending,
+        nodes=nodes,
+        partitions=default_partitions(),
+        committed={},
+        include_tier0=True,
+        include_flexible=True,
+    )
+    for decision in plan.starts:
+        if decision.job.spec.partition != "whisk":
+            continue
+        node = decision.nodes[0]
+        assert node.state is NodeState.IDLE
+        claim_at = plan.reservations.get(node.name)
+        if claim_at is not None:
+            assert decision.granted_time <= claim_at + 1e-9
+        spec = decision.job.spec
+        if spec.is_flexible:
+            assert spec.time_min <= decision.granted_time <= spec.time_limit
+            assert decision.granted_time % config.slot == 0.0
+        else:
+            assert decision.granted_time == spec.time_limit
+
+    # No node receives two starts in one plan.
+    started_nodes = [n.name for d in plan.starts for n in d.nodes]
+    assert len(started_nodes) == len(set(started_nodes))
+
+
+@given(
+    num_pilots=st.integers(min_value=0, max_value=10),
+    num_primes=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_preemptions_only_target_preemptible_lower_tiers(num_pilots, num_primes):
+    nodes = {f"n{i:04d}": Node(f"n{i:04d}") for i in range(4)}
+    pending = []
+    # Fill all nodes with running pilots (preemptible tier 0).
+    running_pilots = []
+    for i, name in enumerate(list(nodes)[: min(num_pilots, 4)]):
+        pilot = Job(JobSpec(name=f"pl{i}", partition="whisk", time_limit=5400.0), 0.0)
+        pilot.state = pilot.state.__class__.RUNNING
+        pilot.start_time = 0.0
+        pilot.granted_time = 5400.0
+        pilot.nodes = (nodes[name],)
+        nodes[name].allocate(pilot, 0.0)
+        running_pilots.append(pilot)
+    for i in range(num_primes):
+        pending.append(Job(JobSpec(name=f"pr{i}", num_nodes=2, time_limit=600.0), 0.0))
+
+    scheduler = BackfillScheduler(SchedulerConfig(), rng=np.random.default_rng(0))
+    plan = scheduler.plan(
+        now=10.0, pending=pending, nodes=nodes,
+        partitions=default_partitions(), committed={},
+    )
+    for preemption in plan.preemptions:
+        assert preemption.victim.spec.partition == "whisk"
+        assert preemption.victim in running_pilots
+    # Victims are unique.
+    victims = [p.victim.job_id for p in plan.preemptions]
+    assert len(victims) == len(set(victims))

@@ -1,0 +1,122 @@
+"""Tests for node-failure injection and the sacct-like accounting."""
+
+import pytest
+
+from repro.cluster import JobSpec, JobState, NodeState, SlurmConfig, SlurmController
+from repro.cluster.accounting import prime_wait_comparison, render_sacct, summarize
+from repro.sim import Environment, Interrupt
+
+
+def test_fail_idle_node_goes_down(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    env.run(until=1)
+    controller.fail_node("n0000")
+    env.run(until=5)
+    assert controller.nodes["n0000"].state is NodeState.DOWN
+
+
+def test_fail_node_kills_running_job(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=1))
+    job = controller.submit(JobSpec(name="j", time_limit=1000, actual_runtime=1000))
+    env.run(until=50)
+    controller.fail_node("n0000")
+    env.run(until=100)
+    assert job.state is JobState.NODE_FAIL
+    assert controller.nodes["n0000"].state is NodeState.DOWN
+
+
+def test_fail_node_hard_kills_body_without_drain(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=1))
+    events = []
+
+    def body(env, job, nodes):
+        try:
+            yield env.timeout(10**9)
+        except Interrupt as interrupt:
+            events.append((env.now, interrupt.cause.signal.value))
+            # A graceful body would drain here; SIGKILL means no time for it.
+            raise
+
+    job = controller.submit(
+        JobSpec(name="pilot", partition="whisk", time_limit=3600, body=body)
+    )
+    env.run(until=50)
+    controller.fail_node("n0000")
+    env.run(until=100)
+    assert job.state is JobState.NODE_FAIL
+    assert events and events[0][1] == "SIGKILL"
+
+
+def test_restore_node_returns_to_service(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=1))
+    env.run(until=1)
+    controller.fail_node("n0000")
+    env.run(until=5)
+    controller.restore_node("n0000")
+    job = controller.submit(JobSpec(name="j", time_limit=60, actual_runtime=60))
+    env.run(until=200)
+    assert job.state is JobState.COMPLETED
+
+
+def test_down_node_not_scheduled(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    env.run(until=1)
+    controller.fail_node("n0000")
+    env.run(until=5)
+    job = controller.submit(JobSpec(name="wide", num_nodes=2, time_limit=60))
+    env.run(until=120)
+    assert job.is_pending  # only one schedulable node remains
+
+
+# ----------------------------------------------------------------------
+# accounting
+# ----------------------------------------------------------------------
+def run_cluster_with_jobs(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    jobs = [
+        controller.submit(JobSpec(name="a", time_limit=300, actual_runtime=100)),
+        controller.submit(JobSpec(name="b", time_limit=300, actual_runtime=200)),
+        controller.submit(
+            JobSpec(name="p", partition="whisk", time_limit=240, actual_runtime=50)
+        ),
+    ]
+    env.run(until=2000)
+    return controller, jobs
+
+
+def test_summarize_partitions(env):
+    controller, _jobs = run_cluster_with_jobs(env)
+    accounts = summarize(controller)
+    assert set(accounts) == {"main", "whisk"}
+    main = accounts["main"]
+    assert main.jobs_total == 2
+    assert main.by_state == {"completed": 2}
+    assert main.node_seconds == pytest.approx(300.0)
+    assert main.mean_wait < 35.0  # scheduled essentially immediately
+
+
+def test_render_sacct(env):
+    controller, _jobs = run_cluster_with_jobs(env)
+    text = render_sacct(summarize(controller))
+    assert "main" in text and "whisk" in text
+    assert "completed:2" in text
+
+
+def test_prime_wait_comparison(env):
+    controller, _jobs = run_cluster_with_jobs(env)
+    accounts = summarize(controller)
+    comparison = prime_wait_comparison(accounts, accounts)
+    assert comparison["mean_wait_delta"] == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        prime_wait_comparison(accounts, accounts, partition="ghost")
+
+
+def test_wait_uses_begin_time_anchor(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=1))
+    job = controller.submit(
+        JobSpec(name="late", time_limit=60, actual_runtime=60, begin_time=500.0)
+    )
+    env.run(until=1000)
+    accounts = summarize(controller)
+    # Wait is measured from begin_time (500), not submit (0).
+    assert accounts["main"].wait_times[0] < 40.0

@@ -1,0 +1,127 @@
+"""Unit tests for nodes, job specs and partitions."""
+
+import pytest
+
+from repro.cluster import Job, JobSpec, JobState, Node, NodeState, Partition, PreemptMode
+from repro.cluster.partition import default_partitions
+
+
+# ----------------------------------------------------------------------
+# Node
+# ----------------------------------------------------------------------
+def test_node_defaults_match_prometheus():
+    node = Node("n0001")
+    assert node.cores == 24
+    assert node.memory_mb == 131072
+    assert node.state is NodeState.IDLE
+
+
+def test_node_allocate_release_cycle():
+    node = Node("n")
+    job = Job(JobSpec(name="j"), submit_time=0.0)
+    node.allocate(job, now=1.0)
+    assert node.state is NodeState.ALLOCATED and node.job is job
+    node.release(now=2.0)
+    assert node.state is NodeState.IDLE and node.job is None
+    assert node.idle_since == 2.0
+
+
+def test_node_double_allocate_rejected():
+    node = Node("n")
+    job = Job(JobSpec(name="j"), submit_time=0.0)
+    node.allocate(job, 0.0)
+    with pytest.raises(RuntimeError):
+        node.allocate(job, 0.0)
+
+
+def test_node_release_idle_rejected():
+    with pytest.raises(RuntimeError):
+        Node("n").release(0.0)
+
+
+def test_node_down_and_back():
+    node = Node("n")
+    node.set_down()
+    assert node.state is NodeState.DOWN
+    assert not node.available
+    node.set_idle(5.0)
+    assert node.available
+
+
+def test_node_down_with_job_rejected():
+    node = Node("n")
+    node.allocate(Job(JobSpec(name="j"), 0.0), 0.0)
+    with pytest.raises(RuntimeError):
+        node.set_down()
+
+
+# ----------------------------------------------------------------------
+# JobSpec / Job
+# ----------------------------------------------------------------------
+def test_jobspec_validation():
+    with pytest.raises(ValueError):
+        JobSpec(name="bad", num_nodes=0)
+    with pytest.raises(ValueError):
+        JobSpec(name="bad", time_limit=0)
+    with pytest.raises(ValueError):
+        JobSpec(name="bad", time_limit=100, time_min=200)
+    with pytest.raises(ValueError):
+        JobSpec(name="bad", num_nodes=2, required_nodes=("only-one",))
+
+
+def test_jobspec_flexible_flag():
+    assert JobSpec(name="f", time_limit=7200, time_min=120).is_flexible
+    assert not JobSpec(name="x", time_limit=7200).is_flexible
+    assert not JobSpec(name="y", time_limit=7200, time_min=7200).is_flexible
+
+
+def test_job_ids_increment():
+    a = Job(JobSpec(name="a"), 0.0)
+    b = Job(JobSpec(name="b"), 0.0)
+    assert b.job_id == a.job_id + 1
+
+
+def test_job_planned_end_requires_start():
+    job = Job(JobSpec(name="j", time_limit=100), 0.0)
+    assert job.planned_end is None
+    job.start_time = 10.0
+    job.granted_time = 100.0
+    assert job.planned_end == 110.0
+
+
+def test_job_state_helpers():
+    job = Job(JobSpec(name="j"), 0.0)
+    assert job.is_pending and not job.is_running and not job.finished
+    job.state = JobState.RUNNING
+    assert job.is_running
+    job.state = JobState.PREEMPTED
+    assert job.finished
+
+
+# ----------------------------------------------------------------------
+# Partition
+# ----------------------------------------------------------------------
+def test_default_partitions_layout():
+    partitions = default_partitions()
+    assert partitions["main"].priority_tier == 1
+    assert partitions["whisk"].priority_tier == 0
+    assert partitions["whisk"].preemptible
+    assert not partitions["main"].preemptible
+    assert partitions["whisk"].grace_time == 180.0
+    assert partitions["whisk"].max_time == 7200.0
+
+
+def test_partition_max_time_enforced():
+    partition = Partition(name="p", max_time=100.0)
+    partition.validate_time_limit(100.0)
+    with pytest.raises(ValueError):
+        partition.validate_time_limit(101.0)
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        Partition(name="p", priority_tier=-1)
+    with pytest.raises(ValueError):
+        Partition(name="p", grace_time=-1.0)
+    with pytest.raises(ValueError):
+        Partition(name="p", max_time=0.0)

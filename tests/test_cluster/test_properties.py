@@ -1,0 +1,94 @@
+"""Property-based invariants of the cluster scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import JobSpec, JobState, SlurmConfig, SlurmController
+from repro.sim import Environment
+
+job_strategy = st.tuples(
+    st.integers(min_value=1, max_value=4),          # num_nodes
+    st.floats(min_value=60.0, max_value=3600.0),    # time_limit
+    st.floats(min_value=30.0, max_value=4000.0),    # actual_runtime
+    st.floats(min_value=0.0, max_value=2000.0),     # submit offset
+)
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_no_node_ever_double_allocated_and_all_jobs_finish(jobs):
+    env = Environment()
+    controller = SlurmController(env, SlurmConfig(num_nodes=4))
+    submitted = []
+
+    def submitter(env):
+        for num_nodes, limit, actual, offset in sorted(jobs, key=lambda j: j[3]):
+            if offset > env.now:
+                yield env.timeout(offset - env.now)
+            submitted.append(
+                controller.submit(
+                    JobSpec(
+                        name="j",
+                        num_nodes=num_nodes,
+                        time_limit=limit,
+                        actual_runtime=actual,
+                    )
+                )
+            )
+
+    env.process(submitter(env))
+
+    # Invariant checker: a node never hosts two jobs (Node.allocate raises,
+    # so surviving the run is itself the check), and allocation intervals
+    # per node never overlap.
+    env.run(until=100000)
+    assert all(job.finished for job in submitted)
+
+    by_node = {}
+    controller.close_interval_log()
+    for interval in controller.allocation_log:
+        by_node.setdefault(interval.node, []).append((interval.start, interval.end))
+    for intervals in by_node.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, "overlapping allocations on one node"
+
+    # Completion semantics: jobs with actual <= limit complete, others TIMEOUT.
+    for job, (num_nodes, limit, actual, _offset) in zip(
+        submitted, sorted(jobs, key=lambda j: j[3])
+    ):
+        if actual <= limit:
+            assert job.state is JobState.COMPLETED
+            assert job.runtime() is not None
+        else:
+            assert job.state is JobState.TIMEOUT
+
+
+@given(
+    widths=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_fifo_jobs_start_in_priority_then_submit_order(widths, seed):
+    """Within one tier at equal priority, a narrower later job never starts
+    before an earlier job *could* have started (no unfair overtaking of the
+    head-of-line reservation)."""
+    env = Environment()
+    controller = SlurmController(env, SlurmConfig(num_nodes=3))
+    jobs = []
+    for index, width in enumerate(widths):
+        jobs.append(
+            controller.submit(
+                JobSpec(
+                    name=f"j{index}",
+                    num_nodes=width,
+                    time_limit=600.0,
+                    actual_runtime=300.0,
+                )
+            )
+        )
+    env.run(until=50000)
+    assert all(job.state is JobState.COMPLETED for job in jobs)
+    # The head of the queue (first submitted) must be among the first to run.
+    first_start = jobs[0].start_time
+    assert all(job.start_time >= first_start - 1e-9 for job in jobs)

@@ -1,0 +1,109 @@
+"""Tests for the query interface and commercial reservations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import JobSpec, NodeState, QueryLatencyModel, SlurmConfig, SlurmController
+from repro.cluster.query import sinfo
+from repro.cluster.reservations import Reservation, ReservationManager
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------------
+# latency model
+# ----------------------------------------------------------------------
+def test_latency_mixture_matches_measured_bands(rng):
+    model = QueryLatencyModel(rng)
+    samples = np.array([model.sample() for _ in range(20000)])
+    assert np.mean(samples < 1.0) == pytest.approx(0.7643, abs=0.02)
+    assert np.mean((samples >= 1.0) & (samples <= 3.0)) == pytest.approx(0.2326, abs=0.02)
+    assert np.mean(samples > 3.0) == pytest.approx(0.0031, abs=0.005)
+    assert samples.max() <= 10.0
+
+
+# ----------------------------------------------------------------------
+# sinfo
+# ----------------------------------------------------------------------
+def test_sinfo_classifies_states(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=3))
+    controller.submit(JobSpec(name="prime", time_limit=500, actual_runtime=500))
+    controller.submit(JobSpec(name="pilot", partition="whisk", time_limit=240))
+    # Pilot placement happens at the periodic backfill pass (30 s cadence).
+    env.run(until=40)
+    snapshot = sinfo(controller)
+    assert len(snapshot.busy_nodes) == 1
+    assert len(snapshot.whisk_nodes) == 1
+    assert len(snapshot.idle_nodes) == 1
+
+
+def test_sinfo_excludes_requested_nodes(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=3))
+    env.run(until=1)
+    snapshot = sinfo(controller, exclude={"n0000"})
+    assert "n0000" not in snapshot.idle_nodes
+    assert len(snapshot.idle_nodes) == 2
+
+
+def test_sinfo_reports_unavailable(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    controller.nodes["n0001"].set_down()
+    env.run(until=1)
+    snapshot = sinfo(controller)
+    assert snapshot.unavailable_nodes == ("n0001",)
+
+
+# ----------------------------------------------------------------------
+# reservations
+# ----------------------------------------------------------------------
+def test_reservation_validation():
+    with pytest.raises(ValueError):
+        Reservation(name="r", node_names=(), start=0, end=10)
+    with pytest.raises(ValueError):
+        Reservation(name="r", node_names=("n",), start=10, end=10)
+
+
+def test_reservation_blocks_scheduling(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    ReservationManager(
+        controller,
+        [Reservation(name="commercial", node_names=("n0000",), start=0.0, end=500.0)],
+    )
+    job = controller.submit(JobSpec(name="wide", num_nodes=2, time_limit=100, actual_runtime=100))
+    env.run(until=50)
+    # Only one node is schedulable: the 2-node job cannot start.
+    assert job.is_pending
+    env.run(until=1000)
+    # Reservation ended at 500: the job ran afterwards.
+    assert job.start_time >= 500.0
+
+
+def test_reservation_release_returns_node(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=1))
+    ReservationManager(
+        controller,
+        [Reservation(name="r", node_names=("n0000",), start=10.0, end=20.0)],
+    )
+    env.run(until=15)
+    assert controller.nodes["n0000"].state is NodeState.RESERVED
+    env.run(until=30)
+    assert controller.nodes["n0000"].state is NodeState.IDLE
+
+
+def test_reservation_unknown_node_rejected(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=1))
+    with pytest.raises(ValueError):
+        ReservationManager(
+            controller,
+            [Reservation(name="r", node_names=("ghost",), start=0.0, end=10.0)],
+        )
+
+
+def test_reserved_node_names_view(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    manager = ReservationManager(
+        controller,
+        [Reservation(name="r", node_names=("n0001",), start=5.0, end=15.0)],
+    )
+    assert manager.reserved_node_names(0.0) == set()
+    assert manager.reserved_node_names(10.0) == {"n0001"}
+    assert manager.reserved_node_names(20.0) == set()

@@ -1,0 +1,175 @@
+"""Direct tests of job execution and signal delivery (slurmd)."""
+
+import pytest
+
+from repro.cluster.job import Job, JobSignal, JobSpec, JobState
+from repro.cluster.node import Node
+from repro.cluster.slurmd import NodeDaemon, TermSignal
+from repro.sim import Environment, Interrupt
+
+
+def launch(env, spec, granted=None, kill_wait=30.0):
+    daemon = NodeDaemon(env, kill_wait=kill_wait)
+    job = Job(spec, submit_time=env.now)
+    node = Node("n0000")
+    ended = []
+    execution = daemon.execute(
+        job, [node], granted if granted is not None else spec.time_limit,
+        on_end=lambda j: ended.append(j),
+    )
+    return job, node, execution, ended
+
+
+def test_body_result_captured(env):
+    def body(env, job, nodes):
+        yield env.timeout(10)
+        return {"answer": 42}
+
+    job, node, _exec, ended = launch(env, JobSpec(name="j", time_limit=100, body=body))
+    env.run(until=200)
+    assert job.state is JobState.COMPLETED
+    assert job.result == {"answer": 42}
+    assert ended == [job]
+    assert node.available
+
+
+def test_body_exception_means_failed(env):
+    def body(env, job, nodes):
+        yield env.timeout(5)
+        raise RuntimeError("bug in the body")
+
+    job, node, _exec, _ended = launch(env, JobSpec(name="j", time_limit=100, body=body))
+    env.run(until=200)
+    assert job.state is JobState.FAILED
+    assert node.available  # node released despite the failure
+
+
+def test_sigterm_cause_carries_grace_and_reason(env):
+    seen = []
+
+    def body(env, job, nodes):
+        try:
+            yield env.timeout(10**9)
+        except Interrupt as interrupt:
+            seen.append(interrupt.cause)
+            return "done"
+
+    job, _node, execution, _ended = launch(
+        env, JobSpec(name="j", time_limit=7200, body=body)
+    )
+    env.run(until=10)
+    execution.preempt(reason="preempt", grace=90.0)
+    env.run(until=200)
+    cause = seen[0]
+    assert isinstance(cause, TermSignal)
+    assert cause.signal is JobSignal.SIGTERM
+    assert cause.reason == "preempt"
+    assert cause.grace == 90.0
+    assert job.state is JobState.PREEMPTED
+
+
+def test_sigkill_backstop_at_kill_wait(env):
+    """A body ignoring SIGTERM at its limit dies at limit + kill_wait."""
+    phases = []
+
+    def stubborn(env, job, nodes):
+        try:
+            yield env.timeout(10**9)
+        except Interrupt:
+            phases.append(("sigterm", env.now))
+            try:
+                yield env.timeout(10**9)  # ignore it
+            except Interrupt:
+                phases.append(("sigkill", env.now))
+                raise
+
+    job, _node, _exec, _ended = launch(
+        env, JobSpec(name="j", time_limit=100, body=stubborn), kill_wait=30.0
+    )
+    env.run(until=1000)
+    assert job.state is JobState.TIMEOUT
+    assert phases[0] == ("sigterm", pytest.approx(101.0, abs=2))
+    assert phases[1][0] == "sigkill"
+    assert phases[1][1] == pytest.approx(phases[0][1] + 30.0, abs=0.5)
+    assert job.end_time == pytest.approx(phases[1][1], abs=0.5)
+
+
+def test_cancel_uses_kill_wait_grace(env):
+    def body(env, job, nodes):
+        try:
+            yield env.timeout(10**9)
+        except Interrupt:
+            yield env.timeout(2)
+            return "cleaned up"
+
+    job, _node, execution, _ended = launch(
+        env, JobSpec(name="j", time_limit=7200, body=body)
+    )
+    env.run(until=10)
+    execution.cancel()
+    env.run(until=100)
+    assert job.state is JobState.CANCELLED
+    assert job.result == "cleaned up"
+
+
+def test_double_preempt_is_idempotent(env):
+    def body(env, job, nodes):
+        try:
+            yield env.timeout(10**9)
+        except Interrupt:
+            yield env.timeout(5)
+
+    job, _node, execution, _ended = launch(
+        env, JobSpec(name="j", time_limit=7200, body=body)
+    )
+    env.run(until=10)
+    execution.preempt(grace=60.0)
+    execution.preempt(grace=60.0)  # second call: no-op
+    env.run(until=200)
+    assert job.state is JobState.PREEMPTED
+    # Preempted at t=10, drained 5 s: exactly one drain, not two.
+    assert job.end_time == pytest.approx(15.0, abs=2.0)
+
+
+def test_node_fail_skips_sigterm(env):
+    signals = []
+
+    def body(env, job, nodes):
+        try:
+            yield env.timeout(10**9)
+        except Interrupt as interrupt:
+            signals.append(interrupt.cause.signal)
+            raise
+
+    job, node, execution, _ended = launch(
+        env, JobSpec(name="j", time_limit=7200, body=body)
+    )
+    env.run(until=10)
+    execution.node_fail()
+    env.run(until=20)
+    assert signals == [JobSignal.SIGKILL]
+    assert job.state is JobState.NODE_FAIL
+    assert node.available  # release happened; the controller downs it
+
+
+def test_sleep_job_preemption_grace_window(env):
+    """A body-less (sleep) job under eviction ends at min(natural, grace)."""
+    job, _node, execution, _ended = launch(
+        env, JobSpec(name="j", time_limit=7200, actual_runtime=1000)
+    )
+    env.run(until=100)
+    execution.preempt(grace=50.0)
+    env.run(until=400)
+    assert job.state is JobState.PREEMPTED
+    assert job.end_time == pytest.approx(150.0, abs=1.0)
+
+
+def test_sleep_job_finishing_within_grace_completes(env):
+    job, _node, execution, _ended = launch(
+        env, JobSpec(name="j", time_limit=7200, actual_runtime=120)
+    )
+    env.run(until=100)  # 20 s of natural runtime left
+    execution.preempt(grace=50.0)
+    env.run(until=400)
+    assert job.state is JobState.COMPLETED
+    assert job.runtime() == pytest.approx(120.0, abs=1.0)

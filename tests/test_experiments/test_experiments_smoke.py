@@ -1,0 +1,103 @@
+"""Reduced-scale smoke tests of every packaged experiment.
+
+The benchmarks run these at (near-)paper scale; here they run small and
+fast, asserting structure plus the most robust qualitative anchors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_day,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig7,
+    run_table1,
+)
+from repro.experiments.day import DayConfig
+from repro.hpcwhisk.config import SupplyModel
+
+
+def test_fig1_small():
+    result = run_fig1(seed=1, horizon=6 * 3600.0, num_nodes=256)
+    assert result.stats["num_periods"] > 50
+    values, probabilities = result.count_cdf()
+    assert len(values) == len(probabilities)
+    assert result.stats["period_median_s"] > 30.0
+
+
+def test_fig2_small():
+    result = run_fig2(seed=1, count=2000)
+    assert len(result.jobs) == 2000
+    assert 40 <= result.stats["limit_median_min"] <= 85
+    assert result.stats["slack_mean_min"] > 0
+
+
+def test_fig3():
+    result = run_fig3(seed=7)
+    assert 0.5 <= result.ready_coverage <= 1.0
+    assert result.pilots_started >= 2
+    assert "pilot_coverage" in result.stats
+
+
+def test_table1_small():
+    result = run_table1(seed=1, horizon=12 * 3600.0, num_nodes=256)
+    assert set(result.results) == {"A1", "A2", "A3", "B", "C1", "C2"}
+    text = result.render()
+    assert "TABLE I" in text
+    # The qualitative ordering that motivates the paper's choice of A1/C2.
+    assert result.coverage("C2").num_jobs <= result.coverage("B").num_jobs
+    assert result.best_ready_set() in {"C1", "C2", "A1"}
+
+
+def test_day_fib_small():
+    result = run_day(
+        DayConfig(model=SupplyModel.FIB, seed=317, horizon=3600.0,
+                  num_nodes=64, with_load=True, qps=2.0)
+    )
+    assert result.gatling is not None
+    assert result.gatling.total == pytest.approx(7200, abs=10)
+    assert 0 <= result.slurm_used_share <= 1
+    assert result.simulation.total_surface > 0
+    text = result.render()
+    assert "TABLE II" in text
+
+
+def test_day_var_small():
+    result = run_day(
+        DayConfig(model=SupplyModel.VAR, seed=321, horizon=3600.0,
+                  num_nodes=64, with_load=False)
+    )
+    assert result.gatling is None
+    assert "TABLE III" in result.render()
+    # var pilots are flexible jobs.
+    flexible = [
+        j for j in result.config.__dict__.items()
+    ]
+    assert result.config.model is SupplyModel.VAR
+
+
+def test_day_series_shapes():
+    result = run_day(
+        DayConfig(model=SupplyModel.FIB, seed=1, horizon=1800.0,
+                  num_nodes=32, with_load=False)
+    )
+    series = result.series
+    assert len(series["sample_times"]) == len(series["idle_counts"])
+    assert len(series["idle_counts"]) == len(series["whisk_counts"])
+    assert (series["available_counts"] >= series["whisk_counts"]).all()
+
+
+def test_fig7_small():
+    result = run_fig7(seed=1, invocations=5, graph_size=6000)
+    assert {row.function for row in result.rows} == {"bfs", "mst", "pagerank"}
+    for row in result.rows:
+        # Real wall-clock timing of small kernels is noisy: wide tolerance.
+        assert row.advantage == pytest.approx(0.15, abs=0.10)
+
+
+def test_fig7_memory_widening():
+    low = run_fig7(seed=1, invocations=3, graph_size=3000, memory_mb=512.0)
+    for row in low.rows:
+        assert row.advantage > 1.5

@@ -1,0 +1,36 @@
+"""Tests for the long-term pattern experiment (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.longterm import run_longterm
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_longterm(seed=5, weeks=1, num_nodes=256, diurnal_amplitude=0.6)
+
+
+def test_diurnal_pattern_detected(result):
+    """With strong diurnal modulation, the 24 h autocorrelation is clearly
+    positive and the hourly profile has visible peak-to-trough contrast."""
+    assert result.daily_autocorrelation > 0.15
+    assert result.stats["profile_peak_to_trough"] > 1.5
+    assert result.hourly_profile.shape == (24,)
+
+
+def test_adaptive_supply_not_worse(result):
+    """Pattern-aware supply must at least match the static baseline."""
+    assert result.adaptive_ready_share >= result.static_coverage.ready_share - 0.01
+
+
+def test_no_pattern_when_amplitude_zero():
+    flat = run_longterm(seed=5, weeks=1, num_nodes=256, diurnal_amplitude=0.0)
+    assert abs(flat.daily_autocorrelation) < 0.5  # mostly OU noise
+    assert flat.stats["profile_peak_to_trough"] < 3.5
+
+
+def test_render(result):
+    text = result.render()
+    assert "Long-term" in text
+    assert "adaptive_gain" in text

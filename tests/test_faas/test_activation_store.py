@@ -1,0 +1,120 @@
+"""Tests for the activation store query layer."""
+
+import pytest
+
+from repro.faas.activation import ActivationRecord, ActivationStatus
+from repro.faas.activation_store import ActivationStore
+
+
+def record(aid, function, submitted, status, duration=0.1, wait=0.01, init=0.0,
+           fast_laned=False):
+    r = ActivationRecord(
+        activation_id=aid, function=function, submitted_at=submitted, invoker_id="inv-1"
+    )
+    r.status = status
+    r.completed_at = submitted + duration + wait
+    r.duration = duration
+    r.wait_time = wait
+    r.init_time = init
+    r.fast_laned = fast_laned
+    return r
+
+
+@pytest.fixture
+def store():
+    return ActivationStore([
+        record("a1", "f1", 0.0, ActivationStatus.SUCCESS, init=0.5),
+        record("a2", "f1", 10.0, ActivationStatus.SUCCESS),
+        record("a3", "f1", 20.0, ActivationStatus.FAILED),
+        record("a4", "f2", 30.0, ActivationStatus.SUCCESS, fast_laned=True),
+        record("a5", "f2", 40.0, ActivationStatus.TIMEOUT),
+    ])
+
+
+def test_list_newest_first(store):
+    listing = store.list()
+    assert [r.activation_id for r in listing] == ["a5", "a4", "a3", "a2", "a1"]
+
+
+def test_list_filters(store):
+    assert len(store.list(function="f1")) == 3
+    assert len(store.list(status=ActivationStatus.SUCCESS)) == 3
+    assert [r.activation_id for r in store.list(since=10.0, upto=30.0)] == ["a3", "a2"]
+    assert len(store.list(limit=2)) == 2
+
+
+def test_get(store):
+    assert store.get("a3").function == "f1"
+    with pytest.raises(KeyError):
+        store.get("ghost")
+
+
+def test_summaries(store):
+    summary = store.summarize_function("f1")
+    assert summary.invocations == 3
+    assert summary.successes == 2
+    assert summary.failures == 1
+    assert summary.cold_starts == 1
+    assert summary.success_rate == pytest.approx(2 / 3)
+    assert summary.cold_start_rate == pytest.approx(1 / 3)
+    all_summaries = store.summaries()
+    assert set(all_summaries) == {"f1", "f2"}
+    assert all_summaries["f2"].timeouts == 1
+
+
+def test_latency_breakdown(store):
+    breakdown = store.latency_breakdown()
+    assert breakdown["count"] == 3
+    assert breakdown["run"] == pytest.approx(0.1)
+    assert breakdown["wait"] == pytest.approx(0.01)
+
+
+def test_latency_breakdown_empty():
+    assert ActivationStore([]).latency_breakdown()["count"] == 0
+
+
+def test_fast_laned_share(store):
+    assert store.fast_laned_share() == pytest.approx(1 / 5)
+
+
+def test_render(store):
+    text = store.render()
+    assert "f1" in text and "f2" in text
+    assert "cold%" in text
+
+
+def test_store_over_live_controller_run(env):
+    """End-to-end: run a tiny stack and query its ledger."""
+    import numpy as np
+
+    from repro.faas import Broker, Controller, FaaSConfig, FunctionDef, Invoker
+    from repro.sim import Interrupt
+
+    config = FaaSConfig(system_overhead=0.0)
+    broker = Broker(env, publish_latency=0.001)
+    controller = Controller(env, broker, config=config, rng=np.random.default_rng(0))
+    controller.deploy(FunctionDef(name="f", duration=0.02))
+    invoker = Invoker(env, "inv-1", "n0", broker, controller.registry,
+                      config=config, rng=np.random.default_rng(1))
+
+    def lifecycle(env):
+        yield from invoker.register()
+        try:
+            yield from invoker.serve()
+        except Interrupt:
+            pass
+
+    env.process(lifecycle(env))
+
+    def client(env):
+        yield env.timeout(1)
+        for _ in range(5):
+            yield from controller.invoke("f")
+
+    env.process(client(env))
+    env.run(until=30)
+    store = ActivationStore(controller.records)
+    assert len(store) == 5
+    summary = store.summarize_function("f")
+    assert summary.successes == 5
+    assert summary.cold_starts == 1  # first call only

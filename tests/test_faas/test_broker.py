@@ -1,0 +1,110 @@
+"""Unit tests for the message broker."""
+
+import pytest
+
+from repro.faas.broker import Broker, FASTLANE_TOPIC
+from repro.sim import Environment
+
+
+def test_topic_created_on_demand(env):
+    broker = Broker(env)
+    topic = broker.topic("t1")
+    assert broker.topic("t1") is topic
+    assert broker.topic_names() == ["t1"]
+
+
+def test_publish_delivery_latency(env):
+    broker = Broker(env, publish_latency=0.5)
+    received = []
+
+    def consumer(env):
+        message = yield broker.get("t")
+        received.append((message, env.now))
+
+    env.process(consumer(env))
+    broker.publish("t", "hello")
+    env.run()
+    assert received == [("hello", 0.5)]
+
+
+def test_zero_latency_publish_is_synchronous(env):
+    broker = Broker(env, publish_latency=0.0)
+    broker.publish("t", "x")
+    assert broker.depth("t") == 1
+
+
+def test_negative_latency_rejected(env):
+    with pytest.raises(ValueError):
+        Broker(env, publish_latency=-0.1)
+
+
+def test_per_topic_fifo_order(env):
+    broker = Broker(env, publish_latency=0.01)
+    received = []
+
+    def consumer(env):
+        while True:
+            received.append((yield broker.get("t")))
+
+    env.process(consumer(env))
+    for i in range(10):
+        broker.publish("t", i)
+    env.run(until=1)
+    assert received == list(range(10))
+
+
+def test_move_all_is_atomic_and_instant(env):
+    broker = Broker(env, publish_latency=0.01)
+    for i in range(4):
+        broker.publish("src", i)
+    env.run(until=1)
+    moved = broker.move_all("src", FASTLANE_TOPIC)
+    assert moved == 4
+    assert broker.depth("src") == 0
+    assert broker.depth(FASTLANE_TOPIC) == 4
+
+
+def test_move_all_wakes_destination_getter(env):
+    broker = Broker(env, publish_latency=0.0)
+    got = []
+
+    def consumer(env):
+        got.append((yield broker.get("dst")))
+
+    env.process(consumer(env))
+    broker.publish("src", "m")
+    env.run(until=0.1)
+    broker.move_all("src", "dst")
+    env.run(until=0.2)
+    assert got == ["m"]
+
+
+def test_published_counts(env):
+    broker = Broker(env)
+    broker.publish("a", 1)
+    broker.publish("a", 2)
+    broker.publish("b", 3)
+    assert broker.published_counts == {"a": 2, "b": 1}
+
+
+def test_multiple_consumers_share_topic_fifo(env):
+    """The fast lane is multi-consumer: each message goes to exactly one."""
+    broker = Broker(env, publish_latency=0.0)
+    got = {"c1": [], "c2": []}
+
+    def consumer(env, tag):
+        while True:
+            got[tag].append((yield broker.get(FASTLANE_TOPIC)))
+
+    env.process(consumer(env, "c1"))
+    env.process(consumer(env, "c2"))
+
+    def producer(env):
+        for i in range(6):
+            broker.publish(FASTLANE_TOPIC, i)
+            yield env.timeout(1)
+
+    env.process(producer(env))
+    env.run(until=10)
+    assert sorted(got["c1"] + got["c2"]) == list(range(6))
+    assert got["c1"] and got["c2"]  # both actually served

@@ -1,0 +1,115 @@
+"""Tests for the client wrappers: plain, commercial, and Alg. 1."""
+
+import numpy as np
+import pytest
+
+from repro.faas import (
+    ActivationStatus,
+    Alg1Wrapper,
+    Broker,
+    CommercialCloud,
+    Controller,
+    FaaSClient,
+    FaaSConfig,
+    FunctionDef,
+    Invoker,
+)
+from repro.sim import Environment, Interrupt
+
+
+def build(env, with_invoker=False):
+    config = FaaSConfig(system_overhead=0.0, publish_latency=0.001)
+    broker = Broker(env, publish_latency=0.001)
+    controller = Controller(env, broker, config=config, rng=np.random.default_rng(0))
+    controller.deploy(FunctionDef(name="f", duration=0.01))
+    client = FaaSClient(controller)
+    commercial = CommercialCloud(env, np.random.default_rng(1), overhead_median=0.1, overhead_sigma=0.0)
+    wrapper = Alg1Wrapper(client, commercial)
+    if with_invoker:
+        invoker = Invoker(env, "inv-1", "n0", broker, controller.registry,
+                          config=config, rng=np.random.default_rng(2))
+
+        def lifecycle(env):
+            yield from invoker.register()
+            try:
+                yield from invoker.serve()
+            except Interrupt:
+                yield from invoker.drain()
+
+        env.process(lifecycle(env))
+    return client, commercial, wrapper
+
+
+def test_commercial_cloud_always_succeeds(env):
+    _, commercial, _ = build(env)
+
+    def client_proc(env):
+        result = yield from commercial.invoke("whatever", duration=0.5)
+        return result
+
+    proc = env.process(client_proc(env))
+    env.run(until=10)
+    result = proc.value
+    assert result.status is ActivationStatus.SUCCESS
+    assert result.backend == "commercial"
+    # duration × 1.15 slowdown + 0.1 overhead
+    assert result.response_time == pytest.approx(0.5 * 1.15 + 0.1, abs=1e-6)
+
+
+def test_commercial_validation(env, rng):
+    with pytest.raises(ValueError):
+        CommercialCloud(env, rng, slowdown=0.0)
+
+
+def test_wrapper_routes_to_hpc_when_available(env):
+    _, commercial, wrapper = build(env, with_invoker=True)
+
+    def client_proc(env):
+        yield env.timeout(1)
+        result = yield from wrapper.invoke("f", duration=0.01)
+        return result
+
+    proc = env.process(client_proc(env))
+    env.run(until=10)
+    assert proc.value.backend == "hpc-whisk"
+    assert wrapper.stats.hpc_calls == 1
+    assert wrapper.stats.commercial_calls == 0
+
+
+def test_wrapper_falls_back_on_503_and_retries_commercially(env):
+    _, commercial, wrapper = build(env)  # no invoker: always 503
+
+    def client_proc(env):
+        result = yield from wrapper.invoke("f", duration=0.01)
+        return result
+
+    proc = env.process(client_proc(env))
+    env.run(until=10)
+    assert proc.value.status is ActivationStatus.SUCCESS
+    assert proc.value.backend == "commercial"
+    assert wrapper.stats.rejections_503 == 1
+    assert wrapper.stats.commercial_calls == 1
+
+
+def test_wrapper_backoff_window(env):
+    _, commercial, wrapper = build(env)
+
+    def client_proc(env):
+        first = yield from wrapper.invoke("f", duration=0.01)   # 503 → commercial
+        yield env.timeout(30)                                   # within 60 s window
+        second = yield from wrapper.invoke("f", duration=0.01)  # straight commercial
+        yield env.timeout(61)                                   # window expired
+        third = yield from wrapper.invoke("f", duration=0.01)   # probes HPC again
+        return first, second, third
+
+    proc = env.process(client_proc(env))
+    env.run(until=200)
+    assert wrapper.stats.rejections_503 == 2  # first probe and third probe
+    assert wrapper.stats.commercial_calls == 3
+    assert wrapper.stats.hpc_calls == 2
+
+
+def test_wrapper_validation(env):
+    client, commercial, _ = build(env)
+    with pytest.raises(ValueError):
+        Alg1Wrapper(client, commercial, backoff=0.0)

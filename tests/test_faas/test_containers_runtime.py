@@ -1,0 +1,194 @@
+"""Unit tests for container pools and runtimes."""
+
+import numpy as np
+import pytest
+
+from repro.faas.containers import ContainerPool
+from repro.faas.functions import FunctionDef
+from repro.faas.runtime import ContainerRuntime, DockerRuntime, SingularityRuntime
+from repro.sim import Environment, Interrupt
+
+
+class InstantRuntime(ContainerRuntime):
+    """Deterministic runtime for tests."""
+
+    def cold_start_delay(self) -> float:
+        return 1.0
+
+    def warm_start_delay(self) -> float:
+        return 0.0
+
+
+@pytest.fixture
+def pool(env, rng):
+    return ContainerPool(env, InstantRuntime(rng), capacity=2)
+
+
+def run_acquire(env, pool, function):
+    """Helper: acquire once, release immediately, return (container, init)."""
+    result = {}
+
+    def proc(env):
+        container, init = yield from pool.acquire(function)
+        result["container"] = container
+        result["init"] = init
+        pool.release(container)
+
+    env.process(proc(env))
+    env.run()
+    return result
+
+
+def test_first_acquire_is_cold(env, pool):
+    function = FunctionDef(name="f", duration=0.01)
+    result = run_acquire(env, pool, function)
+    assert result["init"] == 1.0
+    assert pool.cold_starts == 1
+
+
+def test_second_acquire_is_warm(env, pool):
+    function = FunctionDef(name="f", duration=0.01)
+    run_acquire(env, pool, function)
+    result = run_acquire(env, pool, function)
+    assert result["init"] == 0.0
+    assert pool.warm_hits == 1
+
+
+def test_different_function_needs_new_container(env, pool):
+    run_acquire(env, pool, FunctionDef(name="f1", duration=0.01))
+    result = run_acquire(env, pool, FunctionDef(name="f2", duration=0.01))
+    assert result["init"] == 1.0
+    assert pool.cold_starts == 2
+    assert pool.size == 2
+
+
+def test_lru_eviction_when_full(env, rng):
+    pool = ContainerPool(env, InstantRuntime(rng), capacity=2)
+    run_acquire(env, pool, FunctionDef(name="f1", duration=0.01))
+    run_acquire(env, pool, FunctionDef(name="f2", duration=0.01))
+    run_acquire(env, pool, FunctionDef(name="f3", duration=0.01))
+    assert pool.evictions == 1
+    assert pool.size == 2
+    functions = {c.function for c in pool._containers}
+    assert "f1" not in functions  # least recently used got evicted
+
+
+def test_acquire_waits_when_all_busy(env, rng):
+    pool = ContainerPool(env, InstantRuntime(rng), capacity=1)
+    function = FunctionDef(name="f", duration=0.01)
+    order = []
+
+    def holder(env):
+        container, _ = yield from pool.acquire(function)
+        order.append(("hold", env.now))
+        yield env.timeout(10)
+        pool.release(container)
+
+    def waiter(env):
+        container, _ = yield from pool.acquire(function)
+        order.append(("wait-served", env.now))
+        pool.release(container)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert order[0][0] == "hold"
+    assert order[1] == ("wait-served", 11.0)
+
+
+def test_interrupted_waiter_withdraws(env, rng):
+    pool = ContainerPool(env, InstantRuntime(rng), capacity=1)
+    function = FunctionDef(name="f", duration=0.01)
+
+    def holder(env):
+        container, _ = yield from pool.acquire(function)
+        yield env.timeout(100)
+        pool.release(container)
+
+    def waiter(env):
+        try:
+            yield from pool.acquire(function)
+        except Interrupt:
+            return "interrupted"
+
+    env.process(holder(env))
+    waiter_proc = env.process(waiter(env))
+
+    def killer(env):
+        yield env.timeout(5)
+        waiter_proc.interrupt()
+
+    env.process(killer(env))
+    env.run()
+    assert waiter_proc.value == "interrupted"
+    assert not pool._waiters
+
+
+def test_interrupted_cold_start_discards_container(env, rng):
+    pool = ContainerPool(env, InstantRuntime(rng), capacity=2)
+    function = FunctionDef(name="f", duration=0.01)
+
+    def starter(env):
+        try:
+            yield from pool.acquire(function)
+        except Interrupt:
+            return "stopped"
+
+    proc = env.process(starter(env))
+
+    def killer(env):
+        yield env.timeout(0.5)  # mid-cold-start
+        proc.interrupt()
+
+    env.process(killer(env))
+    env.run()
+    assert proc.value == "stopped"
+    assert pool.size == 0
+
+
+def test_destroy_all_clears_and_wakes(env, rng):
+    pool = ContainerPool(env, InstantRuntime(rng), capacity=1)
+    function = FunctionDef(name="f", duration=0.01)
+
+    def holder(env):
+        container, _ = yield from pool.acquire(function)
+        yield env.timeout(5)
+        pool.destroy_all()
+
+    env.process(holder(env))
+    env.run()
+    assert pool.size == 0
+
+
+# ----------------------------------------------------------------------
+# runtimes
+# ----------------------------------------------------------------------
+def test_singularity_is_hpc_compatible(rng):
+    assert SingularityRuntime(rng).hpc_compatible()
+    assert not DockerRuntime(rng).hpc_compatible()
+
+
+def test_docker_has_full_isolation(rng):
+    assert DockerRuntime(rng).capabilities.supports_full_isolation
+    assert not SingularityRuntime(rng).capabilities.supports_full_isolation
+
+
+def test_both_run_docker_images(rng):
+    assert DockerRuntime(rng).capabilities.runs_docker_images
+    assert SingularityRuntime(rng).capabilities.runs_docker_images
+
+
+def test_cold_start_distributions(rng):
+    docker = DockerRuntime(rng)
+    singularity = SingularityRuntime(rng)
+    docker_times = np.array([docker.cold_start_delay() for _ in range(2000)])
+    singularity_times = np.array([singularity.cold_start_delay() for _ in range(2000)])
+    # "usually in less than 500 milliseconds" for Docker
+    assert np.median(docker_times) == pytest.approx(0.45, rel=0.1)
+    # Singularity cold starts are modestly slower
+    assert np.median(singularity_times) > np.median(docker_times)
+
+
+def test_runtime_names(rng):
+    assert DockerRuntime(rng).name == "docker"
+    assert SingularityRuntime(rng).name == "singularity"

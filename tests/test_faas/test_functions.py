@@ -1,0 +1,63 @@
+"""Tests for the function registry."""
+
+import numpy as np
+import pytest
+
+from repro.faas.functions import FunctionDef, FunctionRegistry, sleep_functions
+
+
+def test_default_duration_for_empty_def():
+    function = FunctionDef(name="noop")
+    assert function.duration == 0.01
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FunctionDef(name="bad", duration=-1.0)
+    with pytest.raises(ValueError):
+        FunctionDef(name="bad", duration=1.0, memory_mb=0)
+
+
+def test_fixed_duration_sampling(rng):
+    function = FunctionDef(name="f", duration=0.25)
+    assert function.sample_duration(rng) == 0.25
+
+
+def test_sampler_duration(rng):
+    function = FunctionDef(name="f", duration_sampler=lambda r: float(r.uniform(1, 2)))
+    values = {function.sample_duration(rng) for _ in range(10)}
+    assert all(1 <= v <= 2 for v in values)
+    assert len(values) > 1
+
+
+def test_callable_without_duration_raises(rng):
+    function = FunctionDef(name="f", callable=lambda payload: payload)
+    with pytest.raises(RuntimeError):
+        function.sample_duration(rng)
+
+
+def test_registry_deploy_get_remove():
+    registry = FunctionRegistry()
+    function = FunctionDef(name="f", duration=0.01)
+    registry.deploy(function)
+    assert "f" in registry
+    assert registry.get("f") is function
+    registry.remove("f")
+    assert "f" not in registry
+    with pytest.raises(KeyError):
+        registry.get("f")
+
+
+def test_registry_redeploy_overwrites():
+    registry = FunctionRegistry()
+    registry.deploy(FunctionDef(name="f", duration=0.01))
+    registry.deploy(FunctionDef(name="f", duration=0.5))
+    assert registry.get("f").duration == 0.5
+    assert len(registry) == 1
+
+
+def test_sleep_functions_shape():
+    functions = sleep_functions(100)
+    assert len(functions) == 100
+    assert len({f.name for f in functions}) == 100
+    assert all(f.duration == 0.010 for f in functions)

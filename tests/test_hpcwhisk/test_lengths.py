@@ -1,0 +1,70 @@
+"""Tests for the Table I job-length sets."""
+
+import pytest
+
+from repro.hpcwhisk.lengths import (
+    JOB_LENGTH_SETS,
+    JobLengthSet,
+    SET_A1,
+    SET_B,
+    SET_C1,
+    SET_C2,
+)
+
+
+def test_paper_sets_are_exact():
+    assert SET_A1.minutes == (2, 4, 6, 8, 14, 22, 34, 56, 90)
+    assert JOB_LENGTH_SETS["A2"].minutes == (2, 4, 8, 12, 20, 34, 54, 88)
+    assert JOB_LENGTH_SETS["A3"].minutes == (2, 4, 6, 10, 16, 26, 42, 68, 110)
+    assert SET_B.minutes == (2, 4, 8, 16, 32, 64)
+    assert SET_C1.minutes == tuple(range(2, 21, 2))
+    assert SET_C2.minutes == tuple(range(2, 121, 2))
+
+
+def test_all_sets_respect_slot_and_window():
+    for name, length_set in JOB_LENGTH_SETS.items():
+        assert all(m % 2 == 0 for m in length_set.minutes), name
+        assert length_set.shortest >= 2
+        assert length_set.longest <= 120
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        JobLengthSet("bad", ())
+    with pytest.raises(ValueError):
+        JobLengthSet("bad", (3,))  # odd
+    with pytest.raises(ValueError):
+        JobLengthSet("bad", (4, 2))  # not increasing
+    with pytest.raises(ValueError):
+        JobLengthSet("bad", (2, 2))  # duplicate
+
+
+def test_seconds_conversion():
+    assert SET_B.seconds == (120.0, 240.0, 480.0, 960.0, 1920.0, 3840.0)
+
+
+def test_greedy_pack_paper_example():
+    """The paper: a 21-minute window packs A1 as [14, 6], leaving 1 min."""
+    assert SET_A1.greedy_pack(21) == [14, 6]
+
+
+def test_greedy_pack_exponential_fragmentation():
+    """The paper's set-B pathology: a 62-minute window takes 5 set-B jobs
+    but only 3 A1 jobs."""
+    assert len(SET_B.greedy_pack(62)) == 5
+    # "only 2 or 3 jobs from sets A1-A3"
+    assert len(SET_A1.greedy_pack(62)) in (2, 3)
+
+
+def test_greedy_pack_small_windows():
+    assert SET_A1.greedy_pack(1.9) == []
+    assert SET_A1.greedy_pack(2) == [2]
+
+
+def test_even_windows_fully_tiled_by_every_set():
+    """Any even window in [2, 120] is exactly tiled (the mechanism behind
+    Table I's identical 'not used' column across sets)."""
+    for name, length_set in JOB_LENGTH_SETS.items():
+        for window in range(2, 121, 2):
+            packed = length_set.greedy_pack(window)
+            assert sum(packed) == window, (name, window)

@@ -1,0 +1,67 @@
+"""Tests for the length-set optimizer (Sec. IV-B machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.hpcwhisk.optimizer import (
+    LengthSetOptimizer,
+    arithmetic_family,
+    default_candidates,
+    fibonacci_family,
+    geometric_family,
+)
+from repro.workloads.idleness import IdlenessTraceGenerator
+
+
+def test_fibonacci_family_shapes():
+    sets = fibonacci_family()
+    assert len(sets) == 3
+    fib24 = next(s for s in sets if s.name == "fib(2,4)")
+    # 2,4,6,10,16,26,42,68,110 — floored-even Fibonacci from (2,4)
+    assert fib24.minutes == (2, 4, 6, 10, 16, 26, 42, 68, 110)
+    for length_set in sets:
+        assert length_set.longest <= 120
+
+
+def test_geometric_family_shapes():
+    sets = geometric_family()
+    geo2 = next(s for s in sets if s.name == "geo(2)")
+    assert geo2.minutes == (2, 4, 8, 16, 32, 64)  # the paper's set B!
+
+
+def test_arithmetic_family_shapes():
+    sets = arithmetic_family()
+    ari2 = next(s for s in sets if s.name == "ari(2)")
+    assert ari2.minutes == tuple(range(2, 121, 2))  # the paper's set C2!
+    with pytest.raises(ValueError):
+        arithmetic_family(steps=(3,))
+
+
+def test_default_candidates_nonempty_unique_names():
+    candidates = default_candidates()
+    names = [c.name for c in candidates]
+    assert len(names) == len(set(names))
+    assert len(candidates) >= 8
+
+
+def test_optimizer_ranks_by_ready_share():
+    rng = np.random.default_rng(3)
+    trace = IdlenessTraceGenerator(rng, num_nodes=256).generate(24 * 3600.0)
+    optimizer = LengthSetOptimizer()
+    result = optimizer.optimize(trace)
+    shares = [coverage.ready_share for _s, coverage in result.ranking]
+    assert shares == sorted(shares, reverse=True)
+    assert result.best.name == result.ranking[0][0].name
+    text = result.render()
+    assert result.best.name in text
+
+
+def test_optimizer_finds_fine_sets_beat_coarse():
+    """On any realistic trace, the finest arithmetic set (C2 shape) must
+    rank above the coarsest geometric one (set-B shape) — the Table I
+    ordering."""
+    rng = np.random.default_rng(7)
+    trace = IdlenessTraceGenerator(rng, num_nodes=256).generate(24 * 3600.0)
+    result = LengthSetOptimizer().optimize(trace)
+    names = [s.name for s, _c in result.ranking]
+    assert names.index("ari(2)") < names.index("geo(3)")

@@ -1,0 +1,174 @@
+"""Tests for pilot bodies, job managers and system assembly."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import JobSpec, JobState, SlurmConfig
+from repro.cluster.backfill import SchedulerConfig
+from repro.faas import FunctionDef
+from repro.faas.config import FaaSConfig
+from repro.hpcwhisk import (
+    HPCWhiskConfig,
+    SET_A1,
+    SupplyModel,
+    build_system,
+)
+from repro.hpcwhisk.lengths import JobLengthSet
+from repro.sim import Environment
+
+
+def quick_config(model=SupplyModel.FIB, **kwargs):
+    defaults = dict(
+        supply_model=model,
+        length_set=JobLengthSet("tiny", (2, 4)),
+        queue_per_length=2,
+        var_queue_depth=10,
+        replenish_interval=5.0,
+        faas=FaaSConfig(system_overhead=0.0),
+    )
+    defaults.update(kwargs)
+    return HPCWhiskConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# config validation
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HPCWhiskConfig(queue_per_length=0)
+    with pytest.raises(ValueError):
+        HPCWhiskConfig(replenish_interval=0)
+    with pytest.raises(ValueError):
+        HPCWhiskConfig(var_time_min=0)
+    with pytest.raises(ValueError):
+        HPCWhiskConfig(var_time_min=8000, var_time_max=7200)
+    with pytest.raises(ValueError):
+        HPCWhiskConfig(max_queued=0)
+
+
+# ----------------------------------------------------------------------
+# fib manager
+# ----------------------------------------------------------------------
+def test_fib_manager_maintains_queue_depths():
+    system = build_system(quick_config(), SlurmConfig(num_nodes=1), seed=3)
+    system.env.run(until=60)
+    pending = system.slurm.pending_jobs(partition="whisk")
+    by_length = {}
+    for job in pending:
+        by_length.setdefault(job.spec.time_limit, 0)
+        by_length[job.spec.time_limit] += 1
+    # Node count is 1: at most one pilot running; queue replenished to ~2/len.
+    assert set(by_length) <= {120.0, 240.0}
+    assert all(count <= 2 for count in by_length.values())
+    assert sum(by_length.values()) >= 2
+
+
+def test_fib_priority_proportional_to_length():
+    system = build_system(quick_config(), SlurmConfig(num_nodes=1), seed=3)
+    system.env.run(until=30)
+    for job in system.slurm.pending_jobs(partition="whisk"):
+        assert job.spec.priority == job.spec.time_limit
+
+
+def test_fib_manager_respects_max_queued():
+    config = quick_config(
+        length_set=SET_A1, queue_per_length=50, max_queued=100
+    )
+    system = build_system(config, SlurmConfig(num_nodes=1), seed=3)
+    system.env.run(until=120)
+    assert len(system.slurm.pending_jobs(partition="whisk")) <= 100
+
+
+# ----------------------------------------------------------------------
+# var manager
+# ----------------------------------------------------------------------
+def test_var_manager_submits_flexible_jobs():
+    system = build_system(quick_config(model=SupplyModel.VAR), SlurmConfig(num_nodes=1), seed=3)
+    system.env.run(until=60)
+    pending = system.slurm.pending_jobs(partition="whisk")
+    assert pending
+    for job in pending:
+        assert job.spec.is_flexible
+        assert job.spec.time_min == 120.0
+        assert job.spec.time_limit == 7200.0
+
+
+def test_var_manager_queue_depth():
+    config = quick_config(model=SupplyModel.VAR, var_queue_depth=10)
+    system = build_system(config, SlurmConfig(num_nodes=1), seed=3)
+    system.env.run(until=60)
+    assert len(system.slurm.pending_jobs(partition="whisk")) <= 10
+
+
+def test_manager_stop_halts_replenishment():
+    system = build_system(quick_config(), SlurmConfig(num_nodes=1), seed=3)
+    system.env.run(until=30)
+    system.manager.stop()
+    rounds = system.manager.stats.replenish_rounds
+    system.env.run(until=120)
+    assert system.manager.stats.replenish_rounds == rounds
+
+
+# ----------------------------------------------------------------------
+# pilot lifecycle end-to-end
+# ----------------------------------------------------------------------
+def test_pilot_becomes_healthy_and_serves():
+    system = build_system(quick_config(), SlurmConfig(num_nodes=1), seed=3)
+    system.controller.deploy(FunctionDef(name="f", duration=0.01))
+    env = system.env
+    results = []
+
+    def client(env):
+        yield env.timeout(120)  # pilot placed at bf pass + warm-up
+        result = yield from system.client.invoke("f")
+        results.append(result)
+
+    env.process(client(env))
+    env.run(until=240)
+    assert results and results[0].ok
+    timelines = system.pilot_timelines
+    assert timelines[0].healthy_at is not None
+    assert timelines[0].warmup_duration > 5.0  # warm-up model applied
+
+
+def test_pilot_timeout_drains_and_deregisters():
+    system = build_system(quick_config(), SlurmConfig(num_nodes=1), seed=3)
+    env = system.env
+    env.run(until=600)  # longest tiny pilot is 4 min, placed by ~30 s
+    done = [t for t in system.pilot_timelines if t.finished_at is not None]
+    assert done
+    timeline = done[0]
+    assert timeline.end_reason == "timeout"
+    assert timeline.sigterm_at is not None
+    # Drain completed well before the 30 s KillWait.
+    assert timeline.finished_at - timeline.sigterm_at < 10.0
+    assert timeline.stats is not None
+    assert timeline.stats.deregistered_at is not None
+
+
+def test_pilot_preempted_by_prime_job():
+    system = build_system(quick_config(length_set=JobLengthSet("long", (90,)),
+                                       queue_per_length=1),
+                          SlurmConfig(num_nodes=1), seed=3)
+    env = system.env
+    env.run(until=120)  # pilot running
+    assert system.slurm.nodes_running_partition("whisk")
+    prime = system.slurm.submit(
+        JobSpec(name="prime", time_limit=600, actual_runtime=60)
+    )
+    env.run(until=1200)
+    assert prime.state is JobState.COMPLETED
+    preempted = [t for t in system.pilot_timelines if t.end_reason == "preempt"]
+    assert preempted
+    # The prime job was delayed only by the drain, not by the grace period.
+    assert prime.start_time is not None
+
+
+def test_seed_reproducibility():
+    a = build_system(quick_config(), SlurmConfig(num_nodes=2), seed=11)
+    a.env.run(until=900)
+    b = build_system(quick_config(), SlurmConfig(num_nodes=2), seed=11)
+    b.env.run(until=900)
+    ta = [(t.job_started_at, t.healthy_at, t.finished_at) for t in a.pilot_timelines]
+    tb = [(t.job_started_at, t.healthy_at, t.finished_at) for t in b.pilot_timelines]
+    assert ta == tb

@@ -1,0 +1,127 @@
+"""Full-stack integration: cluster + HPC-Whisk + FaaS + load, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SlurmConfig
+from repro.faas import ActivationStatus, FunctionDef
+from repro.faas.config import FaaSConfig
+from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
+from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
+from repro.workloads.gatling import GatlingClient
+from repro.workloads.hpc_trace import trace_to_prime_jobs
+from repro.workloads.idleness import IdlenessTraceGenerator
+
+
+HORIZON = 3600.0
+
+
+def build_loaded_system(model=SupplyModel.FIB, seed=4, num_nodes=24, qps=4.0,
+                        outage_share=0.0, min_intensity=4.0):
+    config = HPCWhiskConfig(supply_model=model, length_set=SET_A1)
+    system = build_system(config, SlurmConfig(num_nodes=num_nodes), seed=seed)
+    trace = IdlenessTraceGenerator(
+        system.streams.stream("trace"),
+        num_nodes=num_nodes,
+        outage_share=outage_share,
+        min_intensity=min_intensity,
+    ).generate(HORIZON)
+    trace_to_prime_jobs(trace, system.streams.stream("lead")).submit_all(
+        system.env, system.slurm
+    )
+    functions = [FunctionDef(name=f"f{i:02d}", duration=0.01) for i in range(20)]
+    for function in functions:
+        system.controller.deploy(function)
+    client = GatlingClient(
+        system.env, system.client, [f.name for f in functions],
+        rate_per_second=qps, rng=system.streams.stream("gatling"),
+    )
+    client.start(HORIZON)
+    return system, client, trace
+
+
+@pytest.fixture(scope="module")
+def fib_run():
+    system, client, trace = build_loaded_system()
+    system.run(until=HORIZON + 120.0)
+    return system, client, trace
+
+
+def test_load_is_served(fib_run):
+    _system, client, _trace = fib_run
+    report = client.report
+    assert report.total == pytest.approx(4 * HORIZON, abs=5)
+    assert report.invoked_share > 0.85
+    assert report.success_share_of_invoked > 0.95
+
+
+def test_pilots_cycle_through_lifecycle(fib_run):
+    system, _client, _trace = fib_run
+    timelines = [t for t in system.pilot_timelines if t.finished_at is not None]
+    assert timelines, "no pilot completed a lifecycle"
+    reasons = {t.end_reason for t in timelines}
+    assert "timeout" in reasons or "preempt" in reasons
+    for timeline in timelines:
+        if timeline.healthy_at is None:
+            continue
+        assert timeline.job_started_at <= timeline.healthy_at
+        if timeline.sigterm_at is not None:
+            assert timeline.healthy_at <= timeline.sigterm_at + 1e-9
+            assert timeline.sigterm_at <= timeline.finished_at + 1e-9
+
+
+def test_no_ghost_invokers_after_run(fib_run):
+    """Every registered invoker whose pilot ended must be GONE."""
+    system, _client, _trace = fib_run
+    from repro.faas.controller import InvokerStatus
+
+    finished_ids = {
+        t.invoker_id for t in system.pilot_timelines if t.finished_at is not None
+    }
+    for invoker_id, record in system.controller.invokers.items():
+        if invoker_id in finished_ids:
+            assert record.status is InvokerStatus.GONE, invoker_id
+
+
+def test_activation_ledger_consistent(fib_run):
+    system, client, _trace = fib_run
+    records = system.controller.records
+    finished = [r for r in records if r.finished]
+    # Every accepted request eventually resolved (success/failed/timeout).
+    assert len(finished) == len(records)
+    ok = sum(1 for r in records if r.status is ActivationStatus.SUCCESS)
+    assert ok > 0
+    for record in finished:
+        assert record.completed_at >= record.submitted_at
+
+
+def test_prime_jobs_unharmed(fib_run):
+    """Prime-trace jobs all completed; none preempted or failed."""
+    system, _client, _trace = fib_run
+    from repro.cluster.job import JobState
+
+    prime = [j for j in system.slurm.completed if j.spec.partition == "main"]
+    assert prime
+    assert all(j.state in (JobState.COMPLETED, JobState.TIMEOUT) for j in prime)
+
+
+def test_whisk_surface_only_on_idle_windows(fib_run):
+    """Pilots must never run while the trace says the node is busy with a
+    prime job (modulo drain overhang bounded by the grace period)."""
+    system, _client, trace = fib_run
+    system.slurm.close_interval_log()
+    idle_by_node = {}
+    for period in trace.periods:
+        idle_by_node.setdefault(period.node, []).append((period.start, period.end))
+    grace = 180.0
+    for interval in system.slurm.allocation_log:
+        if interval.partition != "whisk":
+            continue
+        if interval.start >= HORIZON:
+            continue  # after the trace ends the whole cluster is idle
+        end = min(interval.end if interval.end is not None else HORIZON, HORIZON)
+        inside = any(
+            s - 5.0 <= interval.start and end <= e + grace + 35.0
+            for s, e in idle_by_node.get(interval.node, [])
+        )
+        assert inside, (interval.node, interval.start, end)

@@ -1,0 +1,70 @@
+"""Tests for the periodic monitor."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.sim.monitor import Monitor
+
+
+def test_monitor_samples_on_cadence(env):
+    state = {"v": 0.0}
+
+    def driver(env):
+        while True:
+            yield env.timeout(1.0)
+            state["v"] += 1.0
+
+    env.process(driver(env))
+    monitor = Monitor(env, interval=10.0).probe("v", lambda: state["v"]).start()
+    env.run(until=95.0)
+    times, values = monitor.series("v")
+    assert len(times) == 10  # t = 0, 10, ..., 90
+    assert times[1] - times[0] == 10.0
+    assert values[0] == 0.0
+    assert values[-1] == pytest.approx(90.0, abs=1.0)
+
+
+def test_monitor_multiple_probes_aligned(env):
+    monitor = (
+        Monitor(env, interval=5.0)
+        .probe("t", lambda: env.now)
+        .probe("2t", lambda: 2 * env.now)
+        .start()
+    )
+    env.run(until=21.0)
+    _, a = monitor.series("t")
+    _, b = monitor.series("2t")
+    assert np.allclose(b, 2 * a)
+    assert len(monitor) == 5
+
+
+def test_monitor_stop(env):
+    monitor = Monitor(env, interval=1.0).probe("x", lambda: 1.0).start()
+    env.run(until=5.5)
+    monitor.stop()
+    env.run(until=20.0)
+    assert len(monitor) == 6
+
+
+def test_monitor_mean(env):
+    values = iter([1.0, 3.0, 5.0, 100.0])
+    monitor = Monitor(env, interval=1.0).probe("x", lambda: next(values)).start()
+    env.run(until=2.5)
+    assert monitor.mean("x") == pytest.approx(3.0)
+
+
+def test_monitor_validation(env):
+    with pytest.raises(ValueError):
+        Monitor(env, interval=0.0)
+    monitor = Monitor(env)
+    with pytest.raises(RuntimeError):
+        monitor.start()  # no probes
+    monitor.probe("x", lambda: 0.0).start()
+    with pytest.raises(RuntimeError):
+        monitor.probe("y", lambda: 0.0)  # after start
+    with pytest.raises(RuntimeError):
+        monitor.start()  # twice
+    with pytest.raises(KeyError):
+        monitor.series("nope")
+    assert np.isnan(monitor.mean("x"))  # no samples yet (env not run)

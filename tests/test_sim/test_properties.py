@@ -1,0 +1,128 @@
+"""Property-based tests of the DES kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_clock_is_monotonic_and_events_fire_at_their_time(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        t = env.timeout(delay, value=delay)
+        t.callbacks.append(lambda e: fired.append((env.now, e.value)))
+    env.run()
+    # Every event fired exactly at its scheduled delay…
+    assert sorted(v for _, v in fired) == sorted(delays)
+    for now, value in fired:
+        assert now == value
+    # …and the processing order was chronological.
+    times = [now for now, _ in fired]
+    assert times == sorted(times)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0), min_size=2, max_size=20
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_equal_time_events_fire_in_creation_order(delays):
+    env = Environment()
+    order = []
+    shared_delay = 5.0
+    for index in range(len(delays)):
+        t = env.timeout(shared_delay, value=index)
+        t.callbacks.append(lambda e: order.append(e.value))
+    env.run()
+    assert order == sorted(order)
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_store_is_fifo_for_any_item_sequence(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        for _ in range(len(items)):
+            received.append((yield store.get()))
+
+    def producer(env):
+        for item in items:
+            store.put(item)
+            yield env.timeout(0.1)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert received == items
+
+
+@given(
+    n_consumers=st.integers(min_value=1, max_value=10),
+    n_items=st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_store_conservation_no_item_lost_or_duplicated(n_consumers, n_items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        while True:
+            received.append((yield store.get()))
+
+    for _ in range(n_consumers):
+        env.process(consumer(env))
+
+    def producer(env):
+        for i in range(n_items):
+            store.put(i)
+            if i % 3 == 0:
+                yield env.timeout(1)
+        yield env.timeout(0)
+
+    env.process(producer(env))
+    env.run(until=1000)
+    assert sorted(received) == list(range(n_items))
+
+
+@given(
+    work=st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=50.0),  # hold time
+            st.floats(min_value=0.0, max_value=50.0),  # arrival offset
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_resource_never_exceeds_capacity(work, capacity):
+    from repro.sim import Resource
+
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    concurrency = [0]
+    peak = [0]
+
+    def user(env, arrival, hold):
+        yield env.timeout(arrival)
+        with resource.request() as request:
+            yield request
+            concurrency[0] += 1
+            peak[0] = max(peak[0], concurrency[0])
+            yield env.timeout(hold)
+            concurrency[0] -= 1
+
+    for hold, arrival in work:
+        env.process(user(env, arrival, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert concurrency[0] == 0

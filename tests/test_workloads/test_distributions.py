@@ -1,0 +1,112 @@
+"""Calibration tests: every model must hit its paper statistic."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    IdleIntensityModel,
+    IdlePeriodLengthModel,
+    JobPopulationModel,
+    LeadTimeModel,
+    LognormalSpec,
+    OutageDurationModel,
+    WarmupModel,
+)
+
+
+def test_lognormal_spec_median_and_mean(rng):
+    spec = LognormalSpec(median=100.0, sigma=0.5)
+    samples = spec.sample(rng, size=200_000)
+    assert np.median(samples) == pytest.approx(100.0, rel=0.02)
+    assert samples.mean() == pytest.approx(spec.mean, rel=0.02)
+
+
+def test_lognormal_quantile_matches_empirical(rng):
+    spec = LognormalSpec(median=60.0, sigma=1.0)
+    samples = spec.sample(rng, size=200_000)
+    assert np.percentile(samples, 75) == pytest.approx(spec.quantile(0.75), rel=0.03)
+
+
+def test_warmup_model_matches_paper(rng):
+    """Median 12.48 s, p95 26.50 s (Sec. IV-B)."""
+    model = WarmupModel(rng)
+    samples = np.array([model.sample() for _ in range(50_000)])
+    assert np.median(samples) == pytest.approx(12.48, rel=0.03)
+    assert np.percentile(samples, 95) == pytest.approx(26.50, rel=0.05)
+    assert model.FLAT_SIMULATION_COST == 20.0
+
+
+def test_outage_model_matches_paper(rng):
+    """Median ≈ 1 min, mean ≈ 3 min (Sec. III-E)."""
+    model = OutageDurationModel(rng)
+    samples = np.array([model.sample() for _ in range(50_000)])
+    assert np.median(samples) == pytest.approx(60.0, rel=0.05)
+    assert samples.mean() == pytest.approx(180.0, rel=0.10)
+
+
+def test_outage_on_duration_share():
+    model = OutageDurationModel(np.random.default_rng(0))
+    share = 0.10
+    on_mean = model.on_duration_mean(share)
+    implied = model.SPEC.mean / (model.SPEC.mean + on_mean)
+    assert implied == pytest.approx(share, rel=1e-9)
+    assert model.on_duration_mean(0.0) == float("inf")
+
+
+def test_intensity_model_stationary_marginal(rng):
+    model = IdleIntensityModel(rng)
+    values = []
+    for _ in range(20_000):
+        values.append(model.advance(model.STEP * 10))  # ~decorrelated draws
+    values = np.array(values)
+    assert np.median(values) == pytest.approx(5.2, rel=0.15)
+    assert values.max() <= model.CLIP_MAX + 1e-9
+
+
+def test_intensity_mean_reversion(rng):
+    model = IdleIntensityModel(rng)
+    model._x = 10.0  # extreme state
+    model.advance(model.TAU * 20)
+    assert model._x < 6.0  # pulled back toward ln 5.2 ≈ 1.65
+
+
+def test_job_population_limit_anchors(rng):
+    """Median declared 60 min; ≥95% declare at least 15 min (Fig 2)."""
+    model = JobPopulationModel(rng)
+    limits = np.array([model.sample_limit() for _ in range(50_000)])
+    assert np.median(limits) == pytest.approx(3600.0, rel=0.05)
+    assert np.mean(limits >= 900.0) >= 0.93
+    assert limits.min() >= model.LIMIT_MIN
+    assert limits.max() <= model.LIMIT_MAX
+
+
+def test_job_population_runtime_below_limit(rng):
+    model = JobPopulationModel(rng)
+    for _ in range(1000):
+        runtime, limit = model.sample_runtime_and_limit()
+        assert runtime <= limit + 1e-9 or runtime == 30.0  # floor case
+
+
+def test_job_population_inverse_limit(rng):
+    model = JobPopulationModel(rng)
+    for runtime in (60.0, 600.0, 7200.0):
+        for _ in range(100):
+            limit = model.limit_for_runtime(runtime)
+            assert limit >= runtime
+            assert limit <= model.LIMIT_MAX
+
+
+def test_job_width_distribution(rng):
+    model = JobPopulationModel(rng)
+    widths = np.array([model.sample_width() for _ in range(20_000)])
+    assert np.mean(widths == 1) == pytest.approx(0.45, abs=0.02)
+    assert widths.max() <= 512
+
+
+def test_lead_time_model(rng):
+    model = LeadTimeModel(rng)
+    samples = np.array([model.sample() for _ in range(50_000)])
+    assert np.mean(samples == 0.0) == pytest.approx(model.ZERO_PROB, abs=0.01)
+    assert samples.max() <= model.MAX
+    nonzero = samples[samples > 0]
+    assert nonzero.mean() == pytest.approx(model.MEAN, rel=0.15)

@@ -1,0 +1,189 @@
+"""Tests for FaaS workload models, SeBS kernels and the Lambda model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.faas_trace import AzureDurationModel, PoissonInvocationProcess
+from repro.workloads.lambda_model import LambdaPerformanceModel
+from repro.workloads.sebs import (
+    bfs,
+    build_sebs_functions,
+    edges_to_adjacency,
+    edges_to_csr,
+    generate_graph,
+    mst,
+    pagerank,
+    time_invocations,
+)
+
+
+# ----------------------------------------------------------------------
+# Azure durations
+# ----------------------------------------------------------------------
+def test_azure_quantiles(rng):
+    """50% under 3 s, 90% under 60 s (Shahrad et al.)."""
+    model = AzureDurationModel(rng)
+    samples = model.sample(size=100_000)
+    assert np.mean(samples <= 3.0) == pytest.approx(0.50, abs=0.02)
+    assert np.mean(samples <= 60.0) == pytest.approx(0.90, abs=0.02)
+    assert samples.min() >= model.MIN
+    assert samples.max() <= model.MAX
+
+
+def test_poisson_process_rate(rng):
+    process = PoissonInvocationProcess(rng, ["f1", "f2"], rate_per_second=5.0)
+    invocations = process.generate(3600.0)
+    assert len(invocations) == pytest.approx(5.0 * 3600, rel=0.05)
+    times = [i.time for i in invocations]
+    assert times == sorted(times)
+
+
+def test_poisson_process_zipf_popularity(rng):
+    functions = [f"f{i}" for i in range(20)]
+    process = PoissonInvocationProcess(rng, functions, rate_per_second=50.0)
+    invocations = process.generate(3600.0)
+    counts = {}
+    for invocation in invocations:
+        counts[invocation.function] = counts.get(invocation.function, 0) + 1
+    assert counts["f0"] > counts.get("f19", 0) * 2
+
+
+def test_poisson_process_validation(rng):
+    with pytest.raises(ValueError):
+        PoissonInvocationProcess(rng, ["f"], rate_per_second=0.0)
+    with pytest.raises(ValueError):
+        PoissonInvocationProcess(rng, [], rate_per_second=1.0)
+
+
+# ----------------------------------------------------------------------
+# SeBS kernels (correctness)
+# ----------------------------------------------------------------------
+def test_generate_graph_shape(rng):
+    us, vs = generate_graph(500, rng, attachment=5)
+    assert len(us) == len(vs) == (500 - 5) * 5
+    assert us.max() < 500 and vs.max() < 500
+
+
+def test_generate_graph_validation(rng):
+    with pytest.raises(ValueError):
+        generate_graph(5, rng, attachment=10)
+
+
+def test_bfs_visits_connected_graph(rng):
+    us, vs = generate_graph(1000, rng, attachment=3)
+    adjacency = edges_to_adjacency(1000, us, vs)
+    result = bfs(adjacency)
+    # BA graphs are connected by construction.
+    assert result["visited"] == 1000
+    assert result["levels"] >= 1
+
+
+def test_bfs_disconnected_component():
+    adjacency = [[1], [0], []]  # vertex 2 isolated
+    result = bfs(adjacency, source=0)
+    assert result["visited"] == 2
+
+
+def test_mst_tree_properties(rng):
+    size = 300
+    us, vs = generate_graph(size, rng, attachment=4)
+    weights = rng.random(len(us))
+    result = mst(size, us, vs, weights)
+    assert result["edges"] == size - 1  # spanning tree of a connected graph
+    assert result["weight"] > 0
+
+
+def test_mst_matches_networkx(rng):
+    import networkx as nx
+
+    size = 120
+    us, vs = generate_graph(size, rng, attachment=3)
+    weights = rng.random(len(us))
+    result = mst(size, us, vs, weights)
+    graph = nx.Graph()
+    for u, v, w in zip(us, vs, weights):
+        if graph.has_edge(int(u), int(v)):
+            if w < graph[int(u)][int(v)]["weight"]:
+                graph[int(u)][int(v)]["weight"] = w
+        else:
+            graph.add_edge(int(u), int(v), weight=w)
+    expected = nx.minimum_spanning_tree(graph, algorithm="kruskal")
+    expected_weight = sum(d["weight"] for _u, _v, d in expected.edges(data=True))
+    assert result["weight"] == pytest.approx(expected_weight, rel=1e-9)
+
+
+def test_pagerank_is_probability_vector(rng):
+    size = 500
+    us, vs = generate_graph(size, rng, attachment=4)
+    matrix = edges_to_csr(size, us, vs)
+    rank = pagerank(matrix)
+    assert rank.shape == (size,)
+    assert rank.sum() == pytest.approx(1.0, rel=1e-6)
+    assert (rank > 0).all()
+
+
+def test_pagerank_matches_networkx(rng):
+    import networkx as nx
+
+    size = 200
+    us, vs = generate_graph(size, rng, attachment=3)
+    matrix = edges_to_csr(size, us, vs)
+    ours = pagerank(matrix, damping=0.85, iterations=100)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(size))
+    graph.add_edges_from(zip(us.tolist(), vs.tolist()))
+    reference = nx.pagerank(graph, alpha=0.85, max_iter=200, tol=1e-12)
+    reference_vector = np.array([reference[i] for i in range(size)])
+    assert np.allclose(ours, reference_vector, atol=1e-6)
+
+
+def test_build_and_time_functions(rng):
+    functions = build_sebs_functions(rng, graph_size=2000)
+    assert [f.name for f in functions] == ["bfs", "mst", "pagerank"]
+    times = time_invocations(functions[0], count=3)
+    assert times.shape == (3,)
+    assert (times > 0).all()
+
+
+# ----------------------------------------------------------------------
+# Lambda model
+# ----------------------------------------------------------------------
+def test_lambda_cpu_share():
+    model = LambdaPerformanceModel()
+    assert model.cpu_share(1792.0) == 1.0
+    assert model.cpu_share(2048.0) == 1.0
+    assert model.cpu_share(896.0) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        model.cpu_share(0)
+
+
+def test_lambda_15_percent_slowdown_at_2gb(rng):
+    model = LambdaPerformanceModel(jitter_sigma=0.0)
+    assert model.execution_time(1.0, 2048.0, rng) == pytest.approx(1.15)
+
+
+def test_lambda_memory_scaling(rng):
+    model = LambdaPerformanceModel(jitter_sigma=0.0)
+    t_full = model.execution_time(1.0, 1792.0, rng)
+    t_half = model.execution_time(1.0, 896.0, rng)
+    assert t_half == pytest.approx(2 * t_full)
+
+
+def test_lambda_vectorized_matches_scalar(rng):
+    model = LambdaPerformanceModel(jitter_sigma=0.0)
+    times = np.array([0.5, 1.0, 2.0])
+    vectorized = model.execution_times(times, 2048.0, rng)
+    assert np.allclose(vectorized, times * 1.15)
+
+
+def test_lambda_jitter_variance(rng):
+    model = LambdaPerformanceModel(jitter_sigma=0.05)
+    samples = model.execution_times(np.ones(10_000), 2048.0, rng)
+    assert samples.std() > 0.02
+    assert np.median(samples) == pytest.approx(1.15, rel=0.02)
+
+
+def test_lambda_validation(rng):
+    model = LambdaPerformanceModel()
+    with pytest.raises(ValueError):
+        model.execution_time(-1.0, 2048.0, rng)

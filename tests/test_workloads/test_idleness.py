@@ -1,0 +1,138 @@
+"""The idleness generator must reproduce the paper's Fig 1 statistics.
+
+Tolerances are deliberately generous: the paper measured ONE week; our
+generator's week-to-week variance is real and intended.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.idleness import IdlenessTrace, IdlePeriod, IdlenessTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def week_trace():
+    rng = np.random.default_rng(42)
+    return IdlenessTraceGenerator(rng, num_nodes=2239).generate(7 * 24 * 3600.0)
+
+
+def test_period_lengths_match_fig1b(week_trace):
+    lengths = week_trace.lengths()
+    assert np.median(lengths) == pytest.approx(120.0, rel=0.15)       # 2 min
+    assert np.percentile(lengths, 75) == pytest.approx(240.0, rel=0.20)  # 4 min
+    assert lengths.mean() == pytest.approx(300.0, rel=0.25)          # >5 min
+    assert np.mean(lengths > 23 * 60) == pytest.approx(0.05, abs=0.025)
+
+
+def test_counts_match_fig1a(week_trace):
+    _, counts = week_trace.count_series(10.0)
+    assert counts.mean() == pytest.approx(9.23, rel=0.35)
+    assert np.median(counts) == pytest.approx(5, abs=2)
+    assert np.percentile(counts, 25) == pytest.approx(2, abs=2)
+    assert np.percentile(counts, 80) == pytest.approx(13, rel=0.5)
+
+
+def test_zero_idle_share_matches(week_trace):
+    assert week_trace.zero_idle_share() == pytest.approx(0.1011, abs=0.06)
+
+
+def test_substantial_idle_surface(week_trace):
+    # The paper: > 37,000 core-hours over the week (24-core nodes).
+    core_hours = week_trace.total_idle_surface() / 3600.0 * 24
+    assert core_hours > 15_000
+
+
+def test_no_overlapping_periods_per_node(week_trace):
+    by_node = week_trace.periods_by_node()
+    for node, periods in by_node.items():
+        for a, b in zip(periods, periods[1:]):
+            assert a.end <= b.start + 1e-9, node
+
+
+def test_periods_within_horizon(week_trace):
+    for period in week_trace.periods:
+        assert 0.0 <= period.start < period.end <= week_trace.horizon
+
+
+def test_intensity_scale_scales_supply():
+    low = IdlenessTraceGenerator(
+        np.random.default_rng(5), num_nodes=512, intensity_scale=0.5
+    ).generate(2 * 24 * 3600.0)
+    high = IdlenessTraceGenerator(
+        np.random.default_rng(5), num_nodes=512, intensity_scale=2.0
+    ).generate(2 * 24 * 3600.0)
+    _, low_counts = low.count_series(30.0)
+    _, high_counts = high.count_series(30.0)
+    assert high_counts.mean() > 1.5 * low_counts.mean()
+
+
+def test_length_scale_preserves_mean_count():
+    base = IdlenessTraceGenerator(
+        np.random.default_rng(9), num_nodes=512
+    ).generate(2 * 24 * 3600.0)
+    scaled = IdlenessTraceGenerator(
+        np.random.default_rng(9), num_nodes=512, length_scale=4.0
+    ).generate(2 * 24 * 3600.0)
+    assert np.median(scaled.lengths()) > 2.5 * np.median(base.lengths())
+    _, base_counts = base.count_series(30.0)
+    _, scaled_counts = scaled.count_series(30.0)
+    assert scaled_counts.mean() == pytest.approx(base_counts.mean(), rel=0.5)
+
+
+def test_min_intensity_floor_eliminates_zeros():
+    trace = IdlenessTraceGenerator(
+        np.random.default_rng(3), num_nodes=512, outage_share=0.0, min_intensity=8.0
+    ).generate(24 * 3600.0)
+    assert trace.zero_idle_share() < 0.01
+
+
+def test_outage_share_zero_means_no_scheduled_outages():
+    trace = IdlenessTraceGenerator(
+        np.random.default_rng(3), num_nodes=512, outage_share=0.0, min_intensity=8.0
+    ).generate(12 * 3600.0)
+    _, counts = trace.count_series(10.0)
+    assert np.mean(counts == 0) < 0.01
+
+
+def test_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        IdlenessTraceGenerator(rng, num_nodes=0)
+    with pytest.raises(ValueError):
+        IdlenessTraceGenerator(rng, intensity_scale=0.0)
+    with pytest.raises(ValueError):
+        IdlenessTraceGenerator(rng, length_scale=0.0)
+    with pytest.raises(ValueError):
+        IdlenessTraceGenerator(rng).generate(0.0)
+
+
+# ----------------------------------------------------------------------
+# IdlenessTrace mechanics
+# ----------------------------------------------------------------------
+def test_count_at_and_series_agree():
+    trace = IdlenessTrace(
+        horizon=100.0,
+        num_nodes=3,
+        periods=[
+            IdlePeriod("n0000", 10.0, 50.0),
+            IdlePeriod("n0001", 30.0, 70.0),
+            IdlePeriod("n0002", 90.0, 100.0),
+        ],
+    )
+    assert trace.count_at(5.0) == 0
+    assert trace.count_at(40.0) == 2
+    assert trace.count_at(95.0) == 1
+    times, counts = trace.count_series(10.0)
+    assert counts[4] == 2  # t=40
+    assert trace.total_idle_surface() == pytest.approx(40 + 40 + 10)
+
+
+def test_restricted_rebases():
+    trace = IdlenessTrace(
+        horizon=100.0,
+        num_nodes=1,
+        periods=[IdlePeriod("n0000", 10.0, 60.0)],
+    )
+    clipped = trace.restricted(20.0, 50.0)
+    assert clipped.horizon == 30.0
+    assert clipped.periods == [IdlePeriod("n0000", 0.0, 30.0)]
