@@ -4,7 +4,9 @@ Every benchmark regenerates one of the paper's tables or figures and
 attaches the headline numbers as ``extra_info`` so they appear in the
 pytest-benchmark JSON/terminal output next to the timing.
 
-Two scales:
+Scales come from the shared scenario-layer presets
+(:mod:`repro.scenarios.presets`) so benchmarks, the CLI, and sweeps all
+agree on what "quick" and "full" mean:
 
 * default ("quick") — reduced horizons/sizes; minutes of wall time total;
   preserves every qualitative conclusion;
@@ -18,6 +20,8 @@ import os
 
 import pytest
 
+from repro.scenarios.presets import SCALE_PRESETS
+
 
 def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
@@ -25,21 +29,5 @@ def full_scale() -> bool:
 
 @pytest.fixture(scope="session")
 def scale():
-    """Scale factors used across benchmarks."""
-    if full_scale():
-        return {
-            "week": 7 * 24 * 3600.0,
-            "day": 24 * 3600.0,
-            "num_nodes": 2239,
-            "day_nodes": 300,
-            "sebs_invocations": 200,
-            "sebs_graph": 40000,
-        }
-    return {
-        "week": 24 * 3600.0,        # one day stands in for the week
-        "day": 3 * 3600.0,          # three hours stand in for a day
-        "num_nodes": 512,
-        "day_nodes": 128,
-        "sebs_invocations": 20,
-        "sebs_graph": 12000,
-    }
+    """Scale factors used across benchmarks (see scenario presets)."""
+    return SCALE_PRESETS["full" if full_scale() else "quick"].as_dict()

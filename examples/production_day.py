@@ -2,17 +2,17 @@
 """A production experiment day, condensed (Table II / Fig 5 pipeline).
 
 Replays a calibrated idleness trace as a pinned prime workload on a
-simulated cluster, runs the fib pilot-job manager against it, fires a
+simulated cluster, runs the chosen pilot-job manager against it, fires a
 constant-rate Gatling client at 100 deployed functions, and prints the
-paper's three-perspective comparison.
+paper's three-perspective comparison — all through the scenario
+registry, exactly like ``python -m repro day``:
 
     python examples/production_day.py [--hours N] [--model fib|var]
 """
 
 import argparse
 
-from repro.experiments.day import DayConfig, run_day
-from repro.hpcwhisk.config import SupplyModel
+from repro.scenarios import REGISTRY, load_builtin
 
 
 def main() -> None:
@@ -20,23 +20,23 @@ def main() -> None:
     parser.add_argument("--hours", type=float, default=3.0, help="experiment length")
     parser.add_argument("--model", choices=("fib", "var"), default="fib")
     parser.add_argument("--nodes", type=int, default=128, help="cluster size")
-    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root seed (default: the day's per-model seed)")
     args = parser.parse_args()
 
-    model = SupplyModel.FIB if args.model == "fib" else SupplyModel.VAR
-    seed = args.seed if args.seed is not None else (317 if model is SupplyModel.FIB else 321)
-    config = DayConfig(
-        model=model,
-        seed=seed,
-        horizon=args.hours * 3600.0,
-        num_nodes=args.nodes,
-    )
+    load_builtin()
+    overrides = {"model": args.model, "hours": args.hours, "nodes": args.nodes}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    spec = REGISTRY.build_spec("day", overrides)
     print(f"running a {args.hours:.1f} h {args.model} day on {args.nodes} nodes "
-          f"(seed {seed}) ...")
-    result = run_day(config)
+          f"(seed {spec.seed}) ...")
+    result = REGISTRY.get("day").runner(spec)
     print()
-    print(result.render())
+    print(result.text)
     print()
+    print(f"flat metrics: coverage {result.metrics['coverage']:.2%}, "
+          f"accepted {result.metrics.get('accepted_share', float('nan')):.2%}")
     print("paper anchors — fib: 90% live / 92% sim coverage, 95.29% accepted, "
           "865 ms median; var: 68% / 84%, 78.28%, 1227 ms")
 

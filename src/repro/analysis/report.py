@@ -92,3 +92,37 @@ def render_kv(title: str, data: Dict[str, object]) -> str:
             value = f"{value:.4g}"
         lines.append(f"  {key:<{width}} : {value}")
     return "\n".join(lines)
+
+
+def render_sweep(result: "SweepResult") -> str:  # noqa: F821 - duck-typed
+    """Human-readable table of a sweep aggregate.
+
+    One block per grid cell: the cell's parameters, then each metric's
+    mean ± sample stdev (and 95% CI when more than one seed ran).
+    ``result`` is a :class:`repro.scenarios.sweep.SweepResult`.
+    """
+    spec = result.spec
+    header = (
+        f"sweep {spec.scenario} @ {spec.scale} — "
+        f"{len(result.cells)} cell(s), {spec.seeds} seed(s) each "
+        f"(base seed {result.base_seed})"
+    )
+    if spec.fixed:
+        header += "  fixed: " + ", ".join(
+            f"{k}={v}" for k, v in spec.fixed.items()
+        )
+    lines = [header]
+    for cell in result.cells:
+        params = ", ".join(f"{k}={v}" for k, v in cell.params.items()) or "(defaults)"
+        lines += ["", f"  {params}   seeds {cell.run_seeds}"]
+        if not cell.metrics:
+            lines.append("    (no runs)")
+            continue
+        width = max(len(name) for name in cell.metrics)
+        for name in sorted(cell.metrics):
+            agg = cell.metrics[name]
+            line = f"    {name:<{width}} : {agg['mean']:.6g}"
+            if agg["n"] > 1:
+                line += f" ± {agg['stdev']:.3g} (95% CI ± {agg['ci95']:.3g})"
+            lines.append(line)
+    return "\n".join(lines)

@@ -1,152 +1,230 @@
-"""Command-line interface: ``python -m repro <experiment> [options]``.
+"""Command-line interface: ``python -m repro <scenario> [options]``.
 
-Runs any packaged experiment and prints its rendered table/figure data —
-the one-command paths behind every number in EXPERIMENTS.md.
+Every subcommand is generated from the scenario registry
+(:data:`repro.scenarios.REGISTRY`) — the one-command paths behind every
+number in EXPERIMENTS.md.  Besides one subcommand per registered
+scenario there are two meta commands::
 
-Subcommands::
+    list       catalogue of registered scenarios and their parameters
+    sweep      parameter-grid x seed-replication sweeps, optionally in
+               parallel worker processes (see ``repro sweep --help``)
 
-    fig1       idleness analysis (Fig 1a/1b/1c)
-    fig2       job population CDFs (Fig 2)
-    fig3       the 5-node example (Fig 3)
-    table1     job-length-set simulation (Table I)
-    day        a full experiment day (Tables II/III, Figs 5/6, Sec. V-C)
-    fig7       SeBS vs Lambda (Fig 7)
-    optimize   length-set optimization (Sec. IV-B)
-    longterm   multi-week pattern study (future work)
+Single runs print the scenario's rendered table/figure data (identical
+to the historical per-experiment output) and can persist their flat
+metrics with ``--json``/``--csv``.  Sweeps print a deterministic JSON
+aggregate (per-cell mean/stdev/CI across seeds) on stdout.
+
+Examples::
+
+    repro day --model var --hours 6
+    repro list
+    repro sweep day --grid model=fib,var nodes=150,300 --seeds 8 -j 8
+    repro sweep fig3 --seeds 16 -j 4 --csv fig3.csv
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.scenarios import (
+    REGISTRY,
+    SCALE_NAMES,
+    Scenario,
+    SweepExecutor,
+    SweepSpec,
+    load_builtin,
+)
+
+#: argparse dests that are CLI plumbing, not scenario parameters
+_CONTROL_DESTS = ("command", "scale", "json_path", "csv_path")
 
 
-def _add_common(parser: argparse.ArgumentParser, seed: int) -> None:
-    parser.add_argument("--seed", type=int, default=seed)
+def _flag(name: str) -> str:
+    return "--" + name.replace("_", "-")
+
+
+def _describe_seed(scenario: Scenario) -> str:
+    if callable(scenario.seed):
+        return scenario.seed_help or "scenario-derived default"
+    return str(scenario.seed)
+
+
+def _add_scenario_parser(sub, scenario: Scenario) -> None:
+    parser = sub.add_parser(scenario.name, help=scenario.help)
+    for param in scenario.params:
+        kwargs: Dict[str, Any] = {
+            "default": argparse.SUPPRESS,
+            "help": f"{param.help or param.name} (default: {param.default})",
+        }
+        if param.type is bool:
+            kwargs["action"] = "store_true"
+        else:
+            kwargs["type"] = param.type
+            if param.choices is not None:
+                kwargs["choices"] = param.choices
+        parser.add_argument(_flag(param.name), **kwargs)
+    parser.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help=f"root seed (default: {_describe_seed(scenario)})",
+    )
+    parser.add_argument(
+        "--scale", choices=SCALE_NAMES, default="full",
+        help="scale preset for parameter defaults (default: full — the paper)",
+    )
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="also write run metrics as JSON")
+    parser.add_argument("--csv", dest="csv_path", metavar="PATH",
+                        help="also write run metrics as CSV")
+
+
+def _add_sweep_parser(sub) -> None:
+    parser = sub.add_parser(
+        "sweep", help="grid x seed sweep over one scenario",
+        description="Expand a parameter grid times a seed-replication "
+                    "count, run every cell (in parallel with -j), and "
+                    "print the aggregated metrics as JSON.",
+    )
+    parser.add_argument("scenario", help="registered scenario to sweep")
+    parser.add_argument(
+        "--grid", nargs="*", default=[], metavar="PARAM=V1,V2",
+        help="parameters to sweep, e.g. model=fib,var nodes=150,300",
+    )
+    parser.add_argument(
+        "--set", nargs="*", default=[], metavar="PARAM=VALUE", dest="fixed",
+        help="fixed overrides applied to every cell, e.g. no-load=true",
+    )
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="seed replications per grid cell")
+    parser.add_argument("--base-seed", type=int, default=None,
+                        help="entropy root for per-run seed derivation "
+                             "(default: the scenario's default seed)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--scale", choices=SCALE_NAMES, default="quick",
+                        help="scale preset (default: quick)")
+    parser.add_argument("--table", action="store_true",
+                        help="print a human-readable table instead of JSON")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="also write the JSON aggregate to PATH")
+    parser.add_argument("--csv", dest="csv_path", metavar="PATH",
+                        help="also write a per-metric CSV to PATH")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    load_builtin()
     parser = argparse.ArgumentParser(
         prog="repro", description="HPC-Whisk reproduction experiments"
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("fig1", help="idleness analysis")
-    _add_common(p, 2022)
-    p.add_argument("--days", type=float, default=7.0)
-    p.add_argument("--nodes", type=int, default=2239)
-    p.add_argument("--plot", action="store_true", help="render ASCII figures")
-
-    p = sub.add_parser("fig2", help="job population CDFs")
-    _add_common(p, 2022)
-    p.add_argument("--count", type=int, default=74000)
-
-    p = sub.add_parser("fig3", help="5-node example")
-    _add_common(p, 7)
-
-    p = sub.add_parser("table1", help="job-length-set simulation")
-    _add_common(p, 2022)
-    p.add_argument("--days", type=float, default=7.0)
-    p.add_argument("--nodes", type=int, default=2239)
-
-    p = sub.add_parser("day", help="experiment day (Tables II/III)")
-    p.add_argument("--model", choices=("fib", "var"), default="fib")
-    p.add_argument("--hours", type=float, default=24.0)
-    p.add_argument("--nodes", type=int, default=300)
-    p.add_argument("--no-load", action="store_true")
-    p.add_argument("--seed", type=int, default=None)
-    p.add_argument("--plot", action="store_true")
-
-    p = sub.add_parser("fig7", help="SeBS vs Lambda")
-    _add_common(p, 2022)
-    p.add_argument("--invocations", type=int, default=50)
-    p.add_argument("--graph-size", type=int, default=40000)
-
-    p = sub.add_parser("optimize", help="length-set optimization")
-    _add_common(p, 2022)
-    p.add_argument("--days", type=float, default=2.0)
-    p.add_argument("--nodes", type=int, default=512)
-
-    p = sub.add_parser("longterm", help="multi-week pattern study")
-    _add_common(p, 2022)
-    p.add_argument("--weeks", type=int, default=2)
-    p.add_argument("--nodes", type=int, default=512)
-    p.add_argument("--amplitude", type=float, default=0.6)
-
+    for _name, scenario in REGISTRY.items():
+        _add_scenario_parser(sub, scenario)
+    sub.add_parser("list", help="catalogue of registered scenarios")
+    _add_sweep_parser(sub)
     return parser
+
+
+def _render_list() -> str:
+    lines = ["registered scenarios (see EXPERIMENTS.md):", ""]
+    for name, scenario in REGISTRY.items():
+        lines.append(f"{name:<10} {scenario.help}")
+        lines.append(f"{'':<10}   seed {_describe_seed(scenario)}"
+                     f", workload {scenario.workload or '-'}")
+        for param in scenario.params:
+            quick = param.scale.get("quick")
+            scale_note = f", quick {quick}" if quick is not None else ""
+            lines.append(
+                f"{'':<10}   {_flag(param.name):<14} "
+                f"{param.type.__name__:<6} default {param.default}{scale_note}"
+            )
+    return "\n".join(lines)
+
+
+def _parse_assignments(scenario: Scenario, pairs: List[str], multi: bool) -> Dict[str, Any]:
+    parsed: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected PARAM=VALUE, got {pair!r}")
+        name, _eq, raw = pair.partition("=")
+        name = name.replace("-", "_")
+        param = scenario.param(name)  # raises KeyError for unknown params
+        values = [param.coerce(token) for token in raw.split(",")]
+        parsed[name] = values if multi else values[-1]
+    return parsed
+
+
+def _persist(args, payload_json: str, payload_csv: str) -> None:
+    if getattr(args, "json_path", None):
+        with open(args.json_path, "w") as handle:
+            handle.write(payload_json + "\n")
+    if getattr(args, "csv_path", None):
+        with open(args.csv_path, "w") as handle:
+            handle.write(payload_csv)
+
+
+def _run_scenario(args) -> int:
+    overrides = {
+        key: value for key, value in vars(args).items()
+        if key not in _CONTROL_DESTS
+    }
+    result = REGISTRY.run(args.command, overrides, scale=args.scale)
+    print(result.text)
+    run = result.to_dict()
+    csv_lines = ["scenario,scale,seed,metric,value"]
+    csv_lines += [
+        f"{run['scenario']},{run['scale']},{run['seed']},{name},{value!r}"
+        for name, value in run["metrics"].items()
+    ]
+    _persist(args, json.dumps(run, indent=2, sort_keys=True),
+             "\n".join(csv_lines) + "\n")
+    return 0
+
+
+def _run_sweep(args) -> int:
+    executor = SweepExecutor()
+    try:
+        scenario = REGISTRY.get(args.scenario)
+        grid = _parse_assignments(scenario, args.grid, multi=True)
+        fixed = _parse_assignments(scenario, args.fixed, multi=False)
+        spec = SweepSpec(
+            scenario=scenario.name, grid=grid, fixed=fixed, seeds=args.seeds,
+            base_seed=args.base_seed, scale=args.scale, jobs=args.jobs,
+        )
+        if spec.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        executor.plan(spec)  # validate grid/overrides before running
+    except (KeyError, ValueError) as error:
+        # usage errors only — crashes inside scenario code propagate
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"sweep: {message}")
+    result = executor.run(spec)
+    runs = sum(len(cell.runs) for cell in result.cells)
+    print(
+        f"sweep {scenario.name}: {len(result.cells)} cell(s) x {args.seeds} "
+        f"seed(s) = {runs} run(s) in {result.elapsed:.1f}s "
+        f"across {len(result.worker_pids)} worker(s)",
+        file=sys.stderr,
+    )
+    if args.table:
+        from repro.analysis.report import render_sweep
+
+        print(render_sweep(result))
+    else:
+        print(result.to_json())
+    _persist(args, result.to_json(), result.to_csv())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-
-    if args.command == "fig1":
-        from repro.analysis.figures import ascii_cdf, ascii_timeseries
-        from repro.experiments import run_fig1
-
-        result = run_fig1(seed=args.seed, horizon=args.days * 86400.0, num_nodes=args.nodes)
-        print(result.render())
-        if args.plot:
-            times, counts = result.time_series()
-            print(ascii_timeseries(times, counts, title="Fig 1c — idle nodes over time"))
-            import numpy as np
-
-            print(ascii_cdf(result.trace.lengths(), title="Fig 1b — idle period lengths",
-                            x_transform=np.log10, x_label="log10 seconds"))
-    elif args.command == "fig2":
-        from repro.experiments import run_fig2
-
-        print(run_fig2(seed=args.seed, count=args.count).render())
-    elif args.command == "fig3":
-        from repro.experiments import run_fig3
-
-        print(run_fig3(seed=args.seed).render())
-    elif args.command == "table1":
-        from repro.experiments import run_table1
-
-        result = run_table1(seed=args.seed, horizon=args.days * 86400.0, num_nodes=args.nodes)
-        print(result.render())
-    elif args.command == "day":
-        from repro.experiments import DayConfig, run_day
-        from repro.hpcwhisk.config import SupplyModel
-
-        model = SupplyModel.FIB if args.model == "fib" else SupplyModel.VAR
-        seed = args.seed if args.seed is not None else (317 if model is SupplyModel.FIB else 321)
-        result = run_day(
-            DayConfig(model=model, seed=seed, horizon=args.hours * 3600.0,
-                      num_nodes=args.nodes, with_load=not args.no_load)
-        )
-        print(result.render())
-        if args.plot:
-            from repro.analysis.figures import ascii_timeseries
-
-            print(ascii_timeseries(
-                result.series["sample_times"], result.series["whisk_counts"],
-                title=f"Fig {'5a' if args.model == 'fib' else '6a'} — "
-                      "HPC-Whisk worker jobs (Slurm-level)",
-            ))
-    elif args.command == "fig7":
-        from repro.experiments import run_fig7
-
-        print(run_fig7(seed=args.seed, invocations=args.invocations,
-                       graph_size=args.graph_size).render())
-    elif args.command == "optimize":
-        import numpy as np
-
-        from repro.hpcwhisk.optimizer import LengthSetOptimizer
-        from repro.workloads.idleness import IdlenessTraceGenerator
-
-        rng = np.random.default_rng(args.seed)
-        trace = IdlenessTraceGenerator(rng, num_nodes=args.nodes).generate(
-            args.days * 86400.0
-        )
-        print(LengthSetOptimizer().optimize(trace).render())
-    elif args.command == "longterm":
-        from repro.experiments import run_longterm
-
-        print(run_longterm(seed=args.seed, weeks=args.weeks, num_nodes=args.nodes,
-                           diurnal_amplitude=args.amplitude).render())
-    return 0
+    if args.command == "list":
+        print(_render_list())
+        return 0
+    if args.command == "sweep":
+        return _run_sweep(args)
+    return _run_scenario(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,9 +1,11 @@
 """Packaged reproductions of every experiment in the paper.
 
 One module per table/figure family; each exposes a ``run_*`` function
-returning a plain result object with a ``render()`` text view.  The
-benchmark harness under ``benchmarks/`` and the record in
-``EXPERIMENTS.md`` are thin wrappers over these.
+returning a plain result object with a ``render()`` text view, and
+registers itself as a scenario in :data:`repro.scenarios.REGISTRY`
+(importing this package populates the registry).  The CLI, the sweep
+executor, the benchmark harness under ``benchmarks/``, and the record in
+``EXPERIMENTS.md`` all drive experiments through that registry.
 
 ========================  =======================================
 Module                    Reproduces
@@ -14,6 +16,8 @@ Module                    Reproduces
 :mod:`.table1`            Table I — job-length-set simulation
 :mod:`.day`               Tables II/III, Figs 5a-c/6a-c, Sec. V-C
 :mod:`.fig7`              Fig 7 — SeBS vs AWS Lambda
+:mod:`.optimize`          Sec. IV-B — length-set optimization
+:mod:`.longterm`          Sec. VII — long-horizon characterization
 ========================  =======================================
 """
 
@@ -23,6 +27,7 @@ from repro.experiments.fig3 import Fig3Result, run_fig3
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.day import DayConfig, DayResult, run_day
 from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.optimize import run_optimize
 from repro.experiments.longterm import LongTermResult, run_longterm
 
 __all__ = [
@@ -40,5 +45,6 @@ __all__ = [
     "run_fig2",
     "run_fig3",
     "run_fig7",
+    "run_optimize",
     "run_table1",
 ]

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.analysis.metrics import cdf
 from repro.analysis.report import render_kv
+from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
+from repro.scenarios.presets import FULL, QUICK, SMOKE
 from repro.workloads.idleness import IdlenessTrace, IdlenessTraceGenerator
 
 
@@ -75,3 +77,35 @@ def run_fig1(
         "num_periods": float(len(trace.periods)),
     }
     return Fig1Result(trace=trace, step=step, times=times, counts=counts, stats=stats)
+
+
+@register(
+    "fig1",
+    help="idleness analysis",
+    seed=2022,
+    workload="idleness-trace",
+    params=(
+        Param("days", float, FULL.week / 86400.0,
+              scale={"quick": QUICK.week / 86400.0, "smoke": SMOKE.week / 86400.0},
+              spec_field="horizon", to_spec=lambda d: d * 86400.0,
+              help="trace length in days"),
+        Param("nodes", int, FULL.num_nodes,
+              scale={"quick": QUICK.num_nodes, "smoke": SMOKE.num_nodes},
+              spec_field="nodes", help="cluster size"),
+        Param("plot", bool, False, sweepable=False, help="render ASCII figures"),
+    ),
+)
+def fig1_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    result = run_fig1(seed=spec.seed, horizon=spec.horizon, num_nodes=spec.nodes)
+    parts = [result.render()]
+    if spec.params["plot"]:
+        from repro.analysis.figures import ascii_cdf, ascii_timeseries
+
+        times, counts = result.time_series()
+        parts.append(ascii_timeseries(times, counts, title="Fig 1c — idle nodes over time"))
+        parts.append(ascii_cdf(result.trace.lengths(), title="Fig 1b — idle period lengths",
+                               x_transform=np.log10, x_label="log10 seconds"))
+    return ScenarioResult(
+        spec=spec, metrics=dict(result.stats), text="\n".join(parts),
+        artifacts={"result": result},
+    )

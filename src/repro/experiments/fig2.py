@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.analysis.metrics import cdf
 from repro.analysis.report import render_kv
+from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
 from repro.workloads.hpc_trace import JobPopulation, SampledJob
 
 
@@ -52,3 +53,21 @@ def run_fig2(seed: int = 2022, count: int = 74000) -> Fig2Result:
         "slack_mean_min": float(slack.mean()) / 60.0,
     }
     return Fig2Result(jobs=jobs, stats=stats)
+
+
+@register(
+    "fig2",
+    help="job population CDFs",
+    seed=2022,
+    workload="hpc-jobs",
+    params=(
+        Param("count", int, 74000, scale={"quick": 20000, "smoke": 2000},
+              help="number of jobs to sample"),
+    ),
+)
+def fig2_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    result = run_fig2(seed=spec.seed, count=spec.params["count"])
+    return ScenarioResult(
+        spec=spec, metrics=dict(result.stats), text=result.render(),
+        artifacts={"result": result},
+    )

@@ -26,6 +26,7 @@ from repro.cluster.slurmctld import SlurmConfig
 from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
 from repro.hpcwhisk.deploy import build_system
 from repro.hpcwhisk.lengths import JobLengthSet
+from repro.scenarios import ScenarioResult, ScenarioSpec, register
 
 #: the pinned minimal-makespan assignment we reproduce (minutes)
 PRIME_JOBS: Tuple[Tuple[str, Tuple[str, ...], float, float], ...] = (
@@ -127,3 +128,17 @@ def run_fig3(seed: int = 7) -> Fig3Result:
         "pilots_started": float(result.pilots_started),
     }
     return result
+
+
+@register(
+    "fig3",
+    help="5-node example",
+    seed=7,
+    workload="pinned-jobs",
+)
+def fig3_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    result = run_fig3(seed=spec.seed)
+    return ScenarioResult(
+        spec=spec, metrics=dict(result.stats), text=result.render(),
+        artifacts={"result": result},
+    )

@@ -23,6 +23,7 @@ import numpy as np
 from repro.analysis.coverage import CoverageResult, CoverageSimulator
 from repro.analysis.report import render_kv
 from repro.hpcwhisk.lengths import SET_A1, SET_C1, JobLengthSet
+from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
 from repro.workloads.idleness import IdlenessTrace, IdlenessTraceGenerator
 
 DAY = 24 * 3600.0
@@ -132,3 +133,27 @@ def run_longterm(
         "adaptive_gain": adaptive_ready - static.ready_share,
     }
     return result
+
+
+@register(
+    "longterm",
+    help="multi-week pattern study",
+    seed=2022,
+    workload="idleness-trace",
+    params=(
+        Param("weeks", int, 2, scale={"quick": 1, "smoke": 1},
+              spec_field="horizon", to_spec=lambda w: w * 7 * DAY,
+              help="trace length in weeks"),
+        Param("nodes", int, 512, scale={"quick": 256, "smoke": 64},
+              spec_field="nodes", help="cluster size"),
+        Param("amplitude", float, 0.6, help="diurnal amplitude of idle supply"),
+    ),
+)
+def longterm_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    result = run_longterm(seed=spec.seed, weeks=spec.params["weeks"],
+                          num_nodes=spec.nodes,
+                          diurnal_amplitude=spec.params["amplitude"])
+    return ScenarioResult(
+        spec=spec, metrics=dict(result.stats), text=result.render(),
+        artifacts={"result": result},
+    )

@@ -17,6 +17,8 @@ import numpy as np
 from repro.analysis.coverage import CoverageResult, CoverageSimulator
 from repro.analysis.report import render_table1
 from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, JobLengthSet
+from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
+from repro.scenarios.presets import FULL, QUICK, SMOKE
 from repro.workloads.idleness import IdlenessTrace, IdlenessTraceGenerator
 
 
@@ -53,3 +55,31 @@ def run_table1(
     for name, length_set in JOB_LENGTH_SETS.items():
         results[name] = (length_set, simulator.run(by_node, length_set, horizon=horizon))
     return Table1Result(trace=trace, results=results)
+
+
+@register(
+    "table1",
+    help="job-length-set simulation",
+    seed=2022,
+    workload="idleness-trace",
+    params=(
+        Param("days", float, FULL.week / 86400.0,
+              scale={"quick": QUICK.week / 86400.0, "smoke": SMOKE.week / 86400.0},
+              spec_field="horizon", to_spec=lambda d: d * 86400.0,
+              help="trace length in days"),
+        Param("nodes", int, FULL.num_nodes,
+              scale={"quick": QUICK.num_nodes, "smoke": SMOKE.num_nodes},
+              spec_field="nodes", help="cluster size"),
+    ),
+)
+def table1_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    result = run_table1(seed=spec.seed, horizon=spec.horizon, num_nodes=spec.nodes)
+    metrics: Dict[str, float] = {}
+    for name, (_length_set, coverage) in result.results.items():
+        metrics[f"{name}_ready_share"] = coverage.ready_share
+        metrics[f"{name}_warmup_share"] = coverage.warmup_share
+        metrics[f"{name}_num_jobs"] = float(coverage.num_jobs)
+    return ScenarioResult(
+        spec=spec, metrics=metrics, text=result.render(),
+        artifacts={"result": result},
+    )

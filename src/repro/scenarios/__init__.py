@@ -1,0 +1,54 @@
+"""Declarative scenario layer: specs, a registry, scale presets, sweeps.
+
+The one place the repo answers "what can I run and how":
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` /
+  :class:`~repro.scenarios.spec.ScenarioResult` — the uniform contract
+  every experiment implements;
+* :func:`~repro.scenarios.registry.register` + ``REGISTRY`` — how
+  experiment modules declare themselves; the CLI is generated from it;
+* :mod:`~repro.scenarios.presets` — the shared full/quick/smoke scale
+  presets (benchmarks' ``scale`` fixture is built from these);
+* :class:`~repro.scenarios.sweep.SweepExecutor` — parallel grid x seed
+  sweeps with deterministic per-run seed derivation.
+
+See EXPERIMENTS.md for the catalogue of registered scenarios.
+"""
+
+from repro.scenarios.presets import SCALE_NAMES, SCALE_PRESETS, ScalePreset, get_preset
+from repro.scenarios.registry import (
+    REGISTRY,
+    Param,
+    Scenario,
+    ScenarioRegistry,
+    load_builtin,
+    register,
+)
+from repro.scenarios.spec import ScenarioResult, ScenarioSpec
+from repro.scenarios.sweep import (
+    SweepExecutor,
+    SweepResult,
+    SweepSpec,
+    derive_run_seed,
+    expand_grid,
+)
+
+__all__ = [
+    "Param",
+    "REGISTRY",
+    "SCALE_NAMES",
+    "SCALE_PRESETS",
+    "ScalePreset",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepExecutor",
+    "SweepResult",
+    "SweepSpec",
+    "derive_run_seed",
+    "expand_grid",
+    "get_preset",
+    "load_builtin",
+    "register",
+]

@@ -1,0 +1,87 @@
+"""Scale presets shared by the CLI, sweeps, benchmarks, and examples.
+
+One definition of "how big is a run" for the whole repo:
+
+* ``full``  — the paper's scale: 7-day calibration traces, 24-hour
+  experiment days, 864k requests; tens of minutes of wall time;
+* ``quick`` — reduced horizons/sizes; minutes of wall time total;
+  preserves every qualitative conclusion (the benchmark default);
+* ``smoke`` — seconds of wall time; only checks that the pipeline runs
+  (used by tests and sweep smoke checks).
+
+``benchmarks/conftest.py`` builds its ``scale`` fixture from this
+module, and registered scenarios derive their per-scale parameter
+defaults from the same preset objects (``fig7``'s full-scale
+``invocations`` is the one deliberate exception: its CLI default stays
+at the historical 50 while benchmarks use the paper's 200).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Scale factors used across experiments and benchmarks."""
+
+    #: calibration-trace horizon ("the monitored week"), seconds
+    week: float
+    #: experiment-day horizon (Tables II/III), seconds
+    day: float
+    #: cluster size for week-long trace studies
+    num_nodes: int
+    #: cluster size for experiment days
+    day_nodes: int
+    #: SeBS invocations per function (Fig 7)
+    sebs_invocations: int
+    #: SeBS graph size (Fig 7)
+    sebs_graph: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+SCALE_PRESETS: Dict[str, ScalePreset] = {
+    "full": ScalePreset(
+        week=7 * 24 * 3600.0,
+        day=24 * 3600.0,
+        num_nodes=2239,
+        day_nodes=300,
+        sebs_invocations=200,
+        sebs_graph=40000,
+    ),
+    "quick": ScalePreset(
+        week=24 * 3600.0,  # one day stands in for the week
+        day=3 * 3600.0,  # three hours stand in for a day
+        num_nodes=512,
+        day_nodes=128,
+        sebs_invocations=20,
+        sebs_graph=12000,
+    ),
+    "smoke": ScalePreset(
+        week=2 * 3600.0,
+        day=900.0,
+        num_nodes=128,
+        day_nodes=24,
+        sebs_invocations=2,
+        sebs_graph=2000,
+    ),
+}
+
+#: CLI ordering: paper scale first (the default for single runs).
+SCALE_NAMES: Tuple[str, ...] = ("full", "quick", "smoke")
+
+FULL = SCALE_PRESETS["full"]
+QUICK = SCALE_PRESETS["quick"]
+SMOKE = SCALE_PRESETS["smoke"]
+
+
+def get_preset(name: str) -> ScalePreset:
+    try:
+        return SCALE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale preset {name!r}; expected one of {sorted(SCALE_PRESETS)}"
+        ) from None

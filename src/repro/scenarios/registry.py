@@ -1,0 +1,261 @@
+"""Scenario registry: declare once, run from anywhere.
+
+Experiment modules declare their parameters and entry point with the
+:func:`register` decorator; the CLI generates its subcommands, the sweep
+executor its grids, and EXPERIMENTS.md its catalogue from the resulting
+:class:`ScenarioRegistry`.  A declaration looks like::
+
+    @register(
+        "fig1",
+        help="idleness analysis",
+        seed=2022,
+        workload="idleness-trace",
+        params=(
+            Param("days", float, 7.0, scale={"quick": 1.0}, help="trace length"),
+            Param("nodes", int, 2239, scale={"quick": 512}, spec_field="nodes"),
+        ),
+    )
+    def _scenario(spec: ScenarioSpec) -> ScenarioResult: ...
+
+Parameter resolution order is explicit override > scale-preset default >
+paper default, so ``full`` scale with no overrides reproduces the paper
+exactly and always matches the historical CLI defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.scenarios.presets import SCALE_PRESETS
+from repro.scenarios.spec import ScenarioResult, ScenarioSpec
+
+#: spec fields a parameter may feed (value passed through ``to_spec``)
+SPEC_FIELDS = ("nodes", "horizon", "supply", "workload")
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared scenario parameter (and its CLI option)."""
+
+    name: str
+    #: value type; ``bool`` means a ``store_true`` CLI flag
+    type: type = float
+    #: the paper-scale default (also the CLI default at ``--scale full``)
+    default: Any = None
+    #: per-scale defaults, e.g. ``{"quick": 1.0, "smoke": 0.1}``
+    scale: Mapping[str, Any] = field(default_factory=dict)
+    help: str = ""
+    choices: Optional[Tuple[str, ...]] = None
+    #: feed this resolved value into the named :class:`ScenarioSpec` field
+    spec_field: Optional[str] = None
+    #: unit conversion applied before storing into the spec field
+    to_spec: Optional[Callable[[Any], Any]] = None
+    #: grids may vary this parameter (plot/output switches may not)
+    sweepable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.spec_field is not None and self.spec_field not in SPEC_FIELDS:
+            raise ValueError(
+                f"param {self.name!r}: spec_field must be one of {SPEC_FIELDS}"
+            )
+
+    def resolve(self, overrides: Mapping[str, Any], scale: str) -> Any:
+        if self.name in overrides:
+            return self.coerce(overrides[self.name])
+        if scale in self.scale:
+            return self.scale[scale]
+        return self.default
+
+    def coerce(self, value: Any) -> Any:
+        """Parse a raw (possibly string) value into the declared type."""
+        if self.type is bool:
+            if isinstance(value, str):
+                token = value.strip().lower()
+                if token in ("1", "true", "yes", "on"):
+                    return True
+                if token in ("0", "false", "no", "off"):
+                    return False
+                raise ValueError(
+                    f"param {self.name!r}: expected a boolean "
+                    f"(true/false/1/0/yes/no/on/off), got {value!r}"
+                )
+            return bool(value)
+        if value is None:
+            return None
+        coerced = self.type(value)
+        if self.choices is not None and coerced not in self.choices:
+            raise ValueError(
+                f"param {self.name!r}: {coerced!r} not in {self.choices}"
+            )
+        return coerced
+
+
+#: a scenario's default seed: a constant, or a function of resolved params
+SeedDefault = Union[int, Callable[[Mapping[str, Any]], int]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered scenario: metadata + parameters + runner."""
+
+    name: str
+    help: str
+    runner: Callable[[ScenarioSpec], ScenarioResult]
+    params: Tuple[Param, ...] = ()
+    seed: SeedDefault = 2022
+    #: human description of a callable ``seed`` for help/list output
+    seed_help: Optional[str] = None
+    #: workload family label stored on specs (unless a param overrides it)
+    workload: Optional[str] = None
+
+    def param(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"scenario {self.name!r} has no parameter {name!r}")
+
+    def default_seed(self, params: Mapping[str, Any]) -> int:
+        if callable(self.seed):
+            return int(self.seed(params))
+        return int(self.seed)
+
+    def build_spec(
+        self, overrides: Optional[Mapping[str, Any]] = None, scale: str = "full"
+    ) -> ScenarioSpec:
+        """Resolve overrides + scale preset into a runnable spec."""
+        if scale not in SCALE_PRESETS:
+            raise KeyError(
+                f"unknown scale {scale!r}; expected one of {sorted(SCALE_PRESETS)}"
+            )
+        overrides = dict(overrides or {})
+        known = {p.name for p in self.params}
+        unknown = set(overrides) - known - {"seed"}
+        if unknown:
+            raise KeyError(
+                f"scenario {self.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; declared: {sorted(known)}"
+            )
+
+        values: Dict[str, Any] = {
+            p.name: p.resolve(overrides, scale) for p in self.params
+        }
+        seed = overrides.get("seed")
+        seed = self.default_seed(values) if seed is None else int(seed)
+
+        spec_fields: Dict[str, Any] = {"workload": self.workload}
+        for p in self.params:
+            if p.spec_field is None:
+                continue
+            value = values[p.name]
+            spec_fields[p.spec_field] = (
+                p.to_spec(value) if p.to_spec is not None else value
+            )
+        return ScenarioSpec(
+            name=self.name, seed=seed, scale=scale, params=values, **spec_fields
+        )
+
+    def run(
+        self, overrides: Optional[Mapping[str, Any]] = None, scale: str = "full"
+    ) -> ScenarioResult:
+        return self.runner(self.build_spec(overrides, scale))
+
+
+class ScenarioRegistry:
+    """Name -> :class:`Scenario` mapping with registration-order listing."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def add(self, scenario: Scenario) -> None:
+        if scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} registered twice")
+        self._scenarios[scenario.name] = scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; known: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return list(self._scenarios)
+
+    def items(self) -> List[Tuple[str, Scenario]]:
+        return list(self._scenarios.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def build_spec(
+        self,
+        name: str,
+        overrides: Optional[Mapping[str, Any]] = None,
+        scale: str = "full",
+    ) -> ScenarioSpec:
+        return self.get(name).build_spec(overrides, scale)
+
+    def run(
+        self,
+        name: str,
+        overrides: Optional[Mapping[str, Any]] = None,
+        scale: str = "full",
+    ) -> ScenarioResult:
+        return self.get(name).run(overrides, scale)
+
+
+#: the process-wide registry all experiment modules register into
+REGISTRY = ScenarioRegistry()
+
+
+def register(
+    name: str,
+    *,
+    help: str,
+    seed: SeedDefault = 2022,
+    seed_help: Optional[str] = None,
+    params: Sequence[Param] = (),
+    workload: Optional[str] = None,
+    registry: ScenarioRegistry = REGISTRY,
+) -> Callable[[Callable[[ScenarioSpec], ScenarioResult]], Callable[[ScenarioSpec], ScenarioResult]]:
+    """Register the decorated runner as the scenario ``name``."""
+
+    def decorator(
+        runner: Callable[[ScenarioSpec], ScenarioResult]
+    ) -> Callable[[ScenarioSpec], ScenarioResult]:
+        registry.add(
+            Scenario(
+                name=name,
+                help=help,
+                runner=runner,
+                params=tuple(params),
+                seed=seed,
+                seed_help=seed_help,
+                workload=workload,
+            )
+        )
+        return runner
+
+    return decorator
+
+
+def load_builtin() -> ScenarioRegistry:
+    """Import the experiment package so its scenarios self-register."""
+    import repro.experiments  # noqa: F401  (import populates REGISTRY)
+
+    return REGISTRY

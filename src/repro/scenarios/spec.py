@@ -1,0 +1,79 @@
+"""The declarative scenario contract: :class:`ScenarioSpec` in,
+:class:`ScenarioResult` out.
+
+Every experiment in :mod:`repro.experiments` is registered as a scenario
+(see :mod:`repro.scenarios.registry`) whose runner takes one fully
+resolved :class:`ScenarioSpec` and returns one :class:`ScenarioResult`.
+The CLI, the sweep executor, benchmarks, and examples all talk to
+experiments through this pair — nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully resolved run of one scenario.
+
+    The common knobs every scenario shares are first-class fields; the
+    scenario-specific knobs live in :attr:`params` (already resolved
+    against the scale preset, so runners never consult presets).
+    """
+
+    #: registry name of the scenario ("fig1", "day", ...)
+    name: str
+    #: root seed for the run's :class:`~repro.sim.rng.RandomStreams`
+    seed: int
+    #: cluster size, when the scenario has one
+    nodes: Optional[int] = None
+    #: simulated horizon in seconds, when the scenario has one
+    horizon: Optional[float] = None
+    #: pilot supply model ("fib" / "var"), when the scenario runs one
+    supply: Optional[str] = None
+    #: workload family driving the run ("gatling", "idleness-trace", ...)
+    workload: Optional[str] = None
+    #: scale preset the params were resolved against
+    scale: str = "full"
+    #: scenario-specific parameters, resolved (name -> value)
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def overrides(self) -> Dict[str, Any]:
+        """The flat override mapping that rebuilds this spec.
+
+        ``registry.build_spec(spec.name, spec.overrides(), spec.scale)``
+        round-trips to an identical spec — the property the sweep
+        executor and the persistence layer rely on.
+        """
+        return {"seed": self.seed, **dict(self.params)}
+
+
+@dataclass
+class ScenarioResult:
+    """Uniform result of one scenario run.
+
+    ``metrics`` is a flat ``name -> float`` mapping — the only part that
+    crosses process boundaries during sweeps and the only part that is
+    aggregated, persisted to JSON/CSV, and compared across runs.
+    ``text`` is the human rendering the CLI prints (identical to the
+    pre-registry per-experiment output).  ``artifacts`` holds rich
+    in-process objects (result dataclasses, numpy series) for notebooks,
+    examples, and plots; it is never pickled to sweep workers.
+    """
+
+    spec: ScenarioSpec
+    metrics: Dict[str, float]
+    text: str
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (spec + metrics, no artifacts)."""
+        return {
+            "scenario": self.spec.name,
+            "scale": self.spec.scale,
+            "seed": self.spec.seed,
+            "params": {k: self.spec.params[k] for k in sorted(self.spec.params)},
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }

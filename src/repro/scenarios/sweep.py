@@ -1,0 +1,349 @@
+"""Parameter-grid and seed-replication sweeps over registered scenarios.
+
+``SweepExecutor`` expands a parameter grid (every combination of the
+listed values) times a number of seed replications, runs the resulting
+cells either serially or on a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and aggregates each cell's metrics across seeds (mean / sample stdev /
+95% CI).
+
+Determinism is the design center:
+
+* every run's root seed is derived from ``(base_seed, cell_key,
+  replicate)`` via :class:`numpy.random.SeedSequence` — independent of
+  worker count, scheduling order, and of which other cells exist;
+* global id counters are reset before every run, so a run's metrics
+  never depend on what ran before it in the same process;
+* results are aggregated in grid order, so a serial (``jobs=1``) and a
+  parallel (``jobs=8``) execution of the same sweep produce
+  byte-identical :meth:`SweepResult.to_json` output.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+import json
+import math
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.scenarios.registry import REGISTRY, ScenarioRegistry, load_builtin
+
+
+def derive_run_seed(base_seed: int, cell_key: str, replicate: int) -> int:
+    """Deterministic per-run root seed.
+
+    Stable across processes and Python versions: the cell key is hashed
+    with CRC-32 (like :mod:`repro.sim.rng` does for stream names) and
+    fed to :class:`numpy.random.SeedSequence` together with the
+    replicate index.
+    """
+    key = zlib.crc32(cell_key.encode("utf-8"))
+    sequence = np.random.SeedSequence(
+        entropy=int(base_seed), spawn_key=(key, int(replicate))
+    )
+    return int(sequence.generate_state(1, np.uint64)[0] >> 1)
+
+
+def cell_key(params: Mapping[str, Any]) -> str:
+    """Canonical ``k=v,k=v`` form of one grid cell (sorted by name)."""
+    return ",".join(f"{k}={params[k]}" for k in sorted(params))
+
+
+def expand_grid(
+    grid: Mapping[str, Sequence[Any]]
+) -> List[Dict[str, Any]]:
+    """Every combination of the grid's values, in grid-declaration order."""
+    if not grid:
+        return [{}]
+    names = list(grid)
+    cells = []
+    for combo in itertools.product(*(grid[n] for n in names)):
+        cells.append(dict(zip(names, combo)))
+    return cells
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: a scenario, a grid, and a replication count."""
+
+    scenario: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    #: seed replications per grid cell
+    seeds: int = 1
+    #: entropy root for per-run seed derivation (None = scenario default)
+    base_seed: Optional[int] = None
+    scale: str = "quick"
+    #: worker processes; 1 = run serially in this process
+    jobs: int = 1
+    #: fixed (non-swept) parameter overrides applied to every cell
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CellResult:
+    """Aggregate of one grid cell across its seed replications."""
+
+    params: Dict[str, Any]
+    run_seeds: List[int]
+    #: per-replicate raw metrics, replicate order
+    runs: List[Dict[str, float]]
+    #: metric -> {"mean", "stdev", "ci95", "min", "max", "n"}
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """All cells of one executed sweep plus execution metadata."""
+
+    spec: SweepSpec
+    base_seed: int
+    cells: List[CellResult]
+    #: wall-clock seconds (not part of the deterministic aggregate)
+    elapsed: float = 0.0
+    #: distinct worker PIDs that executed runs
+    worker_pids: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic aggregate view (identical for serial/parallel)."""
+        return {
+            "scenario": self.spec.scenario,
+            "scale": self.spec.scale,
+            "base_seed": self.base_seed,
+            "seeds": self.spec.seeds,
+            "grid": {k: list(v) for k, v in self.spec.grid.items()},
+            "fixed": dict(self.spec.fixed),
+            "cells": [
+                {
+                    "params": cell.params,
+                    "run_seeds": cell.run_seeds,
+                    "metrics": {
+                        name: cell.metrics[name] for name in sorted(cell.metrics)
+                    },
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """One row per (cell, metric): params (grid + fixed overrides),
+        then n/mean/stdev/ci95."""
+        fixed = dict(self.spec.fixed)
+        param_names = sorted(
+            {name for cell in self.cells for name in cell.params} | set(fixed)
+        )
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            ["scenario", "scale", "base_seed", *param_names,
+             "metric", "n", "mean", "stdev", "ci95"]
+        )
+        for cell in self.cells:
+            params = {**fixed, **cell.params}
+            for name in sorted(cell.metrics):
+                agg = cell.metrics[name]
+                writer.writerow(
+                    [
+                        self.spec.scenario,
+                        self.spec.scale,
+                        self.base_seed,
+                        *[params.get(p, "") for p in param_names],
+                        name,
+                        int(agg["n"]),
+                        repr(agg["mean"]),
+                        repr(agg["stdev"]),
+                        repr(agg["ci95"]),
+                    ]
+                )
+        return buffer.getvalue()
+
+
+def aggregate_metrics(runs: Sequence[Mapping[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Per-metric mean / sample stdev / 95% CI across replicates.
+
+    Only metrics present in every replicate are aggregated (a scenario
+    may emit optional metrics); non-finite values are carried into the
+    mean so they surface rather than vanish.
+    """
+    if not runs:
+        return {}
+    names = set(runs[0])
+    for run in runs[1:]:
+        names &= set(run)
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for name in sorted(names):
+        values = [float(run[name]) for run in runs]
+        n = len(values)
+        mean = math.fsum(values) / n
+        if n > 1:
+            variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+            stdev = math.sqrt(variance)
+        else:
+            stdev = 0.0
+        ci95 = 1.96 * stdev / math.sqrt(n) if n > 1 else 0.0
+        if any(math.isnan(v) for v in values):
+            # min()/max() with NaN are position-dependent; propagate
+            # explicitly so the aggregate is replicate-order independent
+            vmin = vmax = float("nan")
+        else:
+            vmin, vmax = min(values), max(values)
+        aggregates[name] = {
+            "mean": mean,
+            "stdev": stdev,
+            "ci95": ci95,
+            "min": vmin,
+            "max": vmax,
+            "n": float(n),
+        }
+    return aggregates
+
+
+def _reset_run_state() -> None:
+    """Reset global id counters so runs are order-independent."""
+    from repro.cluster.job import reset_job_ids
+    from repro.faas.messages import reset_activation_ids
+    from repro.hpcwhisk.pilot import reset_pilot_ids
+
+    reset_job_ids()
+    reset_activation_ids()
+    reset_pilot_ids()
+
+
+def execute_run(
+    scenario: str, overrides: Mapping[str, Any], scale: str
+) -> Tuple[Dict[str, float], int]:
+    """Run one scenario of the global registry once.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; the
+    serial path goes through :func:`execute_run_in` with the executor's
+    registry, so both paths share every determinism guarantee.
+    """
+    load_builtin()
+    return execute_run_in(REGISTRY, scenario, overrides, scale)
+
+
+def execute_run_in(
+    registry: ScenarioRegistry,
+    scenario: str,
+    overrides: Mapping[str, Any],
+    scale: str,
+) -> Tuple[Dict[str, float], int]:
+    """Run one scenario once and return ``(metrics, worker pid)``."""
+    _reset_run_state()
+    result = registry.run(scenario, overrides, scale=scale)
+    return dict(result.metrics), os.getpid()
+
+
+class SweepExecutor:
+    """Expands and executes :class:`SweepSpec` s."""
+
+    def __init__(self, registry: ScenarioRegistry = REGISTRY) -> None:
+        if registry is REGISTRY:
+            load_builtin()  # library callers need not pre-import experiments
+        self.registry = registry
+
+    def plan(self, spec: SweepSpec) -> List[Tuple[Dict[str, Any], List[int]]]:
+        """The sweep's cells and their derived per-replicate seeds."""
+        scenario = self.registry.get(spec.scenario)
+        clashes = set(spec.grid) & set(spec.fixed)
+        if clashes:
+            raise ValueError(
+                f"parameter(s) {sorted(clashes)} appear in both the grid "
+                "and the fixed overrides; pick one"
+            )
+        for name in list(spec.grid) + list(spec.fixed):
+            if name == "seed":
+                raise ValueError(
+                    "'seed' cannot be swept directly; use the seeds "
+                    "replication count (per-run seeds are derived)"
+                )
+            if not scenario.param(name).sweepable:
+                raise ValueError(
+                    f"parameter {name!r} of scenario {spec.scenario!r} "
+                    "is not sweepable"
+                )
+        base_seed = self._base_seed(spec)
+        plan = []
+        for cell in expand_grid(spec.grid):
+            key = cell_key({**spec.fixed, **cell})
+            seeds = [
+                derive_run_seed(base_seed, key, replicate)
+                for replicate in range(spec.seeds)
+            ]
+            plan.append((cell, seeds))
+        return plan
+
+    def _base_seed(self, spec: SweepSpec) -> int:
+        if spec.base_seed is not None:
+            return int(spec.base_seed)
+        scenario = self.registry.get(spec.scenario)
+        defaults = scenario.build_spec(dict(spec.fixed), scale=spec.scale)
+        return defaults.seed
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute the sweep, serially or across worker processes."""
+        if spec.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        plan = self.plan(spec)
+        tasks: List[Tuple[int, Dict[str, Any]]] = []  # (flat index, overrides)
+        for cell_index, (cell, seeds) in enumerate(plan):
+            for seed in seeds:
+                tasks.append(
+                    (cell_index, {**spec.fixed, **cell, "seed": seed})
+                )
+
+        started = time.perf_counter()
+        outcomes: List[Tuple[Dict[str, float], int]] = [None] * len(tasks)  # type: ignore[list-item]
+        if spec.jobs > 1 and len(tasks) > 1:
+            if self.registry is not REGISTRY:
+                # worker processes resolve scenarios in the global
+                # registry; an injected one cannot be shipped to them
+                raise ValueError(
+                    "parallel sweeps (jobs > 1) require the global "
+                    "registry; run with jobs=1 for a custom registry"
+                )
+            with ProcessPoolExecutor(max_workers=spec.jobs) as pool:
+                futures = [
+                    pool.submit(execute_run, spec.scenario, overrides, spec.scale)
+                    for _index, overrides in tasks
+                ]
+                for slot, future in enumerate(futures):
+                    outcomes[slot] = future.result()
+        else:
+            for slot, (_index, overrides) in enumerate(tasks):
+                outcomes[slot] = execute_run_in(
+                    self.registry, spec.scenario, overrides, spec.scale
+                )
+        elapsed = time.perf_counter() - started
+
+        runs_by_cell: Dict[int, List[Dict[str, float]]] = {}
+        for (cell_index, _overrides), (metrics, _pid) in zip(tasks, outcomes):
+            runs_by_cell.setdefault(cell_index, []).append(metrics)
+
+        cells = [
+            CellResult(
+                params=dict(cell),
+                run_seeds=list(seeds),
+                runs=runs_by_cell.get(cell_index, []),
+                metrics=aggregate_metrics(runs_by_cell.get(cell_index, [])),
+            )
+            for cell_index, (cell, seeds) in enumerate(plan)
+        ]
+        pids = tuple(sorted({pid for _metrics, pid in outcomes}))
+        return SweepResult(
+            spec=spec,
+            base_seed=self._base_seed(spec),
+            cells=cells,
+            elapsed=elapsed,
+            worker_pids=pids,
+        )

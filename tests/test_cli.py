@@ -66,3 +66,77 @@ def test_longterm_command_small(capsys):
     assert main(["longterm", "--weeks", "1", "--nodes", "128"]) == 0
     out = capsys.readouterr().out
     assert "Long-term" in out
+
+
+def test_list_command_catalogues_every_scenario(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1", "fig2", "fig3", "table1", "day", "fig7",
+                 "optimize", "longterm"):
+        assert name in out
+    assert "--days" in out and "quick" in out
+
+
+def test_scale_preset_changes_defaults(capsys):
+    assert main(["fig2", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert any(
+        line.split(":")[0].strip() == "jobs" and line.split(":")[1].strip() == "2000"
+        for line in out.splitlines() if ":" in line
+    )
+
+
+def test_run_persists_json_and_csv(tmp_path, capsys):
+    json_path = tmp_path / "fig3.json"
+    csv_path = tmp_path / "fig3.csv"
+    assert main(["fig3", "--json", str(json_path), "--csv", str(csv_path)]) == 0
+    import json as json_module
+
+    payload = json_module.loads(json_path.read_text())
+    assert payload["scenario"] == "fig3"
+    assert payload["seed"] == 7
+    assert 0.0 < payload["metrics"]["ready_coverage"] <= 1.0
+    assert csv_path.read_text().startswith("scenario,scale,seed,metric,value")
+
+
+def test_sweep_emits_json_aggregate(capsys):
+    assert main(["sweep", "fig3", "--seeds", "2", "-j", "1"]) == 0
+    captured = capsys.readouterr()
+    import json as json_module
+
+    payload = json_module.loads(captured.out)
+    assert payload["scenario"] == "fig3"
+    assert payload["seeds"] == 2
+    [cell] = payload["cells"]
+    assert len(cell["run_seeds"]) == 2
+    assert cell["metrics"]["ready_coverage"]["n"] == 2.0
+    assert "mean" in cell["metrics"]["ready_coverage"]
+    assert "2 run(s)" in captured.err
+
+
+def test_sweep_day_grid_aggregates_coverage_and_acceptance(capsys):
+    assert main(["sweep", "day", "--grid", "model=fib,var", "--seeds", "1",
+                 "--scale", "smoke"]) == 0
+    import json as json_module
+
+    payload = json_module.loads(capsys.readouterr().out)
+    assert [cell["params"] for cell in payload["cells"]] == [
+        {"model": "fib"}, {"model": "var"},
+    ]
+    for cell in payload["cells"]:
+        assert 0.0 <= cell["metrics"]["coverage"]["mean"] <= 1.0
+        assert 0.0 <= cell["metrics"]["accepted_share"]["mean"] <= 1.0
+
+
+def test_sweep_table_view(capsys):
+    assert main(["sweep", "fig2", "--grid", "count=200,400", "--seeds", "2",
+                 "--scale", "smoke", "--table"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep fig2 @ smoke" in out
+    assert "count=200" in out and "count=400" in out
+    assert "±" in out
+
+
+def test_sweep_rejects_unknown_parameter(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "fig3", "--grid", "bogus=1,2"])

@@ -1,0 +1,1 @@
+"""Test package (gives colliding basenames unique module paths)."""

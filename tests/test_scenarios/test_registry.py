@@ -1,0 +1,78 @@
+"""Registry round-trip: declaration, resolution, and spec rebuilding."""
+
+import pytest
+
+from repro.experiments import run_fig3
+from repro.scenarios import REGISTRY, load_builtin
+
+EXPECTED = ["fig1", "fig2", "fig3", "table1", "day", "fig7", "optimize", "longterm"]
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_builtin()
+
+
+def test_all_experiments_registered_in_cli_order():
+    assert REGISTRY.names() == EXPECTED
+
+
+def test_full_scale_defaults_match_paper():
+    spec = REGISTRY.build_spec("fig1", {}, "full")
+    assert spec.params["days"] == 7.0
+    assert spec.nodes == 2239
+    assert spec.horizon == 7 * 24 * 3600.0
+    assert spec.seed == 2022
+    assert spec.workload == "idleness-trace"
+
+
+def test_quick_scale_defaults_shrink():
+    spec = REGISTRY.build_spec("fig1", {}, "quick")
+    assert spec.params["days"] == 1.0
+    assert spec.nodes == 512
+
+
+def test_explicit_override_beats_scale():
+    spec = REGISTRY.build_spec("fig1", {"days": 0.5, "nodes": 64}, "quick")
+    assert spec.params["days"] == 0.5
+    assert spec.horizon == 0.5 * 86400.0
+    assert spec.nodes == 64
+
+
+def test_unknown_parameter_rejected():
+    with pytest.raises(KeyError, match="no parameter"):
+        REGISTRY.build_spec("fig1", {"bogus": 1})
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        REGISTRY.build_spec("fig99", {})
+
+
+def test_day_seed_defaults_are_per_model():
+    assert REGISTRY.build_spec("day", {}).seed == 317
+    assert REGISTRY.build_spec("day", {"model": "var"}).seed == 321
+    assert REGISTRY.build_spec("day", {"model": "var", "seed": 1}).seed == 1
+
+
+def test_day_workload_follows_no_load():
+    assert REGISTRY.build_spec("day", {}).workload == "gatling"
+    assert REGISTRY.build_spec("day", {"no_load": True}).workload == "none"
+
+
+def test_spec_overrides_round_trip():
+    for name in EXPECTED:
+        spec = REGISTRY.build_spec(name, {}, "quick")
+        rebuilt = REGISTRY.build_spec(name, spec.overrides(), "quick")
+        assert rebuilt == spec, name
+
+
+def test_scenario_result_matches_direct_run():
+    result = REGISTRY.run("fig3", {"seed": 7})
+    direct = run_fig3(seed=7)
+    assert result.metrics == direct.stats
+    assert result.text == direct.render()
+    assert result.spec.seed == 7
+    assert result.to_dict()["metrics"]["ready_coverage"] == pytest.approx(
+        direct.ready_coverage
+    )

@@ -1,0 +1,153 @@
+"""Sweep executor: seed derivation, grid expansion, aggregation,
+and serial vs parallel equivalence."""
+
+import math
+
+import pytest
+
+from repro.scenarios import (
+    REGISTRY,
+    SweepExecutor,
+    SweepSpec,
+    derive_run_seed,
+    expand_grid,
+    load_builtin,
+)
+from repro.scenarios.sweep import aggregate_metrics, cell_key
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_builtin()
+
+
+def test_derive_run_seed_is_deterministic():
+    assert derive_run_seed(317, "model=fib", 0) == derive_run_seed(317, "model=fib", 0)
+
+
+def test_derive_run_seed_separates_cells_and_replicates():
+    seeds = {
+        derive_run_seed(base, key, replicate)
+        for base in (317, 321)
+        for key in ("model=fib", "model=var", "")
+        for replicate in range(4)
+    }
+    assert len(seeds) == 2 * 3 * 4
+
+
+def test_cell_key_is_order_independent():
+    assert cell_key({"b": 2, "a": 1}) == cell_key({"a": 1, "b": 2}) == "a=1,b=2"
+
+
+def test_expand_grid_orders_and_counts():
+    cells = expand_grid({"model": ["fib", "var"], "nodes": [150, 300]})
+    assert cells == [
+        {"model": "fib", "nodes": 150},
+        {"model": "fib", "nodes": 300},
+        {"model": "var", "nodes": 150},
+        {"model": "var", "nodes": 300},
+    ]
+    assert expand_grid({}) == [{}]
+
+
+def test_aggregate_metrics_mean_stdev_ci():
+    runs = [{"x": 1.0, "y": 5.0}, {"x": 2.0, "y": 5.0}, {"x": 3.0}]
+    aggregates = aggregate_metrics(runs)
+    assert set(aggregates) == {"x"}  # y missing from one replicate
+    x = aggregates["x"]
+    assert x["mean"] == pytest.approx(2.0)
+    assert x["stdev"] == pytest.approx(1.0)
+    assert x["ci95"] == pytest.approx(1.96 / math.sqrt(3))
+    assert x["n"] == 3.0
+    assert (x["min"], x["max"]) == (1.0, 3.0)
+
+
+def test_single_replicate_has_zero_spread():
+    agg = aggregate_metrics([{"x": 4.0}])["x"]
+    assert (agg["stdev"], agg["ci95"], agg["n"]) == (0.0, 0.0, 1.0)
+
+
+def test_sweeping_seed_directly_is_rejected():
+    with pytest.raises(ValueError, match="seed"):
+        SweepExecutor().plan(SweepSpec("fig1", grid={"seed": [1, 2]}))
+
+
+def test_sweeping_non_sweepable_param_is_rejected():
+    with pytest.raises(ValueError, match="not sweepable"):
+        SweepExecutor().plan(SweepSpec("fig1", grid={"plot": [True]}))
+
+
+def test_plan_seeds_do_not_depend_on_other_cells():
+    one = SweepExecutor().plan(SweepSpec("day", grid={"model": ["fib"]}, seeds=2))
+    two = SweepExecutor().plan(
+        SweepSpec("day", grid={"model": ["fib", "var"]}, seeds=2)
+    )
+    assert one[0][1] == two[0][1]  # fib cell seeds identical either way
+
+
+def test_serial_and_parallel_sweeps_are_byte_identical():
+    spec_serial = SweepSpec("fig3", seeds=2, jobs=1, scale="quick")
+    spec_parallel = SweepSpec("fig3", seeds=2, jobs=2, scale="quick")
+    serial = SweepExecutor().run(spec_serial)
+    parallel = SweepExecutor().run(spec_parallel)
+    assert serial.to_json() == parallel.to_json()
+    assert len(parallel.cells[0].runs) == 2
+    assert parallel.cells[0].metrics["ready_coverage"]["n"] == 2.0
+
+
+def test_sweep_csv_lists_every_cell_metric():
+    result = SweepExecutor().run(
+        SweepSpec("fig2", grid={"count": [500, 1000]}, seeds=2, scale="smoke")
+    )
+    csv_text = result.to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "scenario,scale,base_seed,count,metric,n,mean,stdev,ci95"
+    metric_count = len(result.cells[0].metrics)
+    assert len(lines) == 1 + 2 * metric_count
+    # count=500 rows come before count=1000 rows (grid order)
+    assert lines[1].startswith("fig2,smoke,2022,500,")
+
+
+def test_sweep_csv_records_fixed_overrides():
+    result = SweepExecutor().run(
+        SweepSpec("fig2", fixed={"count": 300}, seeds=1, scale="smoke")
+    )
+    lines = result.to_csv().strip().splitlines()
+    assert lines[0] == "scenario,scale,base_seed,count,metric,n,mean,stdev,ci95"
+    assert lines[1].startswith("fig2,smoke,2022,300,")
+
+
+def test_aggregate_metrics_nan_is_order_independent():
+    nan = float("nan")
+    forward = aggregate_metrics([{"x": nan}, {"x": 1.0}])["x"]
+    backward = aggregate_metrics([{"x": 1.0}, {"x": nan}])["x"]
+    for agg in (forward, backward):
+        assert math.isnan(agg["mean"])
+        assert math.isnan(agg["min"]) and math.isnan(agg["max"])
+
+
+def test_custom_registry_runs_serially_but_not_in_parallel():
+    from repro.scenarios import ScenarioRegistry, ScenarioResult, register
+
+    registry = ScenarioRegistry()
+
+    @register("custom", help="test scenario", seed=1, registry=registry)
+    def _runner(spec):
+        return ScenarioResult(spec=spec, metrics={"x": float(spec.seed)}, text="")
+
+    executor = SweepExecutor(registry)
+    result = executor.run(SweepSpec("custom", seeds=2, jobs=1))
+    assert result.cells[0].metrics["x"]["n"] == 2.0
+    with pytest.raises(ValueError, match="global registry"):
+        executor.run(SweepSpec("custom", seeds=2, jobs=2))
+
+
+def test_sweep_base_seed_overrides_scenario_default():
+    executor = SweepExecutor()
+    default = executor.run(SweepSpec("fig2", grid={"count": [200]}, scale="smoke"))
+    assert default.base_seed == 2022
+    custom = executor.run(
+        SweepSpec("fig2", grid={"count": [200]}, base_seed=7, scale="smoke")
+    )
+    assert custom.base_seed == 7
+    assert custom.cells[0].run_seeds != default.cells[0].run_seeds
