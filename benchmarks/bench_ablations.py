@@ -46,7 +46,7 @@ def _churn_run(use_fast_lane: bool, horizon: float = 3600.0, seed: int = 99):
     return client.report
 
 
-def test_ablation_fastlane(benchmark):
+def test_ablation_fastlane(benchmark, kernel_stats):
     """Without the fast lane, churn converts accepted requests into losses."""
 
     def run_both():
@@ -65,7 +65,7 @@ def test_ablation_fastlane(benchmark):
     assert with_lane.success_share_of_invoked > without_lane.success_share_of_invoked
 
 
-def test_ablation_grace_period(benchmark):
+def test_ablation_grace_period(benchmark, kernel_stats):
     """A pilot whose drain exceeds the grace period is SIGKILLed; prime
     jobs wait the full grace.  Sweep grace 30 s → 300 s."""
     from repro.cluster.partition import Partition, PreemptMode
@@ -109,7 +109,7 @@ def test_ablation_grace_period(benchmark):
     assert delays[30.0] < delays[180.0] < delays[300.0]
 
 
-def test_ablation_queue_depth(benchmark):
+def test_ablation_queue_depth(benchmark, kernel_stats):
     """Too few queued pilots starve placement; the paper keeps 10/length."""
 
     def run(depth):
@@ -140,7 +140,7 @@ def test_ablation_queue_depth(benchmark):
     assert result[10] >= result[1] * 0.95
 
 
-def test_ablation_warmup_cost(benchmark):
+def test_ablation_warmup_cost(benchmark, kernel_stats):
     """Coverage sensitivity to warm-up: the clairvoyant simulator's ready
     share decays linearly-ish with the per-job warm-up charge."""
     rng = np.random.default_rng(17)

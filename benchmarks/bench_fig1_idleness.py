@@ -10,7 +10,7 @@ import numpy as np
 from repro.experiments.fig1 import run_fig1
 
 
-def test_fig1_idleness(benchmark, scale):
+def test_fig1_idleness(benchmark, kernel_stats, scale):
     result = benchmark.pedantic(
         run_fig1,
         kwargs=dict(seed=2022, horizon=scale["week"], num_nodes=scale["num_nodes"]),

@@ -9,7 +9,7 @@ import numpy as np
 from repro.experiments.fig2 import run_fig2
 
 
-def test_fig2_job_population(benchmark, scale):
+def test_fig2_job_population(benchmark, kernel_stats, scale):
     count = 74000 if scale["week"] > 2 * 24 * 3600 else 20000
     result = benchmark.pedantic(
         run_fig2, kwargs=dict(seed=2022, count=count), rounds=1, iterations=1

@@ -8,7 +8,7 @@ with ready invokers.
 from repro.experiments.fig3 import run_fig3
 
 
-def test_fig3_example(benchmark):
+def test_fig3_example(benchmark, kernel_stats):
     result = benchmark.pedantic(run_fig3, kwargs=dict(seed=7), rounds=1, iterations=1)
     benchmark.extra_info.update(
         {

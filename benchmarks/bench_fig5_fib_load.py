@@ -12,7 +12,7 @@ from repro.experiments.day import DayConfig, run_day
 from repro.hpcwhisk.config import SupplyModel
 
 
-def test_fig5b_fib_queries_and_responsiveness(benchmark, scale):
+def test_fig5b_fib_queries_and_responsiveness(benchmark, kernel_stats, scale):
     config = DayConfig(
         model=SupplyModel.FIB,
         seed=317,

@@ -12,7 +12,7 @@ from repro.experiments.day import DayConfig, run_day
 from repro.hpcwhisk.config import SupplyModel
 
 
-def test_fig6b_var_queries_and_responsiveness(benchmark, scale):
+def test_fig6b_var_queries_and_responsiveness(benchmark, kernel_stats, scale):
     config = DayConfig(
         model=SupplyModel.VAR,
         seed=321,
@@ -44,7 +44,7 @@ def test_fig6b_var_queries_and_responsiveness(benchmark, scale):
         assert probabilities[-1] == 1.0
 
 
-def test_var_worse_than_fib_for_clients(benchmark, scale):
+def test_var_worse_than_fib_for_clients(benchmark, kernel_stats, scale):
     """Cross-day client-visible comparison (Sec. V-C)."""
 
     def both():

@@ -9,7 +9,7 @@ import pytest
 from repro.experiments.fig7 import run_fig7
 
 
-def test_fig7_sebs_vs_lambda(benchmark, scale):
+def test_fig7_sebs_vs_lambda(benchmark, kernel_stats, scale):
     result = benchmark.pedantic(
         run_fig7,
         kwargs=dict(
@@ -38,7 +38,7 @@ def test_fig7_sebs_vs_lambda(benchmark, scale):
         assert row.lambda_p25_s <= row.lambda_median_s <= row.lambda_p75_s
 
 
-def test_fig7_memory_scaling_sensitivity(benchmark, scale):
+def test_fig7_memory_scaling_sensitivity(benchmark, kernel_stats, scale):
     """Extension: at low memory the Lambda gap widens (CPU share model)."""
     result = benchmark.pedantic(
         run_fig7,

@@ -69,7 +69,7 @@ def controller_client(controller):
     return _Client()
 
 
-def test_balancer_warm_hit_ablation(benchmark):
+def test_balancer_warm_hit_ablation(benchmark, kernel_stats):
     def sweep():
         return [
             run_with_balancer(HashAffinity()),

@@ -8,7 +8,7 @@ smarter job manager), and quantifies the pattern-aware supply's gain.
 from repro.experiments.longterm import run_longterm
 
 
-def test_longterm_patterns(benchmark, scale):
+def test_longterm_patterns(benchmark, kernel_stats, scale):
     weeks = 2 if scale["week"] > 2 * 24 * 3600 else 1
     result = benchmark.pedantic(
         run_longterm,

@@ -40,7 +40,7 @@ def run_prime_trace(with_whisk: bool, horizon: float, num_nodes: int, seed: int 
     return summarize(slurm)
 
 
-def test_noninvasiveness(benchmark, scale):
+def test_noninvasiveness(benchmark, kernel_stats, scale):
     horizon = min(scale["day"], 6 * 3600.0)
     num_nodes = min(scale["day_nodes"], 64)
 

@@ -13,7 +13,7 @@ from repro.hpcwhisk.optimizer import LengthSetOptimizer
 from repro.workloads.idleness import IdlenessTraceGenerator
 
 
-def test_length_set_optimization(benchmark, scale):
+def test_length_set_optimization(benchmark, kernel_stats, scale):
     def run():
         rng = np.random.default_rng(2022)
         trace = IdlenessTraceGenerator(rng, num_nodes=scale["num_nodes"]).generate(

@@ -9,7 +9,7 @@ variants; non-availability ≈ 14.7–14.9%.
 from repro.experiments.table1 import run_table1
 
 
-def test_table1_length_sets(benchmark, scale):
+def test_table1_length_sets(benchmark, kernel_stats, scale):
     result = benchmark.pedantic(
         run_table1,
         kwargs=dict(seed=2022, horizon=scale["week"], num_nodes=scale["num_nodes"]),

@@ -9,7 +9,7 @@ from repro.experiments.day import DayConfig, run_day
 from repro.hpcwhisk.config import SupplyModel
 
 
-def test_table2_fib_day(benchmark, scale):
+def test_table2_fib_day(benchmark, kernel_stats, scale):
     config = DayConfig(
         model=SupplyModel.FIB,
         seed=317,

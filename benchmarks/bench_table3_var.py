@@ -10,7 +10,7 @@ from repro.experiments.day import DayConfig, run_day
 from repro.hpcwhisk.config import SupplyModel
 
 
-def test_table3_var_day(benchmark, scale):
+def test_table3_var_day(benchmark, kernel_stats, scale):
     config = DayConfig(
         model=SupplyModel.VAR,
         seed=321,
@@ -37,7 +37,7 @@ def test_table3_var_day(benchmark, scale):
     assert 0.75 <= result.simulation.used_share <= 0.95
 
 
-def test_fib_beats_var_coverage(benchmark, scale):
+def test_fib_beats_var_coverage(benchmark, kernel_stats, scale):
     """The paper's central comparison: fib covers far more than var."""
 
     def both():

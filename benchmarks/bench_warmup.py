@@ -30,7 +30,7 @@ def measure_warmups(seed: int = 2022, horizon: float = 4 * 3600.0):
     )
 
 
-def test_warmup_distribution(benchmark):
+def test_warmup_distribution(benchmark, kernel_stats):
     warmups = benchmark.pedantic(measure_warmups, rounds=1, iterations=1)
     median = float(np.median(warmups))
     p95 = float(np.percentile(warmups, 95))

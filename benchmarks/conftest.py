@@ -4,6 +4,12 @@ Every benchmark regenerates one of the paper's tables or figures and
 attaches the headline numbers as ``extra_info`` so they appear in the
 pytest-benchmark JSON/terminal output next to the timing.
 
+Timing instrumentation is the kernel's own: the ``kernel_stats``
+fixture wraps each benchmark body in a
+:class:`repro.bench.instrument.KernelProbe`, so every benchmark reports
+events processed, peak queue depth, and events/sec from the simulation
+loop's counters instead of re-deriving ad-hoc wall-clock numbers.
+
 Scales come from the shared scenario-layer presets
 (:mod:`repro.scenarios.presets`) so benchmarks, the CLI, and sweeps all
 agree on what "quick" and "full" mean:
@@ -20,6 +26,7 @@ import os
 
 import pytest
 
+from repro.bench.instrument import KernelProbe
 from repro.scenarios.presets import SCALE_PRESETS
 
 
@@ -31,3 +38,17 @@ def full_scale() -> bool:
 def scale():
     """Scale factors used across benchmarks (see scenario presets)."""
     return SCALE_PRESETS["full" if full_scale() else "quick"].as_dict()
+
+
+@pytest.fixture
+def kernel_stats(benchmark):
+    """Kernel-counter instrumentation for one benchmark.
+
+    Yields the running :class:`KernelProbe`; on teardown the probe's
+    events-processed / peak-queue-depth / events-per-sec numbers land in
+    the benchmark's ``extra_info`` next to the scenario's own anchors.
+    """
+    probe = KernelProbe().start()
+    yield probe
+    stats = probe.stop()
+    benchmark.extra_info.update(stats.as_extra_info())

@@ -31,12 +31,17 @@ def samples_to_intervals(
     open_since: Dict[str, float] = {}
     last_time = None
     for sample in samples:
-        current = set(selector(sample))
+        selected = selector(sample)
+        current = set(selected)
         for node in list(open_since):
             if node not in current:
                 start = open_since.pop(node)
                 intervals.setdefault(node, []).append((start, sample.time))
-        for node in current:
+        # Iterate the sample's own (deterministic) node order, not the
+        # set: set order hangs on PYTHONHASHSEED, and the resulting dict
+        # insertion order decides float summation order downstream —
+        # enough to shift coverage shares by 1 ulp between processes.
+        for node in selected:
             if node not in open_since:
                 open_since[node] = sample.time
         last_time = sample.time

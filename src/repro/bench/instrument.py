@@ -1,0 +1,111 @@
+"""Kernel instrumentation probe: counters + wall time → events/sec.
+
+The simulation kernel keeps two layers of counters: per-environment
+(:attr:`Environment.events_processed`, :attr:`Environment.peak_queue_depth`)
+and the process-wide :data:`repro.sim.core.KERNEL_TOTALS` aggregate that
+every ``Environment.run()`` flushes into.  A :class:`KernelProbe`
+snapshots the aggregate around an arbitrary block of work — a scenario
+run, a microbenchmark, a pytest benchmark body — and turns the deltas
+into a :class:`KernelStats`:
+
+    with KernelProbe() as probe:
+        REGISTRY.run("day", {}, scale="smoke")
+    print(probe.stats.events_per_sec)
+
+Because the aggregate is process-wide, the probe sees every environment
+the measured code creates internally, without the scenario having to
+expose them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.sim.core import KERNEL_TOTALS
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Kernel work observed by one :class:`KernelProbe` window."""
+
+    #: events popped and processed by run loops during the window
+    events_processed: int
+    #: events pushed onto simulation heaps during the window
+    events_scheduled: int
+    #: largest event-heap depth observed during the window
+    peak_queue_depth: int
+    #: wall-clock duration of the window, seconds
+    wall_time_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Processed-event throughput (0.0 for an empty/instant window)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_time_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "events_processed": self.events_processed,
+            "events_scheduled": self.events_scheduled,
+            "peak_queue_depth": self.peak_queue_depth,
+            "wall_time_s": self.wall_time_s,
+            "events_per_sec": self.events_per_sec,
+        }
+
+    def as_extra_info(self) -> Dict[str, Any]:
+        """Rounded view for pytest-benchmark ``extra_info`` columns."""
+        return {
+            "events_processed": self.events_processed,
+            "peak_queue_depth": self.peak_queue_depth,
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+
+
+class KernelProbe:
+    """Measures kernel work done between :meth:`start` and :meth:`stop`.
+
+    Usable either as a context manager (the result lands on
+    :attr:`stats`) or via explicit ``start()``/``stop()`` (``stop``
+    returns the :class:`KernelStats` and also stores it).  Probes may
+    nest; each sees the totals delta of its own window.
+    """
+
+    def __init__(self) -> None:
+        self.stats: Optional[KernelStats] = None
+        self._snapshot: Optional[tuple] = None
+        self._started_at: float = 0.0
+
+    def start(self) -> "KernelProbe":
+        if self._snapshot is not None:
+            raise RuntimeError("probe already started")
+        self._snapshot = KERNEL_TOTALS.snapshot()
+        # Re-arm the high-water mark so the window reports its own peak;
+        # stop() restores monotonicity for any enclosing observer.
+        KERNEL_TOTALS.peak_queue_depth = 0
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> KernelStats:
+        if self._snapshot is None:
+            raise RuntimeError("probe not started")
+        wall = time.perf_counter() - self._started_at
+        processed0, scheduled0, peak0 = self._snapshot
+        processed1, scheduled1, window_peak = KERNEL_TOTALS.snapshot()
+        KERNEL_TOTALS.peak_queue_depth = max(window_peak, peak0)
+        self._snapshot = None
+        self.stats = KernelStats(
+            events_processed=processed1 - processed0,
+            events_scheduled=scheduled1 - scheduled0,
+            peak_queue_depth=window_peak,
+            wall_time_s=wall,
+        )
+        return self.stats
+
+    def __enter__(self) -> "KernelProbe":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

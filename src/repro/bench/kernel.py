@@ -1,0 +1,155 @@
+"""Pure-kernel microbenchmark: how fast can the event loop go?
+
+Exercises the four hot paths of :mod:`repro.sim` with a deterministic,
+RNG-free workload whose event count is fixed by the preset:
+
+* **timeout flood** — a large batch of bare :class:`Timeout` s with
+  mixed delays and callbacks (heap push/pop + callback dispatch);
+* **process churn** — many generator processes yielding timeouts (the
+  ``Process._resume`` path every simulated actor takes);
+* **event relay** — processes yielding already-succeeded events
+  (settle/trigger dispatch without time advancing);
+* **cancellation storm** — scheduled timeouts withdrawn via
+  :meth:`Environment.cancel`, exercising tombstone discard in the loop.
+
+Scaled so ``full`` is comparable to a fig5-scale experiment day (a few
+million kernel events), ``quick`` runs in a couple of seconds, and
+``smoke`` in well under a second.  ``repro bench`` records the result
+as ``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bench.instrument import KernelProbe, KernelStats
+from repro.sim import Environment
+
+#: registry-safe name of the microbenchmark in ``repro bench`` output
+KERNEL_BENCH_NAME = "kernel"
+
+
+@dataclass(frozen=True)
+class KernelScale:
+    """Sizing of the four microbenchmark segments.
+
+    ``rounds`` repeats the whole segment suite: experiment-scale runs
+    process millions of events through a *bounded* resident queue (a
+    full fig5 day never holds more than a few thousand pending events),
+    so scaling up means more rounds, not a deeper heap — a deeper heap
+    would benchmark cold memory, not the run loop.
+    """
+
+    flood_events: int
+    churn_processes: int
+    churn_steps: int
+    relay_chains: int
+    relay_length: int
+    cancel_events: int
+    rounds: int = 1
+
+    @property
+    def approx_events(self) -> int:
+        return self.rounds * (
+            self.flood_events
+            + self.churn_processes * (self.churn_steps + 2)
+            + self.relay_chains * (self.relay_length + 2)
+            + self.cancel_events
+        )
+
+
+KERNEL_SCALES: Dict[str, KernelScale] = {
+    # fig5-scale: ~3M events, like a full experiment day
+    "full": KernelScale(
+        flood_events=120_000,
+        churn_processes=600,
+        churn_steps=100,
+        relay_chains=400,
+        relay_length=150,
+        cancel_events=60_000,
+        rounds=10,
+    ),
+    "quick": KernelScale(
+        flood_events=120_000,
+        churn_processes=600,
+        churn_steps=100,
+        relay_chains=400,
+        relay_length=150,
+        cancel_events=60_000,
+    ),
+    # rounds=3: a sub-0.1s window makes events/sec swing well past the
+    # regression gate's tolerance on shared runners; ~100k events is
+    # still well under a second
+    "smoke": KernelScale(
+        flood_events=20_000,
+        churn_processes=100,
+        churn_steps=50,
+        relay_chains=80,
+        relay_length=60,
+        cancel_events=10_000,
+        rounds=3,
+    ),
+}
+
+
+def timeout_flood(env: Environment, count: int) -> None:
+    """Bare timeouts with spread-out delays and a no-op callback each."""
+    sink = [].append
+    timeout = env.timeout
+    for i in range(count):
+        timeout((i % 97) * 0.25, value=i).callbacks.append(sink)
+    env.run()
+
+
+def process_churn(env: Environment, processes: int, steps: int) -> None:
+    """Generator processes repeatedly yielding timeouts."""
+
+    def worker(env: Environment, delay: float, steps: int):
+        for _ in range(steps):
+            yield env.timeout(delay)
+
+    for p in range(processes):
+        env.process(worker(env, 0.5 + (p % 13) * 0.125, steps))
+    env.run()
+
+
+def event_relay(env: Environment, chains: int, length: int) -> None:
+    """Processes yielding pre-succeeded events (no clock advancement)."""
+
+    def relay(env: Environment, length: int):
+        for i in range(length):
+            event = env.event()
+            event.succeed(i)
+            yield event
+
+    for _ in range(chains):
+        env.process(relay(env, length))
+    env.run()
+
+
+def cancellation_storm(env: Environment, count: int) -> None:
+    """Schedule ``count`` timeouts and cancel every other one."""
+    timeouts = [env.timeout(1.0 + (i % 31) * 0.5) for i in range(count)]
+    cancel = env.cancel
+    for victim in timeouts[::2]:
+        cancel(victim)
+    env.run()
+
+
+def run_kernel_bench(preset: str = "quick") -> KernelStats:
+    """Run all four segments at *preset* scale under a fresh probe."""
+    try:
+        scale = KERNEL_SCALES[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel bench preset {preset!r}; "
+            f"expected one of {sorted(KERNEL_SCALES)}"
+        ) from None
+    with KernelProbe() as probe:
+        for _ in range(scale.rounds):
+            timeout_flood(Environment(), scale.flood_events)
+            process_churn(Environment(), scale.churn_processes, scale.churn_steps)
+            event_relay(Environment(), scale.relay_chains, scale.relay_length)
+            cancellation_storm(Environment(), scale.cancel_events)
+    return probe.stats

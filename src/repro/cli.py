@@ -8,6 +8,9 @@ scenario there are two meta commands::
     list       catalogue of registered scenarios and their parameters
     sweep      parameter-grid x seed-replication sweeps, optionally in
                parallel worker processes (see ``repro sweep --help``)
+    bench      kernel + scenario throughput benchmarks with schema'd
+               ``BENCH_<name>.json`` artifacts and a baseline-compare
+               regression gate (see ``repro bench --help``)
 
 Single runs print the scenario's rendered table/figure data (identical
 to the historical per-experiment output) and can persist their flat
@@ -20,12 +23,14 @@ Examples::
     repro list
     repro sweep day --grid model=fib,var nodes=150,300 --seeds 8 -j 8
     repro sweep fig3 --seeds 16 -j 4 --csv fig3.csv
+    repro bench --preset smoke
+    repro bench kernel --preset quick --repeats 5 --write-baseline BENCH_baseline.json
+    repro bench --preset smoke --against BENCH_baseline.json --max-regression 10%
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -113,6 +118,34 @@ def _add_sweep_parser(sub) -> None:
                         help="also write a per-metric CSV to PATH")
 
 
+def _add_bench_parser(sub) -> None:
+    parser = sub.add_parser(
+        "bench", help="kernel + scenario throughput benchmarks",
+        description="Run the pure-kernel microbenchmark and/or registered "
+                    "scenarios under the kernel probe, write one "
+                    "BENCH_<name>.json per benchmark, and optionally gate "
+                    "against a committed baseline.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="benchmarks to run: 'kernel' and/or scenario names "
+             "(default: kernel + every registered scenario)",
+    )
+    parser.add_argument("--preset", choices=SCALE_NAMES, default="quick",
+                        help="scale preset (default: quick)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="repeats per benchmark; the median-throughput repeat is recorded")
+    parser.add_argument("--out-dir", default=".", metavar="DIR",
+                        help="directory for BENCH_<name>.json artifacts")
+    parser.add_argument("--against", metavar="PATH",
+                        help="baseline file to compare events/sec against")
+    parser.add_argument("--max-regression", default="10%", metavar="PCT",
+                        help="tolerated events/sec drop vs baseline "
+                             "(default: 10%%)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="also write all records as a combined baseline")
+
+
 def build_parser() -> argparse.ArgumentParser:
     load_builtin()
     parser = argparse.ArgumentParser(
@@ -123,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_scenario_parser(sub, scenario)
     sub.add_parser("list", help="catalogue of registered scenarios")
     _add_sweep_parser(sub)
+    _add_bench_parser(sub)
     return parser
 
 
@@ -177,8 +211,78 @@ def _run_scenario(args) -> int:
         f"{run['scenario']},{run['scale']},{run['seed']},{name},{value!r}"
         for name, value in run["metrics"].items()
     ]
-    _persist(args, json.dumps(run, indent=2, sort_keys=True),
-             "\n".join(csv_lines) + "\n")
+    _persist(args, result.to_json(), "\n".join(csv_lines) + "\n")
+    return 0
+
+
+def _run_bench(args) -> int:
+    from repro.bench import (
+        bench_names,
+        compare_records,
+        load_baseline,
+        parse_regression,
+        run_bench,
+        write_baseline,
+        write_record,
+    )
+
+    try:
+        threshold = parse_regression(args.max_regression)
+        known = bench_names()
+        names = list(args.names) or known
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            raise KeyError(f"unknown benchmark(s) {unknown}; known: {known}")
+        if args.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"bench: {message}")
+
+    records = {}
+    for name in names:
+        record = run_bench(name, preset=args.preset, repeats=args.repeats)
+        path = write_record(record, args.out_dir)
+        stats = record.stats
+        print(
+            f"{name:<10} {stats.events_processed:>10} events  "
+            f"{stats.wall_time_s:>8.3f}s  {stats.events_per_sec:>12,.0f} ev/s  "
+            f"peak queue {stats.peak_queue_depth}  -> {path}"
+        )
+        records[name] = record
+
+    if args.write_baseline:
+        path = write_baseline(list(records.values()), args.write_baseline,
+                              preset=args.preset)
+        print(f"baseline ({len(records)} entr{'y' if len(records) == 1 else 'ies'}) -> {path}")
+
+    if args.against:
+        try:
+            baseline = load_baseline(args.against)
+            comparisons = compare_records(records, baseline, threshold)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"bench: {error}")
+        if not comparisons:
+            # an --against gate that compared nothing must not pass green
+            print(f"bench: no benchmarks in common with {args.against}; "
+                  "the gate compared nothing", file=sys.stderr)
+            return 1
+        failed = False
+        for comparison in comparisons:
+            verdict = "REGRESSED" if comparison.regressed else "ok"
+            print(
+                f"{comparison.name:<10} baseline {comparison.baseline_eps:>12,.0f} ev/s  "
+                f"now {comparison.current_eps:>12,.0f} ev/s  "
+                f"{comparison.delta:+.1%}  {verdict}"
+            )
+            failed = failed or comparison.regressed
+        if failed:
+            print(
+                f"bench: events/sec regression beyond "
+                f"{threshold:.0%} vs {args.against}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -224,6 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "bench":
+        return _run_bench(args)
     return _run_scenario(args)
 
 

@@ -18,7 +18,12 @@ from repro.analysis.report import render_kv
 from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
 from repro.scenarios.presets import FULL, QUICK, SMOKE
 from repro.workloads.lambda_model import LambdaPerformanceModel
-from repro.workloads.sebs import SeBSFunction, build_sebs_functions, time_invocations
+from repro.workloads.sebs import (
+    SeBSFunction,
+    build_sebs_functions,
+    model_invocations,
+    time_invocations,
+)
 
 
 @dataclass
@@ -66,13 +71,24 @@ def run_fig7(
     invocations: int = 200,
     graph_size: int = 40000,
     memory_mb: float = 2048.0,
+    synthetic: bool = False,
 ) -> Fig7Result:
-    """Time the kernels for real; synthesize the Lambda comparison."""
+    """Time the kernels for real; synthesize the Lambda comparison.
+
+    With ``synthetic=True`` the node side comes from the calibrated
+    timing model instead of the host clock, making the whole run
+    byte-reproducible (used by golden-trace tests and sweeps).
+    """
     rng = np.random.default_rng(seed)
     model = LambdaPerformanceModel()
     result = Fig7Result(memory_mb=memory_mb)
     for function in build_sebs_functions(rng, graph_size=graph_size):
-        local_times = time_invocations(function, invocations)
+        if synthetic:
+            local_times = model_invocations(
+                function.name, invocations, graph_size, rng
+            )
+        else:
+            local_times = time_invocations(function, invocations)
         lambda_times = model.execution_times(local_times, memory_mb, rng)
         result.rows.append(
             Fig7Row(
@@ -102,12 +118,17 @@ def run_fig7(
         Param("graph_size", int, FULL.sebs_graph,
               scale={"quick": QUICK.sebs_graph, "smoke": SMOKE.sebs_graph},
               help="graph size for the SeBS kernels"),
+        Param("synthetic", bool, False,
+              help="model the node side instead of timing it live "
+                   "(byte-reproducible; used by golden-trace tests)"),
     ),
 )
 def fig7_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Note: the node side is timed live, so metrics are not bit-reproducible."""
+    """Note: the node side is timed live (unless ``synthetic``), so
+    default metrics are not bit-reproducible."""
     result = run_fig7(seed=spec.seed, invocations=spec.params["invocations"],
-                      graph_size=spec.params["graph_size"])
+                      graph_size=spec.params["graph_size"],
+                      synthetic=spec.params["synthetic"])
     metrics: Dict[str, float] = {}
     for row in result.rows:
         metrics[f"{row.function}_advantage"] = row.advantage

@@ -31,6 +31,7 @@ from repro.scenarios.sweep import (
     SweepSpec,
     derive_run_seed,
     expand_grid,
+    reset_run_state,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "get_preset",
     "load_builtin",
     "register",
+    "reset_run_state",
 ]

@@ -77,3 +77,13 @@ class ScenarioResult:
             "params": {k: self.spec.params[k] for k in sorted(self.spec.params)},
             "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
         }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering of :meth:`to_dict`.
+
+        Deterministic for a deterministic scenario — the golden-trace
+        tests under ``tests/golden/`` assert this output byte-for-byte.
+        """
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)

@@ -208,8 +208,15 @@ def aggregate_metrics(runs: Sequence[Mapping[str, float]]) -> Dict[str, Dict[str
     return aggregates
 
 
-def _reset_run_state() -> None:
-    """Reset global id counters so runs are order-independent."""
+def reset_run_state() -> None:
+    """Reset global id counters so runs are order-independent.
+
+    Public shared infrastructure: the sweep executor calls it before
+    every replicate, the bench harness before every benchmark repeat,
+    and the golden-trace tests before every golden run — all three need
+    the same guarantee that a run's output never depends on what ran
+    before it in the same process.
+    """
     from repro.cluster.job import reset_job_ids
     from repro.faas.messages import reset_activation_ids
     from repro.hpcwhisk.pilot import reset_pilot_ids
@@ -239,7 +246,7 @@ def execute_run_in(
     scale: str,
 ) -> Tuple[Dict[str, float], int]:
     """Run one scenario once and return ``(metrics, worker pid)``."""
-    _reset_run_state()
+    reset_run_state()
     result = registry.run(scenario, overrides, scale=scale)
     return dict(result.metrics), os.getpid()
 

@@ -1,16 +1,30 @@
-"""The simulation environment: clock, event heap, and run loop."""
+"""The simulation environment: clock, event heap, and run loop.
+
+The run loop is the hottest code in the repository — every simulated
+request, pilot job, and sampler tick flows through it — so it is written
+for speed: event classes are imported once at module scope, the
+:class:`Environment` is slotted, and :meth:`Environment.run` pops the
+heap with locally bound functions instead of going through
+:meth:`Environment.step` per event.
+
+The environment also keeps cheap throughput counters
+(:attr:`Environment.events_processed`, :attr:`Environment.peak_queue_depth`)
+and flushes them into the process-wide :data:`KERNEL_TOTALS` aggregate at
+the end of every ``run()``/``step()``, which is what
+:mod:`repro.bench.instrument` reads to turn wall time into events/sec.
+"""
 
 from __future__ import annotations
 
-import heapq
-from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from repro.sim.events import Event, Timeout
-    from repro.sim.process import Process
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
 
 #: Simulated time.  One unit is one second throughout this code base.
 SimTime = float
+
+_INF = float("inf")
 
 
 class StopSimulation(Exception):
@@ -25,6 +39,34 @@ class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
+class KernelTotals:
+    """Process-wide kernel counters, summed across all environments.
+
+    Every :meth:`Environment.run` (and every direct :meth:`Environment.step`)
+    adds its work here, so a probe can measure the event throughput of a
+    whole scenario run without holding references to the environments it
+    creates internally.  See :class:`repro.bench.instrument.KernelProbe`.
+    """
+
+    __slots__ = ("events_processed", "events_scheduled", "peak_queue_depth")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.events_processed = 0
+        self.events_scheduled = 0
+        self.peak_queue_depth = 0
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """``(events_processed, events_scheduled, peak_queue_depth)``."""
+        return (self.events_processed, self.events_scheduled, self.peak_queue_depth)
+
+
+#: the one process-wide aggregate (reset it via ``KERNEL_TOTALS.reset()``)
+KERNEL_TOTALS = KernelTotals()
+
+
 class Environment:
     """A discrete-event simulation environment.
 
@@ -33,13 +75,35 @@ class Environment:
     sequence number makes the ordering total and deterministic: two events
     scheduled for the same instant at the same priority fire in the order
     they were scheduled, which every test in this repository relies on.
+
+    Scheduled events can be withdrawn with :meth:`cancel`: the heap entry
+    is tombstoned and silently discarded when it reaches the front of the
+    heap.  ``len(env)``, :meth:`peek`, and :attr:`peak_queue_depth` agree
+    on this: all count only live (non-cancelled) entries.
     """
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_eid_flushed",
+        "_active_process",
+        "_cancelled",
+        "events_processed",
+        "peak_queue_depth",
+    )
 
     def __init__(self, initial_time: SimTime = 0.0) -> None:
         self._now: SimTime = float(initial_time)
-        self._queue: list[tuple[SimTime, int, int, "Event"]] = []
+        self._queue: List[Tuple[SimTime, int, int, Event]] = []
         self._eid: int = 0
+        self._eid_flushed: int = 0
         self._active_process: Optional["Process"] = None
+        self._cancelled: set = set()
+        #: events processed by this environment's run loop so far
+        self.events_processed: int = 0
+        #: largest queue depth observed while processing events
+        self.peak_queue_depth: int = 0
 
     # ------------------------------------------------------------------
     # clock & introspection
@@ -54,24 +118,39 @@ class Environment:
         """The process whose generator is currently executing, if any."""
         return self._active_process
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled into this environment."""
+        return self._eid
+
     def peek(self) -> SimTime:
-        """Time of the next scheduled event, or ``float('inf')`` if none."""
-        while self._queue:
-            when, _prio, _eid, event = self._queue[0]
-            if event is not None:
-                return when
-            heapq.heappop(self._queue)
-        return float("inf")
+        """Time of the next live scheduled event, or ``float('inf')``.
+
+        Cancelled (tombstoned) entries at the front of the heap are
+        garbage-collected on the way.
+        """
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            when, _prio, _eid, event = queue[0]
+            if cancelled and event in cancelled:
+                _heappop(queue)
+                cancelled.discard(event)
+                event._queued = False
+                continue
+            return when
+        return _INF
 
     def __len__(self) -> int:
-        return len(self._queue)
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._queue) - len(self._cancelled)
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(
         self,
-        event: "Event",
+        event: Event,
         delay: SimTime = 0.0,
         priority: int = 1,
     ) -> None:
@@ -83,58 +162,90 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        event._queued = True
+        _heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a scheduled event so it is discarded unprocessed.
+
+        The entry stays in the heap as a tombstone and is dropped when it
+        surfaces; :meth:`__len__` and :meth:`peek` stop counting it
+        immediately.  Returns ``True`` if the event was live in the queue
+        and is now cancelled, ``False`` otherwise (never scheduled,
+        scheduled elsewhere, already processed, already cancelled, or
+        failed).
+
+        Cancellation means the occurrence never happens: the event's
+        callbacks never run, so anything waiting on it is never resumed —
+        retract only events whose waiters you control (the typical use is
+        withdrawing a pending :class:`Timeout` wakeup).  Failed events
+        are refused outright: an un-defused failure must crash the run,
+        and cancelling it would silently swallow the exception.
+        """
+        if (
+            event.env is not self
+            or not event._queued
+            or event._processed
+            or event._ok is False
+            or event in self._cancelled
+        ):
+            return False
+        self._cancelled.add(event)
+        return True
 
     # ------------------------------------------------------------------
     # event/process factories (convenience mirrors of simpy's API)
     # ------------------------------------------------------------------
-    def event(self) -> "Event":
-        from repro.sim.events import Event
-
+    def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: SimTime, value: Any = None) -> "Timeout":
-        from repro.sim.events import Timeout
-
+    def timeout(self, delay: SimTime, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> "Process":
-        from repro.sim.process import Process
-
         return Process(self, generator)
 
-    def all_of(self, events: Iterable["Event"]) -> "Event":
-        from repro.sim.events import AllOf
-
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, list(events))
 
-    def any_of(self, events: Iterable["Event"]) -> "Event":
-        from repro.sim.events import AnyOf
-
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, list(events))
 
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event.
+        """Process the single next live event.
 
         Advances the clock to the event's scheduled time, marks the event
-        processed and invokes its callbacks.  Raises :class:`EmptySchedule`
-        if nothing is queued.
+        processed and invokes its callbacks.  Cancelled entries are
+        discarded on the way.  Raises :class:`EmptySchedule` if nothing
+        live is queued.
         """
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        cancelled = self._cancelled
+        while True:
+            depth = len(queue) - len(cancelled)
+            try:
+                when, _prio, _eid, event = _heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            if cancelled and event in cancelled:
+                cancelled.discard(event)
+                event._queued = False
+                continue
+            break
         if when < self._now:  # pragma: no cover - defensive; cannot happen
             raise RuntimeError("event scheduled in the past")
         self._now = when
-        event._mark_processed()
+        event._processed = True
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if event.failed and not event.defused:
+        try:
+            for callback in callbacks:
+                callback(event)
+        finally:
+            self._flush_counters(1, depth)
+        if event._ok is False and not event.defused:
             raise event.value
 
     def run(self, until: "SimTime | Event | None" = None) -> Any:
@@ -145,8 +256,6 @@ class Environment:
         * ``until=<Event>`` — run until that event settles and return its
           value (raising if the event failed).
         """
-        from repro.sim.events import Event
-
         stop_event: Optional[Event] = None
         if until is None:
             pass
@@ -168,14 +277,36 @@ class Environment:
             self.schedule(stop_event, delay=horizon - self._now, priority=0)
             stop_event.callbacks.append(self._stop_callback)
 
+        # Tight loop: everything the per-event path touches is a local.
+        queue = self._queue
+        cancelled = self._cancelled
+        pop = _heappop
+        processed = 0
+        peak = 0
         try:
-            while True:
-                try:
-                    self.step()
-                except EmptySchedule:
-                    break
+            while queue:
+                depth = len(queue) - len(cancelled)
+                if depth > peak:
+                    peak = depth
+                when, _prio, _eid, event = pop(queue)
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    event._queued = False
+                    continue
+                self._now = when
+                event._processed = True
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False:
+                    if not event.defused:
+                        raise event._value
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self._flush_counters(processed, peak)
 
         if stop_event is not None and not stop_event.processed:
             # Queue drained before the stop event fired.
@@ -183,8 +314,26 @@ class Environment:
                 raise RuntimeError("simulation ended before `until` event")
         return None
 
+    def _flush_counters(self, processed: int, peak: int) -> None:
+        """Fold a run's work into this env and the process-wide totals."""
+        self.events_processed += processed
+        if peak > self.peak_queue_depth:
+            self.peak_queue_depth = peak
+        totals = KERNEL_TOTALS
+        totals.events_processed += processed
+        totals.events_scheduled += self._eid - self._eid_flushed
+        self._eid_flushed = self._eid
+        if peak > totals.peak_queue_depth:
+            totals.peak_queue_depth = peak
+
     @staticmethod
-    def _stop_callback(event: "Event") -> None:
+    def _stop_callback(event: Event) -> None:
         if event.failed:
             raise event.value
         raise StopSimulation(event.value)
+
+
+# Imported last: process.py needs events but not core at runtime; keeping
+# the import at the bottom lets `repro.sim.process` import cleanly even if
+# a user imports it before `repro.sim.core`.
+from repro.sim.process import Process  # noqa: E402  (deliberate, see above)

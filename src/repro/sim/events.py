@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,7 +25,9 @@ class Event:
     :meth:`succeed` or :meth:`fail`.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "defused")
+    __slots__ = (
+        "env", "callbacks", "_value", "_ok", "_processed", "_queued", "defused"
+    )
 
     #: sentinel for "no value yet"
     PENDING = object()
@@ -37,6 +40,8 @@ class Event:
         self._value: Any = Event.PENDING
         self._ok: Optional[bool] = None
         self._processed = False
+        #: set by Environment.schedule; cleared again only on cancellation
+        self._queued = False
         #: if True, an un-waited-on failure will not crash the run loop
         self.defused = False
 
@@ -75,7 +80,12 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        # Inlined env.schedule(self, priority=priority): settling an
+        # event is a kernel hot path (every process step ends here).
+        env = self.env
+        env._eid += 1
+        self._queued = True
+        _heappush(env._queue, (env._now, priority, env._eid, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = EventPriority.NORMAL) -> "Event":
@@ -95,9 +105,6 @@ class Event:
             self.succeed(event._value)
         else:
             self.fail(event._value)
-
-    def _mark_processed(self) -> None:
-        self._processed = True
 
     # -- composition ----------------------------------------------------
     def __and__(self, other: "Event") -> "AllOf":
@@ -123,11 +130,18 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: "SimTime", value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__ + env.schedule — one less call each on
+        # the hottest allocation path (every simulated wait is a Timeout).
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._processed = False
+        self._queued = True
+        self.defused = False
+        self.delay = delay
+        env._eid += 1
+        _heappush(env._queue, (env._now + delay, 1, env._eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Timeout delay={self.delay}>"

@@ -4,11 +4,18 @@ A :class:`Monitor` samples arbitrary callables on a fixed cadence and
 keeps aligned time series — the in-simulation equivalent of a metrics
 scraper.  Examples use it to build Fig 5a-style live series without
 post-processing logs.
+
+Samples are stored in compact ``array('d')`` buffers (8 bytes per
+sample, C-contiguous) rather than Python lists of boxed floats: the
+``append`` coerces to double in C, so the sampling loop does no
+per-sample ``float()`` calls, and :meth:`Monitor.series` exposes the
+buffers to numpy without copying element objects.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from array import array
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -25,8 +32,10 @@ class Monitor:
         self.env = env
         self.interval = interval
         self._probes: Dict[str, Callable[[], float]] = {}
-        self.times: List[float] = []
-        self.samples: Dict[str, List[float]] = {}
+        #: sample timestamps, one per sampling tick (float64 buffer)
+        self.times: array = array("d")
+        #: probe name -> float64 sample buffer, aligned with :attr:`times`
+        self.samples: Dict[str, array] = {}
         self._proc = None
 
     def probe(self, name: str, fn: Callable[[], float]) -> "Monitor":
@@ -34,7 +43,7 @@ class Monitor:
         if self._proc is not None:
             raise RuntimeError("cannot add probes after start()")
         self._probes[name] = fn
-        self.samples[name] = []
+        self.samples[name] = array("d")
         return self
 
     def start(self) -> "Monitor":
@@ -51,25 +60,34 @@ class Monitor:
 
     def _run(self):
         env = self.env
+        interval = self.interval
+        times_append = self.times.append
+        # array('d').append coerces to C double itself — no float() per sample
+        probes: List[Tuple[Callable[[float], None], Callable[[], float]]] = [
+            (self.samples[name].append, fn) for name, fn in self._probes.items()
+        ]
         try:
             while True:
-                self.times.append(env.now)
-                for name, fn in self._probes.items():
-                    self.samples[name].append(float(fn()))
-                yield env.timeout(self.interval)
+                times_append(env.now)
+                for append, fn in probes:
+                    append(fn())
+                yield env.timeout(interval)
         except Interrupt:
             return
 
     # ------------------------------------------------------------------
     def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
-        """(times, values) for one probe."""
+        """(times, values) for one probe, as float64 arrays."""
         if name not in self.samples:
             raise KeyError(f"unknown probe {name!r}")
-        return np.asarray(self.times), np.asarray(self.samples[name])
+        return (
+            np.asarray(self.times, dtype=np.float64),
+            np.asarray(self.samples[name], dtype=np.float64),
+        )
 
     def mean(self, name: str) -> float:
         values = self.samples.get(name)
-        if not values:
+        if not len(values or ()):
             return float("nan")
         return float(np.mean(values))
 

@@ -192,3 +192,30 @@ def time_invocations(function: SeBSFunction, count: int) -> np.ndarray:
         function.run()
         times[i] = time.perf_counter() - start
     return times
+
+
+#: modeled warm per-vertex cost of each kernel on the reference node, s
+_NOMINAL_COST_PER_VERTEX: Dict[str, float] = {
+    "bfs": 55e-9,
+    "mst": 160e-9,
+    "pagerank": 110e-9,
+}
+
+
+def model_invocations(
+    name: str, count: int, graph_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Deterministic stand-in for :func:`time_invocations`.
+
+    Draws warm execution times from a calibrated lognormal model instead
+    of the host clock, so runs are byte-reproducible for a given seed —
+    this is what ``fig7 --synthetic`` and the golden-trace tests use.
+    """
+    try:
+        base = _NOMINAL_COST_PER_VERTEX[name] * graph_size
+    except KeyError:
+        raise KeyError(
+            f"no timing model for SeBS function {name!r}; "
+            f"known: {sorted(_NOMINAL_COST_PER_VERTEX)}"
+        ) from None
+    return base * rng.lognormal(mean=0.0, sigma=0.03, size=count)

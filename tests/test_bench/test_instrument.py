@@ -1,0 +1,145 @@
+"""Tests for the kernel counters and the KernelProbe."""
+
+import pytest
+
+from repro.bench import KernelProbe
+from repro.sim import Environment
+from repro.sim.core import KERNEL_TOTALS
+
+
+def test_environment_counts_processed_events(env):
+    for i in range(10):
+        env.timeout(float(i))
+    env.run()
+    assert env.events_processed == 10
+    assert env.events_scheduled == 10
+    assert env.peak_queue_depth == 10
+
+
+def test_cancelled_events_are_not_counted_as_processed(env):
+    timeouts = [env.timeout(1.0) for _ in range(6)]
+    for victim in timeouts[::2]:
+        env.cancel(victim)
+    env.run()
+    assert env.events_processed == 3
+    assert env.events_scheduled == 6
+
+
+def test_step_updates_counters_like_run(env):
+    env.timeout(1.0)
+    env.timeout(2.0)
+    env.step()
+    assert env.events_processed == 1
+    env.step()
+    assert env.events_processed == 2
+
+
+def test_totals_aggregate_across_environments():
+    before = KERNEL_TOTALS.snapshot()
+    for _ in range(2):
+        env = Environment()
+        for i in range(5):
+            env.timeout(float(i))
+        env.run()
+    after = KERNEL_TOTALS.snapshot()
+    assert after[0] - before[0] == 10
+    assert after[1] - before[1] == 10
+
+
+def test_probe_measures_only_its_window():
+    env = Environment()
+    for i in range(7):
+        env.timeout(float(i))
+    env.run()  # outside the window
+
+    with KernelProbe() as probe:
+        inner = Environment()
+        for i in range(4):
+            inner.timeout(float(i))
+        inner.run()
+    stats = probe.stats
+    assert stats.events_processed == 4
+    assert stats.events_scheduled == 4
+    assert stats.peak_queue_depth == 4
+    assert stats.wall_time_s > 0
+    assert stats.events_per_sec > 0
+
+
+def test_probe_window_peak_is_not_inherited():
+    big = Environment()
+    for i in range(100):
+        big.timeout(float(i))
+    big.run()  # drives the process-wide peak to >= 100
+
+    with KernelProbe() as probe:
+        small = Environment()
+        for i in range(3):
+            small.timeout(float(i))
+        small.run()
+    assert probe.stats.peak_queue_depth == 3
+    # monotonicity restored for any enclosing observer
+    assert KERNEL_TOTALS.peak_queue_depth >= 100
+
+
+def test_probe_misuse_raises():
+    probe = KernelProbe()
+    with pytest.raises(RuntimeError):
+        probe.stop()
+    probe.start()
+    with pytest.raises(RuntimeError):
+        probe.start()
+    probe.stop()
+
+
+def test_empty_window_has_zero_throughput():
+    with KernelProbe() as probe:
+        pass
+    assert probe.stats.events_processed == 0
+    assert probe.stats.events_per_sec == 0.0
+
+
+def test_peek_tombstone_gc_does_not_allow_double_cancel(env):
+    """Regression: peek() GC must retire the tombstone completely."""
+    timeout = env.timeout(5.0)
+    assert env.cancel(timeout)
+    assert env.peek() == float("inf")  # pops + discards the tombstone
+    assert not env.cancel(timeout)     # a second cancel is refused
+    assert len(env) == 0
+    env.run()
+    assert len(env) == 0 and not timeout.processed
+
+
+def test_cancel_rejects_events_of_other_environments(env):
+    other = Environment()
+    timeout = other.timeout(1.0)
+    assert not env.cancel(timeout)
+    assert len(env) == 0 and len(other) == 1
+    other.run()
+    assert timeout.processed
+
+
+def test_peak_queue_depth_excludes_tombstones(env):
+    """peak_queue_depth counts live entries, like len() and peek()."""
+    timeouts = [env.timeout(1.0 + i) for i in range(10)]
+    for victim in timeouts[4:]:
+        env.cancel(victim)
+    env.run()
+    assert env.peak_queue_depth == 4
+    assert env.events_processed == 4
+
+
+def test_cancel_refuses_failed_events(env):
+    """A failed event's exception must propagate, never be cancelled away."""
+    event = env.event()
+    event.fail(ValueError("boom"))
+    assert not env.cancel(event)
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_cancel_of_succeeded_event_discards_its_delivery(env):
+    event = env.event()
+    event.succeed(42)
+    assert env.cancel(event)
+    env.run()
+    assert not event.processed and len(env) == 0

@@ -1,0 +1,71 @@
+"""Golden-trace regression tests: every scenario, byte-identical.
+
+Each registered experiment is run at the ``smoke`` preset with its
+default seed (fig7 in ``--synthetic`` mode, since its live-timed node
+side is the one deliberately non-reproducible path) and its
+``ScenarioResult.to_json()`` output is compared **byte for byte**
+against the committed file under ``tests/golden/``.
+
+This is the contract that lets the kernel fast path evolve: any change
+to event ordering, RNG stream consumption, or float arithmetic in the
+simulation shows up here as a diff, so a performance PR provably
+changes no experimental results.
+
+To refresh after an *intentional* result change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden -q
+
+then commit the rewritten ``tests/golden/*.json`` and explain the diff
+in the PR.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.registry import REGISTRY, load_builtin
+from repro.scenarios.sweep import reset_run_state
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: per-scenario overrides needed to make the run byte-reproducible
+GOLDEN_OVERRIDES = {"fig7": {"synthetic": True}}
+
+GOLDEN_SCALE = "smoke"
+
+load_builtin()
+
+
+def _golden_payload(name: str) -> str:
+    reset_run_state()
+    result = REGISTRY.run(name, GOLDEN_OVERRIDES.get(name, {}), scale=GOLDEN_SCALE)
+    return result.to_json() + "\n"
+
+
+def test_every_scenario_has_a_golden_trace():
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(REGISTRY.names())
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_golden_trace_byte_identical(name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    payload = _golden_payload(name)
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(payload)
+        pytest.skip(f"regenerated {golden_path}")
+    assert golden_path.exists(), (
+        f"missing golden trace {golden_path}; generate with "
+        "REPRO_REGEN_GOLDEN=1 pytest tests/test_golden -q"
+    )
+    assert payload == golden_path.read_text(), (
+        f"{name}: smoke-run output diverged from {golden_path}; if the "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_golden_run_is_deterministic_within_process():
+    """Two back-to-back runs agree — guards the reset machinery itself."""
+    assert _golden_payload("fig3") == _golden_payload("fig3")

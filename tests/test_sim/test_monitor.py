@@ -68,3 +68,59 @@ def test_monitor_validation(env):
     with pytest.raises(KeyError):
         monitor.series("nope")
     assert np.isnan(monitor.mean("x"))  # no samples yet (env not run)
+
+
+def test_monitor_buffers_are_float64(env):
+    """Post-optimization storage: compact double buffers, float64 out."""
+    from array import array
+
+    counter = iter(range(100))
+    monitor = Monitor(env, interval=1.0).probe("n", lambda: next(counter)).start()
+    env.run(until=4.5)
+    assert isinstance(monitor.times, array)
+    assert monitor.times.typecode == "d"
+    assert monitor.samples["n"].typecode == "d"
+    times, values = monitor.series("n")
+    assert times.dtype == np.float64
+    assert values.dtype == np.float64
+    # int probe values were coerced to double on append
+    assert values.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_monitor_interrupt_stops_sampling_cleanly(env):
+    monitor = Monitor(env, interval=2.0).probe("t", lambda: env.now).start()
+    env.run(until=5.0)
+    monitor._proc.interrupt("external")  # a direct interrupt, not stop()
+    env.run(until=20.0)
+    assert len(monitor) == 3  # t = 0, 2, 4
+    assert not monitor._proc.is_alive
+
+
+def test_monitor_stop_before_start_is_noop(env):
+    monitor = Monitor(env, interval=1.0).probe("x", lambda: 0.0)
+    monitor.stop()  # never started: nothing to interrupt
+    assert len(monitor) == 0
+
+
+def test_monitor_double_stop_is_safe(env):
+    monitor = Monitor(env, interval=1.0).probe("x", lambda: 1.0).start()
+    env.run(until=2.5)
+    monitor.stop()
+    env.run(until=3.5)
+    monitor.stop()  # second stop on a dead process: no InterruptError
+    env.run(until=10.0)
+    assert len(monitor) == 3
+
+
+def test_monitor_probe_alignment_when_stopped(env):
+    """All probe series stay the same length however sampling ends."""
+    monitor = (
+        Monitor(env, interval=3.0)
+        .probe("a", lambda: env.now)
+        .probe("b", lambda: -env.now)
+        .start()
+    )
+    env.run(until=7.0)
+    monitor.stop()
+    env.run(until=30.0)
+    assert len(monitor.times) == len(monitor.samples["a"]) == len(monitor.samples["b"])
