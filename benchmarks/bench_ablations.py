@@ -9,41 +9,45 @@ import numpy as np
 import pytest
 
 from repro.analysis.coverage import CoverageSimulator
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
 from repro.cluster import JobSpec, SlurmConfig
-from repro.faas import ActivationStatus, FaaSConfig, FunctionDef
+from repro.faas import ActivationStatus
 from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
 from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
-from repro.workloads.gatling import GatlingClient
 from repro.workloads.idleness import IdlenessTraceGenerator
 from repro.workloads.hpc_trace import trace_to_prime_jobs
 
 
 def _churn_run(use_fast_lane: bool, horizon: float = 3600.0, seed: int = 99):
     """A small cluster under heavy pilot churn with constant load."""
-    faas = FaaSConfig(use_fast_lane=use_fast_lane)
-    config = HPCWhiskConfig(
-        supply_model=SupplyModel.FIB,
-        length_set=JobLengthSet("churn", (2, 4)),  # short pilots: max churn
-        queue_per_length=8,
-        faas=faas,
+    stack = Stack(
+        cluster=ClusterSpec(nodes=8),
+        supply=SupplySpec(
+            "fib",
+            length_set=JobLengthSet("churn", (2, 4)),  # short pilots: max churn
+            queue_per_length=8,
+        ),
+        middleware=MiddlewareSpec(use_fast_lane=use_fast_lane),
+        workloads=(
+            WorkloadSpec(
+                "idleness-trace", outage_share=0.0, min_intensity=4.0
+            ),
+            WorkloadSpec("gatling", qps=2.0, functions=20, duration=2.0),
+        ),
+        probes=(ProbeSpec("gatling-report"),),
+        seed=seed,
+        horizon=horizon,
+        run_extra=120.0,
+        name="fastlane-churn",
     )
-    system = build_system(config, SlurmConfig(num_nodes=8), seed=seed)
-    env = system.env
-    trace = IdlenessTraceGenerator(
-        system.streams.stream("trace"), num_nodes=8,
-        outage_share=0.0, min_intensity=4.0,
-    ).generate(horizon)
-    trace_to_prime_jobs(trace, system.streams.stream("lead")).submit_all(env, system.slurm)
-    functions = [FunctionDef(name=f"f{i}", duration=2.0) for i in range(20)]
-    for function in functions:
-        system.controller.deploy(function)
-    client = GatlingClient(
-        env, system.client, [f.name for f in functions],
-        rate_per_second=2.0, duration=2.0, rng=system.streams.stream("gatling"),
-    )
-    client.start(horizon)
-    env.run(until=horizon + 120)
-    return client.report
+    return stack.run().artifacts["gatling-report"]
 
 
 def test_ablation_fastlane(benchmark, kernel_stats):

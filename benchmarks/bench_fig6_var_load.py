@@ -5,7 +5,6 @@ Paper anchors (var day): only 78.28% of requests accepted (21.72% → 503),
 the fib day on acceptance and latency, similar on success-of-accepted.
 """
 
-import numpy as np
 
 from repro.analysis.metrics import cdf
 from repro.experiments.day import DayConfig, run_day

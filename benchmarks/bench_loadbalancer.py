@@ -3,78 +3,56 @@
 OpenWhisk's hash-by-name routing maximizes warm-container reuse; spreading
 strategies trade warm hits for balance.  With many distinct functions and
 bounded container pools, affinity should show a higher warm-hit ratio.
+
+Each strategy is one :class:`repro.api.Stack`: a static invoker fleet
+(no pilot churn) + the middleware with the balancer under test + the
+Gatling client, measured by the ``loadbalancer-stats`` probe.
 """
 
-import numpy as np
-
-from repro.faas import Broker, Controller, FaaSConfig, FunctionDef, Invoker
-from repro.faas.loadbalancer import HashAffinity, LeastLoaded, RoundRobin
-from repro.sim import Environment, Interrupt
-from repro.workloads.gatling import GatlingClient
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
 
 
 def run_with_balancer(balancer, horizon=1800.0, num_invokers=4, num_functions=39):
     # num_functions is chosen coprime with num_invokers: otherwise the
     # open-loop client's round-robin over functions aliases with a
     # round-robin balancer and accidentally produces perfect affinity.
-    env = Environment()
-    config = FaaSConfig(system_overhead=0.05, max_containers=12)
-    broker = Broker(env, publish_latency=config.publish_latency)
-    controller = Controller(
-        env, broker, config=config, rng=np.random.default_rng(0), load_balancer=balancer
+    stack = Stack(
+        cluster=ClusterSpec(nodes=num_invokers),
+        supply=SupplySpec("static", invokers=num_invokers),
+        middleware=MiddlewareSpec(
+            balancer=balancer, system_overhead=0.05, max_containers=12
+        ),
+        workloads=(
+            WorkloadSpec("gatling", qps=8.0, functions=num_functions, duration=0.05),
+        ),
+        probes=(ProbeSpec("loadbalancer-stats"), ProbeSpec("gatling-report")),
+        seed=0,
+        horizon=horizon,
+        run_extra=60.0,
+        name=f"balancer-{balancer}",
     )
-    functions = [FunctionDef(name=f"f{i:02d}", duration=0.05) for i in range(num_functions)]
-    for function in functions:
-        controller.deploy(function)
-
-    invokers = []
-    for index in range(num_invokers):
-        invoker = Invoker(
-            env, f"inv-{index}", f"n{index:04d}", broker, controller.registry,
-            config=config, rng=np.random.default_rng(index + 1),
-        )
-        invokers.append(invoker)
-
-        def lifecycle(env, inv=invoker):
-            yield from inv.register()
-            try:
-                yield from inv.serve()
-            except Interrupt:
-                yield from inv.drain()
-
-        env.process(lifecycle(env))
-
-    client = GatlingClient(
-        env, controller_client(controller), [f.name for f in functions],
-        rate_per_second=8.0, duration=0.05, rng=np.random.default_rng(99),
-    )
-    client.start(horizon)
-    env.run(until=horizon + 60)
-    cold = sum(inv.pool.cold_starts for inv in invokers)
-    warm = sum(inv.pool.warm_hits for inv in invokers)
+    report = stack.run()
     return {
-        "balancer": balancer.name,
-        "warm_ratio": warm / max(warm + cold, 1),
-        "median_ms": client.report.response_time_percentile(50) * 1000,
-        "success": client.report.success_share_of_invoked,
+        "balancer": balancer,
+        "warm_ratio": report.metrics["warm_ratio"],
+        "median_ms": report.metrics["median_response_s"] * 1000,
+        "success": report.metrics["success_of_accepted_share"],
     }
-
-
-def controller_client(controller):
-    class _Client:
-        def invoke(self, function, params=None, duration=None):
-            result = yield from controller.invoke(function, params=params, duration=duration)
-            return result
-
-    return _Client()
 
 
 def test_balancer_warm_hit_ablation(benchmark, kernel_stats):
     def sweep():
         return [
-            run_with_balancer(HashAffinity()),
-            run_with_balancer(RoundRobin()),
-            run_with_balancer(LeastLoaded()),
+            run_with_balancer("hash-affinity"),
+            run_with_balancer("round-robin"),
+            run_with_balancer("least-loaded"),
         ]
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

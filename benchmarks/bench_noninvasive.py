@@ -4,40 +4,38 @@ The paper claims pilot jobs *"never significantly dislodge HPC jobs"* —
 at most the drain time (≤ the 3-minute grace) of delay.  We run the same
 prime trace twice — with and without the HPC-Whisk supply — and compare
 prime-job wait times (sacct-style accounting).
+
+Both sides are one :class:`repro.api.Stack`: the baseline swaps the
+supply for ``none`` and drops the middleware, nothing else.
 """
 
-import numpy as np
-import pytest
-
-from repro.cluster import SlurmConfig, SlurmController
-from repro.cluster.accounting import prime_wait_comparison, render_sacct, summarize
-from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
-from repro.sim import Environment
-from repro.workloads.hpc_trace import trace_to_prime_jobs
-from repro.workloads.idleness import IdlenessTraceGenerator
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.cluster.accounting import prime_wait_comparison, render_sacct
 
 
 def run_prime_trace(with_whisk: bool, horizon: float, num_nodes: int, seed: int = 77):
-    if with_whisk:
-        system = build_system(
-            HPCWhiskConfig(supply_model=SupplyModel.FIB),
-            SlurmConfig(num_nodes=num_nodes),
-            seed=seed,
-        )
-        env, slurm, streams = system.env, system.slurm, system.streams
-    else:
-        from repro.sim import RandomStreams
-
-        env = Environment()
-        streams = RandomStreams(seed=seed)
-        slurm = SlurmController(env, SlurmConfig(num_nodes=num_nodes),
-                                rng=streams.stream("slurm"))
-    trace = IdlenessTraceGenerator(
-        streams.stream("trace"), num_nodes=num_nodes, min_intensity=4.0, outage_share=0.01
-    ).generate(horizon)
-    trace_to_prime_jobs(trace, streams.stream("lead")).submit_all(env, slurm)
-    env.run(until=horizon)
-    return summarize(slurm)
+    stack = Stack(
+        cluster=ClusterSpec(nodes=num_nodes),
+        supply=SupplySpec("fib") if with_whisk else SupplySpec("none"),
+        middleware=MiddlewareSpec() if with_whisk else None,
+        workloads=(
+            WorkloadSpec(
+                "idleness-trace", min_intensity=4.0, outage_share=0.01
+            ),
+        ),
+        probes=(ProbeSpec("accounting"),),
+        seed=seed,
+        horizon=horizon,
+        name="noninvasive" if with_whisk else "noninvasive-baseline",
+    )
+    return stack.run().artifacts["accounting"]
 
 
 def test_noninvasiveness(benchmark, kernel_stats, scale):

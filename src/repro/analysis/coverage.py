@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.analysis.metrics import percentile_summary, PercentileSummary, share_at_zero, time_weighted_counts
 from repro.hpcwhisk.lengths import JobLengthSet

@@ -7,7 +7,7 @@ figures, not just their summary statistics.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

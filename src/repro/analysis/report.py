@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping
 
 from repro.analysis.coverage import CoverageResult
 from repro.analysis.metrics import PercentileSummary

@@ -1,0 +1,75 @@
+"""Composable simulation API: declarative stack assembly.
+
+The paper's system is a *composition* — a Slurm cluster + a pilot-job
+supply + OpenWhisk-like middleware + load clients, measured from three
+perspectives.  This package makes that composition a first-class,
+declarative object instead of hand-rolled wiring inside each experiment
+module:
+
+* :class:`~repro.api.stack.Stack` — one experiment as data: a
+  :class:`ClusterSpec`, a :class:`SupplySpec`, a :class:`MiddlewareSpec`,
+  plus :class:`WorkloadSpec` s and :class:`ProbeSpec` s;
+* :data:`~repro.api.registry.COMPONENTS` + :func:`~repro.api.registry.component`
+  — the registry the specs resolve against (``repro compose --list``);
+* :class:`~repro.api.stack.SimulationReport` — uniform output whose
+  ``metrics`` merge every probe's flat ``name -> float`` output;
+* :func:`~repro.api.config.run_config` /
+  :func:`~repro.api.config.stack_from_config` — the YAML front door
+  behind ``repro run --config``.
+
+The ``day`` and ``fig3`` experiments are themselves expressed through
+this API, so composed stacks and the paper's experiments share one code
+path (and the golden-trace suite pins them byte-for-byte).
+"""
+
+from repro.api.config import (
+    config_mode,
+    load_config_file,
+    run_config,
+    stack_from_config,
+)
+from repro.api.registry import (
+    COMPONENTS,
+    Component,
+    ComponentRegistry,
+    component,
+    load_builtin_components,
+)
+from repro.api.stack import (
+    ClusterSpec,
+    ComponentSpec,
+    MiddlewareBuild,
+    MiddlewareSpec,
+    Probe,
+    ProbeSpec,
+    SimulationReport,
+    Stack,
+    StackContext,
+    SupplyBuild,
+    SupplySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "ClusterSpec",
+    "Component",
+    "ComponentRegistry",
+    "ComponentSpec",
+    "MiddlewareBuild",
+    "MiddlewareSpec",
+    "Probe",
+    "ProbeSpec",
+    "SimulationReport",
+    "Stack",
+    "StackContext",
+    "SupplyBuild",
+    "SupplySpec",
+    "WorkloadSpec",
+    "component",
+    "config_mode",
+    "load_builtin_components",
+    "load_config_file",
+    "run_config",
+    "stack_from_config",
+]

@@ -1,0 +1,402 @@
+"""Built-in cluster, supply, middleware, and workload components.
+
+Each factory mirrors the exact wiring the hand-written experiments used
+before the composable API existed — same constructor arguments, same
+named random streams, same attach order — so a stack assembled from
+these components is byte-identical to the historical code path (the
+golden-trace suite enforces this for ``day`` and ``fig3``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.registry import component
+from repro.api.stack import MiddlewareBuild, StackContext, SupplyBuild
+from repro.cluster.backfill import SchedulerConfig
+from repro.cluster.job import JobSpec
+from repro.cluster.slurmctld import SlurmConfig
+from repro.faas.functions import FunctionDef, sleep_functions
+from repro.faas.invoker import Invoker
+from repro.faas.loadbalancer import HashAffinity, LeastLoaded, RoundRobin
+from repro.hpcwhisk.config import SupplyModel
+from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, JobLengthSet
+from repro.sim import Interrupt
+from repro.workloads.gatling import GatlingClient
+from repro.workloads.hpc_trace import trace_to_prime_jobs
+from repro.workloads.idleness import IdlenessTraceGenerator
+
+LengthSetLike = Union[str, JobLengthSet, Sequence[float]]
+
+
+def resolve_length_set(value: LengthSetLike) -> JobLengthSet:
+    """Accept a catalogue name ("A1"), a custom minute list, or an instance."""
+    if isinstance(value, JobLengthSet):
+        return value
+    if isinstance(value, str):
+        try:
+            return JOB_LENGTH_SETS[value]
+        except KeyError:
+            raise KeyError(
+                f"unknown length set {value!r}; known: {sorted(JOB_LENGTH_SETS)}"
+            ) from None
+    minutes = []
+    for v in value:
+        if float(v) != int(v):
+            raise ValueError(f"length-set minutes must be whole, got {v!r}")
+        minutes.append(int(v))
+    return JobLengthSet("custom", tuple(minutes))
+
+
+def _resolve_scheduler(
+    scheduler: Union[SchedulerConfig, Mapping[str, Any], None]
+) -> SchedulerConfig:
+    if scheduler is None:
+        return SchedulerConfig()
+    if isinstance(scheduler, SchedulerConfig):
+        return scheduler
+    return SchedulerConfig(**dict(scheduler))
+
+
+# ---------------------------------------------------------------------------
+# cluster
+
+
+@component("cluster", "slurm", help="simulated Slurm cluster (main + whisk partitions)")
+def slurm_cluster(
+    nodes: int = 16,
+    node_cores: int = 24,
+    node_memory_mb: int = 131072,
+    kill_wait: float = 30.0,
+    scheduler: Union[SchedulerConfig, Mapping[str, Any], None] = None,
+) -> SlurmConfig:
+    """``scheduler`` takes a :class:`SchedulerConfig` or a mapping of its
+    fields (``bf_flex_interval``, ``max_flex_starts_per_pass``, …)."""
+    return SlurmConfig(
+        scheduler=_resolve_scheduler(scheduler),
+        kill_wait=kill_wait,
+        num_nodes=nodes,
+        node_cores=node_cores,
+        node_memory_mb=node_memory_mb,
+    )
+
+
+# ---------------------------------------------------------------------------
+# supply
+
+
+@component("supply", "fib", help="fixed-length pilot-job supply (Sec. III-D fib)")
+def fib_supply(
+    length_set: LengthSetLike = "A1",
+    queue_per_length: int = 10,
+    replenish_interval: float = 15.0,
+    max_queued: int = 100,
+) -> SupplyBuild:
+    return SupplyBuild(
+        whisk_kwargs={
+            "supply_model": SupplyModel.FIB,
+            "length_set": resolve_length_set(length_set),
+            "queue_per_length": queue_per_length,
+            "replenish_interval": replenish_interval,
+            "max_queued": max_queued,
+        }
+    )
+
+
+@component("supply", "var", help="flexible-length pilot-job supply (Sec. III-D var)")
+def var_supply(
+    var_queue_depth: int = 100,
+    var_time_min: float = 120.0,
+    var_time_max: float = 7200.0,
+    replenish_interval: float = 15.0,
+    max_queued: int = 100,
+) -> SupplyBuild:
+    return SupplyBuild(
+        whisk_kwargs={
+            "supply_model": SupplyModel.VAR,
+            "var_queue_depth": var_queue_depth,
+            "var_time_min": var_time_min,
+            "var_time_max": var_time_max,
+            "replenish_interval": replenish_interval,
+            "max_queued": max_queued,
+        }
+    )
+
+
+@component("supply", "none", help="no worker supply (bare-cluster baselines)")
+def no_supply() -> SupplyBuild:
+    return SupplyBuild(with_manager=False, needs_middleware=False)
+
+
+@component("supply", "static", help="always-on invoker fleet (no pilot jobs)")
+def static_supply(invokers: int = 4) -> SupplyBuild:
+    """A fixed fleet of registered invokers outside Slurm's control —
+    isolates the middleware (load-balancer ablations) from supply churn."""
+    if invokers < 1:
+        raise ValueError("invokers must be >= 1")
+
+    def post_build(ctx: StackContext) -> None:
+        fleet = []
+        for index in range(invokers):
+            invoker = Invoker(
+                ctx.env,
+                f"inv-{index}",
+                f"n{index:04d}",
+                ctx.system.broker,
+                ctx.system.controller.registry,
+                config=ctx.system.config.faas,
+                rng=ctx.streams.stream(f"invoker-{index}"),
+            )
+            fleet.append(invoker)
+
+            def lifecycle(env, inv=invoker):
+                yield from inv.register()
+                try:
+                    yield from inv.serve()
+                except Interrupt:
+                    yield from inv.drain()
+
+            ctx.env.process(lifecycle(ctx.env))
+        ctx.system.invokers.extend(fleet)
+        ctx.handles["invokers"] = fleet
+
+    return SupplyBuild(with_manager=False, post_build=post_build)
+
+
+# ---------------------------------------------------------------------------
+# middleware
+
+_BALANCERS = {
+    "hash-affinity": HashAffinity,
+    "round-robin": RoundRobin,
+    "least-loaded": LeastLoaded,
+}
+
+
+@component("middleware", "openwhisk", help="OpenWhisk-like controller + broker")
+def openwhisk_middleware(
+    balancer: Optional[str] = None,
+    publish_latency: Optional[float] = None,
+    activation_timeout: Optional[float] = None,
+    health_check_interval: Optional[float] = None,
+    ping_timeout: Optional[float] = None,
+    ping_interval: Optional[float] = None,
+    max_containers: Optional[int] = None,
+    buffer_limit: Optional[int] = None,
+    system_overhead: Optional[float] = None,
+    overhead_sigma: Optional[float] = None,
+    use_fast_lane: Optional[bool] = None,
+    interrupt_running: Optional[bool] = None,
+    max_retries: Optional[int] = None,
+) -> MiddlewareBuild:
+    """``None`` options fall back to the :class:`FaaSConfig` defaults;
+    ``balancer`` picks hash-affinity (default), round-robin, or
+    least-loaded routing."""
+    load_balancer = None
+    if balancer is not None:
+        try:
+            load_balancer = _BALANCERS[balancer]()
+        except KeyError:
+            raise KeyError(
+                f"unknown balancer {balancer!r}; known: {sorted(_BALANCERS)}"
+            ) from None
+    faas_kwargs = {
+        name: value
+        for name, value in {
+            "publish_latency": publish_latency,
+            "activation_timeout": activation_timeout,
+            "health_check_interval": health_check_interval,
+            "ping_timeout": ping_timeout,
+            "ping_interval": ping_interval,
+            "max_containers": max_containers,
+            "buffer_limit": buffer_limit,
+            "system_overhead": system_overhead,
+            "overhead_sigma": overhead_sigma,
+            "use_fast_lane": use_fast_lane,
+            "interrupt_running": interrupt_running,
+            "max_retries": max_retries,
+        }.items()
+        if value is not None
+    }
+    return MiddlewareBuild(faas_kwargs=faas_kwargs, load_balancer=load_balancer)
+
+
+# ---------------------------------------------------------------------------
+# workloads
+
+
+@component(
+    "workload",
+    "idleness-trace",
+    help="prime HPC jobs replayed from a generated idleness trace",
+)
+def idleness_trace_workload(
+    ctx: StackContext,
+    nodes: Optional[int] = None,
+    intensity_scale: float = 1.0,
+    length_scale: float = 1.0,
+    outage_share: Optional[float] = None,
+    min_intensity: float = 0.0,
+    diurnal_amplitude: float = 0.0,
+    diurnal_phase: float = 0.0,
+    horizon: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Generates an idleness trace (stream ``trace``), converts its busy
+    complement to pinned prime jobs (stream ``lead``), and submits them."""
+    num_nodes = nodes if nodes is not None else ctx.system.slurm.config.num_nodes
+    span = horizon if horizon is not None else ctx.horizon
+    trace = IdlenessTraceGenerator(
+        ctx.streams.stream("trace"),
+        num_nodes=num_nodes,
+        intensity_scale=intensity_scale,
+        length_scale=length_scale,
+        outage_share=outage_share,
+        min_intensity=min_intensity,
+        diurnal_amplitude=diurnal_amplitude,
+        diurnal_phase=diurnal_phase,
+    ).generate(span)
+    workload = trace_to_prime_jobs(trace, ctx.streams.stream("lead"))
+    workload.submit_all(ctx.env, ctx.system.slurm)
+    return {"trace": trace, "workload": workload}
+
+
+@component(
+    "workload", "gatling", help="constant-rate load client over sleep functions"
+)
+def gatling_workload(
+    ctx: StackContext,
+    qps: float = 10.0,
+    functions: int = 100,
+    duration: float = 0.010,
+    horizon: Optional[float] = None,
+) -> GatlingClient:
+    if ctx.system.controller is None:
+        raise ValueError("the gatling workload needs middleware in the stack")
+    deployed = sleep_functions(functions, duration)
+    for function in deployed:
+        ctx.system.controller.deploy(function)
+    client = GatlingClient(
+        ctx.env,
+        ctx.system.client,
+        [f.name for f in deployed],
+        rate_per_second=qps,
+        duration=duration,
+        rng=ctx.streams.stream("gatling"),
+    )
+    client.start(horizon if horizon is not None else ctx.horizon)
+    return client
+
+
+@component(
+    "workload", "pinned-jobs", help="explicit prime jobs pinned to named nodes"
+)
+def pinned_jobs_workload(
+    ctx: StackContext,
+    jobs: Sequence[Mapping[str, Any]] = (),
+    partition: str = "main",
+) -> list:
+    """Each job is a mapping with ``name``, ``nodes`` (list of node
+    names), ``start_min``, and ``end_min`` — the Fig 3 shape, YAML-able."""
+    submitted = []
+    for job in jobs:
+        nodes = tuple(job["nodes"])
+        start_min = float(job["start_min"])
+        end_min = float(job["end_min"])
+        submitted.append(
+            ctx.system.slurm.submit(
+                JobSpec(
+                    name=str(job["name"]),
+                    num_nodes=len(nodes),
+                    time_limit=(end_min - start_min) * 60.0,
+                    actual_runtime=(end_min - start_min) * 60.0,
+                    partition=partition,
+                    required_nodes=nodes,
+                    begin_time=start_min * 60.0,
+                )
+            )
+        )
+    return submitted
+
+
+@component(
+    "workload", "sebs", help="SeBS compute functions driven at a constant rate"
+)
+def sebs_workload(
+    ctx: StackContext,
+    qps: float = 1.0,
+    graph_size: int = 12000,
+    samples: int = 32,
+    horizon: Optional[float] = None,
+) -> GatlingClient:
+    """Deploys the three compute-intensive SeBS functions (bfs, mst,
+    pagerank) with warm durations drawn from the calibrated timing model
+    (stream ``sebs``) and drives them open-loop (stream ``sebs-load``)."""
+    from repro.workloads.sebs import model_invocations
+
+    if ctx.system.controller is None:
+        raise ValueError("the sebs workload needs middleware in the stack")
+    model_rng = ctx.streams.stream("sebs")
+    names = []
+    for kernel in ("bfs", "mst", "pagerank"):
+        times = model_invocations(kernel, samples, graph_size, model_rng)
+        function = FunctionDef(
+            name=f"sebs-{kernel}", duration=float(np.median(times))
+        )
+        ctx.system.controller.deploy(function)
+        names.append(function.name)
+    client = GatlingClient(
+        ctx.env,
+        ctx.system.client,
+        names,
+        rate_per_second=qps,
+        duration=None,
+        rng=ctx.streams.stream("sebs-load"),
+    )
+    client.start(horizon if horizon is not None else ctx.horizon)
+    return client
+
+
+@component(
+    "workload", "hpc-jobs", help="free-standing sampled HPC jobs (Fig 2 population)"
+)
+def hpc_jobs_workload(
+    ctx: StackContext,
+    count: int = 100,
+    max_width: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> list:
+    """Submits ``count`` population-sampled jobs (stream ``hpc-jobs``)
+    with uniform arrival times over the horizon — a synthetic prime
+    workload that is not pinned to an idleness trace."""
+    from repro.workloads.hpc_trace import JobPopulation
+
+    rng = ctx.streams.stream("hpc-jobs")
+    span = horizon if horizon is not None else ctx.horizon
+    cluster_nodes = ctx.system.slurm.config.num_nodes
+    cap = max_width if max_width is not None else max(1, cluster_nodes // 4)
+    sampled = JobPopulation(rng).sample(count)
+    arrivals = np.sort(rng.uniform(0.0, span, size=count))
+    specs = []
+    for arrival, job in zip(arrivals, sampled):
+        specs.append(
+            (
+                float(arrival),
+                JobSpec(
+                    name=f"pop-{len(specs)}",
+                    num_nodes=min(max(1, job.width), cap),
+                    time_limit=job.limit,
+                    actual_runtime=min(job.runtime, job.limit),
+                ),
+            )
+        )
+
+    def driver():
+        for arrival, spec in specs:
+            if arrival > ctx.env.now:
+                yield ctx.env.timeout(arrival - ctx.env.now)
+            ctx.system.slurm.submit(spec)
+
+    ctx.env.process(driver())
+    return [spec for _arrival, spec in specs]

@@ -1,0 +1,179 @@
+"""The declarative front door: YAML/JSON/dict configs in, runs out.
+
+Two config shapes are accepted:
+
+**Scenario mode** — run a registered scenario with overrides (the
+``repro <scenario>`` CLI path, as data)::
+
+    scenario: day
+    scale: smoke
+    overrides:
+      model: var
+      no_load: true
+
+**Stack mode** — compose an arbitrary cluster x supply x workload x
+probe stack with no Python module at all::
+
+    name: var-day-with-probes
+    seed: 42
+    horizon: 1800
+    stack:
+      cluster: {nodes: 64}
+      supply: var
+      workloads:
+        - idleness-trace
+        - {name: gatling, qps: 5.0}
+      probes: [slurm-sampler, coverage, ow-log, gatling-report]
+
+Components may be bare strings (defaults only) or mappings whose
+``name`` (alias ``kind``) picks the component and whose remaining keys
+are options — validated against the component registry before anything
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Type, Union
+
+from repro.api.stack import (
+    ClusterSpec,
+    ComponentSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    SimulationReport,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.scenarios.registry import REGISTRY, ScenarioRegistry, load_builtin
+from repro.scenarios.spec import ScenarioResult
+
+#: allowed top-level keys per config mode (scenario mode is owned by the
+#: scenario registry — one source of truth for both entry points)
+SCENARIO_KEYS = frozenset(ScenarioRegistry.CONFIG_KEYS)
+STACK_KEYS = frozenset({"name", "seed", "horizon", "run_extra", "stack"})
+STACK_SECTION_KEYS = frozenset(
+    {"cluster", "supply", "middleware", "workloads", "probes"}
+)
+
+ConfigValue = Union[str, Mapping[str, Any], None]
+
+
+def load_config_file(path: str) -> Dict[str, Any]:
+    """Parse a YAML (or JSON — a YAML subset) config file."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - the toolchain ships pyyaml
+        import json
+
+        try:
+            config = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}: PyYAML is unavailable and the file is not JSON: {error}"
+            ) from None
+    else:
+        config = yaml.safe_load(text)
+    if not isinstance(config, Mapping):
+        raise ValueError(f"{path}: expected a mapping at top level, got {config!r}")
+    return dict(config)
+
+
+def config_mode(config: Mapping[str, Any]) -> str:
+    """Classify a config as ``"scenario"`` or ``"stack"`` (and validate keys)."""
+    if "scenario" in config and "stack" in config:
+        raise ValueError("config cannot have both 'scenario' and 'stack' keys")
+    if "scenario" in config:
+        unknown = set(config) - SCENARIO_KEYS
+        if unknown:
+            raise KeyError(
+                f"unknown scenario-config key(s) {sorted(unknown)}; "
+                f"allowed: {sorted(SCENARIO_KEYS)}"
+            )
+        return "scenario"
+    if "stack" in config:
+        unknown = set(config) - STACK_KEYS
+        if unknown:
+            raise KeyError(
+                f"unknown stack-config key(s) {sorted(unknown)}; "
+                f"allowed: {sorted(STACK_KEYS)}"
+            )
+        return "stack"
+    raise ValueError("config needs a 'scenario' or a 'stack' key")
+
+
+def _parse_spec(cls: Type[ComponentSpec], value: ConfigValue) -> ComponentSpec:
+    """One component entry: a bare name string or a ``{name, **options}``."""
+    if isinstance(value, str):
+        return cls(value)
+    if isinstance(value, Mapping):
+        options = dict(value)
+        name = options.pop("name", None)
+        kind_alias = options.pop("kind", None)
+        name = name or kind_alias
+        return cls(name, **options)
+    raise TypeError(
+        f"expected a component name or mapping for {cls.__name__}, got {value!r}"
+    )
+
+
+def stack_from_config(config: Mapping[str, Any]) -> Stack:
+    """Resolve a stack-mode config into a validated :class:`Stack`."""
+    if config_mode(config) != "stack":
+        raise ValueError("not a stack-mode config (missing 'stack' key)")
+    section = config["stack"]
+    if not isinstance(section, Mapping):
+        raise TypeError(f"'stack' must be a mapping, got {section!r}")
+    unknown = set(section) - STACK_SECTION_KEYS
+    if unknown:
+        raise KeyError(
+            f"unknown stack section key(s) {sorted(unknown)}; "
+            f"allowed: {sorted(STACK_SECTION_KEYS)}"
+        )
+
+    cluster = _parse_spec(ClusterSpec, section.get("cluster", "slurm"))
+    supply = _parse_spec(SupplySpec, section.get("supply", "fib"))
+
+    middleware: Optional[MiddlewareSpec]
+    raw_middleware = section.get("middleware", "openwhisk")
+    if raw_middleware is None or raw_middleware == "none":
+        middleware = None
+    else:
+        middleware = _parse_spec(MiddlewareSpec, raw_middleware)
+
+    def parse_many(cls: Type[ComponentSpec], values: Any, label: str):
+        if values is None:
+            return ()
+        if isinstance(values, (str, Mapping)):
+            raise TypeError(f"'{label}' must be a list of components")
+        if not isinstance(values, Sequence):
+            raise TypeError(f"'{label}' must be a list of components")
+        return tuple(_parse_spec(cls, value) for value in values)
+
+    stack = Stack(
+        cluster=cluster,
+        supply=supply,
+        middleware=middleware,
+        workloads=parse_many(WorkloadSpec, section.get("workloads"), "workloads"),
+        probes=parse_many(ProbeSpec, section.get("probes"), "probes"),
+        seed=int(config.get("seed", 0)),
+        horizon=float(config.get("horizon", 3600.0)),
+        run_extra=float(config.get("run_extra", 0.0)),
+        name=str(config.get("name", "custom")),
+    )
+    stack.validate()
+    return stack
+
+
+def run_config(
+    config: Mapping[str, Any]
+) -> Union[ScenarioResult, SimulationReport]:
+    """Run a config of either mode and return its result object."""
+    mode = config_mode(config)
+    if mode == "scenario":
+        load_builtin()
+        spec = REGISTRY.spec_from_config(config)
+        return REGISTRY.run_spec(spec)
+    return stack_from_config(config).run()

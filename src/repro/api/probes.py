@@ -1,0 +1,328 @@
+"""Built-in probes: uniform attach/collect measurement components.
+
+A probe factory attaches live instrumentation to a running stack and
+returns a :class:`~repro.api.stack.Probe`; after the simulation the
+builder calls ``finish`` (stop pollers) and then ``collect`` (turn raw
+logs into flat metrics + a rich artifact).  Probes collect in
+declaration order and may consume artifacts of probes declared before
+them — the clairvoyant ``coverage`` probe reads the ``slurm-sampler``
+log, exactly like the Tables II/III pipeline.
+
+Metric names are canonical: a composed stack that attaches
+``slurm-sampler`` + ``coverage`` + ``ow-log`` + ``gatling-report``
+reports the same metric keys as the registered ``day`` scenario, because
+``day`` itself is expressed through these probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.coverage import CoverageResult, CoverageSimulator
+from repro.analysis.idle_periods import intervals_by_node
+from repro.analysis.metrics import PercentileSummary, percentile_summary
+from repro.analysis.owlog import OWLevelStates, ow_level_states, ready_period_stats
+from repro.analysis.sampler import SamplerLog, SlurmSampler
+from repro.api.components import LengthSetLike, resolve_length_set
+from repro.api.registry import component
+from repro.api.stack import Probe, StackContext
+
+
+# ---------------------------------------------------------------------------
+# slurm-sampler
+
+
+@dataclass
+class SamplerArtifact:
+    """Slurm-level perspective: the poll log plus derived summaries."""
+
+    log: SamplerLog
+    whisk_counts: np.ndarray
+    available_counts: np.ndarray
+    idle_counts: np.ndarray
+    slurm_workers: PercentileSummary
+    available_workers: PercentileSummary
+    slurm_used_share: float
+    zero_available_share: float
+
+
+class SlurmSamplerProbe(Probe):
+    def __init__(self, sampler: SlurmSampler) -> None:
+        self.sampler = sampler
+
+    def finish(self, ctx: StackContext) -> None:
+        self.sampler.stop()
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        log = self.sampler.log
+        whisk_counts = log.whisk_counts()
+        available_counts = log.available_counts()
+        idle_counts = log.idle_counts()
+        total_available = float(available_counts.sum())
+        slurm_used_share = (
+            float(whisk_counts.sum()) / total_available if total_available else 0.0
+        )
+        artifact = SamplerArtifact(
+            log=log,
+            whisk_counts=whisk_counts,
+            available_counts=available_counts,
+            idle_counts=idle_counts,
+            slurm_workers=percentile_summary(whisk_counts),
+            available_workers=percentile_summary(available_counts),
+            slurm_used_share=slurm_used_share,
+            zero_available_share=float(np.mean(available_counts == 0)),
+        )
+        metrics = {
+            "coverage": slurm_used_share,
+            "avg_whisk_nodes": artifact.slurm_workers.avg,
+            "avg_available_nodes": artifact.available_workers.avg,
+            "zero_available_share": artifact.zero_available_share,
+        }
+        return metrics, artifact
+
+
+@component("probe", "slurm-sampler", help="Slurm-level polling (Sec. IV-A)")
+def slurm_sampler_probe(
+    ctx: StackContext, pause: float = 10.0, whisk_partition: str = "whisk"
+) -> SlurmSamplerProbe:
+    sampler = SlurmSampler(
+        ctx.env,
+        ctx.system.slurm,
+        ctx.streams.stream("sampler"),
+        pause=pause,
+        whisk_partition=whisk_partition,
+    )
+    return SlurmSamplerProbe(sampler)
+
+
+# ---------------------------------------------------------------------------
+# coverage (clairvoyant upper bound)
+
+
+@dataclass
+class CoverageArtifact:
+    """Simulation perspective: the clairvoyant packing of the same surface."""
+
+    simulation: CoverageResult
+    warmup: float
+
+
+class CoverageProbe(Probe):
+    def __init__(
+        self, length_set: LengthSetLike, warmup: float, source: str
+    ) -> None:
+        self.length_set = resolve_length_set(length_set)
+        self.warmup = warmup
+        self.source = source
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        sampler: Optional[SamplerArtifact] = ctx.artifacts.get(self.source)
+        if sampler is None:
+            raise ValueError(
+                f"coverage probe needs the {self.source!r} probe declared "
+                "before it (it packs the sampled availability surface)"
+            )
+        available = intervals_by_node(
+            sampler.log.samples, "available", end_time=ctx.horizon
+        )
+        simulation = CoverageSimulator(warmup=self.warmup).run(
+            available, self.length_set, horizon=ctx.horizon
+        )
+        metrics = {
+            "sim_ready_share": simulation.ready_share,
+            "sim_used_share": simulation.used_share,
+        }
+        return metrics, CoverageArtifact(simulation=simulation, warmup=self.warmup)
+
+
+@component(
+    "probe", "coverage", help="clairvoyant coverage bound over the sampled surface"
+)
+def coverage_probe(
+    ctx: StackContext,
+    length_set: LengthSetLike = "A1",
+    warmup: float = 20.0,
+    source: str = "slurm-sampler",
+) -> CoverageProbe:
+    return CoverageProbe(length_set=length_set, warmup=warmup, source=source)
+
+
+# ---------------------------------------------------------------------------
+# ow-log (OpenWhisk-level pilot timelines)
+
+
+@dataclass
+class OWLogArtifact:
+    """OW-level perspective: pilot-timeline state accounting."""
+
+    ow: OWLevelStates
+    ready_periods: Dict[str, float]
+    timelines: list = field(default_factory=list)
+
+
+class OWLogProbe(Probe):
+    def __init__(self, step: float) -> None:
+        self.step = step
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        timelines = [
+            t
+            for t in ctx.system.pilot_timelines
+            if t.job_started_at < ctx.horizon
+        ]
+        ow = ow_level_states(timelines, ctx.horizon, step=self.step)
+        ready_periods = ready_period_stats(timelines)
+        metrics = {
+            "avg_healthy_invokers": ow.healthy.avg,
+            "ready_period_median_s": ready_periods.get("median", float("nan")),
+            "outage_total_s": ow.total_outage(),
+            "longest_outage_s": ow.longest_outage(),
+        }
+        artifact = OWLogArtifact(
+            ow=ow, ready_periods=ready_periods, timelines=timelines
+        )
+        return metrics, artifact
+
+
+@component("probe", "ow-log", help="OpenWhisk-level worker-state accounting")
+def ow_log_probe(ctx: StackContext, step: float = 10.0) -> OWLogProbe:
+    return OWLogProbe(step=step)
+
+
+# ---------------------------------------------------------------------------
+# gatling-report (client-level perspective)
+
+
+class GatlingReportProbe(Probe):
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        client = ctx.handles.get(self.source)
+        if client is None:
+            raise ValueError(
+                f"gatling-report probe found no {self.source!r} workload handle"
+            )
+        report = client.report
+        metrics = {
+            "requests_total": float(report.total),
+            "accepted_share": report.invoked_share,
+            "success_of_accepted_share": report.success_share_of_invoked,
+            "median_response_s": report.response_time_percentile(50),
+        }
+        return metrics, report
+
+
+@component("probe", "gatling-report", help="client-level request outcomes")
+def gatling_report_probe(
+    ctx: StackContext, source: str = "gatling"
+) -> GatlingReportProbe:
+    return GatlingReportProbe(source=source)
+
+
+# ---------------------------------------------------------------------------
+# kernel-stats (simulation-kernel observability)
+
+
+class KernelStatsProbe(Probe):
+    def __init__(self, probe) -> None:
+        self.probe = probe
+        self.stats = None
+
+    def finish(self, ctx: StackContext) -> None:
+        self.stats = self.probe.stop()
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        stats = self.stats
+        metrics = {
+            "kernel_events_processed": float(stats.events_processed),
+            "kernel_peak_queue_depth": float(stats.peak_queue_depth),
+            #: wall-clock throughput — observability, not reproducible
+            "kernel_events_per_sec": float(stats.events_per_sec),
+        }
+        return metrics, stats
+
+
+@component("probe", "kernel-stats", help="simulation-kernel event counters")
+def kernel_stats_probe(ctx: StackContext) -> KernelStatsProbe:
+    from repro.bench.instrument import KernelProbe
+
+    return KernelStatsProbe(KernelProbe().start())
+
+
+# ---------------------------------------------------------------------------
+# accounting (sacct-style prime-workload invasiveness)
+
+
+class AccountingProbe(Probe):
+    def __init__(self, partition: str) -> None:
+        self.partition = partition
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        from repro.cluster.accounting import summarize
+
+        accounts = summarize(ctx.system.slurm)
+        prime = accounts.get(self.partition)
+        metrics: Dict[str, float] = {}
+        if prime is not None:
+            metrics = {
+                "prime_jobs_total": float(prime.jobs_total),
+                "prime_mean_wait_s": prime.mean_wait,
+                "prime_median_wait_s": prime.median_wait,
+                "prime_node_hours": prime.node_hours,
+            }
+        whisk = accounts.get("whisk")
+        if whisk is not None:
+            metrics["whisk_node_hours"] = whisk.node_hours
+        return metrics, accounts
+
+
+@component("probe", "accounting", help="sacct-style per-partition job accounting")
+def accounting_probe(ctx: StackContext, partition: str = "main") -> AccountingProbe:
+    return AccountingProbe(partition=partition)
+
+
+# ---------------------------------------------------------------------------
+# loadbalancer-stats (warm-container routing quality)
+
+
+class LoadBalancerStatsProbe(Probe):
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        invokers = ctx.handles.get("invokers") or ctx.system.invokers
+        if invokers:
+            counts = [
+                (inv.invoker_id, inv.pool.cold_starts, inv.pool.warm_hits)
+                for inv in invokers
+            ]
+        else:
+            # Pilot supplies: each timeline carries its invoker's final stats.
+            counts = [
+                (t.invoker_id, t.stats.cold_starts, t.stats.warm_hits)
+                for t in ctx.system.pilot_timelines
+                if t.stats is not None
+            ]
+        if not counts:
+            raise ValueError(
+                "loadbalancer-stats probe found no invokers (static fleet "
+                "or finished pilot jobs)"
+            )
+        cold = sum(c for _id, c, _w in counts)
+        warm = sum(w for _id, _c, w in counts)
+        metrics = {
+            "warm_hits": float(warm),
+            "cold_starts": float(cold),
+            "warm_ratio": warm / max(warm + cold, 1),
+        }
+        per_invoker = {
+            invoker_id: {"cold_starts": c, "warm_hits": w}
+            for invoker_id, c, w in counts
+        }
+        return metrics, per_invoker
+
+
+@component("probe", "loadbalancer-stats", help="warm/cold container routing stats")
+def loadbalancer_stats_probe(ctx: StackContext) -> LoadBalancerStatsProbe:
+    return LoadBalancerStatsProbe()

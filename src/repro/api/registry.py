@@ -1,0 +1,116 @@
+"""The component registry behind the composable simulation API.
+
+Every pluggable piece of a :class:`~repro.api.stack.Stack` — cluster,
+supply model, middleware, workload, probe — is a *component*: a factory
+function registered under a ``(kind, name)`` key with the
+:func:`component` decorator.  The stack builder resolves specs against
+this registry, ``repro compose --list`` renders its catalogue, and the
+YAML config path validates names against it, so adding one decorated
+factory makes a component available to all three at once.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: the five component kinds a stack composes
+KINDS: Tuple[str, ...] = ("cluster", "supply", "middleware", "workload", "probe")
+
+
+@dataclass(frozen=True)
+class Component:
+    """One registered component: a factory plus catalogue metadata."""
+
+    kind: str
+    name: str
+    factory: Callable[..., Any]
+    help: str = ""
+
+    def parameters(self) -> List[Tuple[str, Any]]:
+        """``(name, default)`` pairs of the factory's tunable parameters.
+
+        The leading context argument (named ``ctx``) is builder plumbing
+        and is not part of the component's public parameter surface.
+        """
+        signature = inspect.signature(self.factory)
+        return [
+            (parameter.name, parameter.default)
+            for parameter in signature.parameters.values()
+            if parameter.name != "ctx"
+            and parameter.kind
+            in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        ]
+
+    def param_names(self) -> List[str]:
+        return [name for name, _default in self.parameters()]
+
+
+class ComponentRegistry:
+    """``(kind, name)`` -> :class:`Component`, with per-kind listing."""
+
+    def __init__(self) -> None:
+        self._components: Dict[Tuple[str, str], Component] = {}
+
+    def add(self, comp: Component) -> None:
+        if comp.kind not in KINDS:
+            raise ValueError(
+                f"component kind must be one of {KINDS}, got {comp.kind!r}"
+            )
+        key = (comp.kind, comp.name)
+        if key in self._components:
+            raise ValueError(f"{comp.kind} component {comp.name!r} registered twice")
+        self._components[key] = comp
+
+    def get(self, kind: str, name: str) -> Component:
+        try:
+            return self._components[(kind, name)]
+        except KeyError:
+            raise KeyError(
+                f"unknown {kind} component {name!r}; known: {self.names(kind)}"
+            ) from None
+
+    def names(self, kind: str) -> List[str]:
+        return [n for (k, n) in self._components if k == kind]
+
+    def items(self, kind: Optional[str] = None) -> List[Component]:
+        return [
+            comp
+            for (k, _n), comp in self._components.items()
+            if kind is None or k == kind
+        ]
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+
+#: the process-wide registry all built-in components register into
+COMPONENTS = ComponentRegistry()
+
+
+def component(
+    kind: str,
+    name: str,
+    *,
+    help: str = "",
+    registry: ComponentRegistry = COMPONENTS,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register the decorated factory as the component ``(kind, name)``."""
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        registry.add(Component(kind=kind, name=name, factory=factory, help=help))
+        return factory
+
+    return decorator
+
+
+def load_builtin_components() -> ComponentRegistry:
+    """Import the built-in component modules so they self-register."""
+    import repro.api.components  # noqa: F401  (import populates COMPONENTS)
+    import repro.api.probes  # noqa: F401
+
+    return COMPONENTS

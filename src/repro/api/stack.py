@@ -1,0 +1,383 @@
+"""Declarative stack assembly: specs in, a wired simulation out.
+
+A :class:`Stack` names one component per layer — cluster, supply,
+middleware — plus any number of workloads and probes, each as a small
+spec (component name + options).  ``Stack.run()`` resolves every spec
+against the component registry, wires the same
+:class:`~repro.hpcwhisk.deploy.HPCWhiskSystem` the hand-written
+experiments build, attaches workloads then probes in declaration order,
+advances the simulation, and returns a :class:`SimulationReport` whose
+``metrics`` merge every probe's output.
+
+The fifteen-line version of a new experiment::
+
+    from repro.api import (ClusterSpec, ProbeSpec, Stack, SupplySpec,
+                           WorkloadSpec)
+
+    stack = Stack(
+        cluster=ClusterSpec(nodes=64),
+        supply=SupplySpec("var"),
+        workloads=(
+            WorkloadSpec("idleness-trace"),
+            WorkloadSpec("gatling", qps=5.0),
+        ),
+        probes=(
+            ProbeSpec("slurm-sampler"),
+            ProbeSpec("ow-log"),
+            ProbeSpec("gatling-report"),
+        ),
+        seed=42,
+        horizon=3600.0,
+    )
+    report = stack.run()
+    print(report.render())
+
+Ordering is part of the contract: workloads attach before probes, both
+in declaration order, and probes *collect* in declaration order too —
+a probe may read the artifacts of probes declared before it (the
+clairvoyant coverage probe consumes the Slurm sampler's log).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.registry import COMPONENTS, ComponentRegistry, load_builtin_components
+from repro.hpcwhisk.deploy import HPCWhiskSystem, build_system
+from repro.hpcwhisk.config import HPCWhiskConfig
+from repro.sim import Environment, RandomStreams
+
+
+class ComponentSpec:
+    """One component choice: a registered name plus its options.
+
+    Subclasses pin the component *kind*; options are validated against
+    the factory's signature when the stack is built.
+    """
+
+    kind: str = ""
+    default_name: str = ""
+
+    def __init__(self, name: Optional[str] = None, **options: Any) -> None:
+        self.name = name or self.default_name
+        if not self.name:
+            raise ValueError(f"{type(self).__name__} needs a component name")
+        self.options: Dict[str, Any] = dict(options)
+
+    def validate(self, registry: ComponentRegistry = COMPONENTS) -> None:
+        """Check the name is registered and every option is a parameter."""
+        comp = registry.get(self.kind, self.name)
+        known = set(comp.param_names())
+        unknown = set(self.options) - known
+        if unknown:
+            raise KeyError(
+                f"{self.kind} component {self.name!r} has no option(s) "
+                f"{sorted(unknown)}; declared: {sorted(known)}"
+            )
+
+    def __repr__(self) -> str:
+        options = ", ".join(f"{k}={v!r}" for k, v in sorted(self.options.items()))
+        return f"{type(self).__name__}({self.name!r}{', ' if options else ''}{options})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ComponentSpec)
+            and self.kind == other.kind
+            and self.name == other.name
+            and self.options == other.options
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.name, tuple(sorted(self.options.items()))))
+
+
+class ClusterSpec(ComponentSpec):
+    """The simulated cluster (default: the Slurm cluster)."""
+
+    kind = "cluster"
+    default_name = "slurm"
+
+
+class SupplySpec(ComponentSpec):
+    """The worker supply: pilot-job model, static fleet, or none."""
+
+    kind = "supply"
+    default_name = "fib"
+
+
+class MiddlewareSpec(ComponentSpec):
+    """The FaaS middleware (OpenWhisk-like controller + broker)."""
+
+    kind = "middleware"
+    default_name = "openwhisk"
+
+
+class WorkloadSpec(ComponentSpec):
+    """One traffic source: prime HPC jobs, load clients, …"""
+
+    kind = "workload"
+
+
+class ProbeSpec(ComponentSpec):
+    """One measurement attached to the run."""
+
+    kind = "probe"
+
+
+# ---------------------------------------------------------------------------
+# build-time component outputs
+
+
+@dataclass
+class SupplyBuild:
+    """What a supply component contributes to system assembly."""
+
+    #: HPCWhiskConfig overrides (supply_model, length_set, queue depths…)
+    whisk_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: build the pilot-job manager (fib/var); False for static/none
+    with_manager: bool = True
+    #: the supply needs the FaaS middleware to exist
+    needs_middleware: bool = True
+    #: called after system assembly (static fleets spawn invokers here)
+    post_build: Optional[Callable[["StackContext"], None]] = None
+
+
+@dataclass
+class MiddlewareBuild:
+    """What a middleware component contributes to system assembly."""
+
+    faas_kwargs: Dict[str, Any] = field(default_factory=dict)
+    load_balancer: Any = None
+
+
+class Probe:
+    """Base class for probe components.
+
+    The factory attaches any live instrumentation (processes, counters)
+    and returns a ``Probe``; the builder calls :meth:`finish` right
+    after the simulation stops (before the supply manager is stopped)
+    and :meth:`collect` once the run is fully torn down.
+    """
+
+    #: set by the builder to the probe's registered component name
+    name: str = ""
+
+    def finish(self, ctx: "StackContext") -> None:  # pragma: no cover - default
+        """Stop live instrumentation (called once, after ``env.run``)."""
+
+    def collect(self, ctx: "StackContext") -> Tuple[Dict[str, float], Any]:
+        """Return ``(metrics, artifact)`` for the report."""
+        return {}, None
+
+
+@dataclass
+class StackContext:
+    """Everything components can see while a stack is being run."""
+
+    stack: "Stack"
+    env: Environment
+    streams: RandomStreams
+    system: HPCWhiskSystem
+    horizon: float
+    #: live handles left by workloads/supplies ("gatling" -> client, …)
+    handles: Dict[str, Any] = field(default_factory=dict)
+    #: probe artifacts, filled in declaration order during collection
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: merged probe metrics, filled during collection
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SimulationReport:
+    """Uniform result of one composed run.
+
+    ``metrics`` is the union of every probe's flat ``name -> float``
+    output — the same shape :class:`~repro.scenarios.spec.ScenarioResult`
+    exposes, so composed runs aggregate, persist, and compare exactly
+    like registered scenarios.  ``artifacts`` holds each probe's rich
+    in-process object under the probe's component name.
+    """
+
+    name: str
+    seed: int
+    horizon: float
+    metrics: Dict[str, float]
+    artifacts: Dict[str, Any]
+    system: HPCWhiskSystem
+
+    def render(self) -> str:
+        from repro.analysis.report import render_kv
+
+        return render_kv(f"{self.name} — composed-stack report", self.metrics)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (identity + metrics, no artifacts)."""
+        return {
+            "stack": self.name,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class Stack:
+    """One declarative experiment: components + seed + horizon."""
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    supply: SupplySpec = field(default_factory=SupplySpec)
+    middleware: Optional[MiddlewareSpec] = field(default_factory=MiddlewareSpec)
+    workloads: Tuple[WorkloadSpec, ...] = ()
+    probes: Tuple[ProbeSpec, ...] = ()
+    seed: int = 0
+    #: simulated horizon, seconds (workloads default to stopping here)
+    horizon: float = 3600.0
+    #: extra simulated time past the horizon (drain/settle phase)
+    run_extra: float = 0.0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for spec, expected in (
+            (self.cluster, ClusterSpec),
+            (self.supply, SupplySpec),
+        ):
+            if not isinstance(spec, expected):
+                raise TypeError(f"expected {expected.__name__}, got {spec!r}")
+        if self.middleware is not None and not isinstance(
+            self.middleware, MiddlewareSpec
+        ):
+            raise TypeError(f"expected MiddlewareSpec or None, got {self.middleware!r}")
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "probes", tuple(self.probes))
+        for spec in self.workloads:
+            if not isinstance(spec, WorkloadSpec):
+                raise TypeError(f"expected WorkloadSpec, got {spec!r}")
+        for spec in self.probes:
+            if not isinstance(spec, ProbeSpec):
+                raise TypeError(f"expected ProbeSpec, got {spec!r}")
+        for kind, specs in (
+            ("workload", self.workloads),
+            ("probe", self.probes),
+        ):
+            names = [spec.name for spec in specs]
+            if len(names) != len(set(names)):
+                raise ValueError(
+                    f"duplicate {kind} components {sorted(names)}; handles and "
+                    "artifacts are keyed by component name, so each may appear once"
+                )
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.run_extra < 0:
+            raise ValueError("run_extra must be >= 0")
+
+    # ------------------------------------------------------------------
+    def validate(self, registry: ComponentRegistry = COMPONENTS) -> None:
+        """Resolve every spec against the registry, raising on unknowns."""
+        load_builtin_components()
+        for spec in self.specs():
+            spec.validate(registry)
+
+    def specs(self) -> List[ComponentSpec]:
+        specs: List[ComponentSpec] = [self.cluster, self.supply]
+        if self.middleware is not None:
+            specs.append(self.middleware)
+        specs.extend(self.workloads)
+        specs.extend(self.probes)
+        return specs
+
+    # ------------------------------------------------------------------
+    def build(self, registry: ComponentRegistry = COMPONENTS) -> StackContext:
+        """Assemble the system (no workloads attached, nothing run)."""
+        load_builtin_components()
+        self.validate(registry)
+
+        slurm_config = registry.get("cluster", self.cluster.name).factory(
+            **self.cluster.options
+        )
+        supply: SupplyBuild = registry.get("supply", self.supply.name).factory(
+            **self.supply.options
+        )
+        if self.middleware is not None:
+            mw: MiddlewareBuild = registry.get(
+                "middleware", self.middleware.name
+            ).factory(**self.middleware.options)
+            with_middleware = True
+        else:
+            if supply.needs_middleware:
+                raise ValueError(
+                    f"supply {self.supply.name!r} needs middleware; pass a "
+                    "MiddlewareSpec (or choose supply 'none')"
+                )
+            mw = MiddlewareBuild()
+            with_middleware = False
+
+        from repro.faas.config import FaaSConfig
+
+        whisk_config = HPCWhiskConfig(
+            faas=FaaSConfig(**mw.faas_kwargs), **supply.whisk_kwargs
+        )
+        system = build_system(
+            whisk_config,
+            slurm_config,
+            seed=self.seed,
+            load_balancer=mw.load_balancer,
+            with_middleware=with_middleware,
+            with_manager=supply.with_manager,
+        )
+        ctx = StackContext(
+            stack=self,
+            env=system.env,
+            streams=system.streams,
+            system=system,
+            horizon=self.horizon,
+        )
+        if supply.post_build is not None:
+            supply.post_build(ctx)
+        return ctx
+
+    def run(self, registry: ComponentRegistry = COMPONENTS) -> SimulationReport:
+        """Build, attach workloads and probes, simulate, and collect."""
+        ctx = self.build(registry)
+
+        for spec in self.workloads:
+            handle = registry.get("workload", spec.name).factory(ctx, **spec.options)
+            if handle is not None:
+                ctx.handles[spec.name] = handle
+
+        probes: List[Tuple[ProbeSpec, Probe]] = []
+        for spec in self.probes:
+            probe = registry.get("probe", spec.name).factory(ctx, **spec.options)
+            probe.name = spec.name
+            probes.append((spec, probe))
+
+        ctx.env.run(until=self.horizon + self.run_extra)
+
+        for _spec, probe in probes:
+            probe.finish(ctx)
+        if ctx.system.manager is not None:
+            ctx.system.manager.stop()
+
+        for spec, probe in probes:
+            metrics, artifact = probe.collect(ctx)
+            overlap = set(metrics) & set(ctx.metrics)
+            if overlap:
+                raise ValueError(
+                    f"probe {spec.name!r} re-emits metric(s) {sorted(overlap)}; "
+                    "probe metric names must be unique across the stack"
+                )
+            ctx.metrics.update(metrics)
+            ctx.artifacts[spec.name] = artifact
+
+        return SimulationReport(
+            name=self.name,
+            seed=self.seed,
+            horizon=self.horizon,
+            metrics=dict(ctx.metrics),
+            artifacts=dict(ctx.artifacts),
+            system=ctx.system,
+        )

@@ -11,6 +11,12 @@ scenario there are two meta commands::
     bench      kernel + scenario throughput benchmarks with schema'd
                ``BENCH_<name>.json`` artifacts and a baseline-compare
                regression gate (see ``repro bench --help``)
+    run        run a declarative YAML/JSON config: either a registered
+               scenario with overrides, or an arbitrary composed stack
+               (cluster x supply x workload x probes) with no Python
+               module at all — see ``repro.api`` and examples/configs/
+    compose    catalogue of the composable-stack components the config
+               path can assemble (``repro compose --list``)
 
 Single runs print the scenario's rendered table/figure data (identical
 to the historical per-experiment output) and can persist their flat
@@ -26,11 +32,15 @@ Examples::
     repro bench --preset smoke
     repro bench kernel --preset quick --repeats 5 --write-baseline BENCH_baseline.json
     repro bench --preset smoke --against BENCH_baseline.json --max-regression 10%
+    repro run --config examples/configs/fib_loadbalancer.yaml
+    repro run --config scenario.yaml --json out.json
+    repro compose --list
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -146,6 +156,32 @@ def _add_bench_parser(sub) -> None:
                         help="also write all records as a combined baseline")
 
 
+def _add_run_parser(sub) -> None:
+    parser = sub.add_parser(
+        "run", help="run a declarative YAML/JSON config",
+        description="Run a config file: scenario mode ({scenario, scale, "
+                    "seed, overrides}) runs a registered scenario exactly "
+                    "like its subcommand; stack mode ({name, seed, horizon, "
+                    "stack: {cluster, supply, middleware, workloads, "
+                    "probes}}) composes an arbitrary simulation from the "
+                    "component registry with no new Python code.",
+    )
+    parser.add_argument("--config", required=True, metavar="PATH",
+                        help="YAML (or JSON) config file")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="also write run metrics as JSON")
+
+
+def _add_compose_parser(sub) -> None:
+    parser = sub.add_parser(
+        "compose", help="composable-stack component catalogue",
+        description="Inspect the component registry behind `repro run "
+                    "--config` and the repro.api Stack builder.",
+    )
+    parser.add_argument("--list", action="store_true", dest="list_components",
+                        help="list every registered component and its options")
+
+
 def build_parser() -> argparse.ArgumentParser:
     load_builtin()
     parser = argparse.ArgumentParser(
@@ -157,6 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="catalogue of registered scenarios")
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
+    _add_run_parser(sub)
+    _add_compose_parser(sub)
     return parser
 
 
@@ -286,6 +324,60 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_config(args) -> int:
+    from repro.api import config_mode, load_config_file, stack_from_config
+
+    spec = stack = None
+    try:
+        config = load_config_file(args.config)
+        mode = config_mode(config)
+        if mode == "scenario":
+            spec = REGISTRY.spec_from_config(config)
+        else:
+            stack = stack_from_config(config)
+    except OSError as error:
+        raise SystemExit(f"run: {error}")
+    except (KeyError, ValueError, TypeError) as error:
+        # usage errors only — resolution/validation happens inside the
+        # try; crashes inside scenario/stack code below propagate
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"run: {message}")
+    if spec is not None:
+        result = REGISTRY.run_spec(spec)
+        print(result.text)  # pre-rendered, identical to the subcommand
+    else:
+        result = stack.run()
+        print(result.render())  # rendered from the merged probe metrics
+    if getattr(args, "json_path", None):
+        with open(args.json_path, "w") as handle:
+            handle.write(result.to_json() + "\n")
+    return 0
+
+
+def _render_compose() -> str:
+    from repro.api import COMPONENTS, load_builtin_components
+    from repro.api.registry import KINDS
+
+    load_builtin_components()
+    lines = [
+        "composable stack components (repro.api / `repro run --config`;",
+        'see the "Composing scenarios" section of EXPERIMENTS.md):',
+    ]
+    for kind in KINDS:
+        lines.append("")
+        lines.append(f"{kind}:")
+        for comp in COMPONENTS.items(kind):
+            lines.append(f"  {comp.name:<18} {comp.help}")
+            for name, default in comp.parameters():
+                shown = (
+                    "required"
+                    if default is inspect.Parameter.empty
+                    else f"default {default!r}"
+                )
+                lines.append(f"  {'':<18}   {name:<18} {shown}")
+    return "\n".join(lines)
+
+
 def _run_sweep(args) -> int:
     executor = SweepExecutor()
     try:
@@ -330,6 +422,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "run":
+        return _run_config(args)
+    if args.command == "compose":
+        if not args.list_components:
+            raise SystemExit(
+                "compose: nothing to do; use `repro compose --list` for the "
+                "component catalogue"
+            )
+        print(_render_compose())
+        return 0
     return _run_scenario(args)
 
 

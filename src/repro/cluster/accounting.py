@@ -9,11 +9,11 @@ HPC-Whisk supply must be indistinguishable up to drain-time effects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
 
-from repro.cluster.job import Job, JobState
+from repro.cluster.job import Job
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.slurmctld import SlurmController

@@ -18,7 +18,7 @@ from repro.cluster.job import Job, JobSpec, JobState
 from repro.cluster.node import Node, NodeState
 from repro.cluster.partition import Partition, default_partitions
 from repro.cluster.slurmd import JobExecution, NodeDaemon
-from repro.sim import Environment, Interrupt
+from repro.sim import Environment
 
 
 @dataclass

@@ -28,26 +28,28 @@ replay stays cheap; pass 2239 for the full-size cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.analysis.coverage import CoverageResult, CoverageSimulator
-from repro.analysis.idle_periods import intervals_by_node
-from repro.analysis.metrics import PercentileSummary, percentile_summary
-from repro.analysis.owlog import OWLevelStates, ow_level_states, ready_period_stats
+from repro.analysis.coverage import CoverageResult
+from repro.analysis.metrics import PercentileSummary
+from repro.analysis.owlog import OWLevelStates
 from repro.analysis.report import render_table23
-from repro.analysis.sampler import SlurmSampler
-from repro.cluster.slurmctld import SlurmConfig
-from repro.faas.functions import sleep_functions
-from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
-from repro.hpcwhisk.deploy import HPCWhiskSystem, build_system
-from repro.hpcwhisk.lengths import SET_A1, SET_C2
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    SimulationReport,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.cluster.backfill import SchedulerConfig
+from repro.hpcwhisk.config import SupplyModel
 from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
 from repro.scenarios.presets import FULL, QUICK, SMOKE
-from repro.workloads.gatling import GatlingClient, GatlingReport
-from repro.workloads.hpc_trace import trace_to_prime_jobs
-from repro.workloads.idleness import IdlenessTraceGenerator
+from repro.workloads.gatling import GatlingReport
 
 
 @dataclass
@@ -68,7 +70,7 @@ class DayConfig:
     #: floor on idle supply (None = per-model default)
     min_intensity: Optional[float] = None
     #: scheduler tunables (None = per-model defaults, see resolved_scheduler)
-    scheduler: Optional["SchedulerConfig"] = None
+    scheduler: Optional[SchedulerConfig] = None
     #: Gatling request rate (paper: 10 QPS against 100 sleep functions)
     qps: float = 10.0
     num_functions: int = 100
@@ -103,9 +105,7 @@ class DayConfig:
         # The fib day had a stable baseline of idle supply (Fig 5a).
         return 9.0 if self.model is SupplyModel.FIB else 0.0
 
-    def resolved_scheduler(self) -> "SchedulerConfig":
-        from repro.cluster.backfill import SchedulerConfig
-
+    def resolved_scheduler(self) -> SchedulerConfig:
         if self.scheduler is not None:
             return self.scheduler
         if self.model is SupplyModel.VAR:
@@ -173,111 +173,103 @@ class DayResult:
         return "\n".join(lines)
 
 
+def day_stack(config: DayConfig) -> Stack:
+    """The experiment day as a declarative :class:`~repro.api.Stack`.
+
+    This *is* the paper's composition, spelled out: Slurm cluster +
+    pilot supply + OpenWhisk middleware + prime-trace replay + Gatling
+    load, measured from the three perspectives (Slurm sampler,
+    clairvoyant coverage, OW-level log) plus the client's own report.
+    """
+    workloads = [
+        WorkloadSpec(
+            "idleness-trace",
+            nodes=config.num_nodes,
+            intensity_scale=config.resolved_scale(),
+            length_scale=config.resolved_length_scale(),
+            outage_share=config.resolved_outage_share(),
+            min_intensity=config.resolved_min_intensity(),
+        )
+    ]
+    probes = [
+        ProbeSpec("slurm-sampler"),
+        ProbeSpec(
+            "coverage",
+            length_set="A1" if config.model is SupplyModel.FIB else "C2",
+        ),
+        ProbeSpec("ow-log"),
+    ]
+    if config.with_load:
+        workloads.append(
+            WorkloadSpec(
+                "gatling",
+                qps=config.qps,
+                functions=config.num_functions,
+                duration=config.function_duration,
+            )
+        )
+        probes.append(ProbeSpec("gatling-report"))
+    return Stack(
+        cluster=ClusterSpec(
+            nodes=config.num_nodes, scheduler=config.resolved_scheduler()
+        ),
+        supply=SupplySpec(config.model.value),
+        middleware=MiddlewareSpec(),
+        workloads=tuple(workloads),
+        probes=tuple(probes),
+        seed=config.seed,
+        horizon=config.horizon,
+        name=f"day-{config.model.value}",
+    )
+
+
 def run_day(config: Optional[DayConfig] = None) -> DayResult:
     """Run one full experiment day and analyse it."""
     config = config or DayConfig()
-    length_set = SET_A1 if config.model is SupplyModel.FIB else SET_C2
-    whisk_config = HPCWhiskConfig(supply_model=config.model, length_set=SET_A1)
-    system = build_system(
-        whisk_config,
-        SlurmConfig(num_nodes=config.num_nodes, scheduler=config.resolved_scheduler()),
-        seed=config.seed,
-    )
-    env = system.env
-
-    # Prime workload: trace replay of a generated idleness day.
-    trace_rng = system.streams.stream("trace")
-    trace = IdlenessTraceGenerator(
-        trace_rng,
-        num_nodes=config.num_nodes,
-        intensity_scale=config.resolved_scale(),
-        length_scale=config.resolved_length_scale(),
-        outage_share=config.resolved_outage_share(),
-        min_intensity=config.resolved_min_intensity(),
-    ).generate(config.horizon)
-    workload = trace_to_prime_jobs(trace, system.streams.stream("lead"))
-    workload.submit_all(env, system.slurm)
-
-    # Load client.
-    gatling: Optional[GatlingClient] = None
-    if config.with_load:
-        functions = sleep_functions(config.num_functions, config.function_duration)
-        for function in functions:
-            system.controller.deploy(function)
-        gatling = GatlingClient(
-            env,
-            system.client,
-            [f.name for f in functions],
-            rate_per_second=config.qps,
-            duration=config.function_duration,
-            rng=system.streams.stream("gatling"),
-        )
-        gatling.start(config.horizon)
-
-    sampler = SlurmSampler(env, system.slurm, system.streams.stream("sampler"))
-    env.run(until=config.horizon)
-    sampler.stop()
-    system.manager.stop()
-
-    return _analyse(config, system, sampler, gatling, length_set)
+    report = day_stack(config).run()
+    return day_result_from_report(config, report)
 
 
-def _analyse(
-    config: DayConfig,
-    system: HPCWhiskSystem,
-    sampler: SlurmSampler,
-    gatling: Optional[GatlingClient],
-    length_set,
+def day_result_from_report(
+    config: DayConfig, report: SimulationReport
 ) -> DayResult:
-    samples = sampler.log.samples
-    horizon = config.horizon
-
-    available = intervals_by_node(samples, "available", end_time=horizon)
-    whisk_counts = sampler.log.whisk_counts()
-    available_counts = sampler.log.available_counts()
-    idle_counts = sampler.log.idle_counts()
-
-    total_available = float(available_counts.sum())
-    slurm_used_share = (
-        float(whisk_counts.sum()) / total_available if total_available else 0.0
-    )
-
-    simulation = CoverageSimulator().run(available, length_set, horizon=horizon)
-
-    timelines = [t for t in system.pilot_timelines if t.job_started_at < horizon]
-    ow = ow_level_states(timelines, horizon)
-
-    per_minute: Dict[str, np.ndarray] = {}
-    report = None
-    if gatling is not None:
-        report = gatling.report
-        per_minute = report.per_minute(horizon)
-
+    """Assemble the Tables II/III result view from the probe artifacts."""
     from repro.analysis.metrics import time_weighted_counts
 
-    warmup = CoverageSimulator().warmup
+    sampler = report.artifacts["slurm-sampler"]
+    coverage = report.artifacts["coverage"]
+    ow_log = report.artifacts["ow-log"]
+    gatling: Optional[GatlingReport] = report.artifacts.get("gatling-report")
+    horizon = config.horizon
+
+    per_minute: Dict[str, np.ndarray] = {}
+    if gatling is not None:
+        per_minute = gatling.per_minute(horizon)
+
+    simulation = coverage.simulation
     sim_ready_intervals = [
-        (start + min(warmup, end - start), end) for _node, start, end in simulation.jobs
+        (start + min(coverage.warmup, end - start), end)
+        for _node, start, end in simulation.jobs
     ]
     series = {
-        "sample_times": np.array([s.time for s in samples]),
-        "idle_counts": idle_counts,
-        "whisk_counts": whisk_counts,
-        "available_counts": available_counts,
-        "ow_healthy_counts": ow.healthy_counts,
+        "sample_times": np.array([s.time for s in sampler.log.samples]),
+        "idle_counts": sampler.idle_counts,
+        "whisk_counts": sampler.whisk_counts,
+        "available_counts": sampler.available_counts,
+        "ow_healthy_counts": ow_log.ow.healthy_counts,
         "sim_ready_counts": time_weighted_counts(sim_ready_intervals, horizon),
     }
 
     return DayResult(
         config=config,
         simulation=simulation,
-        slurm_workers=percentile_summary(whisk_counts),
-        available_workers=percentile_summary(available_counts),
-        slurm_used_share=slurm_used_share,
-        zero_available_share=float(np.mean(available_counts == 0)),
-        ow=ow,
-        gatling=report,
-        ready_periods=ready_period_stats(timelines),
+        slurm_workers=sampler.slurm_workers,
+        available_workers=sampler.available_workers,
+        slurm_used_share=sampler.slurm_used_share,
+        zero_available_share=sampler.zero_available_share,
+        ow=ow_log.ow,
+        gatling=gatling,
+        ready_periods=ow_log.ready_periods,
         per_minute=per_minute,
         series=series,
     )
@@ -312,35 +304,19 @@ DAY_SEEDS = {"fib": 317, "var": 321}
 )
 def day_scenario(spec: ScenarioSpec) -> ScenarioResult:
     model = SupplyModel.FIB if spec.supply == "fib" else SupplyModel.VAR
-    result = run_day(
-        DayConfig(
-            model=model,
-            seed=spec.seed,
-            horizon=spec.horizon,
-            num_nodes=spec.nodes,
-            qps=spec.params["qps"],
-            with_load=not spec.params["no_load"],
-        )
+    config = DayConfig(
+        model=model,
+        seed=spec.seed,
+        horizon=spec.horizon,
+        num_nodes=spec.nodes,
+        qps=spec.params["qps"],
+        with_load=not spec.params["no_load"],
     )
-    metrics = {
-        "coverage": result.slurm_used_share,
-        "sim_ready_share": result.simulation.ready_share,
-        "sim_used_share": result.simulation.used_share,
-        "avg_whisk_nodes": result.slurm_workers.avg,
-        "avg_available_nodes": result.available_workers.avg,
-        "avg_healthy_invokers": result.ow.healthy.avg,
-        "zero_available_share": result.zero_available_share,
-        "ready_period_median_s": result.ready_periods.get("median", float("nan")),
-        "outage_total_s": result.ow.total_outage(),
-        "longest_outage_s": result.ow.longest_outage(),
-    }
-    if result.gatling is not None:
-        metrics.update(
-            requests_total=float(result.gatling.total),
-            accepted_share=result.gatling.invoked_share,
-            success_of_accepted_share=result.gatling.success_share_of_invoked,
-            median_response_s=result.gatling.response_time_percentile(50),
-        )
+    report = day_stack(config).run()
+    result = day_result_from_report(config, report)
+    # The probes' merged output *is* the scenario's metric set — the
+    # composed-stack path and the registered scenario agree by construction.
+    metrics = dict(report.metrics)
     parts = [result.render()]
     if spec.params["plot"]:
         from repro.analysis.figures import ascii_timeseries

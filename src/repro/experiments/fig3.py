@@ -15,16 +15,19 @@ up covered by ready invokers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.analysis.idle_periods import intervals_by_node
 from repro.analysis.metrics import node_surface
 from repro.analysis.report import render_kv
-from repro.analysis.sampler import SlurmSampler
-from repro.cluster.job import JobSpec
-from repro.cluster.slurmctld import SlurmConfig
-from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
-from repro.hpcwhisk.deploy import build_system
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
 from repro.hpcwhisk.lengths import JobLengthSet
 from repro.scenarios import ScenarioResult, ScenarioSpec, register
 
@@ -65,39 +68,45 @@ class Fig3Result:
         return render_kv("Fig 3 — 5-node example with pilot fill", self.stats)
 
 
+def fig3_stack(seed: int = 7) -> Stack:
+    """The 5-node example as a declarative :class:`~repro.api.Stack`."""
+    return Stack(
+        cluster=ClusterSpec(nodes=5),
+        supply=SupplySpec(
+            "fib",
+            length_set=FIG3_LENGTH_SET,
+            queue_per_length=5,
+            replenish_interval=5.0,
+        ),
+        middleware=MiddlewareSpec(),
+        workloads=(
+            WorkloadSpec(
+                "pinned-jobs",
+                jobs=[
+                    {
+                        "name": name,
+                        "nodes": list(nodes),
+                        "start_min": start_min,
+                        "end_min": end_min,
+                    }
+                    for name, nodes, start_min, end_min in PRIME_JOBS
+                ],
+            ),
+        ),
+        probes=(ProbeSpec("slurm-sampler", pause=2.0),),
+        seed=seed,
+        horizon=20 * 60.0,
+        name="fig3",
+    )
+
+
 def run_fig3(seed: int = 7) -> Fig3Result:
     """Run the 5-node example with a {2,4,6,10}-minute pilot supply."""
-    horizon = 20 * 60.0
-    config = HPCWhiskConfig(
-        supply_model=SupplyModel.FIB,
-        length_set=FIG3_LENGTH_SET,
-        queue_per_length=5,
-        replenish_interval=5.0,
-    )
-    system = build_system(config, SlurmConfig(num_nodes=5), seed=seed)
-    env = system.env
+    report = fig3_stack(seed=seed).run()
+    horizon = report.horizon
+    system = report.system
 
-    for name, nodes, start_min, end_min in PRIME_JOBS:
-        system.slurm.submit(
-            JobSpec(
-                name=name,
-                num_nodes=len(nodes),
-                time_limit=(end_min - start_min) * 60.0,
-                actual_runtime=(end_min - start_min) * 60.0,
-                partition="main",
-                required_nodes=nodes,
-                begin_time=start_min * 60.0,
-            )
-        )
-
-    sampler = SlurmSampler(
-        env, system.slurm, system.streams.stream("sampler"), pause=2.0
-    )
-    env.run(until=horizon)
-    sampler.stop()
-    system.manager.stop()
-
-    samples = sampler.log.samples
+    samples = report.artifacts["slurm-sampler"].log.samples
     idle = intervals_by_node(samples, "idle", end_time=horizon)
     whisk = intervals_by_node(samples, "whisk", end_time=horizon)
     idle_surface = node_surface(idle) / 60.0

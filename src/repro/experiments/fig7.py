@@ -14,12 +14,10 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.analysis.report import render_kv
 from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
 from repro.scenarios.presets import FULL, QUICK, SMOKE
 from repro.workloads.lambda_model import LambdaPerformanceModel
 from repro.workloads.sebs import (
-    SeBSFunction,
     build_sebs_functions,
     model_invocations,
     time_invocations,

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.analysis.coverage import CoverageResult, CoverageSimulator
 from repro.analysis.report import render_kv
-from repro.hpcwhisk.lengths import SET_A1, SET_C1, JobLengthSet
+from repro.hpcwhisk.lengths import SET_A1, SET_C1
 from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
 from repro.workloads.idleness import IdlenessTrace, IdlenessTraceGenerator
 

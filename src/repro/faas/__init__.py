@@ -47,6 +47,7 @@ __all__ = [
     "Alg1Wrapper",
     "Broker",
     "CommercialCloud",
+    "CompletionMessage",
     "Container",
     "ContainerPool",
     "ContainerRuntime",

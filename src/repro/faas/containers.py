@@ -10,7 +10,7 @@ busy the acquisition waits in FIFO order.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.faas.functions import FunctionDef
 from repro.faas.runtime import ContainerRuntime

@@ -21,7 +21,7 @@ configurable in :class:`~repro.faas.config.FaaSConfig`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.faas.config import FaaSConfig
 from repro.hpcwhisk.lengths import SET_A1, JobLengthSet

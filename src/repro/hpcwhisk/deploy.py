@@ -4,6 +4,14 @@
 broker, the (off-cluster) OpenWhisk controller, the pilot-job body
 factory, and the configured supply manager — everything the experiments
 and examples need, with one root seed controlling all randomness.
+
+The composable layer in :mod:`repro.api` assembles stacks through this
+same function, so a hand-written ``build_system`` call and a declarative
+``Stack`` produce byte-identical simulations.  Two knobs exist for
+reduced stacks: ``with_middleware=False`` builds a bare cluster (no
+broker/controller — the non-invasiveness baseline), and
+``with_manager=False`` builds the middleware without a pilot supply
+(static invoker fleets attach their own workers).
 """
 
 from __future__ import annotations
@@ -24,20 +32,27 @@ from repro.sim import Environment, RandomStreams
 
 @dataclass
 class HPCWhiskSystem:
-    """Handles to every component of an assembled deployment."""
+    """Handles to every component of an assembled deployment.
+
+    Reduced stacks leave the parts they skipped as ``None``: a bare
+    cluster has no broker/controller/client, and a manager-less stack
+    (static invoker fleet) has ``manager=None``.
+    """
 
     env: Environment
     streams: RandomStreams
     slurm: SlurmController
-    broker: Broker
-    controller: Controller
-    client: FaaSClient
-    commercial: CommercialCloud
-    wrapped_client: Alg1Wrapper
-    manager: _BaseJobManager
+    broker: Optional[Broker]
+    controller: Optional[Controller]
+    client: Optional[FaaSClient]
+    commercial: Optional[CommercialCloud]
+    wrapped_client: Optional[Alg1Wrapper]
+    manager: Optional[_BaseJobManager]
     config: HPCWhiskConfig
     #: every pilot's lifecycle record (OW-level log source)
     pilot_timelines: List[PilotTimeline] = field(default_factory=list)
+    #: statically-attached invokers (supply "static"; empty for pilots)
+    invokers: List = field(default_factory=list)
 
     def run(self, until: float) -> None:
         """Advance the simulation to *until* seconds."""
@@ -49,6 +64,10 @@ def build_system(
     slurm_config: Optional[SlurmConfig] = None,
     seed: int = 0,
     env: Optional[Environment] = None,
+    *,
+    load_balancer=None,
+    with_middleware: bool = True,
+    with_manager: bool = True,
 ) -> HPCWhiskSystem:
     """Assemble a full HPC-Whisk deployment on a fresh simulation."""
     config = config or HPCWhiskConfig()
@@ -61,22 +80,44 @@ def build_system(
         partitions=default_partitions(),
         rng=streams.stream("slurm"),
     )
+    if not with_middleware:
+        return HPCWhiskSystem(
+            env=env,
+            streams=streams,
+            slurm=slurm,
+            broker=None,
+            controller=None,
+            client=None,
+            commercial=None,
+            wrapped_client=None,
+            manager=None,
+            config=config,
+        )
+
     broker = Broker(env, publish_latency=config.faas.publish_latency)
-    controller = Controller(env, broker, config=config.faas, rng=streams.stream("controller"))
+    controller = Controller(
+        env,
+        broker,
+        config=config.faas,
+        rng=streams.stream("controller"),
+        load_balancer=load_balancer,
+    )
     client = FaaSClient(controller)
     commercial = CommercialCloud(env, streams.stream("commercial"))
     wrapped = Alg1Wrapper(client, commercial)
 
     timelines: List[PilotTimeline] = []
-    pilot_rng = streams.stream("pilots")
+    manager: Optional[_BaseJobManager] = None
+    if with_manager:
+        pilot_rng = streams.stream("pilots")
 
-    def body_factory():
-        return make_pilot_body(controller, broker, config, pilot_rng, timelines)
+        def body_factory():
+            return make_pilot_body(controller, broker, config, pilot_rng, timelines)
 
-    if config.supply_model is SupplyModel.FIB:
-        manager: _BaseJobManager = FibJobManager(env, slurm, config, body_factory)
-    else:
-        manager = VarJobManager(env, slurm, config, body_factory)
+        if config.supply_model is SupplyModel.FIB:
+            manager = FibJobManager(env, slurm, config, body_factory)
+        else:
+            manager = VarJobManager(env, slurm, config, body_factory)
 
     return HPCWhiskSystem(
         env=env,

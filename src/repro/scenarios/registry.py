@@ -218,6 +218,45 @@ class ScenarioRegistry:
     ) -> ScenarioResult:
         return self.get(name).run(overrides, scale)
 
+    def run_spec(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Run an already-resolved spec through its scenario's runner."""
+        return self.get(spec.name).runner(spec)
+
+    #: allowed keys of a scenario-mode config mapping
+    CONFIG_KEYS = ("scenario", "scale", "seed", "overrides")
+
+    def spec_from_config(self, config: Mapping[str, Any]) -> ScenarioSpec:
+        """Resolve a declarative config mapping into a :class:`ScenarioSpec`.
+
+        The shape (YAML-friendly; see ``repro run --config``)::
+
+            scenario: day        # required: a registered scenario name
+            scale: smoke         # optional, default "full"
+            seed: 99             # optional, same as overrides["seed"]
+            overrides:           # optional parameter overrides
+              model: var
+
+        Values arrive as YAML scalars (possibly strings) and are coerced
+        through each parameter's declared type, exactly like CLI options.
+        """
+        unknown = set(config) - set(self.CONFIG_KEYS)
+        if unknown:
+            raise KeyError(
+                f"unknown scenario-config key(s) {sorted(unknown)}; "
+                f"allowed: {sorted(self.CONFIG_KEYS)}"
+            )
+        if "scenario" not in config:
+            raise KeyError("scenario config needs a 'scenario' key")
+        overrides = dict(config.get("overrides") or {})
+        if "seed" in config and config["seed"] is not None:
+            if "seed" in overrides:
+                raise ValueError(
+                    "seed given both at top level and in overrides"
+                )
+            overrides["seed"] = config["seed"]
+        scale = config.get("scale") or "full"
+        return self.build_spec(str(config["scenario"]), overrides, str(scale))
+
 
 #: the process-wide registry all experiment modules register into
 REGISTRY = ScenarioRegistry()

@@ -44,8 +44,18 @@ class ScenarioSpec:
         """The flat override mapping that rebuilds this spec.
 
         ``registry.build_spec(spec.name, spec.overrides(), spec.scale)``
-        round-trips to an identical spec — the property the sweep
-        executor and the persistence layer rely on.
+        round-trips to an identical spec — including the first-class
+        fields (``nodes``, ``horizon``, ``supply``, ``workload``),
+        because every one of them is derived from a declared parameter
+        whose resolved value is carried in :attr:`params`.  The
+        ``scale`` must be passed alongside (it is not an override): the
+        mapping pins every parameter explicitly, so the rebuilt params
+        are scale-independent, but the spec's recorded ``scale`` label
+        is whatever the caller rebuilds at.
+
+        ``tests/test_scenarios/test_spec_roundtrip.py`` proves the
+        round-trip property over every registered scenario; the sweep
+        executor and the persistence layer rely on it.
         """
         return {"seed": self.seed, **dict(self.params)}
 

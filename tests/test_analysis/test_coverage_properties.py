@@ -1,11 +1,10 @@
 """Property-based tests of the coverage simulator's packing."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.coverage import CoverageSimulator, greedy_fill_window
-from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, JobLengthSet, SET_A1
+from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, SET_A1
 
 
 @given(window=st.floats(min_value=0.0, max_value=7200.0))

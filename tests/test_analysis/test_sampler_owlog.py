@@ -8,7 +8,6 @@ from repro.analysis.owlog import ow_level_states, ready_period_stats
 from repro.analysis.sampler import SlurmSample, SlurmSampler
 from repro.cluster import JobSpec, SlurmConfig, SlurmController
 from repro.hpcwhisk.pilot import PilotTimeline
-from repro.sim import Environment
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,163 @@
+"""YAML/dict config resolution: scenario mode, stack mode, example files."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    SimulationReport,
+    config_mode,
+    load_config_file,
+    run_config,
+    stack_from_config,
+)
+from repro.scenarios import REGISTRY, load_builtin
+
+CONFIG_DIR = Path(__file__).resolve().parents[2] / "examples" / "configs"
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_builtin()
+
+
+# ---------------------------------------------------------------------------
+# mode classification
+
+
+def test_config_mode_classification():
+    assert config_mode({"scenario": "day"}) == "scenario"
+    assert config_mode({"stack": {}}) == "stack"
+    with pytest.raises(ValueError, match="both"):
+        config_mode({"scenario": "day", "stack": {}})
+    with pytest.raises(ValueError, match="'scenario' or a 'stack'"):
+        config_mode({"horizon": 60})
+    with pytest.raises(KeyError, match="unknown stack-config key"):
+        config_mode({"stack": {}, "bogus": 1})
+
+
+# ---------------------------------------------------------------------------
+# scenario mode -> ScenarioSpec resolution
+
+
+def test_scenario_config_resolves_like_build_spec():
+    config = {
+        "scenario": "day",
+        "scale": "smoke",
+        "overrides": {"model": "var", "no_load": True},
+    }
+    spec = REGISTRY.spec_from_config(config)
+    assert spec == REGISTRY.build_spec(
+        "day", {"model": "var", "no_load": True}, "smoke"
+    )
+    assert spec.supply == "var"
+    assert spec.workload == "none"
+    assert spec.seed == 321  # the var day's per-model default seed
+
+
+def test_scenario_config_yaml_string_values_are_coerced():
+    # YAML users may quote values; Param.coerce handles the strings.
+    spec = REGISTRY.spec_from_config(
+        {"scenario": "fig1", "overrides": {"days": "0.5", "nodes": "64"}}
+    )
+    assert spec.params["days"] == 0.5
+    assert spec.nodes == 64
+
+
+def test_scenario_config_top_level_seed():
+    spec = REGISTRY.spec_from_config({"scenario": "fig2", "seed": 5})
+    assert spec.seed == 5
+    with pytest.raises(ValueError, match="seed given both"):
+        REGISTRY.spec_from_config(
+            {"scenario": "fig2", "seed": 5, "overrides": {"seed": 6}}
+        )
+
+
+def test_scenario_config_rejects_unknown_keys():
+    with pytest.raises(KeyError, match="unknown scenario-config key"):
+        REGISTRY.spec_from_config({"scenario": "fig2", "bogus": 1})
+
+
+# ---------------------------------------------------------------------------
+# stack mode
+
+
+def test_stack_from_config_parses_strings_and_mappings():
+    stack = stack_from_config(
+        {
+            "name": "parse-check",
+            "seed": 9,
+            "horizon": 120,
+            "stack": {
+                "cluster": {"nodes": 4},
+                "supply": "none",
+                "middleware": "none",
+                "workloads": [{"kind": "hpc-jobs", "count": 3}],
+                "probes": ["accounting"],
+            },
+        }
+    )
+    assert stack.cluster == ClusterSpec(nodes=4)
+    assert stack.supply.name == "none"
+    assert stack.middleware is None
+    assert stack.workloads[0].name == "hpc-jobs"
+    assert stack.workloads[0].options == {"count": 3}
+    assert stack.seed == 9 and stack.horizon == 120.0
+
+
+def test_stack_from_config_validates_component_names():
+    with pytest.raises(KeyError, match="unknown probe component"):
+        stack_from_config({"stack": {"probes": ["bogus"]}})
+    with pytest.raises(KeyError, match="unknown stack section key"):
+        stack_from_config({"stack": {"clutter": {}}})
+
+
+def test_run_config_dispatches_both_modes():
+    scenario_result = run_config({"scenario": "fig2", "scale": "smoke"})
+    assert scenario_result.spec.name == "fig2"
+    report = run_config(
+        {
+            "name": "tiny",
+            "horizon": 120,
+            "stack": {
+                "cluster": {"nodes": 2},
+                "supply": "none",
+                "middleware": "none",
+                "workloads": [{"kind": "hpc-jobs", "count": 2}],
+                "probes": ["accounting"],
+            },
+        }
+    )
+    assert isinstance(report, SimulationReport)
+    assert report.metrics["prime_jobs_total"] == 2.0
+
+
+# ---------------------------------------------------------------------------
+# the shipped example configs must keep working
+
+
+@pytest.mark.parametrize(
+    "filename", ["fib_loadbalancer.yaml", "var_sebs_cluster.yaml"]
+)
+def test_example_config_parses_and_validates(filename):
+    config = load_config_file(str(CONFIG_DIR / filename))
+    stack = stack_from_config(config)  # validates against the registry
+    assert stack.horizon > 0
+
+
+def test_example_fib_loadbalancer_runs_end_to_end():
+    config = load_config_file(str(CONFIG_DIR / "fib_loadbalancer.yaml"))
+    config["horizon"] = 300  # keep the test fast; same composition
+    report = run_config(config)
+    assert report.name == "fib-day-balancer"
+    assert report.metrics["requests_total"] > 0
+    assert 0.0 <= report.metrics["warm_ratio"] <= 1.0
+
+
+def test_example_var_sebs_runs_end_to_end():
+    config = load_config_file(str(CONFIG_DIR / "var_sebs_cluster.yaml"))
+    config["horizon"] = 300
+    report = run_config(config)
+    assert report.name == "var-sebs-64"
+    assert report.metrics["requests_total"] > 0

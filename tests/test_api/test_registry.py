@@ -1,0 +1,81 @@
+"""Component-registry unit tests."""
+
+import pytest
+
+from repro.api.registry import (
+    COMPONENTS,
+    Component,
+    ComponentRegistry,
+    component,
+    load_builtin_components,
+)
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_builtin_components()
+
+
+EXPECTED_BUILTINS = {
+    "cluster": {"slurm"},
+    "supply": {"fib", "var", "none", "static"},
+    "middleware": {"openwhisk"},
+    "workload": {"idleness-trace", "gatling", "pinned-jobs", "sebs", "hpc-jobs"},
+    "probe": {
+        "slurm-sampler",
+        "coverage",
+        "ow-log",
+        "gatling-report",
+        "kernel-stats",
+        "accounting",
+        "loadbalancer-stats",
+    },
+}
+
+
+def test_builtin_catalogue_complete():
+    for kind, names in EXPECTED_BUILTINS.items():
+        assert set(COMPONENTS.names(kind)) == names
+
+
+def test_get_unknown_component_names_known_ones():
+    with pytest.raises(KeyError, match="unknown supply component"):
+        COMPONENTS.get("supply", "bogus")
+
+
+def test_duplicate_registration_rejected():
+    registry = ComponentRegistry()
+
+    @component("probe", "p1", registry=registry)
+    def probe_factory(ctx):
+        raise NotImplementedError
+
+    with pytest.raises(ValueError, match="registered twice"):
+
+        @component("probe", "p1", registry=registry)
+        def probe_factory_again(ctx):
+            raise NotImplementedError
+
+
+def test_unknown_kind_rejected():
+    registry = ComponentRegistry()
+    with pytest.raises(ValueError, match="kind must be one of"):
+        registry.add(Component(kind="nonsense", name="x", factory=lambda: None))
+
+
+def test_parameters_skip_the_context_argument():
+    comp = COMPONENTS.get("workload", "gatling")
+    names = comp.param_names()
+    assert "ctx" not in names
+    assert "qps" in names and "functions" in names
+
+
+def test_every_component_has_help_text():
+    for comp in COMPONENTS.items():
+        assert comp.help, f"{comp.kind}/{comp.name} has no help text"
+
+
+def test_items_filters_by_kind():
+    supplies = COMPONENTS.items("supply")
+    assert {c.name for c in supplies} == EXPECTED_BUILTINS["supply"]
+    assert all(c.kind == "supply" for c in supplies)

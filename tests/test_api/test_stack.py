@@ -1,0 +1,126 @@
+"""Stack assembly and execution semantics."""
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.api.components import resolve_length_set
+from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
+
+
+def small_stack(**kwargs):
+    defaults = dict(
+        cluster=ClusterSpec(nodes=8),
+        supply=SupplySpec("fib"),
+        workloads=(
+            WorkloadSpec("idleness-trace", min_intensity=4.0, outage_share=0.0),
+        ),
+        probes=(ProbeSpec("slurm-sampler"),),
+        seed=3,
+        horizon=600.0,
+        name="unit",
+    )
+    defaults.update(kwargs)
+    return Stack(**defaults)
+
+
+def test_run_produces_probe_metrics_and_artifacts():
+    report = small_stack().run()
+    assert report.name == "unit"
+    assert report.seed == 3
+    assert set(report.metrics) == {
+        "coverage",
+        "avg_whisk_nodes",
+        "avg_available_nodes",
+        "zero_available_share",
+    }
+    assert set(report.artifacts) == {"slurm-sampler"}
+    assert report.system.slurm.config.num_nodes == 8
+
+
+def test_report_to_json_is_sorted_and_deterministic():
+    from repro.scenarios.sweep import reset_run_state
+
+    reset_run_state()
+    first = small_stack().run().to_json()
+    reset_run_state()
+    second = small_stack().run().to_json()
+    assert first == second
+    assert first.index('"avg_available_nodes"') < first.index('"coverage"')
+
+
+def test_unknown_component_name_rejected_before_running():
+    with pytest.raises(KeyError, match="unknown workload component"):
+        small_stack(workloads=(WorkloadSpec("bogus"),)).validate()
+
+
+def test_unknown_option_rejected_before_running():
+    stack = small_stack(workloads=(WorkloadSpec("gatling", qqps=1.0),))
+    with pytest.raises(KeyError, match="no option"):
+        stack.validate()
+
+
+def test_duplicate_probes_rejected():
+    with pytest.raises(ValueError, match="duplicate probe"):
+        small_stack(probes=(ProbeSpec("ow-log"), ProbeSpec("ow-log")))
+
+
+def test_supply_none_without_middleware_builds_bare_cluster():
+    stack = small_stack(
+        supply=SupplySpec("none"),
+        middleware=None,
+        probes=(ProbeSpec("accounting"),),
+    )
+    report = stack.run()
+    assert report.system.controller is None
+    assert report.system.manager is None
+    assert report.metrics["prime_jobs_total"] > 0
+
+
+def test_pilot_supply_without_middleware_rejected():
+    stack = small_stack(middleware=None)
+    with pytest.raises(ValueError, match="needs middleware"):
+        stack.build()
+
+
+def test_static_supply_spawns_invoker_fleet():
+    stack = small_stack(
+        supply=SupplySpec("static", invokers=3),
+        middleware=MiddlewareSpec(system_overhead=0.05),
+        workloads=(WorkloadSpec("gatling", qps=2.0, functions=5, duration=0.05),),
+        probes=(ProbeSpec("loadbalancer-stats"), ProbeSpec("gatling-report")),
+        horizon=300.0,
+        run_extra=30.0,
+    )
+    report = stack.run()
+    assert len(report.system.invokers) == 3
+    assert report.metrics["warm_hits"] + report.metrics["cold_starts"] > 0
+    assert report.metrics["success_of_accepted_share"] > 0.9
+
+
+def test_probe_ordering_enforced_for_coverage():
+    # coverage declared before the sampler it reads from -> clear error
+    stack = small_stack(probes=(ProbeSpec("coverage"), ProbeSpec("slurm-sampler")))
+    with pytest.raises(ValueError, match="declared\\s+before"):
+        stack.run()
+
+
+def test_wrong_spec_type_rejected():
+    with pytest.raises(TypeError, match="expected SupplySpec"):
+        Stack(supply=WorkloadSpec("gatling"))
+
+
+def test_resolve_length_set_accepts_all_three_shapes():
+    assert resolve_length_set("A1") is SET_A1
+    assert resolve_length_set(SET_A1) is SET_A1
+    custom = resolve_length_set([2, 4])
+    assert isinstance(custom, JobLengthSet)
+    assert custom.minutes == (2, 4)
+    with pytest.raises(KeyError, match="unknown length set"):
+        resolve_length_set("Z9")

@@ -99,6 +99,67 @@ def test_run_persists_json_and_csv(tmp_path, capsys):
     assert csv_path.read_text().startswith("scenario,scale,seed,metric,value")
 
 
+def test_compose_without_list_flag_points_at_it(capsys):
+    with pytest.raises(SystemExit, match="--list"):
+        main(["compose"])
+
+
+def test_compose_list_catalogues_components(capsys):
+    assert main(["compose", "--list"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("cluster:", "supply:", "middleware:", "workload:", "probe:"):
+        assert kind in out
+    for name in ("slurm", "fib", "var", "static", "openwhisk",
+                 "idleness-trace", "gatling", "slurm-sampler", "coverage"):
+        assert name in out
+    assert "queue_per_length" in out  # options are listed with defaults
+
+
+def test_run_config_scenario_mode_matches_subcommand(tmp_path, capsys):
+    config = tmp_path / "fig3.yaml"
+    config.write_text("scenario: fig3\nscale: smoke\n")
+    assert main(["run", "--config", str(config)]) == 0
+    config_out = capsys.readouterr().out
+    assert main(["fig3", "--scale", "smoke"]) == 0
+    subcommand_out = capsys.readouterr().out
+    assert config_out == subcommand_out
+
+
+def test_run_config_stack_mode(tmp_path, capsys):
+    config = tmp_path / "stack.yaml"
+    config.write_text(
+        "name: cli-stack\n"
+        "seed: 3\n"
+        "horizon: 300\n"
+        "stack:\n"
+        "  cluster: {nodes: 4}\n"
+        "  supply: fib\n"
+        "  workloads:\n"
+        "    - {name: idleness-trace, min_intensity: 2.0, outage_share: 0.0}\n"
+        "  probes: [slurm-sampler]\n"
+    )
+    json_path = tmp_path / "out.json"
+    assert main(["run", "--config", str(config), "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-stack — composed-stack report" in out
+    import json as json_module
+
+    payload = json_module.loads(json_path.read_text())
+    assert payload["stack"] == "cli-stack"
+    assert payload["seed"] == 3
+    assert "coverage" in payload["metrics"]
+
+
+def test_run_config_usage_errors_exit_cleanly(tmp_path, capsys):
+    missing = tmp_path / "nope.yaml"
+    with pytest.raises(SystemExit):
+        main(["run", "--config", str(missing)])
+    bad = tmp_path / "bad.yaml"
+    bad.write_text("stack:\n  probes: [bogus]\n")
+    with pytest.raises(SystemExit):
+        main(["run", "--config", str(bad)])
+
+
 def test_sweep_emits_json_aggregate(capsys):
     assert main(["sweep", "fig3", "--seeds", "2", "-j", "1"]) == 0
     captured = capsys.readouterr()

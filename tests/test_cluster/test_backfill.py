@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster.backfill import BackfillScheduler, SchedulerConfig
 from repro.cluster.job import Job, JobSpec
-from repro.cluster.node import Node, NodeState
+from repro.cluster.node import Node
 from repro.cluster.partition import default_partitions
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import JobSpec, JobState, NodeState, SlurmConfig, SlurmController
 from repro.cluster.accounting import prime_wait_comparison, render_sacct, summarize
-from repro.sim import Environment, Interrupt
+from repro.sim import Interrupt
 
 
 def test_fail_idle_node_goes_down(env):

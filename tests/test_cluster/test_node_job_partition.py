@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Job, JobSpec, JobState, Node, NodeState, Partition, PreemptMode
+from repro.cluster import Job, JobSpec, JobState, Node, NodeState, Partition
 from repro.cluster.partition import default_partitions
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.cluster import JobSpec, NodeState, QueryLatencyModel, SlurmConfig, SlurmController
 from repro.cluster.query import sinfo
 from repro.cluster.reservations import Reservation, ReservationManager
-from repro.sim import Environment
 
 
 # ----------------------------------------------------------------------

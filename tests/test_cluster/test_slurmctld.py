@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import JobSpec, JobState, NodeState, SlurmConfig, SlurmController
+from repro.cluster import JobSpec, JobState, SlurmConfig, SlurmController
 from repro.cluster.backfill import SchedulerConfig
 from repro.sim import Environment, Interrupt
 

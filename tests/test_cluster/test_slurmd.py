@@ -5,7 +5,7 @@ import pytest
 from repro.cluster.job import Job, JobSignal, JobSpec, JobState
 from repro.cluster.node import Node
 from repro.cluster.slurmd import NodeDaemon, TermSignal
-from repro.sim import Environment, Interrupt
+from repro.sim import Interrupt
 
 
 def launch(env, spec, granted=None, kill_wait=30.0):

@@ -4,7 +4,6 @@ The benchmarks run these at (near-)paper scale; here they run small and
 fast, asserting structure plus the most robust qualitative anchors.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

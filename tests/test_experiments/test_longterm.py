@@ -1,6 +1,5 @@
 """Tests for the long-term pattern experiment (future-work extension)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.longterm import run_longterm

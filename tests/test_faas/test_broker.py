@@ -3,7 +3,6 @@
 import pytest
 
 from repro.faas.broker import Broker, FASTLANE_TOPIC
-from repro.sim import Environment
 
 
 def test_topic_created_on_demand(env):

@@ -14,7 +14,7 @@ from repro.faas import (
     FunctionDef,
     Invoker,
 )
-from repro.sim import Environment, Interrupt
+from repro.sim import Interrupt
 
 
 def build(env, with_invoker=False):

@@ -6,7 +6,7 @@ import pytest
 from repro.faas.containers import ContainerPool
 from repro.faas.functions import FunctionDef
 from repro.faas.runtime import ContainerRuntime, DockerRuntime, SingularityRuntime
-from repro.sim import Environment, Interrupt
+from repro.sim import Interrupt
 
 
 class InstantRuntime(ContainerRuntime):

@@ -13,7 +13,7 @@ from repro.faas import (
     InvokerStatus,
 )
 from repro.faas.broker import FASTLANE_TOPIC
-from repro.sim import Environment, Interrupt
+from repro.sim import Interrupt
 
 
 def fast_config(**overrides):

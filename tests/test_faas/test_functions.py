@@ -1,6 +1,5 @@
 """Tests for the function registry."""
 
-import numpy as np
 import pytest
 
 from repro.faas.functions import FunctionDef, FunctionRegistry, sleep_functions

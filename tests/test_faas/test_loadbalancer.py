@@ -5,7 +5,6 @@ import pytest
 
 from repro.faas.broker import Broker
 from repro.faas.loadbalancer import HashAffinity, LeastLoaded, RoundRobin
-from repro.sim import Environment
 
 
 @pytest.fixture

@@ -1,10 +1,8 @@
 """Tests for pilot bodies, job managers and system assembly."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import JobSpec, JobState, SlurmConfig
-from repro.cluster.backfill import SchedulerConfig
 from repro.faas import FunctionDef
 from repro.faas.config import FaaSConfig
 from repro.hpcwhisk import (
@@ -14,7 +12,6 @@ from repro.hpcwhisk import (
     build_system,
 )
 from repro.hpcwhisk.lengths import JobLengthSet
-from repro.sim import Environment
 
 
 def quick_config(model=SupplyModel.FIB, **kwargs):

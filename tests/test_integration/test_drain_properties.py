@@ -6,7 +6,6 @@ occur when no other worker exists or SIGKILL preempts the drain.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -123,7 +122,7 @@ def test_node_crash_detected_and_strands_messages(env):
     """Ungraceful loss end-to-end: kill the node under the only invoker;
     the controller flags it via ping timeout and in-flight work times out
     — stock-OpenWhisk behaviour the drain protocol exists to avoid."""
-    from repro.cluster import JobSpec, SlurmConfig, SlurmController
+    from repro.cluster import SlurmConfig
     from repro.faas.controller import InvokerStatus
     from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
     from repro.hpcwhisk.lengths import JobLengthSet

@@ -1,13 +1,11 @@
 """Full-stack integration: cluster + HPC-Whisk + FaaS + load, end to end."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import SlurmConfig
 from repro.faas import ActivationStatus, FunctionDef
-from repro.faas.config import FaaSConfig
 from repro.hpcwhisk import HPCWhiskConfig, SupplyModel, build_system
-from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
+from repro.hpcwhisk.lengths import SET_A1
 from repro.workloads.gatling import GatlingClient
 from repro.workloads.hpc_trace import trace_to_prime_jobs
 from repro.workloads.idleness import IdlenessTraceGenerator

@@ -6,7 +6,6 @@ import math
 import pytest
 
 from repro.scenarios import (
-    REGISTRY,
     SweepExecutor,
     SweepSpec,
     derive_run_seed,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+from repro.sim import AllOf, AnyOf, Environment, Event
 
 
 def test_event_starts_pending(env):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sim import Environment
 from repro.sim.monitor import Monitor
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Interrupt, InterruptError
+from repro.sim import Interrupt, InterruptError
 
 
 def test_process_runs_and_returns(env):

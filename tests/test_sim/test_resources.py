@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, FilterStore, Interrupt, PriorityItem, PriorityStore, Resource, Store
+from repro.sim import FilterStore, Interrupt, PriorityItem, PriorityStore, Resource, Store
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,6 @@ import pytest
 
 from repro.workloads.distributions import (
     IdleIntensityModel,
-    IdlePeriodLengthModel,
     JobPopulationModel,
     LeadTimeModel,
     LognormalSpec,

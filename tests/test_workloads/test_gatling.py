@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.faas.activation import ActivationResult, ActivationStatus
-from repro.sim import Environment
 from repro.workloads.gatling import GatlingClient, GatlingReport, RequestOutcome
 
 
