@@ -42,6 +42,7 @@ from repro.api.stack import (
     MiddlewareSpec,
     Probe,
     ProbeSpec,
+    RouterSpec,
     SimulationReport,
     Stack,
     StackContext,
@@ -60,6 +61,7 @@ __all__ = [
     "MiddlewareSpec",
     "Probe",
     "ProbeSpec",
+    "RouterSpec",
     "SimulationReport",
     "Stack",
     "StackContext",

@@ -21,6 +21,7 @@ from repro.cluster.slurmctld import SlurmConfig
 from repro.faas.functions import FunctionDef, sleep_functions
 from repro.faas.invoker import Invoker
 from repro.faas.loadbalancer import HashAffinity, LeastLoaded, RoundRobin
+from repro.faas.router import AffinityFirst, Failover, WeightedIdle
 from repro.hpcwhisk.config import SupplyModel
 from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, JobLengthSet
 from repro.sim import Interrupt
@@ -71,15 +72,19 @@ def slurm_cluster(
     node_memory_mb: int = 131072,
     kill_wait: float = 30.0,
     scheduler: Union[SchedulerConfig, Mapping[str, Any], None] = None,
+    cluster_id: str = "",
 ) -> SlurmConfig:
     """``scheduler`` takes a :class:`SchedulerConfig` or a mapping of its
-    fields (``bf_flex_interval``, ``max_flex_starts_per_pass``, …)."""
+    fields (``bf_flex_interval``, ``max_flex_starts_per_pass``, …);
+    ``cluster_id`` names the federation member ("" = positional
+    ``c<index>`` in the stack's ``clusters`` list)."""
     return SlurmConfig(
         scheduler=_resolve_scheduler(scheduler),
         kill_wait=kill_wait,
         num_nodes=nodes,
         node_cores=node_cores,
         node_memory_mb=node_memory_mb,
+        cluster_id=cluster_id,
     )
 
 
@@ -139,6 +144,7 @@ def static_supply(invokers: int = 4) -> SupplyBuild:
 
     def post_build(ctx: StackContext) -> None:
         fleet = []
+        member_ids = ctx.cluster_ids
         for index in range(invokers):
             invoker = Invoker(
                 ctx.env,
@@ -148,6 +154,9 @@ def static_supply(invokers: int = 4) -> SupplyBuild:
                 ctx.system.controller.registry,
                 config=ctx.system.config.faas,
                 rng=ctx.streams.stream(f"invoker-{index}"),
+                # round-robin over the members so federated routing and
+                # accounting see the fleet (all "c0" for N=1 stacks)
+                cluster_id=member_ids[index % len(member_ids)],
             )
             fleet.append(invoker)
 
@@ -224,6 +233,39 @@ def openwhisk_middleware(
 
 
 # ---------------------------------------------------------------------------
+# routers (cross-cluster activation routing, federated stacks)
+
+
+@component(
+    "router",
+    "weighted-idle",
+    help="route to clusters proportionally to their healthy workers",
+)
+def weighted_idle_router() -> WeightedIdle:
+    """The run's ``router`` random stream is bound during assembly, so
+    weighted draws are reproducible per stack seed."""
+    return WeightedIdle()
+
+
+@component(
+    "router",
+    "affinity-first",
+    help="hash functions to a home cluster, fail over in sorted order",
+)
+def affinity_first_router() -> AffinityFirst:
+    return AffinityFirst()
+
+
+@component(
+    "router",
+    "failover",
+    help="all traffic to the first healthy member, in declaration order",
+)
+def failover_router() -> Failover:
+    return Failover()
+
+
+# ---------------------------------------------------------------------------
 # workloads
 
 
@@ -242,24 +284,40 @@ def idleness_trace_workload(
     diurnal_amplitude: float = 0.0,
     diurnal_phase: float = 0.0,
     horizon: Optional[float] = None,
+    cluster: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Generates an idleness trace (stream ``trace``), converts its busy
-    complement to pinned prime jobs (stream ``lead``), and submits them."""
-    num_nodes = nodes if nodes is not None else ctx.system.slurm.config.num_nodes
+    complement to pinned prime jobs (stream ``lead``), and submits them.
+
+    ``cluster`` targets one federation member; with ``None`` every
+    member gets its own independently-generated trace (streams
+    ``trace@<id>``/``lead@<id>`` beyond the primary), sized to that
+    member's node count unless ``nodes`` pins one size for all.
+    """
     span = horizon if horizon is not None else ctx.horizon
-    trace = IdlenessTraceGenerator(
-        ctx.streams.stream("trace"),
-        num_nodes=num_nodes,
-        intensity_scale=intensity_scale,
-        length_scale=length_scale,
-        outage_share=outage_share,
-        min_intensity=min_intensity,
-        diurnal_amplitude=diurnal_amplitude,
-        diurnal_phase=diurnal_phase,
-    ).generate(span)
-    workload = trace_to_prime_jobs(trace, ctx.streams.stream("lead"))
-    workload.submit_all(ctx.env, ctx.system.slurm)
-    return {"trace": trace, "workload": workload}
+    targets = [cluster] if cluster is not None else ctx.cluster_ids or [None]
+    per_cluster: Dict[str, Dict[str, Any]] = {}
+    for target in targets:
+        slurm = ctx.cluster(target)
+        num_nodes = nodes if nodes is not None else slurm.config.num_nodes
+        trace = IdlenessTraceGenerator(
+            ctx.member_stream("trace", slurm.cluster_id),
+            num_nodes=num_nodes,
+            intensity_scale=intensity_scale,
+            length_scale=length_scale,
+            outage_share=outage_share,
+            min_intensity=min_intensity,
+            diurnal_amplitude=diurnal_amplitude,
+            diurnal_phase=diurnal_phase,
+        ).generate(span)
+        workload = trace_to_prime_jobs(
+            trace, ctx.member_stream("lead", slurm.cluster_id)
+        )
+        workload.submit_all(ctx.env, slurm)
+        per_cluster[slurm.cluster_id] = {"trace": trace, "workload": workload}
+    if len(per_cluster) == 1:
+        return next(iter(per_cluster.values()))
+    return {"per_cluster": per_cluster}
 
 
 @component(
@@ -296,16 +354,19 @@ def pinned_jobs_workload(
     ctx: StackContext,
     jobs: Sequence[Mapping[str, Any]] = (),
     partition: str = "main",
+    cluster: Optional[str] = None,
 ) -> list:
     """Each job is a mapping with ``name``, ``nodes`` (list of node
-    names), ``start_min``, and ``end_min`` — the Fig 3 shape, YAML-able."""
+    names), ``start_min``, and ``end_min`` — the Fig 3 shape, YAML-able.
+    ``cluster`` picks the federation member (default: the primary)."""
+    slurm = ctx.cluster(cluster)
     submitted = []
     for job in jobs:
         nodes = tuple(job["nodes"])
         start_min = float(job["start_min"])
         end_min = float(job["end_min"])
         submitted.append(
-            ctx.system.slurm.submit(
+            slurm.submit(
                 JobSpec(
                     name=str(job["name"]),
                     num_nodes=len(nodes),
@@ -366,15 +427,18 @@ def hpc_jobs_workload(
     count: int = 100,
     max_width: Optional[int] = None,
     horizon: Optional[float] = None,
+    cluster: Optional[str] = None,
 ) -> list:
     """Submits ``count`` population-sampled jobs (stream ``hpc-jobs``)
     with uniform arrival times over the horizon — a synthetic prime
-    workload that is not pinned to an idleness trace."""
+    workload that is not pinned to an idleness trace.  ``cluster``
+    picks the federation member (default: the primary)."""
     from repro.workloads.hpc_trace import JobPopulation
 
-    rng = ctx.streams.stream("hpc-jobs")
+    slurm = ctx.cluster(cluster)
+    rng = ctx.member_stream("hpc-jobs", slurm.cluster_id)
     span = horizon if horizon is not None else ctx.horizon
-    cluster_nodes = ctx.system.slurm.config.num_nodes
+    cluster_nodes = slurm.config.num_nodes
     cap = max_width if max_width is not None else max(1, cluster_nodes // 4)
     sampled = JobPopulation(rng).sample(count)
     arrivals = np.sort(rng.uniform(0.0, span, size=count))
@@ -396,7 +460,42 @@ def hpc_jobs_workload(
         for arrival, spec in specs:
             if arrival > ctx.env.now:
                 yield ctx.env.timeout(arrival - ctx.env.now)
-            ctx.system.slurm.submit(spec)
+            slurm.submit(spec)
 
     ctx.env.process(driver())
     return [spec for _arrival, spec in specs]
+
+
+@component(
+    "workload",
+    "failover-window",
+    help="whole-cluster outage: fail one member for a window, then restore",
+)
+def failover_window_workload(
+    ctx: StackContext,
+    cluster: Optional[str] = None,
+    start: float = 0.0,
+    duration: float = 600.0,
+    restore: bool = True,
+) -> Dict[str, Any]:
+    """Takes every node of one federation member down at ``start`` and
+    (optionally) restores them ``duration`` seconds later — the failover
+    scenario's outage window.  ``cluster`` defaults to the *last*
+    declared member (the one failover policies lean on least)."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    target = cluster if cluster is not None else ctx.cluster_ids[-1]
+    slurm = ctx.cluster(target)
+
+    def window():
+        if start > ctx.env.now:
+            yield ctx.env.timeout(start - ctx.env.now)
+        for name in sorted(slurm.nodes):
+            slurm.fail_node(name)
+        yield ctx.env.timeout(duration)
+        if restore:
+            for name in sorted(slurm.nodes):
+                slurm.restore_node(name)
+
+    ctx.env.process(window())
+    return {"cluster": target, "start": start, "duration": duration}

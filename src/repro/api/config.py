@@ -40,6 +40,7 @@ from repro.api.stack import (
     ComponentSpec,
     MiddlewareSpec,
     ProbeSpec,
+    RouterSpec,
     SimulationReport,
     Stack,
     SupplySpec,
@@ -53,7 +54,7 @@ from repro.scenarios.spec import ScenarioResult
 SCENARIO_KEYS = frozenset(ScenarioRegistry.CONFIG_KEYS)
 STACK_KEYS = frozenset({"name", "seed", "horizon", "run_extra", "stack"})
 STACK_SECTION_KEYS = frozenset(
-    {"cluster", "supply", "middleware", "workloads", "probes"}
+    {"cluster", "clusters", "supply", "middleware", "router", "workloads", "probes"}
 )
 
 ConfigValue = Union[str, Mapping[str, Any], None]
@@ -133,8 +134,31 @@ def stack_from_config(config: Mapping[str, Any]) -> Stack:
             f"allowed: {sorted(STACK_SECTION_KEYS)}"
         )
 
+    if "cluster" in section and "clusters" in section:
+        raise ValueError(
+            "stack section cannot have both 'cluster' and 'clusters' keys"
+        )
     cluster = _parse_spec(ClusterSpec, section.get("cluster", "slurm"))
+
+    raw_clusters = section.get("clusters")
+    clusters: tuple = ()
+    if raw_clusters is not None:
+        if isinstance(raw_clusters, (str, Mapping)) or not isinstance(
+            raw_clusters, Sequence
+        ):
+            raise TypeError("'clusters' must be a list of cluster components")
+        if not raw_clusters:
+            raise ValueError("'clusters' must name at least one member")
+        clusters = tuple(
+            _parse_spec(ClusterSpec, value) for value in raw_clusters
+        )
+
     supply = _parse_spec(SupplySpec, section.get("supply", "fib"))
+
+    router: Optional[RouterSpec] = None
+    raw_router = section.get("router")
+    if raw_router is not None and raw_router != "none":
+        router = _parse_spec(RouterSpec, raw_router)
 
     middleware: Optional[MiddlewareSpec]
     raw_middleware = section.get("middleware", "openwhisk")
@@ -154,8 +178,10 @@ def stack_from_config(config: Mapping[str, Any]) -> Stack:
 
     stack = Stack(
         cluster=cluster,
+        clusters=clusters,
         supply=supply,
         middleware=middleware,
+        router=router,
         workloads=parse_many(WorkloadSpec, section.get("workloads"), "workloads"),
         probes=parse_many(ProbeSpec, section.get("probes"), "probes"),
         seed=int(config.get("seed", 0)),

@@ -17,7 +17,7 @@ reports the same metric keys as the registered ``day`` scenario, because
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -49,53 +49,105 @@ class SamplerArtifact:
     zero_available_share: float
 
 
+@dataclass
+class FederatedSamplerArtifact:
+    """Per-member sampler views (federated stacks, N > 1)."""
+
+    per_cluster: Dict[str, SamplerArtifact]
+
+    @property
+    def log(self) -> SamplerLog:
+        """The primary member's log (single-cluster compatibility)."""
+        return next(iter(self.per_cluster.values())).log
+
+
+def _sampler_artifact(log: SamplerLog) -> SamplerArtifact:
+    whisk_counts = log.whisk_counts()
+    available_counts = log.available_counts()
+    idle_counts = log.idle_counts()
+    total_available = float(available_counts.sum())
+    slurm_used_share = (
+        float(whisk_counts.sum()) / total_available if total_available else 0.0
+    )
+    return SamplerArtifact(
+        log=log,
+        whisk_counts=whisk_counts,
+        available_counts=available_counts,
+        idle_counts=idle_counts,
+        slurm_workers=percentile_summary(whisk_counts),
+        available_workers=percentile_summary(available_counts),
+        slurm_used_share=slurm_used_share,
+        zero_available_share=float(np.mean(available_counts == 0)),
+    )
+
+
 class SlurmSamplerProbe(Probe):
-    def __init__(self, sampler: SlurmSampler) -> None:
-        self.sampler = sampler
+    """One poller per federation member; merged + per-member metrics."""
+
+    def __init__(self, samplers: Dict[str, SlurmSampler]) -> None:
+        self.samplers = samplers
 
     def finish(self, ctx: StackContext) -> None:
-        self.sampler.stop()
+        for sampler in self.samplers.values():
+            sampler.stop()
 
     def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
-        log = self.sampler.log
-        whisk_counts = log.whisk_counts()
-        available_counts = log.available_counts()
-        idle_counts = log.idle_counts()
-        total_available = float(available_counts.sum())
-        slurm_used_share = (
-            float(whisk_counts.sum()) / total_available if total_available else 0.0
-        )
-        artifact = SamplerArtifact(
-            log=log,
-            whisk_counts=whisk_counts,
-            available_counts=available_counts,
-            idle_counts=idle_counts,
-            slurm_workers=percentile_summary(whisk_counts),
-            available_workers=percentile_summary(available_counts),
-            slurm_used_share=slurm_used_share,
-            zero_available_share=float(np.mean(available_counts == 0)),
-        )
-        metrics = {
-            "coverage": slurm_used_share,
-            "avg_whisk_nodes": artifact.slurm_workers.avg,
-            "avg_available_nodes": artifact.available_workers.avg,
-            "zero_available_share": artifact.zero_available_share,
+        per_cluster = {
+            cid: _sampler_artifact(sampler.log)
+            for cid, sampler in self.samplers.items()
         }
-        return metrics, artifact
+        if len(per_cluster) == 1:
+            artifact = next(iter(per_cluster.values()))
+            metrics = {
+                "coverage": artifact.slurm_used_share,
+                "avg_whisk_nodes": artifact.slurm_workers.avg,
+                "avg_available_nodes": artifact.available_workers.avg,
+                "zero_available_share": artifact.zero_available_share,
+            }
+            return metrics, artifact
+        # Federated view: whisk/available surfaces add across members;
+        # sample counts differ per member (independent latency jitter),
+        # so shares aggregate over the union of samples.
+        whisk_total = sum(float(a.whisk_counts.sum()) for a in per_cluster.values())
+        avail_total = sum(
+            float(a.available_counts.sum()) for a in per_cluster.values()
+        )
+        # No fleet-level zero_available_share: member samples are not
+        # time-aligned, so "share of time the whole fleet had zero
+        # capacity" is not computable — reusing the single-cluster key
+        # for anything else would silently change its meaning.
+        metrics = {
+            "coverage": whisk_total / avail_total if avail_total else 0.0,
+            "avg_whisk_nodes": sum(
+                a.slurm_workers.avg for a in per_cluster.values()
+            ),
+            "avg_available_nodes": sum(
+                a.available_workers.avg for a in per_cluster.values()
+            ),
+        }
+        for cid, artifact in per_cluster.items():
+            metrics[f"coverage@{cid}"] = artifact.slurm_used_share
+            metrics[f"avg_whisk_nodes@{cid}"] = artifact.slurm_workers.avg
+            metrics[f"avg_available_nodes@{cid}"] = artifact.available_workers.avg
+            metrics[f"zero_available_share@{cid}"] = artifact.zero_available_share
+        return metrics, FederatedSamplerArtifact(per_cluster=per_cluster)
 
 
 @component("probe", "slurm-sampler", help="Slurm-level polling (Sec. IV-A)")
 def slurm_sampler_probe(
     ctx: StackContext, pause: float = 10.0, whisk_partition: str = "whisk"
 ) -> SlurmSamplerProbe:
-    sampler = SlurmSampler(
-        ctx.env,
-        ctx.system.slurm,
-        ctx.streams.stream("sampler"),
-        pause=pause,
-        whisk_partition=whisk_partition,
-    )
-    return SlurmSamplerProbe(sampler)
+    samplers = {
+        slurm.cluster_id: SlurmSampler(
+            ctx.env,
+            slurm,
+            ctx.member_stream("sampler", slurm.cluster_id),
+            pause=pause,
+            whisk_partition=whisk_partition,
+        )
+        for slurm in ctx.system.clusters.values()
+    }
+    return SlurmSamplerProbe(samplers)
 
 
 # ---------------------------------------------------------------------------
@@ -108,6 +160,8 @@ class CoverageArtifact:
 
     simulation: CoverageResult
     warmup: float
+    #: per-member packings (federated stacks only)
+    per_cluster: Dict[str, CoverageResult] = field(default_factory=dict)
 
 
 class CoverageProbe(Probe):
@@ -118,19 +172,40 @@ class CoverageProbe(Probe):
         self.warmup = warmup
         self.source = source
 
+    def _pack(self, log, horizon: float) -> CoverageResult:
+        available = intervals_by_node(log.samples, "available", end_time=horizon)
+        return CoverageSimulator(warmup=self.warmup).run(
+            available, self.length_set, horizon=horizon
+        )
+
     def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
-        sampler: Optional[SamplerArtifact] = ctx.artifacts.get(self.source)
+        sampler = ctx.artifacts.get(self.source)
         if sampler is None:
             raise ValueError(
                 f"coverage probe needs the {self.source!r} probe declared "
                 "before it (it packs the sampled availability surface)"
             )
-        available = intervals_by_node(
-            sampler.log.samples, "available", end_time=ctx.horizon
-        )
-        simulation = CoverageSimulator(warmup=self.warmup).run(
-            available, self.length_set, horizon=ctx.horizon
-        )
+        if isinstance(sampler, FederatedSamplerArtifact):
+            per_cluster = {
+                cid: self._pack(member.log, ctx.horizon)
+                for cid, member in sampler.per_cluster.items()
+            }
+            # Surfaces are node-seconds, so they add across members.
+            total = sum(r.total_surface for r in per_cluster.values())
+            ready = sum(r.ready_surface for r in per_cluster.values())
+            warmup = sum(r.warmup_surface for r in per_cluster.values())
+            metrics = {
+                "sim_ready_share": ready / total if total else 0.0,
+                "sim_used_share": (ready + warmup) / total if total else 0.0,
+            }
+            for cid, result in per_cluster.items():
+                metrics[f"sim_ready_share@{cid}"] = result.ready_share
+                metrics[f"sim_used_share@{cid}"] = result.used_share
+            primary = next(iter(per_cluster.values()))
+            return metrics, CoverageArtifact(
+                simulation=primary, warmup=self.warmup, per_cluster=per_cluster
+            )
+        simulation = self._pack(sampler.log, ctx.horizon)
         metrics = {
             "sim_ready_share": simulation.ready_share,
             "sim_used_share": simulation.used_share,
@@ -261,23 +336,37 @@ class AccountingProbe(Probe):
     def __init__(self, partition: str) -> None:
         self.partition = partition
 
-    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
-        from repro.cluster.accounting import summarize
-
-        accounts = summarize(ctx.system.slurm)
-        prime = accounts.get(self.partition)
+    def _partition_metrics(
+        self, accounts, suffix: str = ""
+    ) -> Dict[str, float]:
         metrics: Dict[str, float] = {}
+        prime = accounts.get(self.partition)
         if prime is not None:
             metrics = {
-                "prime_jobs_total": float(prime.jobs_total),
-                "prime_mean_wait_s": prime.mean_wait,
-                "prime_median_wait_s": prime.median_wait,
-                "prime_node_hours": prime.node_hours,
+                f"prime_jobs_total{suffix}": float(prime.jobs_total),
+                f"prime_mean_wait_s{suffix}": prime.mean_wait,
+                f"prime_median_wait_s{suffix}": prime.median_wait,
+                f"prime_node_hours{suffix}": prime.node_hours,
             }
         whisk = accounts.get("whisk")
         if whisk is not None:
-            metrics["whisk_node_hours"] = whisk.node_hours
-        return metrics, accounts
+            metrics[f"whisk_node_hours{suffix}"] = whisk.node_hours
+        return metrics
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        from repro.cluster.accounting import summarize
+
+        federation = ctx.system.federation
+        if federation is not None and len(federation) > 1:
+            # Fleet-wide headline metrics over the merged accounting,
+            # plus the same keys per member with an ``@<id>`` suffix.
+            per_cluster = federation.summarize()
+            metrics = self._partition_metrics(federation.summarize_merged())
+            for cid, accounts in per_cluster.items():
+                metrics.update(self._partition_metrics(accounts, f"@{cid}"))
+            return metrics, per_cluster
+        accounts = summarize(ctx.system.slurm)
+        return self._partition_metrics(accounts), accounts
 
 
 @component("probe", "accounting", help="sacct-style per-partition job accounting")
@@ -316,6 +405,20 @@ class LoadBalancerStatsProbe(Probe):
             "cold_starts": float(cold),
             "warm_ratio": warm / max(warm + cold, 1),
         }
+        if ctx.system.is_federated:
+            by_cluster: Dict[str, Dict[str, int]] = {}
+            for timeline in ctx.system.pilot_timelines:
+                if timeline.stats is None or not timeline.cluster_id:
+                    continue
+                bucket = by_cluster.setdefault(
+                    timeline.cluster_id, {"cold": 0, "warm": 0}
+                )
+                bucket["cold"] += timeline.stats.cold_starts
+                bucket["warm"] += timeline.stats.warm_hits
+            for cid, bucket in by_cluster.items():
+                metrics[f"warm_ratio@{cid}"] = bucket["warm"] / max(
+                    bucket["warm"] + bucket["cold"], 1
+                )
         per_invoker = {
             invoker_id: {"cold_starts": c, "warm_hits": w}
             for invoker_id, c, w in counts
@@ -326,3 +429,49 @@ class LoadBalancerStatsProbe(Probe):
 @component("probe", "loadbalancer-stats", help="warm/cold container routing stats")
 def loadbalancer_stats_probe(ctx: StackContext) -> LoadBalancerStatsProbe:
     return LoadBalancerStatsProbe()
+
+
+# ---------------------------------------------------------------------------
+# federation-stats (cross-cluster routing accounting)
+
+
+class FederationStatsProbe(Probe):
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        controller = ctx.system.controller
+        if controller is None:
+            raise ValueError("federation-stats probe needs middleware in the stack")
+        member_ids = list(ctx.system.clusters)
+        routed = {
+            cid: controller.routed_counts.get(cid, 0) for cid in member_ids
+        }
+        total = sum(controller.routed_counts.values())
+        metrics: Dict[str, float] = {
+            "fed_clusters": float(len(member_ids)),
+            "fed_routed_total": float(total),
+            "fed_rejected_503": float(controller.unavailable_count),
+        }
+        for cid in member_ids:
+            metrics[f"fed_routed@{cid}"] = float(routed[cid])
+            metrics[f"fed_routed_share@{cid}"] = (
+                routed[cid] / total if total else 0.0
+            )
+        artifact = {
+            "routed_counts": dict(controller.routed_counts),
+            "router": type(ctx.system.router).__name__
+            if ctx.system.router is not None
+            else None,
+            "healthy_by_cluster": {
+                cid: len(pool)
+                for cid, pool in controller.healthy_by_cluster().items()
+            },
+        }
+        return metrics, artifact
+
+
+@component(
+    "probe",
+    "federation-stats",
+    help="per-cluster activation routing + 503 accounting",
+)
+def federation_stats_probe(ctx: StackContext) -> FederationStatsProbe:
+    return FederationStatsProbe()

@@ -15,8 +15,15 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-#: the five component kinds a stack composes
-KINDS: Tuple[str, ...] = ("cluster", "supply", "middleware", "workload", "probe")
+#: the six component kinds a stack composes
+KINDS: Tuple[str, ...] = (
+    "cluster",
+    "supply",
+    "middleware",
+    "router",
+    "workload",
+    "probe",
+)
 
 
 @dataclass(frozen=True)

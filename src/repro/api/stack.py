@@ -45,7 +45,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.api.registry import COMPONENTS, ComponentRegistry, load_builtin_components
-from repro.hpcwhisk.deploy import HPCWhiskSystem, build_system
+from repro.cluster.slurmctld import SlurmController
+from repro.hpcwhisk.deploy import HPCWhiskSystem, build_federation
 from repro.hpcwhisk.config import HPCWhiskConfig
 from repro.sim import Environment, RandomStreams
 
@@ -112,6 +113,13 @@ class MiddlewareSpec(ComponentSpec):
 
     kind = "middleware"
     default_name = "openwhisk"
+
+
+class RouterSpec(ComponentSpec):
+    """The cross-cluster activation routing policy (federations)."""
+
+    kind = "router"
+    default_name = "failover"
 
 
 class WorkloadSpec(ComponentSpec):
@@ -188,6 +196,37 @@ class StackContext:
     #: merged probe metrics, filled during collection
     metrics: Dict[str, float] = field(default_factory=dict)
 
+    # ------------------------------------------------------------------
+    # federation helpers (N=1 stacks see their single cluster)
+    # ------------------------------------------------------------------
+    @property
+    def cluster_ids(self) -> List[str]:
+        """Member cluster ids in declaration order."""
+        return list(self.system.clusters)
+
+    def cluster(self, cluster_id: Optional[str] = None) -> SlurmController:
+        """One member controller (default: the primary cluster)."""
+        if cluster_id is None:
+            return self.system.slurm
+        try:
+            return self.system.clusters[cluster_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown cluster {cluster_id!r}; members: {self.cluster_ids}"
+            ) from None
+
+    def member_stream(self, base: str, cluster_id: str):
+        """The named random stream for one member's component.
+
+        Mirrors the deploy-layer convention: the primary member keeps
+        the historical unsuffixed stream name, later members get
+        ``base@<cluster_id>`` — so N=1 stacks stay byte-identical.
+        """
+        ids = self.cluster_ids
+        if not ids or cluster_id == ids[0]:
+            return self.streams.stream(base)
+        return self.streams.stream(f"{base}@{cluster_id}")
+
 
 @dataclass
 class SimulationReport:
@@ -227,7 +266,15 @@ class SimulationReport:
 
 @dataclass(frozen=True)
 class Stack:
-    """One declarative experiment: components + seed + horizon."""
+    """One declarative experiment: components + seed + horizon.
+
+    A stack hosts one cluster (``cluster``) or a whole federation
+    (``clusters`` — a list of :class:`ClusterSpec` members plus an
+    optional ``router`` policy).  With ``clusters`` given, every member
+    gets its own supply manager and pilot fleet built from the one
+    ``supply`` spec, and the ``router`` steers activations across
+    members above each cluster's load balancer.
+    """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     supply: SupplySpec = field(default_factory=SupplySpec)
@@ -240,6 +287,10 @@ class Stack:
     #: extra simulated time past the horizon (drain/settle phase)
     run_extra: float = 0.0
     name: str = "custom"
+    #: federation members; () means "just the single ``cluster``"
+    clusters: Tuple[ClusterSpec, ...] = ()
+    #: cross-cluster routing policy (federations; None = flat routing)
+    router: Optional[RouterSpec] = None
 
     def __post_init__(self) -> None:
         for spec, expected in (
@@ -254,6 +305,17 @@ class Stack:
             raise TypeError(f"expected MiddlewareSpec or None, got {self.middleware!r}")
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "probes", tuple(self.probes))
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+        for spec in self.clusters:
+            if not isinstance(spec, ClusterSpec):
+                raise TypeError(f"expected ClusterSpec, got {spec!r}")
+        if self.router is not None:
+            if not isinstance(self.router, RouterSpec):
+                raise TypeError(f"expected RouterSpec or None, got {self.router!r}")
+            if self.middleware is None:
+                raise ValueError(
+                    "a router needs the FaaS middleware; pass a MiddlewareSpec"
+                )
         for spec in self.workloads:
             if not isinstance(spec, WorkloadSpec):
                 raise TypeError(f"expected WorkloadSpec, got {spec!r}")
@@ -282,10 +344,17 @@ class Stack:
         for spec in self.specs():
             spec.validate(registry)
 
+    def member_clusters(self) -> Tuple[ClusterSpec, ...]:
+        """The federation members (the single ``cluster`` when no list)."""
+        return self.clusters if self.clusters else (self.cluster,)
+
     def specs(self) -> List[ComponentSpec]:
-        specs: List[ComponentSpec] = [self.cluster, self.supply]
+        specs: List[ComponentSpec] = list(self.member_clusters())
+        specs.append(self.supply)
         if self.middleware is not None:
             specs.append(self.middleware)
+        if self.router is not None:
+            specs.append(self.router)
         specs.extend(self.workloads)
         specs.extend(self.probes)
         return specs
@@ -296,9 +365,24 @@ class Stack:
         load_builtin_components()
         self.validate(registry)
 
-        slurm_config = registry.get("cluster", self.cluster.name).factory(
-            **self.cluster.options
-        )
+        from dataclasses import replace
+
+        slurm_configs = []
+        seen_ids = set()
+        for index, cluster_spec in enumerate(self.member_clusters()):
+            member = registry.get("cluster", cluster_spec.name).factory(
+                **cluster_spec.options
+            )
+            if not member.cluster_id:
+                member = replace(member, cluster_id=f"c{index}")
+            if member.cluster_id in seen_ids:
+                raise ValueError(
+                    f"duplicate cluster_id {member.cluster_id!r} in stack "
+                    f"{self.name!r}; give each member a distinct cluster_id"
+                )
+            seen_ids.add(member.cluster_id)
+            slurm_configs.append(member)
+
         supply: SupplyBuild = registry.get("supply", self.supply.name).factory(
             **self.supply.options
         )
@@ -316,16 +400,23 @@ class Stack:
             mw = MiddlewareBuild()
             with_middleware = False
 
+        router = None
+        if self.router is not None:
+            router = registry.get("router", self.router.name).factory(
+                **self.router.options
+            )
+
         from repro.faas.config import FaaSConfig
 
         whisk_config = HPCWhiskConfig(
             faas=FaaSConfig(**mw.faas_kwargs), **supply.whisk_kwargs
         )
-        system = build_system(
+        system = build_federation(
+            slurm_configs,
             whisk_config,
-            slurm_config,
             seed=self.seed,
             load_balancer=mw.load_balancer,
+            router=router,
             with_middleware=with_middleware,
             with_manager=supply.with_manager,
         )
@@ -359,8 +450,8 @@ class Stack:
 
         for _spec, probe in probes:
             probe.finish(ctx)
-        if ctx.system.manager is not None:
-            ctx.system.manager.stop()
+        for manager in ctx.system.managers.values():
+            manager.stop()
 
         for spec, probe in probes:
             metrics, artifact = probe.collect(ctx)

@@ -34,6 +34,7 @@ from repro.bench.harness import (
 )
 from repro.bench.instrument import KernelProbe, KernelStats
 from repro.bench.kernel import KERNEL_BENCH_NAME, run_kernel_bench
+from repro.bench.router import ROUTER_BENCH_NAME, run_router_bench
 
 __all__ = [
     "BASELINE_SCHEMA",
@@ -43,6 +44,8 @@ __all__ = [
     "KERNEL_BENCH_NAME",
     "KernelProbe",
     "KernelStats",
+    "ROUTER_BENCH_NAME",
+    "run_router_bench",
     "bench_names",
     "compare_records",
     "load_baseline",

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.bench.instrument import KernelProbe, KernelStats
 from repro.bench.kernel import KERNEL_BENCH_NAME, run_kernel_bench
+from repro.bench.router import ROUTER_BENCH_NAME, run_router_bench
 from repro.scenarios.registry import REGISTRY, load_builtin
 from repro.scenarios.sweep import reset_run_state
 
@@ -89,9 +90,9 @@ class BenchRecord:
 
 
 def bench_names() -> List[str]:
-    """All runnable benchmarks: the kernel microbench + every scenario."""
+    """All runnable benchmarks: the microbenches + every scenario."""
     load_builtin()
-    return [KERNEL_BENCH_NAME] + REGISTRY.names()
+    return [KERNEL_BENCH_NAME, ROUTER_BENCH_NAME] + REGISTRY.names()
 
 
 def _median_by_wall_time(repeats: List[KernelStats]) -> KernelStats:
@@ -121,6 +122,15 @@ def run_bench(name: str, preset: str = "quick", repeats: int = 1) -> BenchRecord
         )
         return BenchRecord(
             name=name, kind="kernel", preset=preset, stats=stats
+        )
+    if name == ROUTER_BENCH_NAME:
+        runs = []
+        for _ in range(repeats):
+            reset_run_state()
+            runs.append(run_router_bench(preset))
+        return BenchRecord(
+            name=name, kind="kernel", preset=preset,
+            stats=_median_by_wall_time(runs),
         )
 
     load_builtin()

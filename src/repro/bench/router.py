@@ -1,0 +1,126 @@
+"""Federation-router microbenchmark: the cross-cluster hot path.
+
+A pure FaaS-layer simulation — no Slurm, no pilots — that floods a
+federated controller with invocations over a static fleet of
+cluster-tagged invokers, so nearly every kernel event sits on the
+routing hot path: ``healthy_by_cluster`` → router policy → per-cluster
+load balancer → broker publish → executor → completion.
+
+Scaled by the shared ``smoke``/``quick``/``full`` presets; ``repro
+bench router`` records the result as ``BENCH_router.json`` and the CI
+bench-smoke job gates it against the committed baseline exactly like
+the kernel microbenchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.bench.instrument import KernelProbe, KernelStats
+from repro.faas.broker import Broker
+from repro.faas.config import FaaSConfig
+from repro.faas.controller import Controller
+from repro.faas.functions import sleep_functions
+from repro.faas.invoker import Invoker
+from repro.faas.router import WeightedIdle
+from repro.sim import Environment, Interrupt
+
+#: registry-safe name of the router microbenchmark in ``repro bench``
+ROUTER_BENCH_NAME = "router"
+
+
+@dataclass(frozen=True)
+class RouterScale:
+    """Sizing of the router microbenchmark."""
+
+    clusters: int
+    invokers_per_cluster: int
+    functions: int
+    invocations: int
+    #: submit cadence, seconds (small enough to keep deep queues)
+    interval: float = 0.005
+
+    @property
+    def approx_invocations(self) -> int:
+        return self.invocations
+
+
+ROUTER_SCALES: Dict[str, RouterScale] = {
+    "full": RouterScale(
+        clusters=8, invokers_per_cluster=4, functions=100, invocations=100_000
+    ),
+    "quick": RouterScale(
+        clusters=4, invokers_per_cluster=4, functions=50, invocations=20_000
+    ),
+    "smoke": RouterScale(
+        clusters=4, invokers_per_cluster=2, functions=25, invocations=3_000
+    ),
+}
+
+
+def run_router_bench(preset: str = "quick") -> KernelStats:
+    """Run the federated flood at *preset* scale under a fresh probe."""
+    try:
+        scale = ROUTER_SCALES[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown router bench preset {preset!r}; "
+            f"expected one of {sorted(ROUTER_SCALES)}"
+        ) from None
+
+    with KernelProbe() as probe:
+        env = Environment()
+        broker = Broker(env)
+        config = FaaSConfig(system_overhead=0.0)
+        router = WeightedIdle()
+        router.bind_rng(np.random.default_rng(1))
+        member_ids = [f"b{i}" for i in range(scale.clusters)]
+        controller = Controller(
+            env,
+            broker,
+            config=config,
+            rng=np.random.default_rng(2),
+            router=router,
+            cluster_order=member_ids,
+        )
+        functions = sleep_functions(scale.functions, 0.001)
+        for function in functions:
+            controller.deploy(function)
+
+        fleet_rng = np.random.default_rng(3)
+        for c_index, cluster_id in enumerate(member_ids):
+            for i_index in range(scale.invokers_per_cluster):
+                invoker = Invoker(
+                    env,
+                    invoker_id=f"inv-{cluster_id}-{i_index}",
+                    node=f"n{c_index:02d}{i_index:02d}",
+                    broker=broker,
+                    registry=controller.registry,
+                    config=config,
+                    rng=fleet_rng,
+                    cluster_id=cluster_id,
+                )
+
+                def lifecycle(inv=invoker):
+                    yield from inv.register()
+                    try:
+                        yield from inv.serve()
+                    except Interrupt:  # pragma: no cover - flood never drains
+                        pass
+
+                env.process(lifecycle())
+
+        def flood():
+            names = [function.name for function in functions]
+            for index in range(scale.invocations):
+                env.process(
+                    controller.invoke(names[index % len(names)], duration=0.001)
+                )
+                yield env.timeout(scale.interval)
+
+        env.process(flood())
+        env.run(until=scale.invocations * scale.interval + 60.0)
+    return probe.stats

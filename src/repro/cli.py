@@ -168,6 +168,11 @@ def _add_run_parser(sub) -> None:
     )
     parser.add_argument("--config", required=True, metavar="PATH",
                         help="YAML (or JSON) config file")
+    parser.add_argument("--clusters", type=int, default=None, metavar="N",
+                        help="stack-mode convenience: replicate the config's "
+                             "base cluster into an N-member federation "
+                             "(members get derived cluster ids and "
+                             "independent random substreams)")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
                         help="also write run metrics as JSON")
 
@@ -324,6 +329,37 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _replicate_clusters(stack, count: int):
+    """``--clusters N``: the base cluster spec, N times, with derived ids.
+
+    Each member gets ``<base id or 'c'><index>`` as its cluster id; the
+    deploy layer derives independent per-member random substreams from
+    those ids, so replicas are statistically distinct but the whole
+    federation stays reproducible from the one stack seed.
+    """
+    import dataclasses
+
+    from repro.api import ClusterSpec
+
+    if count < 1:
+        raise ValueError("--clusters must be >= 1")
+    if len(stack.clusters) > 1:
+        raise ValueError(
+            "--clusters replicates a single base cluster; this config "
+            f"already declares {len(stack.clusters)} heterogeneous members "
+            "in its 'clusters' list — edit the config instead"
+        )
+    base = stack.member_clusters()[0]
+    prefix = base.options.get("cluster_id") or "c"
+    members = tuple(
+        ClusterSpec(
+            base.name, **{**base.options, "cluster_id": f"{prefix}{index}"}
+        )
+        for index in range(count)
+    )
+    return dataclasses.replace(stack, clusters=members)
+
+
 def _run_config(args) -> int:
     from repro.api import config_mode, load_config_file, stack_from_config
 
@@ -332,9 +368,17 @@ def _run_config(args) -> int:
         config = load_config_file(args.config)
         mode = config_mode(config)
         if mode == "scenario":
+            if args.clusters is not None:
+                raise ValueError(
+                    "--clusters applies to stack-mode configs only (a "
+                    "scenario config wires its own cluster layout)"
+                )
             spec = REGISTRY.spec_from_config(config)
         else:
             stack = stack_from_config(config)
+            if args.clusters is not None:
+                stack = _replicate_clusters(stack, args.clusters)
+                stack.validate()
     except OSError as error:
         raise SystemExit(f"run: {error}")
     except (KeyError, ValueError, TypeError) as error:
@@ -354,6 +398,47 @@ def _run_config(args) -> int:
     return 0
 
 
+def _format_default(value) -> str:
+    """Human-readable component-option default for ``compose --list``.
+
+    Nested values render as their *shape*, not their repr: dataclass
+    instances as ``ClassName(...)``, enums as their value, and
+    lists/tuples of specs as ``[ElementType]`` — so list-valued options
+    like a federation's ``clusters: [ClusterSpec]`` stay one line.
+    """
+    import dataclasses
+    import enum
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return f"{type(value).__name__}(...)"
+    if isinstance(value, enum.Enum):
+        return repr(value.value)
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return "[]"
+        kinds = {type(item).__name__ for item in value}
+        if len(kinds) == 1 and not isinstance(value[0], (str, int, float, bool)):
+            return f"[{kinds.pop()}]"
+        return repr(list(value))
+    return repr(value)
+
+
+def _render_stack_layout() -> List[str]:
+    """The top-level stack-section schema, nested fields spelled out."""
+    return [
+        "stack layout (`stack:` section keys / repro.api.Stack fields):",
+        f"  {'cluster':<18} ClusterSpec — the single-cluster form",
+        f"  {'clusters':<18} [ClusterSpec] — federation members "
+        "(give each a cluster_id)",
+        f"  {'supply':<18} SupplySpec — one pilot fleet per member",
+        f"  {'middleware':<18} MiddlewareSpec | none",
+        f"  {'router':<18} RouterSpec — cross-cluster policy "
+        "(federations; omit for flat routing)",
+        f"  {'workloads':<18} [WorkloadSpec]",
+        f"  {'probes':<18} [ProbeSpec]",
+    ]
+
+
 def _render_compose() -> str:
     from repro.api import COMPONENTS, load_builtin_components
     from repro.api.registry import KINDS
@@ -362,7 +447,9 @@ def _render_compose() -> str:
     lines = [
         "composable stack components (repro.api / `repro run --config`;",
         'see the "Composing scenarios" section of EXPERIMENTS.md):',
+        "",
     ]
+    lines.extend(_render_stack_layout())
     for kind in KINDS:
         lines.append("")
         lines.append(f"{kind}:")
@@ -372,7 +459,7 @@ def _render_compose() -> str:
                 shown = (
                     "required"
                     if default is inspect.Parameter.empty
-                    else f"default {default!r}"
+                    else f"default {_format_default(default)}"
                 )
                 lines.append(f"  {'':<18}   {name:<18} {shown}")
     return "\n".join(lines)

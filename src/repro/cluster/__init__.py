@@ -31,11 +31,19 @@ from repro.cluster.slurmctld import SlurmConfig, SlurmController
 from repro.cluster.slurmd import NodeDaemon
 from repro.cluster.reservations import Reservation
 from repro.cluster.query import QueryLatencyModel, SinfoSnapshot
-from repro.cluster.accounting import PartitionAccounting, render_sacct, summarize
+from repro.cluster.accounting import (
+    PartitionAccounting,
+    merge_accounts,
+    render_sacct,
+    summarize,
+)
+from repro.cluster.federation import Federation
 
 __all__ = [
     "BackfillScheduler",
+    "Federation",
     "PartitionAccounting",
+    "merge_accounts",
     "render_sacct",
     "summarize",
     "Job",

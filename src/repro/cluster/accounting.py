@@ -70,6 +70,31 @@ def summarize(controller: "SlurmController") -> Dict[str, PartitionAccounting]:
     return accounts
 
 
+def merge_accounts(
+    sides: List[Dict[str, PartitionAccounting]]
+) -> Dict[str, PartitionAccounting]:
+    """Merge per-cluster accountings into one fleet-wide view.
+
+    Counts and node-seconds add; wait/run-time lists concatenate, so the
+    merged means/medians weight every job equally regardless of which
+    member cluster ran it.
+    """
+    merged: Dict[str, PartitionAccounting] = {}
+    for accounts in sides:
+        for partition, account in accounts.items():
+            target = merged.get(partition)
+            if target is None:
+                target = PartitionAccounting(partition=partition)
+                merged[partition] = target
+            target.jobs_total += account.jobs_total
+            for state, count in account.by_state.items():
+                target.by_state[state] = target.by_state.get(state, 0) + count
+            target.node_seconds += account.node_seconds
+            target.wait_times.extend(account.wait_times)
+            target.run_times.extend(account.run_times)
+    return merged
+
+
 def render_sacct(accounts: Dict[str, PartitionAccounting]) -> str:
     """A compact text view of the accounting."""
     lines = [

@@ -273,6 +273,14 @@ class BackfillScheduler:
                 if claimed_by_other(name):
                     return False  # someone else already claimed this node
                 if node.state is NodeState.IDLE:
+                    # The node must also still be unclaimed within THIS
+                    # pass: an earlier start decision pops it from
+                    # free_now while the live state stays IDLE until the
+                    # controller executes the plan.  (Reachable when an
+                    # outage window delays one pinned job into the
+                    # next one's slot on the same node.)
+                    if name not in free_now and committed.get(name) != job.job_id:
+                        return False
                     usable.append(node)
                 elif node.state is NodeState.ALLOCATED and node.job is not None:
                     victim = node.job

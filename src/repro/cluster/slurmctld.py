@@ -32,6 +32,8 @@ class SlurmConfig:
     num_nodes: int = 16
     node_cores: int = 24
     node_memory_mb: int = 131072
+    #: federation member id; "" means "unnamed" (resolves to ``c0``)
+    cluster_id: str = ""
 
 
 @dataclass
@@ -58,6 +60,8 @@ class SlurmController:
     ) -> None:
         self.env = env
         self.config = config or SlurmConfig()
+        #: federation member id this controller answers to
+        self.cluster_id = self.config.cluster_id or "c0"
         self.partitions = partitions or default_partitions()
         if nodes is None:
             nodes = [

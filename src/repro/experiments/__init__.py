@@ -18,6 +18,7 @@ Module                    Reproduces
 :mod:`.fig7`              Fig 7 — SeBS vs AWS Lambda
 :mod:`.optimize`          Sec. IV-B — length-set optimization
 :mod:`.longterm`          Sec. VII — long-horizon characterization
+:mod:`.federation`        beyond the paper: two-cluster federated fleet
 ========================  =======================================
 """
 
@@ -29,8 +30,10 @@ from repro.experiments.day import DayConfig, DayResult, run_day
 from repro.experiments.fig7 import Fig7Result, run_fig7
 from repro.experiments.optimize import run_optimize
 from repro.experiments.longterm import LongTermResult, run_longterm
+from repro.experiments.federation import run_federation
 
 __all__ = [
+    "run_federation",
     "DayConfig",
     "DayResult",
     "Fig1Result",

@@ -1,0 +1,198 @@
+"""The federated-fleet experiment: two asymmetric clusters, one plane.
+
+The paper deploys HPC-Whisk inside a single Slurm cluster; real sites
+run fleets.  This scenario hosts **two heterogeneous member clusters**
+— a large ``alpha`` and a small ``beta`` — under one federated control
+plane, drives them with diurnal idle supply plus a constant-rate
+Gatling client, and takes ``beta`` down entirely for a mid-run outage
+window.  The router policy under test steers activations across the
+members above each cluster's load balancer:
+
+* ``weighted-idle`` follows the harvested capacity,
+* ``affinity-first`` keeps each function's warm containers on its home
+  cluster until an outage forces it elsewhere,
+* ``failover`` sends everything to ``alpha`` unless ``alpha`` is dry.
+
+Measured from the usual perspectives — per-member and fleet-merged
+Slurm sampling, OW-level worker accounting, the client's own report —
+plus the federation's routing ledger (``fed_routed@…``/503s), which is
+where the policies differ.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    RouterSpec,
+    SimulationReport,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
+
+#: the paper-less defaults: a 200-node primary + a 100-node edge member
+FULL_NODES, FULL_EDGE = 200, 100
+QUICK_NODES, QUICK_EDGE = 96, 48
+SMOKE_NODES, SMOKE_EDGE = 16, 8
+
+#: outage window (as fractions of the horizon) the failover test uses
+OUTAGE_START_FRAC, OUTAGE_DURATION_FRAC = 0.4, 0.2
+
+ROUTER_POLICIES = ("weighted-idle", "affinity-first", "failover")
+
+
+def federation_stack(
+    nodes: int,
+    edge_nodes: int,
+    policy: str,
+    horizon: float,
+    qps: float,
+    seed: int,
+    with_failover: bool = True,
+) -> Stack:
+    """The two-member federation as a declarative stack."""
+    workloads: List[WorkloadSpec] = [
+        WorkloadSpec(
+            "idleness-trace",
+            intensity_scale=0.8,
+            length_scale=1.5,
+            outage_share=0.0,
+            min_intensity=max(2.0, nodes / 8.0),
+            diurnal_amplitude=0.5,
+        ),
+        WorkloadSpec("gatling", qps=qps, functions=50),
+    ]
+    if with_failover:
+        workloads.append(
+            WorkloadSpec(
+                "failover-window",
+                cluster="beta",
+                start=OUTAGE_START_FRAC * horizon,
+                duration=OUTAGE_DURATION_FRAC * horizon,
+            )
+        )
+    return Stack(
+        clusters=(
+            ClusterSpec(nodes=nodes, cluster_id="alpha"),
+            ClusterSpec(nodes=edge_nodes, cluster_id="beta"),
+        ),
+        supply=SupplySpec("fib"),
+        middleware=MiddlewareSpec(),
+        router=RouterSpec(policy),
+        workloads=tuple(workloads),
+        probes=(
+            ProbeSpec("slurm-sampler"),
+            ProbeSpec("ow-log"),
+            ProbeSpec("gatling-report"),
+            ProbeSpec("accounting"),
+            ProbeSpec("federation-stats"),
+        ),
+        seed=seed,
+        horizon=horizon,
+        name=f"federation-{policy}",
+    )
+
+
+def render_federation(report: SimulationReport, policy: str) -> str:
+    """Fleet + per-member text view of one federated run."""
+    m = report.metrics
+    members = ("alpha", "beta")
+    lines = [
+        f"FEDERATION — two asymmetric clusters, router {policy!r}",
+        "",
+        f"{'metric':<26} {'fleet':>10} "
+        + " ".join(f"{cid:>10}" for cid in members),
+    ]
+
+    def row(
+        label: str,
+        key: str,
+        scale: float = 1.0,
+        digits: int = 2,
+        fleet: float = None,
+    ) -> str:
+        if fleet is None:
+            fleet = m.get(key, float("nan"))
+        cells = [
+            m.get(f"{key}@{cid}", float("nan")) * scale for cid in members
+        ]
+        return (
+            f"{label:<26} {fleet * scale:>10.{digits}f} "
+            + " ".join(f"{cell:>10.{digits}f}" for cell in cells)
+        )
+
+    lines.append(row("coverage %", "coverage", 100.0))
+    lines.append(row("avg whisk nodes", "avg_whisk_nodes"))
+    lines.append(row("avg available nodes", "avg_available_nodes"))
+    lines.append(row("prime jobs", "prime_jobs_total", digits=0))
+    lines.append(row("prime mean wait s", "prime_mean_wait_s", digits=1))
+    lines.append(row("whisk node-hours", "whisk_node_hours"))
+    lines.append(
+        row("activations routed", "fed_routed", digits=0,
+            fleet=m.get("fed_routed_total", float("nan")))
+    )
+    lines.append(row("routed share %", "fed_routed_share", 100.0, fleet=1.0))
+    lines += [
+        "",
+        f"requests total           : {m['requests_total']:.0f}",
+        f"accepted by controller   : {m['accepted_share'] * 100:.2f}%",
+        f"success of accepted      : {m['success_of_accepted_share'] * 100:.2f}%",
+        f"median response time     : {m['median_response_s'] * 1000:.0f} ms",
+        f"rejected 503             : {m['fed_rejected_503']:.0f}",
+        f"controller outage total  : {m['outage_total_s'] / 60:.1f} min",
+        f"avg healthy invokers     : {m['avg_healthy_invokers']:.2f}",
+    ]
+    return "\n".join(lines)
+
+
+@register(
+    "federation",
+    help="two-cluster federated fleet (router policies + failover)",
+    seed=2026,
+    workload="gatling",
+    params=(
+        Param("policy", str, "weighted-idle", choices=ROUTER_POLICIES,
+              help="cross-cluster routing policy"),
+        Param("hours", float, 24.0, scale={"quick": 3.0, "smoke": 0.25},
+              spec_field="horizon", to_spec=lambda h: h * 3600.0,
+              help="experiment length in hours"),
+        Param("nodes", int, FULL_NODES,
+              scale={"quick": QUICK_NODES, "smoke": SMOKE_NODES},
+              spec_field="nodes", help="primary (alpha) cluster size"),
+        Param("edge_nodes", int, FULL_EDGE,
+              scale={"quick": QUICK_EDGE, "smoke": SMOKE_EDGE},
+              help="edge (beta) cluster size"),
+        Param("qps", float, 10.0, help="Gatling request rate"),
+        Param("no_failover", bool, False,
+              help="skip the mid-run beta outage window"),
+    ),
+)
+def federation_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    policy = spec.params["policy"]
+    report = federation_stack(
+        nodes=spec.nodes,
+        edge_nodes=spec.params["edge_nodes"],
+        policy=policy,
+        horizon=spec.horizon,
+        qps=spec.params["qps"],
+        seed=spec.seed,
+        with_failover=not spec.params["no_failover"],
+    ).run()
+    return ScenarioResult(
+        spec=spec,
+        metrics=dict(report.metrics),
+        text=render_federation(report, policy),
+        artifacts={"report": report},
+    )
+
+
+def run_federation(policy: str = "weighted-idle", hours: float = 3.0):
+    """Library entry point mirroring the other experiment modules."""
+    from repro.scenarios import REGISTRY
+
+    return REGISTRY.run("federation", {"policy": policy, "hours": hours})

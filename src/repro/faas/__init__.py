@@ -37,10 +37,22 @@ from repro.faas.messages import (
     PingMessage,
 )
 from repro.faas.loadbalancer import HashAffinity, LeastLoaded, LoadBalancer, RoundRobin
+from repro.faas.router import (
+    ROUTERS,
+    AffinityFirst,
+    Failover,
+    FederationRouter,
+    WeightedIdle,
+)
 from repro.faas.runtime import ContainerRuntime, DockerRuntime, SingularityRuntime
 
 __all__ = [
+    "ROUTERS",
     "ActivationMessage",
+    "AffinityFirst",
+    "Failover",
+    "FederationRouter",
+    "WeightedIdle",
     "ActivationRecord",
     "ActivationResult",
     "ActivationStatus",

@@ -50,6 +50,8 @@ class ActivationRecord:
     function: str
     submitted_at: float
     invoker_id: str
+    #: federation member the activation was routed to ("" = unfederated)
+    cluster_id: str = ""
     #: set when the completion arrives
     completed_at: Optional[float] = None
     status: Optional[ActivationStatus] = None

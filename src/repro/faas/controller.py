@@ -58,6 +58,8 @@ class InvokerRecord:
     last_ping: float
     status_since: float
     gone_at: Optional[float] = None
+    #: federation member the worker belongs to ("" = unfederated)
+    cluster_id: str = ""
 
 
 @dataclass
@@ -80,6 +82,8 @@ class Controller:
         config: Optional[FaaSConfig] = None,
         rng: Optional[np.random.Generator] = None,
         load_balancer=None,
+        router=None,
+        cluster_order: Optional[List[str]] = None,
     ) -> None:
         from repro.faas.loadbalancer import HashAffinity
 
@@ -88,6 +92,12 @@ class Controller:
         self.config = config or FaaSConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.load_balancer = load_balancer or HashAffinity()
+        #: cross-cluster routing policy; None = flat single-pool routing
+        self.router = router
+        #: federation member ids in declaration order (failover order)
+        self.cluster_order: List[str] = list(cluster_order or [])
+        #: activations routed per member cluster (federation accounting)
+        self.routed_counts: Dict[str, int] = {}
         self.registry = FunctionRegistry()
         self.invokers: Dict[str, InvokerRecord] = {}
         self._pending: Dict[str, Tuple[Event, ActivationRecord]] = {}
@@ -108,12 +118,27 @@ class Controller:
     def deploy(self, function: FunctionDef) -> None:
         self.registry.deploy(function)
 
-    def healthy_invokers(self) -> List[str]:
+    def healthy_invokers(self, cluster: Optional[str] = None) -> List[str]:
         return sorted(
             record.invoker_id
             for record in self.invokers.values()
             if record.status is InvokerStatus.HEALTHY
+            and (cluster is None or record.cluster_id == cluster)
         )
+
+    def healthy_by_cluster(self) -> Dict[str, List[str]]:
+        """Healthy invoker ids per member cluster, declaration order.
+
+        Every declared member appears (possibly with an empty list), so
+        routers see outages as empty pools, not missing keys; workers
+        from undeclared clusters are appended in sorted-id order.
+        """
+        pools: Dict[str, List[str]] = {cid: [] for cid in self.cluster_order}
+        for record in sorted(self.invokers.values(), key=lambda r: r.invoker_id):
+            if record.status is not InvokerStatus.HEALTHY:
+                continue
+            pools.setdefault(record.cluster_id, []).append(record.invoker_id)
+        return pools
 
     def invoker_topic(self, invoker_id: str) -> str:
         return f"invoker-{invoker_id}"
@@ -122,8 +147,20 @@ class Controller:
     # invocation path
     # ------------------------------------------------------------------
     def choose_invoker(self, function: str) -> Optional[str]:
-        """Delegate to the configured load-balancing strategy (default:
-        OpenWhisk's hash-by-name affinity over the sorted healthy list)."""
+        """Two-stage federated routing, or the flat single-pool default.
+
+        With a :class:`~repro.faas.router.FederationRouter` configured,
+        the router picks the member cluster and the load balancer picks
+        among that cluster's healthy invokers.  Without a router the
+        behaviour is exactly stock: the load balancer sees the whole
+        healthy list.
+        """
+        if self.router is not None:
+            pools = self.healthy_by_cluster()
+            cluster = self.router.choose(function, pools, self.broker)
+            if cluster is None:
+                return None
+            return self.load_balancer.choose(function, pools[cluster], self.broker)
         return self.load_balancer.choose(function, self.healthy_invokers(), self.broker)
 
     def invoke(
@@ -170,11 +207,18 @@ class Controller:
             duration=duration,
             interruptible=interruptible,
         )
+        target_record = self.invokers.get(target)
+        target_cluster = target_record.cluster_id if target_record else ""
+        if target_cluster:
+            self.routed_counts[target_cluster] = (
+                self.routed_counts.get(target_cluster, 0) + 1
+            )
         record = ActivationRecord(
             activation_id=activation_id,
             function=function,
             submitted_at=submitted,
             invoker_id=target,
+            cluster_id=target_cluster,
         )
         self.records.append(record)
         done = Event(env)
@@ -244,6 +288,7 @@ class Controller:
                     registered_at=env.now,
                     last_ping=env.now,
                     status_since=env.now,
+                    cluster_id=ping.cluster,
                 )
                 self.events.append(
                     ControllerEvent(env.now, "invoker_registered", ping.invoker_id)

@@ -86,10 +86,13 @@ class Invoker:
         config: Optional[FaaSConfig] = None,
         rng: Optional[np.random.Generator] = None,
         runtime: Optional[ContainerRuntime] = None,
+        cluster_id: str = "",
     ) -> None:
         self.env = env
         self.invoker_id = invoker_id
         self.node = node
+        #: federation member this worker's node belongs to
+        self.cluster_id = cluster_id
         self.broker = broker
         self.registry = registry
         self.config = config or FaaSConfig()
@@ -114,7 +117,13 @@ class Invoker:
         """Announce this worker; start heartbeats.  (Generator.)"""
         self.broker.publish(
             HEALTH_TOPIC,
-            PingMessage(self.invoker_id, "register", self.env.now, node=self.node),
+            PingMessage(
+                self.invoker_id,
+                "register",
+                self.env.now,
+                node=self.node,
+                cluster=self.cluster_id,
+            ),
         )
         self.stats.registered_at = self.env.now
         self._ping_proc = self.env.process(self._heartbeat())
@@ -145,7 +154,13 @@ class Invoker:
             yield env.timeout(cfg.drain_notify_delay)
             self.broker.publish(
                 HEALTH_TOPIC,
-                PingMessage(self.invoker_id, "draining", env.now, node=self.node),
+                PingMessage(
+                    self.invoker_id,
+                    "draining",
+                    env.now,
+                    node=self.node,
+                    cluster=self.cluster_id,
+                ),
             )
 
             # 2. + 3. Interrupt executors that may be requeued.
@@ -232,7 +247,13 @@ class Invoker:
         env = self.env
         self.broker.publish(
             HEALTH_TOPIC,
-            PingMessage(self.invoker_id, "deregister", env.now, node=self.node),
+            PingMessage(
+                self.invoker_id,
+                "deregister",
+                env.now,
+                node=self.node,
+                cluster=self.cluster_id,
+            ),
         )
         self.stats.deregistered_at = env.now
         if self._ping_proc is not None and self._ping_proc.is_alive:
@@ -254,6 +275,7 @@ class Invoker:
                         kind,
                         env.now,
                         node=self.node,
+                        cluster=self.cluster_id,
                         free_slots=self.config.max_containers - self.pool.busy_count,
                     ),
                 )

@@ -70,5 +70,7 @@ class PingMessage:
     kind: str
     time: float
     node: str = ""
+    #: federation member the worker's node belongs to ("" = unfederated)
+    cluster: str = ""
     free_slots: int = 0
     metadata: dict = field(default_factory=dict)

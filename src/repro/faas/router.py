@@ -1,0 +1,138 @@
+"""Cross-cluster activation routing: the federation layer above the
+per-cluster :class:`~repro.faas.loadbalancer.LoadBalancer`.
+
+A federated controller routes in two stages: a
+:class:`FederationRouter` picks the member *cluster*, then that
+cluster's load balancer picks an invoker among the cluster's healthy
+workers.  Three policies cover the scenario families the federation
+enables:
+
+* :class:`WeightedIdle` — **follow the idle**: pick a cluster with
+  probability proportional to its healthy-worker count (a cluster with
+  twice the harvested capacity absorbs twice the traffic).  Draws come
+  from a named random stream, so runs are reproducible per seed.
+* :class:`AffinityFirst` — hash the function name to a *home* cluster
+  (stable over the sorted member ids, maximizing cross-request warm
+  reuse within a cluster) and fall back along the sorted order when the
+  home cluster has no healthy worker.
+* :class:`Failover` — strict preference order (federation declaration
+  order): all traffic to the first member with healthy workers; later
+  members only absorb load during the primary's outages.
+
+Every policy sees the same input — an ordered ``cluster_id -> healthy
+invoker ids`` mapping — and returns a member id with at least one
+healthy invoker, or ``None`` when the whole fleet is unavailable (the
+controller then answers 503 exactly as in the single-cluster path).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faas.broker import Broker
+
+
+class FederationRouter:
+    """Strategy interface: pick a member cluster for a function call."""
+
+    name = "base"
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        """Attach the run's named random stream (no-op for
+        deterministic policies); called once during system assembly."""
+
+    def choose(
+        self,
+        function: str,
+        clusters: Dict[str, List[str]],
+        broker: "Broker",
+    ) -> Optional[str]:
+        """Return a member id whose healthy list is non-empty, or None.
+
+        ``clusters`` is ordered (federation declaration order) and maps
+        every member — including currently-empty ones — to its healthy
+        invoker ids.
+        """
+        raise NotImplementedError
+
+
+def _populated(clusters: Dict[str, List[str]]) -> List[str]:
+    """Member ids with at least one healthy invoker, declaration order."""
+    return [cid for cid, healthy in clusters.items() if healthy]
+
+
+class WeightedIdle(FederationRouter):
+    """Weight members by healthy-worker count (follow-the-idle)."""
+
+    name = "weighted-idle"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def choose(
+        self, function: str, clusters: Dict[str, List[str]], broker: "Broker"
+    ) -> Optional[str]:
+        candidates = _populated(clusters)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        if self._rng is None:
+            raise RuntimeError(
+                "WeightedIdle router has no bound rng; call bind_rng() "
+                "(system assembly does this from the 'router' stream)"
+            )
+        weights = np.array(
+            [float(len(clusters[cid])) for cid in candidates]
+        )
+        weights = weights / weights.sum()
+        index = int(self._rng.choice(len(candidates), p=weights))
+        return candidates[index]
+
+
+class AffinityFirst(FederationRouter):
+    """Hash the function to a home cluster; fail over in sorted order."""
+
+    name = "affinity-first"
+
+    def choose(
+        self, function: str, clusters: Dict[str, List[str]], broker: "Broker"
+    ) -> Optional[str]:
+        members = sorted(clusters)
+        if not members:
+            return None
+        home = zlib.crc32(function.encode("utf-8")) % len(members)
+        for offset in range(len(members)):
+            cid = members[(home + offset) % len(members)]
+            if clusters[cid]:
+                return cid
+        return None
+
+
+class Failover(FederationRouter):
+    """All traffic to the first declared member with healthy workers."""
+
+    name = "failover"
+
+    def choose(
+        self, function: str, clusters: Dict[str, List[str]], broker: "Broker"
+    ) -> Optional[str]:
+        for cid, healthy in clusters.items():
+            if healthy:
+                return cid
+        return None
+
+
+#: policy catalogue keyed by router name (the `router:` config values)
+ROUTERS = {
+    WeightedIdle.name: WeightedIdle,
+    AffinityFirst.name: AffinityFirst,
+    Failover.name: Failover,
+}

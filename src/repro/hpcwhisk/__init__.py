@@ -28,7 +28,7 @@ from repro.hpcwhisk.lengths import (
 )
 from repro.hpcwhisk.pilot import PilotTimeline, make_pilot_body
 from repro.hpcwhisk.job_manager import FibJobManager, VarJobManager
-from repro.hpcwhisk.deploy import HPCWhiskSystem, build_system
+from repro.hpcwhisk.deploy import HPCWhiskSystem, build_federation, build_system
 from repro.hpcwhisk.optimizer import LengthSetOptimizer, OptimizationResult
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "SET_C2",
     "SupplyModel",
     "VarJobManager",
+    "build_federation",
     "build_system",
     "make_pilot_body",
 ]

@@ -1,15 +1,21 @@
-"""One-call assembly of a complete HPC-Whisk system.
+"""One-call assembly of a complete HPC-Whisk system — or a federation.
 
-:func:`build_system` wires together a simulated cluster, the message
-broker, the (off-cluster) OpenWhisk controller, the pilot-job body
-factory, and the configured supply manager — everything the experiments
-and examples need, with one root seed controlling all randomness.
+:func:`build_federation` wires N simulated clusters under one control
+plane: one :class:`~repro.cluster.slurmctld.SlurmController` per member,
+one shared message broker + (off-cluster) OpenWhisk controller, one
+supply manager and pilot fleet per member, and an optional
+:class:`~repro.faas.router.FederationRouter` steering activations
+across members.  :func:`build_system` is the single-cluster case — it
+delegates to :func:`build_federation` with one member, and the N=1
+assembly is byte-identical to the historical single-cluster wiring
+(same named random streams, same process creation order; the golden
+trace suite enforces this).
 
-The composable layer in :mod:`repro.api` assembles stacks through this
-same function, so a hand-written ``build_system`` call and a declarative
-``Stack`` produce byte-identical simulations.  Two knobs exist for
-reduced stacks: ``with_middleware=False`` builds a bare cluster (no
-broker/controller — the non-invasiveness baseline), and
+The composable layer in :mod:`repro.api` assembles stacks through these
+same functions, so a hand-written ``build_system`` call and a
+declarative ``Stack`` produce byte-identical simulations.  Two knobs
+exist for reduced stacks: ``with_middleware=False`` builds bare
+clusters (no broker/controller — the non-invasiveness baseline), and
 ``with_manager=False`` builds the middleware without a pilot supply
 (static invoker fleets attach their own workers).
 """
@@ -17,13 +23,15 @@ broker/controller — the non-invasiveness baseline), and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.cluster.federation import Federation
 from repro.cluster.partition import default_partitions
 from repro.cluster.slurmctld import SlurmConfig, SlurmController
 from repro.faas.broker import Broker
 from repro.faas.client import Alg1Wrapper, CommercialCloud, FaaSClient
 from repro.faas.controller import Controller
+from repro.faas.router import FederationRouter
 from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
 from repro.hpcwhisk.job_manager import FibJobManager, VarJobManager, _BaseJobManager
 from repro.hpcwhisk.pilot import PilotTimeline, make_pilot_body
@@ -36,7 +44,11 @@ class HPCWhiskSystem:
 
     Reduced stacks leave the parts they skipped as ``None``: a bare
     cluster has no broker/controller/client, and a manager-less stack
-    (static invoker fleet) has ``manager=None``.
+    (static invoker fleet) has ``manager=None``.  ``slurm``/``manager``
+    always point at the *primary* (first-declared) member; federated
+    deployments additionally expose every member through ``clusters``,
+    ``managers``, and the :class:`~repro.cluster.federation.Federation`
+    facade.
     """
 
     env: Environment
@@ -49,14 +61,149 @@ class HPCWhiskSystem:
     wrapped_client: Optional[Alg1Wrapper]
     manager: Optional[_BaseJobManager]
     config: HPCWhiskConfig
-    #: every pilot's lifecycle record (OW-level log source)
+    #: every pilot's lifecycle record (OW-level log source, all members)
     pilot_timelines: List[PilotTimeline] = field(default_factory=list)
     #: statically-attached invokers (supply "static"; empty for pilots)
     invokers: List = field(default_factory=list)
+    #: all member clusters, keyed by cluster_id in declaration order
+    clusters: Dict[str, SlurmController] = field(default_factory=dict)
+    #: one supply manager per member (when ``with_manager``)
+    managers: Dict[str, _BaseJobManager] = field(default_factory=dict)
+    #: merged query/accounting facade over the member clusters
+    federation: Optional[Federation] = None
+    #: the cross-cluster routing policy (None = flat single-pool routing)
+    router: Optional[FederationRouter] = None
+
+    @property
+    def is_federated(self) -> bool:
+        return len(self.clusters) > 1
 
     def run(self, until: float) -> None:
         """Advance the simulation to *until* seconds."""
         self.env.run(until=until)
+
+
+def _member_id(config: SlurmConfig, index: int) -> str:
+    """Resolve a member's cluster id (explicit, or positional ``c<i>``)."""
+    return config.cluster_id or f"c{index}"
+
+
+def _stream_name(base: str, cluster_id: str, index: int) -> str:
+    """Named-stream key for one member's component.
+
+    The first member keeps the historical unsuffixed names, so an N=1
+    federation consumes exactly the streams the single-cluster assembly
+    always did (byte-identical goldens); later members get ``@<id>``
+    suffixed substreams of the same root seed.
+    """
+    return base if index == 0 else f"{base}@{cluster_id}"
+
+
+def build_federation(
+    slurm_configs: Sequence[Optional[SlurmConfig]],
+    config: Optional[HPCWhiskConfig] = None,
+    seed: int = 0,
+    env: Optional[Environment] = None,
+    *,
+    load_balancer=None,
+    router: Optional[FederationRouter] = None,
+    with_middleware: bool = True,
+    with_manager: bool = True,
+) -> HPCWhiskSystem:
+    """Assemble N member clusters under one federated control plane."""
+    if not slurm_configs:
+        raise ValueError("a federation needs at least one member SlurmConfig")
+    config = config or HPCWhiskConfig()
+    env = env or Environment()
+    streams = RandomStreams(seed=seed)
+
+    clusters: Dict[str, SlurmController] = {}
+    for index, slurm_config in enumerate(slurm_configs):
+        slurm_config = slurm_config or SlurmConfig()
+        cluster_id = _member_id(slurm_config, index)
+        if cluster_id in clusters:
+            raise ValueError(f"duplicate cluster_id {cluster_id!r} in federation")
+        if slurm_config.cluster_id != cluster_id:
+            from dataclasses import replace
+
+            slurm_config = replace(slurm_config, cluster_id=cluster_id)
+        clusters[cluster_id] = SlurmController(
+            env,
+            slurm_config,
+            partitions=default_partitions(),
+            rng=streams.stream(_stream_name("slurm", cluster_id, index)),
+        )
+    member_ids = list(clusters)
+    primary = clusters[member_ids[0]]
+    federation = Federation(list(clusters.values()))
+
+    if not with_middleware:
+        if router is not None:
+            raise ValueError("a router needs the FaaS middleware in the stack")
+        return HPCWhiskSystem(
+            env=env,
+            streams=streams,
+            slurm=primary,
+            broker=None,
+            controller=None,
+            client=None,
+            commercial=None,
+            wrapped_client=None,
+            manager=None,
+            config=config,
+            clusters=clusters,
+            federation=federation,
+        )
+
+    if router is not None:
+        router.bind_rng(streams.stream("router"))
+    broker = Broker(env, publish_latency=config.faas.publish_latency)
+    controller = Controller(
+        env,
+        broker,
+        config=config.faas,
+        rng=streams.stream("controller"),
+        load_balancer=load_balancer,
+        router=router,
+        cluster_order=member_ids,
+    )
+    client = FaaSClient(controller)
+    commercial = CommercialCloud(env, streams.stream("commercial"))
+    wrapped = Alg1Wrapper(client, commercial)
+
+    timelines: List[PilotTimeline] = []
+    managers: Dict[str, _BaseJobManager] = {}
+    if with_manager:
+        for index, (cluster_id, slurm) in enumerate(clusters.items()):
+            pilot_rng = streams.stream(_stream_name("pilots", cluster_id, index))
+
+            def body_factory(rng=pilot_rng, cid=cluster_id):
+                return make_pilot_body(
+                    controller, broker, config, rng, timelines, cluster_id=cid
+                )
+
+            if config.supply_model is SupplyModel.FIB:
+                managers[cluster_id] = FibJobManager(env, slurm, config, body_factory)
+            else:
+                managers[cluster_id] = VarJobManager(env, slurm, config, body_factory)
+
+    return HPCWhiskSystem(
+        env=env,
+        streams=streams,
+        slurm=primary,
+        broker=broker,
+        controller=controller,
+        client=client,
+        commercial=commercial,
+        wrapped_client=wrapped,
+        manager=managers.get(member_ids[0]),
+        config=config,
+        pilot_timelines=timelines,
+        clusters=clusters,
+        managers=managers,
+        federation=federation,
+        router=router,
+    )
 
 
 def build_system(
@@ -69,66 +216,15 @@ def build_system(
     with_middleware: bool = True,
     with_manager: bool = True,
 ) -> HPCWhiskSystem:
-    """Assemble a full HPC-Whisk deployment on a fresh simulation."""
-    config = config or HPCWhiskConfig()
-    env = env or Environment()
-    streams = RandomStreams(seed=seed)
-
-    slurm = SlurmController(
-        env,
-        slurm_config or SlurmConfig(),
-        partitions=default_partitions(),
-        rng=streams.stream("slurm"),
-    )
-    if not with_middleware:
-        return HPCWhiskSystem(
-            env=env,
-            streams=streams,
-            slurm=slurm,
-            broker=None,
-            controller=None,
-            client=None,
-            commercial=None,
-            wrapped_client=None,
-            manager=None,
-            config=config,
-        )
-
-    broker = Broker(env, publish_latency=config.faas.publish_latency)
-    controller = Controller(
-        env,
-        broker,
-        config=config.faas,
-        rng=streams.stream("controller"),
-        load_balancer=load_balancer,
-    )
-    client = FaaSClient(controller)
-    commercial = CommercialCloud(env, streams.stream("commercial"))
-    wrapped = Alg1Wrapper(client, commercial)
-
-    timelines: List[PilotTimeline] = []
-    manager: Optional[_BaseJobManager] = None
-    if with_manager:
-        pilot_rng = streams.stream("pilots")
-
-        def body_factory():
-            return make_pilot_body(controller, broker, config, pilot_rng, timelines)
-
-        if config.supply_model is SupplyModel.FIB:
-            manager = FibJobManager(env, slurm, config, body_factory)
-        else:
-            manager = VarJobManager(env, slurm, config, body_factory)
-
-    return HPCWhiskSystem(
-        env=env,
-        streams=streams,
-        slurm=slurm,
-        broker=broker,
-        controller=controller,
-        client=client,
-        commercial=commercial,
-        wrapped_client=wrapped,
-        manager=manager,
+    """Assemble a full single-cluster HPC-Whisk deployment (the N=1
+    federation) on a fresh simulation."""
+    return build_federation(
+        [slurm_config],
         config=config,
-        pilot_timelines=timelines,
+        seed=seed,
+        env=env,
+        load_balancer=load_balancer,
+        router=None,
+        with_middleware=with_middleware,
+        with_manager=with_manager,
     )

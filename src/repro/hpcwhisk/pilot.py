@@ -45,6 +45,8 @@ class PilotTimeline:
     node: str
     job_id: int
     job_started_at: float
+    #: federation member the pilot's node belongs to ("" = unfederated)
+    cluster_id: str = ""
     #: invoker registered with the controller (healthy from here)
     healthy_at: Optional[float] = None
     #: SIGTERM received; drain begins (not healthy from here)
@@ -78,11 +80,13 @@ def make_pilot_body(
     config: HPCWhiskConfig,
     rng: np.random.Generator,
     timelines: Optional[list] = None,
+    cluster_id: str = "",
 ):
     """Build a job body callable for :class:`~repro.cluster.job.JobSpec`.
 
     ``timelines``, when given, collects every pilot's
-    :class:`PilotTimeline` (the OW-level log source).
+    :class:`PilotTimeline` (the OW-level log source); ``cluster_id``
+    tags the invokers these pilots start with their federation member.
     """
     warmup_model = WarmupModel(rng)
 
@@ -94,6 +98,7 @@ def make_pilot_body(
             node=node,
             job_id=job.job_id,
             job_started_at=env.now,
+            cluster_id=cluster_id,
         )
         if timelines is not None:
             timelines.append(timeline)
@@ -110,6 +115,7 @@ def make_pilot_body(
                 config=config.faas,
                 rng=rng,
                 runtime=None,  # default SingularityRuntime
+                cluster_id=cluster_id,
             )
             yield from invoker.register()
             timeline.healthy_at = env.now

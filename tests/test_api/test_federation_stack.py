@@ -1,0 +1,212 @@
+"""Federated Stack assembly: N=1 equivalence, YAML, probes, CLI help."""
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    RouterSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+    stack_from_config,
+)
+from repro.scenarios.sweep import reset_run_state
+
+
+def small_single_stack(**overrides):
+    base = dict(
+        cluster=ClusterSpec(nodes=6),
+        supply=SupplySpec("fib"),
+        middleware=MiddlewareSpec(),
+        workloads=(
+            WorkloadSpec("idleness-trace", min_intensity=2.0, outage_share=0.0),
+            WorkloadSpec("gatling", qps=2.0, functions=5),
+        ),
+        probes=(ProbeSpec("slurm-sampler"), ProbeSpec("gatling-report")),
+        seed=11,
+        horizon=300.0,
+        name="single",
+    )
+    base.update(overrides)
+    return Stack(**base)
+
+
+def test_n1_federation_is_byte_identical_to_single_cluster():
+    """clusters=[one member] is the same simulation as cluster=..."""
+    reset_run_state()
+    single = small_single_stack().run()
+    reset_run_state()
+    federated = small_single_stack(
+        clusters=(ClusterSpec(nodes=6),), name="single"
+    ).run()
+    assert federated.to_json() == single.to_json()
+
+
+def test_member_handles_and_federation_facade():
+    stack = small_single_stack(
+        clusters=(
+            ClusterSpec(nodes=6, cluster_id="hub"),
+            ClusterSpec(nodes=3, cluster_id="edge"),
+        ),
+        router=RouterSpec("failover"),
+        name="fed",
+    )
+    ctx = stack.build()
+    assert ctx.cluster_ids == ["hub", "edge"]
+    assert ctx.cluster("edge").config.num_nodes == 3
+    assert ctx.cluster() is ctx.system.slurm  # primary
+    assert ctx.system.is_federated
+    assert ctx.system.federation is not None
+    assert set(ctx.system.managers) == {"hub", "edge"}
+    assert ctx.system.controller.cluster_order == ["hub", "edge"]
+    with pytest.raises(KeyError, match="members:"):
+        ctx.cluster("nope")
+
+
+def test_positional_cluster_ids_derived():
+    stack = small_single_stack(
+        clusters=(ClusterSpec(nodes=2), ClusterSpec(nodes=2)), name="auto-ids"
+    )
+    ctx = stack.build()
+    assert ctx.cluster_ids == ["c0", "c1"]
+
+
+def test_duplicate_cluster_ids_rejected():
+    stack = small_single_stack(
+        clusters=(
+            ClusterSpec(nodes=2, cluster_id="dup"),
+            ClusterSpec(nodes=2, cluster_id="dup"),
+        ),
+        name="dups",
+    )
+    with pytest.raises(ValueError, match="duplicate cluster_id"):
+        stack.build()
+
+
+def test_router_requires_middleware():
+    with pytest.raises(ValueError, match="router needs the FaaS middleware"):
+        small_single_stack(
+            middleware=None,
+            supply=SupplySpec("none"),
+            workloads=(),
+            probes=(),
+            router=RouterSpec("failover"),
+        )
+
+
+def test_federated_probes_emit_merged_and_per_member_metrics():
+    reset_run_state()
+    stack = small_single_stack(
+        clusters=(
+            ClusterSpec(nodes=6, cluster_id="hub"),
+            ClusterSpec(nodes=3, cluster_id="edge"),
+        ),
+        router=RouterSpec("weighted-idle"),
+        probes=(
+            ProbeSpec("slurm-sampler"),
+            ProbeSpec("coverage"),
+            ProbeSpec("gatling-report"),
+            ProbeSpec("accounting"),
+            ProbeSpec("federation-stats"),
+        ),
+        name="fed-probes",
+    )
+    report = stack.run()
+    metrics = report.metrics
+    for key in (
+        "coverage",
+        "coverage@hub",
+        "coverage@edge",
+        "sim_ready_share@hub",
+        "prime_jobs_total@edge",
+        "fed_routed@hub",
+        "fed_routed_share@edge",
+        "fed_rejected_503",
+    ):
+        assert key in metrics, sorted(metrics)
+    assert metrics["fed_clusters"] == 2.0
+    assert metrics["fed_routed_total"] == (
+        metrics["fed_routed@hub"] + metrics["fed_routed@edge"]
+    )
+    # fleet prime totals are the sum of the member totals
+    assert metrics["prime_jobs_total"] == (
+        metrics["prime_jobs_total@hub"] + metrics["prime_jobs_total@edge"]
+    )
+    # the sampler artifact exposes every member's log
+    sampler = report.artifacts["slurm-sampler"]
+    assert set(sampler.per_cluster) == {"hub", "edge"}
+
+
+def test_stack_config_parses_clusters_and_router():
+    stack = stack_from_config(
+        {
+            "name": "from-yaml",
+            "seed": 3,
+            "horizon": 120,
+            "stack": {
+                "clusters": [
+                    {"nodes": 4, "cluster_id": "hub"},
+                    {"nodes": 2, "cluster_id": "edge"},
+                ],
+                "supply": "fib",
+                "router": "affinity-first",
+                "workloads": [
+                    {"name": "failover-window", "cluster": "edge", "start": 30.0,
+                     "duration": 30.0},
+                ],
+                "probes": ["federation-stats"],
+            },
+        }
+    )
+    assert [spec.options.get("cluster_id") for spec in stack.clusters] == [
+        "hub",
+        "edge",
+    ]
+    assert stack.router.name == "affinity-first"
+
+
+def test_stack_config_rejects_cluster_and_clusters_together():
+    with pytest.raises(ValueError, match="both 'cluster' and 'clusters'"):
+        stack_from_config(
+            {
+                "stack": {
+                    "cluster": {"nodes": 4},
+                    "clusters": [{"nodes": 4}],
+                }
+            }
+        )
+
+
+def test_stack_config_rejects_empty_clusters_list():
+    with pytest.raises(ValueError, match="at least one member"):
+        stack_from_config({"stack": {"clusters": []}})
+
+
+def test_example_federation_config_runs():
+    from repro.api import load_config_file
+
+    config = load_config_file("examples/configs/federation_two_clusters.yaml")
+    stack = stack_from_config(config)
+    assert len(stack.clusters) == 2
+    assert stack.router is not None
+    stack.validate()
+
+
+def test_cli_clusters_replication():
+    from repro.cli import _replicate_clusters
+
+    stack = small_single_stack()
+    replicated = _replicate_clusters(stack, 3)
+    assert [spec.options["cluster_id"] for spec in replicated.clusters] == [
+        "c0",
+        "c1",
+        "c2",
+    ]
+    assert all(
+        spec.options["nodes"] == stack.cluster.options["nodes"]
+        for spec in replicated.clusters
+    )
+    with pytest.raises(ValueError, match=">= 1"):
+        _replicate_clusters(stack, 0)

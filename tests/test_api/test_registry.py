@@ -20,7 +20,15 @@ EXPECTED_BUILTINS = {
     "cluster": {"slurm"},
     "supply": {"fib", "var", "none", "static"},
     "middleware": {"openwhisk"},
-    "workload": {"idleness-trace", "gatling", "pinned-jobs", "sebs", "hpc-jobs"},
+    "router": {"weighted-idle", "affinity-first", "failover"},
+    "workload": {
+        "idleness-trace",
+        "gatling",
+        "pinned-jobs",
+        "sebs",
+        "hpc-jobs",
+        "failover-window",
+    },
     "probe": {
         "slurm-sampler",
         "coverage",
@@ -29,6 +37,7 @@ EXPECTED_BUILTINS = {
         "kernel-stats",
         "accounting",
         "loadbalancer-stats",
+        "federation-stats",
     },
 }
 

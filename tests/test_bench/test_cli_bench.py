@@ -20,15 +20,16 @@ def test_bench_kernel_writes_artifact(tmp_path, capsys):
     assert "kernel" in capsys.readouterr().out
 
 
-def test_bench_default_runs_kernel_plus_every_scenario(tmp_path, capsys):
-    """The acceptance path: BENCH_kernel.json + one file per scenario."""
+def test_bench_default_runs_microbenches_plus_every_scenario(tmp_path, capsys):
+    """The acceptance path: microbench artifacts + one file per scenario."""
     assert main(["bench", "--preset", "smoke", "--out-dir", str(tmp_path)]) == 0
     written = {path.name for path in tmp_path.glob("BENCH_*.json")}
     assert "BENCH_kernel.json" in written
+    assert "BENCH_router.json" in written
     for name in ("fig1", "fig2", "fig3", "table1", "day", "fig7",
-                 "optimize", "longterm"):
+                 "optimize", "longterm", "federation"):
         assert f"BENCH_{name}.json" in written
-    assert len(written) == 9
+    assert len(written) == 11
 
 
 def test_bench_against_passing_baseline(tmp_path):

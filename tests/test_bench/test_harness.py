@@ -33,10 +33,30 @@ def _record(name, eps, kind="kernel"):
     )
 
 
-def test_bench_names_lists_kernel_and_all_scenarios():
+def test_bench_names_lists_microbenches_and_all_scenarios():
     names = bench_names()
     assert names[0] == "kernel"
-    assert "day" in names and "fig1" in names and len(names) == 9
+    assert names[1] == "router"
+    assert "day" in names and "fig1" in names and "federation" in names
+    assert len(names) == 11
+
+
+def test_router_microbench_smoke_runs_and_counts():
+    from repro.bench.router import ROUTER_SCALES, run_router_bench
+
+    stats = run_router_bench("smoke")
+    scale = ROUTER_SCALES["smoke"]
+    # every invocation produces several kernel events on the routing path
+    assert stats.events_processed > scale.invocations
+    assert stats.events_per_sec > 0
+    with pytest.raises(KeyError):
+        run_router_bench("huge")
+
+
+def test_run_bench_router_records_kernel_kind():
+    record = run_bench("router", preset="smoke")
+    assert record.kind == "kernel"
+    assert record.seed is None and record.metrics == {}
 
 
 def test_kernel_microbench_smoke_counts():

@@ -107,12 +107,80 @@ def test_compose_without_list_flag_points_at_it(capsys):
 def test_compose_list_catalogues_components(capsys):
     assert main(["compose", "--list"]) == 0
     out = capsys.readouterr().out
-    for kind in ("cluster:", "supply:", "middleware:", "workload:", "probe:"):
+    for kind in ("cluster:", "supply:", "middleware:", "router:",
+                 "workload:", "probe:"):
         assert kind in out
     for name in ("slurm", "fib", "var", "static", "openwhisk",
-                 "idleness-trace", "gatling", "slurm-sampler", "coverage"):
+                 "idleness-trace", "gatling", "slurm-sampler", "coverage",
+                 "weighted-idle", "affinity-first", "failover",
+                 "failover-window", "federation-stats"):
         assert name in out
     assert "queue_per_length" in out  # options are listed with defaults
+    # nested/list-valued stack options render as their shape, not reprs
+    assert "clusters           [ClusterSpec]" in out
+    assert "router             RouterSpec" in out
+    assert "ScenarioSpec(" not in out and "SlurmConfig(" not in out
+
+
+def test_compose_list_formats_nested_defaults():
+    from repro.cli import _format_default
+    from repro.api import ClusterSpec
+    from repro.cluster.slurmctld import SlurmConfig
+    from repro.hpcwhisk.config import SupplyModel
+
+    assert _format_default(SlurmConfig()) == "SlurmConfig(...)"
+    assert _format_default((ClusterSpec(), ClusterSpec())) == "[ClusterSpec]"
+    assert _format_default(SupplyModel.FIB) == "'fib'"
+    assert _format_default([1, 2]) == "[1, 2]"
+    assert _format_default(()) == "[]"
+    assert _format_default(10.0) == "10.0"
+
+
+def test_run_config_clusters_override(tmp_path, capsys):
+    config = tmp_path / "stack.yaml"
+    config.write_text(
+        "name: cli-fed\n"
+        "seed: 5\n"
+        "horizon: 240\n"
+        "stack:\n"
+        "  cluster: {nodes: 3}\n"
+        "  supply: fib\n"
+        "  workloads:\n"
+        "    - {name: idleness-trace, min_intensity: 2.0, outage_share: 0.0}\n"
+        "  probes: [accounting]\n"
+    )
+    json_path = tmp_path / "out.json"
+    assert main(["run", "--config", str(config), "--clusters", "2",
+                 "--json", str(json_path)]) == 0
+    capsys.readouterr()
+    import json as json_module
+
+    payload = json_module.loads(json_path.read_text())
+    # per-member accounting proves the base cluster was replicated
+    assert "prime_jobs_total@c0" in payload["metrics"]
+    assert "prime_jobs_total@c1" in payload["metrics"]
+
+
+def test_run_config_clusters_rejected_for_heterogeneous_configs(tmp_path):
+    config = tmp_path / "fed.yaml"
+    config.write_text(
+        "name: fed\n"
+        "horizon: 120\n"
+        "stack:\n"
+        "  clusters:\n"
+        "    - {nodes: 4, cluster_id: hub}\n"
+        "    - {nodes: 2, cluster_id: edge}\n"
+        "  supply: fib\n"
+    )
+    with pytest.raises(SystemExit, match="heterogeneous"):
+        main(["run", "--config", str(config), "--clusters", "3"])
+
+
+def test_run_config_clusters_rejected_in_scenario_mode(tmp_path, capsys):
+    config = tmp_path / "fig3.yaml"
+    config.write_text("scenario: fig3\nscale: smoke\n")
+    with pytest.raises(SystemExit, match="stack-mode"):
+        main(["run", "--config", str(config), "--clusters", "2"])
 
 
 def test_run_config_scenario_mode_matches_subcommand(tmp_path, capsys):

@@ -1,0 +1,119 @@
+"""Federation facade: membership, merged queries, merged accounting."""
+
+import pytest
+
+from repro.cluster.accounting import merge_accounts, summarize
+from repro.cluster.federation import Federation
+from repro.cluster.job import JobSpec
+from repro.cluster.node import NodeState
+from repro.cluster.slurmctld import SlurmConfig, SlurmController
+
+
+def make_federation(env, sizes=(4, 2)):
+    members = [
+        SlurmController(
+            env,
+            SlurmConfig(num_nodes=size, cluster_id=f"m{index}"),
+        )
+        for index, size in enumerate(sizes)
+    ]
+    return Federation(members), members
+
+
+def test_membership_and_primary(env):
+    federation, members = make_federation(env)
+    assert federation.ids == ["m0", "m1"]
+    assert federation.primary is members[0]
+    assert federation.cluster("m1") is members[1]
+    assert "m0" in federation and "nope" not in federation
+    assert len(federation) == 2
+    assert federation.total_nodes == 6
+
+
+def test_unknown_member_lists_known_ids(env):
+    federation, _members = make_federation(env)
+    with pytest.raises(KeyError, match="members:"):
+        federation.cluster("zz")
+
+
+def test_duplicate_cluster_ids_rejected(env):
+    a = SlurmController(env, SlurmConfig(num_nodes=1, cluster_id="dup"))
+    b = SlurmController(env, SlurmConfig(num_nodes=1, cluster_id="dup"))
+    with pytest.raises(ValueError, match="duplicate cluster_id"):
+        Federation([a, b])
+
+
+def test_empty_federation_rejected():
+    with pytest.raises(ValueError, match="at least one member"):
+        Federation([])
+
+
+def test_default_cluster_id_resolves_to_c0(env):
+    controller = SlurmController(env, SlurmConfig(num_nodes=1))
+    assert controller.cluster_id == "c0"
+
+
+def test_merged_queues_and_idle_views(env):
+    federation, members = make_federation(env)
+    members[0].submit(JobSpec(name="a", num_nodes=1, time_limit=600.0))
+    members[1].submit(JobSpec(name="b", num_nodes=1, time_limit=600.0))
+    assert len(federation.pending_jobs()) == 2
+    env.run(until=120.0)
+    assert len(federation.running_jobs()) == 2
+    idle = federation.idle_node_names()
+    assert set(idle) == {"m0", "m1"}
+    assert federation.idle_node_count() == 4  # 6 nodes, 2 allocated
+
+
+def test_merged_accounting_and_utilization(env):
+    federation, members = make_federation(env)
+    members[0].submit(
+        JobSpec(name="a", num_nodes=1, time_limit=600.0, actual_runtime=300.0)
+    )
+    members[1].submit(
+        JobSpec(name="b", num_nodes=1, time_limit=600.0, actual_runtime=300.0)
+    )
+    env.run(until=1000.0)
+    per_member = federation.summarize()
+    assert set(per_member) == {"m0", "m1"}
+    merged = federation.summarize_merged()
+    assert merged["main"].jobs_total == 2
+    # Every job ran ~300 s on one node; merged node-seconds add.
+    assert merged["main"].node_seconds == pytest.approx(
+        per_member["m0"]["main"].node_seconds
+        + per_member["m1"]["main"].node_seconds
+    )
+    # utilization weights members by node count: (u0*4 + u1*2) / 6
+    u0 = members[0].utilization(0.0, 1000.0)
+    u1 = members[1].utilization(0.0, 1000.0)
+    assert federation.utilization(0.0, 1000.0) == pytest.approx(
+        (u0 * 4 + u1 * 2) / 6
+    )
+
+
+def test_merge_accounts_concatenates_wait_times(env):
+    federation, members = make_federation(env)
+    members[0].submit(
+        JobSpec(name="a", num_nodes=1, time_limit=600.0, actual_runtime=60.0)
+    )
+    env.run(until=200.0)
+    sides = [summarize(member) for member in federation]
+    merged = merge_accounts(sides)
+    assert merged["main"].wait_times == sides[0]["main"].wait_times
+
+
+def test_fail_and_restore_cluster(env):
+    federation, members = make_federation(env, sizes=(2, 2))
+    federation.fail_cluster("m1")
+    env.run(until=1.0)
+    assert all(
+        node.state is NodeState.DOWN for node in members[1].nodes.values()
+    )
+    assert all(
+        node.state is NodeState.IDLE for node in members[0].nodes.values()
+    )
+    federation.restore_cluster("m1")
+    assert all(
+        node.state is NodeState.IDLE for node in members[1].nodes.values()
+    )
+    federation.close_interval_logs()

@@ -1,0 +1,205 @@
+"""FederationRouter policies: validity, determinism, conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas.broker import Broker
+from repro.faas.config import FaaSConfig
+from repro.faas.controller import Controller
+from repro.faas.functions import sleep_functions
+from repro.faas.invoker import Invoker
+from repro.faas.router import ROUTERS, AffinityFirst, Failover, WeightedIdle
+from repro.sim import Interrupt
+
+# ---------------------------------------------------------------------------
+# strategies
+
+
+def pools_strategy():
+    """Ordered cluster -> healthy-invoker-list maps (some empty)."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda pair: pair[0],
+    ).map(
+        lambda pairs: {
+            f"cl{index}": [f"inv-{index}-{i}" for i in range(count)]
+            for index, count in pairs
+        }
+    )
+
+
+FUNCTIONS = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=8), min_size=1, max_size=20
+)
+
+
+def make_router(name, seed=0):
+    router = ROUTERS[name]()
+    router.bind_rng(np.random.default_rng(seed))
+    return router
+
+
+# ---------------------------------------------------------------------------
+# validity: a routed cluster always has a healthy worker; None only
+# when the whole fleet is dry (conservation at the policy level: every
+# call yields exactly one valid member or an explicit 503)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pools=pools_strategy(), functions=FUNCTIONS, policy=st.sampled_from(sorted(ROUTERS)))
+def test_choice_is_valid_or_none(pools, functions, policy):
+    router = make_router(policy)
+    populated = any(pools.values())
+    for function in functions:
+        choice = router.choose(function, pools, broker=None)
+        if populated:
+            assert choice in pools and pools[choice], (policy, choice, pools)
+        else:
+            assert choice is None
+
+
+# ---------------------------------------------------------------------------
+# determinism: under a fixed seed the full routing sequence replays
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pools=pools_strategy(),
+    functions=FUNCTIONS,
+    policy=st.sampled_from(sorted(ROUTERS)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_routing_deterministic_under_fixed_seed(pools, functions, policy, seed):
+    a = make_router(policy, seed)
+    b = make_router(policy, seed)
+    sequence_a = [a.choose(function, pools, None) for function in functions]
+    sequence_b = [b.choose(function, pools, None) for function in functions]
+    assert sequence_a == sequence_b
+
+
+# ---------------------------------------------------------------------------
+# policy shapes
+
+
+def test_failover_prefers_declaration_order():
+    router = Failover()
+    pools = {"z": ["i1"], "a": ["i2"]}
+    assert router.choose("f", pools, None) == "z"  # declaration, not sorted
+    assert router.choose("f", {"z": [], "a": ["i2"]}, None) == "a"
+
+
+def test_affinity_first_is_stable_and_fails_over():
+    router = AffinityFirst()
+    pools = {"a": ["i1"], "b": ["i2"]}
+    home = router.choose("func-x", pools, None)
+    assert all(router.choose("func-x", pools, None) == home for _ in range(5))
+    # drying the home cluster moves the function to the other member
+    dry = dict(pools, **{home: []})
+    other = router.choose("func-x", dry, None)
+    assert other != home and dry[other]
+
+
+def test_weighted_idle_follows_capacity():
+    router = make_router("weighted-idle", seed=7)
+    pools = {"big": [f"i{i}" for i in range(9)], "small": ["j0"]}
+    choices = [router.choose("f", pools, None) for _ in range(500)]
+    big_share = choices.count("big") / len(choices)
+    assert 0.8 < big_share < 1.0  # ~0.9 expected, never exclusive
+
+
+def test_weighted_idle_requires_bound_rng():
+    router = WeightedIdle()
+    with pytest.raises(RuntimeError, match="bind_rng"):
+        router.choose("f", {"a": ["i"], "b": ["j"]}, None)
+    # single populated member needs no draw
+    assert router.choose("f", {"a": ["i"], "b": []}, None) == "a"
+
+
+# ---------------------------------------------------------------------------
+# conservation through the controller: every submitted activation is
+# either routed to exactly one cluster-tagged invoker or 503'd
+
+
+@pytest.mark.parametrize("policy", sorted(ROUTERS))
+def test_controller_conserves_activations(policy, env):
+    broker = Broker(env)
+    config = FaaSConfig(system_overhead=0.0)
+    member_ids = ["east", "west"]
+    controller = Controller(
+        env,
+        broker,
+        config=config,
+        rng=np.random.default_rng(0),
+        router=make_router(policy, seed=3),
+        cluster_order=member_ids,
+    )
+    functions = sleep_functions(8, 0.001)
+    for function in functions:
+        controller.deploy(function)
+
+    fleet_rng = np.random.default_rng(1)
+    for cluster_id in member_ids:
+        for index in range(2):
+            invoker = Invoker(
+                env,
+                invoker_id=f"inv-{cluster_id}-{index}",
+                node=f"n-{cluster_id}-{index}",
+                broker=broker,
+                registry=controller.registry,
+                config=config,
+                rng=fleet_rng,
+                cluster_id=cluster_id,
+            )
+
+            def lifecycle(inv=invoker):
+                yield from inv.register()
+                try:
+                    yield from inv.serve()
+                except Interrupt:
+                    pass
+
+            env.process(lifecycle())
+
+    submitted = 60
+    results = []
+
+    def driver():
+        for index in range(submitted):
+            result = yield from controller.invoke(
+                functions[index % len(functions)].name, duration=0.001
+            )
+            results.append(result)
+
+    env.process(driver())
+    env.run(until=300.0)
+
+    assert len(results) == submitted
+    # no drop, no duplicate: ledger + 503s account for every submission
+    assert len(controller.records) + controller.unavailable_count == submitted
+    ids = [record.activation_id for record in controller.records]
+    assert len(ids) == len(set(ids))
+    # every routed activation carries a member tag and the per-cluster
+    # ledger adds back up to the total
+    assert all(record.cluster_id in member_ids for record in controller.records)
+    assert sum(controller.routed_counts.values()) == len(controller.records)
+
+
+def test_controller_healthy_by_cluster_lists_every_declared_member(env):
+    broker = Broker(env)
+    controller = Controller(
+        env,
+        broker,
+        rng=np.random.default_rng(0),
+        router=Failover(),
+        cluster_order=["a", "b"],
+    )
+    pools = controller.healthy_by_cluster()
+    assert list(pools) == ["a", "b"]
+    assert pools == {"a": [], "b": []}

@@ -5,7 +5,10 @@ import pytest
 from repro.experiments import run_fig3
 from repro.scenarios import REGISTRY, load_builtin
 
-EXPECTED = ["fig1", "fig2", "fig3", "table1", "day", "fig7", "optimize", "longterm"]
+EXPECTED = [
+    "fig1", "fig2", "fig3", "table1", "day", "fig7", "optimize", "longterm",
+    "federation",
+]
 
 
 @pytest.fixture(autouse=True)
