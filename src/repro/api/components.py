@@ -25,6 +25,7 @@ from repro.faas.router import AffinityFirst, Failover, WeightedIdle
 from repro.hpcwhisk.config import SupplyModel
 from repro.hpcwhisk.lengths import JOB_LENGTH_SETS, JobLengthSet
 from repro.sim import Interrupt
+from repro.supply import PidGains, make_policy
 from repro.workloads.gatling import GatlingClient
 from repro.workloads.hpc_trace import trace_to_prime_jobs
 from repro.workloads.idleness import IdlenessTraceGenerator
@@ -127,6 +128,156 @@ def var_supply(
             "replenish_interval": replenish_interval,
             "max_queued": max_queued,
         }
+    )
+
+
+def _feedback_supply(
+    policy_name: str,
+    length_set: LengthSetLike,
+    policy_options: Mapping[str, Any],
+    replenish_interval: float,
+    max_queued: int,
+) -> SupplyBuild:
+    """Shared wiring for the feedback controllers of :mod:`repro.supply`.
+
+    The factory captures fully-resolved options and builds a **fresh**
+    policy instance per call — ``build_federation`` calls it once per
+    member, so controller state never leaks across clusters.
+    """
+    resolved_lengths = resolve_length_set(length_set)
+    options = dict(policy_options)
+    # Validate the options eagerly: a bad gain should fail at spec
+    # resolution, not on the first replenishment round.
+    make_policy(policy_name, resolved_lengths, **options)
+    return SupplyBuild(
+        whisk_kwargs={
+            "policy_factory": lambda: make_policy(
+                policy_name, resolved_lengths, **options
+            ),
+            "replenish_interval": replenish_interval,
+            "max_queued": max_queued,
+        }
+    )
+
+
+@component(
+    "supply",
+    "queue-aware",
+    help="backlog-proportional pilot inventory (reactive feedback)",
+)
+def queue_aware_supply(
+    base_depth: int = 4,
+    backlog_gain: float = 0.5,
+    max_depth: int = 50,
+    job_minutes: int = 4,
+    replenish_interval: float = 15.0,
+    max_queued: int = 100,
+) -> SupplyBuild:
+    """Targets ``base_depth + backlog_gain * buffered-activations``
+    queued pilots of ``job_minutes`` each, capped at ``max_depth``."""
+    return _feedback_supply(
+        "queue-aware",
+        "A1",
+        {
+            "base_depth": base_depth,
+            "backlog_gain": backlog_gain,
+            "max_depth": max_depth,
+            "job_minutes": job_minutes,
+        },
+        replenish_interval,
+        max_queued,
+    )
+
+
+@component(
+    "supply", "ewma", help="EWMA load forecast picks the pilot-job lengths"
+)
+def ewma_supply(
+    length_set: LengthSetLike = "A1",
+    alpha: float = 0.3,
+    target_depth: int = 10,
+    replenish_interval: float = 15.0,
+    max_queued: int = 100,
+) -> SupplyBuild:
+    """Holds ``target_depth`` queued pilots whose length tracks an
+    exponentially-smoothed invoker-busyness forecast (quiet system ->
+    shortest class, saturated -> longest)."""
+    return _feedback_supply(
+        "ewma",
+        length_set,
+        {"alpha": alpha, "target_depth": target_depth},
+        replenish_interval,
+        max_queued,
+    )
+
+
+def resolve_gains(value: Union[PidGains, Mapping[str, Any], None]) -> PidGains:
+    """Accept a :class:`~repro.supply.policies.PidGains` or a mapping of
+    its fields (``kp``/``ki``/``kd``) — the YAML path sends mappings."""
+    if value is None:
+        return PidGains()
+    if isinstance(value, PidGains):
+        return value
+    return PidGains(**dict(value))
+
+
+@component(
+    "supply", "pid", help="PID on idle-invoker count (anti-windup feedback)"
+)
+def pid_supply(
+    target_idle: int = 2,
+    gains: Union[PidGains, Mapping[str, Any]] = PidGains(),
+    max_depth: int = 40,
+    job_minutes: int = 4,
+    replenish_interval: float = 15.0,
+    max_queued: int = 100,
+) -> SupplyBuild:
+    """Error-feedback on spare invoker capacity: holds ``target_idle``
+    idle invokers via a PID loop with conditional-integration
+    anti-windup.  ``gains`` takes a
+    :class:`~repro.supply.policies.PidGains` or a mapping of its fields
+    (``kp``, ``ki``, ``kd``); ``None`` uses the default gains."""
+    return _feedback_supply(
+        "pid",
+        "A1",
+        {
+            "target_idle": target_idle,
+            "gains": resolve_gains(gains),
+            "max_depth": max_depth,
+            "job_minutes": job_minutes,
+        },
+        replenish_interval,
+        max_queued,
+    )
+
+
+@component(
+    "supply", "hybrid", help="fib floor + reactive short-job burst on backlog"
+)
+def hybrid_supply(
+    length_set: LengthSetLike = "A1",
+    floor_per_length: int = 2,
+    burst_threshold: int = 4,
+    burst_size: int = 8,
+    burst_minutes: int = 2,
+    replenish_interval: float = 15.0,
+    max_queued: int = 100,
+) -> SupplyBuild:
+    """A scaled-down fib inventory (``floor_per_length`` per class)
+    guarantees baseline harvest; a burst of ``burst_size`` short pilots
+    rides along whenever the activation backlog reaches
+    ``burst_threshold``."""
+    return _feedback_supply(
+        "hybrid",
+        length_set,
+        {
+            "floor_per_length": floor_per_length,
+            "burst_threshold": burst_threshold,
+            "burst_size": burst_size,
+            "burst_minutes": burst_minutes,
+        },
+        replenish_interval,
+        max_queued,
     )
 
 

@@ -432,6 +432,114 @@ def loadbalancer_stats_probe(ctx: StackContext) -> LoadBalancerStatsProbe:
 
 
 # ---------------------------------------------------------------------------
+# supply-stats (supply-controller accounting: submissions, churn, warmth)
+
+
+class SupplyStatsProbe(Probe):
+    """Per-member supply-loop accounting, fleet-merged when federated.
+
+    Reads each member's :class:`~repro.hpcwhisk.job_manager.ManagerStats`
+    and the pilot timelines: how much the controller submitted, how hard
+    the queue cap truncated its plans, how fast pilots churn, and the
+    warm/cold split of the containers those pilots served.  Policy
+    diagnostics (EWMA levels, PID state, burst counters) are flattened
+    in as ``supply_<name>`` gauges.
+    """
+
+    @staticmethod
+    def _manager_metrics(manager, suffix: str = "") -> Dict[str, float]:
+        stats = manager.stats
+        metrics = {
+            f"supply_submitted{suffix}": float(stats.submitted),
+            f"supply_rounds{suffix}": float(stats.replenish_rounds),
+            f"supply_truncated{suffix}": float(stats.truncated),
+            f"supply_mean_queue_depth{suffix}": stats.mean_queue_depth,
+        }
+        for name, value in sorted(manager.policy.diagnostics().items()):
+            metrics[f"supply_{name}{suffix}"] = float(value)
+        return metrics
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        managers = ctx.system.managers
+        if not managers:
+            raise ValueError(
+                "supply-stats probe needs a pilot supply manager in the "
+                "stack (supplies 'none'/'static' run without one)"
+            )
+        member_ids = list(ctx.system.clusters)
+        started: Dict[str, int] = {cid: 0 for cid in member_ids}
+        cold: Dict[str, int] = {cid: 0 for cid in member_ids}
+        warm: Dict[str, int] = {cid: 0 for cid in member_ids}
+        primary = member_ids[0]
+        for timeline in ctx.system.pilot_timelines:
+            cid = timeline.cluster_id or primary
+            if timeline.job_started_at < ctx.horizon:
+                started[cid] = started.get(cid, 0) + 1
+            if timeline.stats is not None:
+                cold[cid] = cold.get(cid, 0) + timeline.stats.cold_starts
+                warm[cid] = warm.get(cid, 0) + timeline.stats.warm_hits
+        horizon_hours = ctx.horizon / 3600.0
+
+        def churn_metrics(cids, suffix: str = "") -> Dict[str, float]:
+            pilots = sum(started[c] for c in cids)
+            cold_total = sum(cold[c] for c in cids)
+            warm_total = sum(warm[c] for c in cids)
+            return {
+                f"pilots_started{suffix}": float(pilots),
+                f"pilot_churn_per_h{suffix}": pilots / horizon_hours,
+                f"supply_cold_starts{suffix}": float(cold_total),
+                f"supply_warm_hits{suffix}": float(warm_total),
+                f"cold_start_rate{suffix}": cold_total
+                / max(cold_total + warm_total, 1),
+            }
+
+        federated = len(managers) > 1
+        if not federated:
+            manager = managers[primary]
+            metrics = {
+                **self._manager_metrics(manager),
+                **churn_metrics([primary]),
+            }
+            return metrics, {primary: manager.stats}
+        # Fleet view: submissions/rounds/churn add across members; the
+        # mean queue depth averages over every member's rounds; policy
+        # diagnostics are member-local state and appear only suffixed.
+        all_depths = [
+            depth
+            for manager in managers.values()
+            for depth in manager.stats.queue_depths
+        ]
+        metrics = {
+            "supply_submitted": float(
+                sum(m.stats.submitted for m in managers.values())
+            ),
+            "supply_rounds": float(
+                sum(m.stats.replenish_rounds for m in managers.values())
+            ),
+            "supply_truncated": float(
+                sum(m.stats.truncated for m in managers.values())
+            ),
+            "supply_mean_queue_depth": (
+                sum(all_depths) / len(all_depths) if all_depths else 0.0
+            ),
+            **churn_metrics(member_ids),
+        }
+        for cid, manager in managers.items():
+            metrics.update(self._manager_metrics(manager, f"@{cid}"))
+            metrics.update(churn_metrics([cid], f"@{cid}"))
+        return metrics, {cid: m.stats for cid, m in managers.items()}
+
+
+@component(
+    "probe",
+    "supply-stats",
+    help="supply-controller accounting (submissions, churn, cold starts)",
+)
+def supply_stats_probe(ctx: StackContext) -> SupplyStatsProbe:
+    return SupplyStatsProbe()
+
+
+# ---------------------------------------------------------------------------
 # federation-stats (cross-cluster routing accounting)
 
 

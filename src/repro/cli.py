@@ -8,6 +8,8 @@ scenario there are two meta commands::
     list       catalogue of registered scenarios and their parameters
     sweep      parameter-grid x seed-replication sweeps, optionally in
                parallel worker processes (see ``repro sweep --help``)
+    matrix     ranked supply-policy x workload x cluster-shape
+               comparison via the sweep executor (``repro matrix``)
     bench      kernel + scenario throughput benchmarks with schema'd
                ``BENCH_<name>.json`` artifacts and a baseline-compare
                regression gate (see ``repro bench --help``)
@@ -156,6 +158,43 @@ def _add_bench_parser(sub) -> None:
                         help="also write all records as a combined baseline")
 
 
+def _add_matrix_parser(sub) -> None:
+    parser = sub.add_parser(
+        "matrix", help="ranked supply-policy x workload comparison",
+        description="Sweep supply policies x workloads x cluster shapes "
+                    "in parallel via the sweep executor and print a "
+                    "ranked comparison (harvest, batch slowdown, "
+                    "cold-start rate, pilot churn).  A front door over "
+                    "the registered 'supply_matrix' scenario.",
+    )
+    parser.add_argument("--policies", metavar="P1,P2,...",
+                        default=argparse.SUPPRESS,
+                        help="supply policies to compare "
+                             "(default: every registered policy)")
+    parser.add_argument("--workloads", metavar="W1,W2,...",
+                        default=argparse.SUPPRESS,
+                        help="FaaS workloads to drive (default: gatling,sebs)")
+    parser.add_argument("--shapes", metavar="N1,N2,...",
+                        default=argparse.SUPPRESS,
+                        help="cluster sizes to sweep (default: per scale)")
+    parser.add_argument("--hours", type=float, default=argparse.SUPPRESS,
+                        help="per-cell experiment length in hours")
+    parser.add_argument("--qps", type=float, default=argparse.SUPPRESS,
+                        help="per-cell load-client request rate")
+    parser.add_argument("--seeds", type=int, default=argparse.SUPPRESS,
+                        help="seed replications per cell (default: 1)")
+    parser.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                        help="entropy root for per-run seed derivation")
+    parser.add_argument("-j", "--jobs", type=int, default=4,
+                        help="worker processes for the sweep (default: 4)")
+    parser.add_argument("--scale", choices=SCALE_NAMES, default="quick",
+                        help="scale preset (default: quick)")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="also write the ranked matrix as JSON")
+    parser.add_argument("--csv", dest="csv_path", metavar="PATH",
+                        help="also write the ranked matrix as CSV")
+
+
 def _add_run_parser(sub) -> None:
     parser = sub.add_parser(
         "run", help="run a declarative YAML/JSON config",
@@ -197,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_scenario_parser(sub, scenario)
     sub.add_parser("list", help="catalogue of registered scenarios")
     _add_sweep_parser(sub)
+    _add_matrix_parser(sub)
     _add_bench_parser(sub)
     _add_run_parser(sub)
     _add_compose_parser(sub)
@@ -329,6 +369,30 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_matrix(args) -> int:
+    from repro.experiments.supply import parse_matrix_lists
+
+    overrides = {
+        key: value for key, value in vars(args).items()
+        if key not in _CONTROL_DESTS and key != "jobs"
+    }
+    overrides["jobs"] = args.jobs
+    try:
+        spec = REGISTRY.build_spec("supply_matrix", overrides, scale=args.scale)
+        parse_matrix_lists(spec.params)  # validate names before running
+        if int(spec.params["seeds"]) < 1:
+            raise ValueError("seeds must be >= 1")
+    except (KeyError, ValueError) as error:
+        # usage errors only — crashes inside matrix cells propagate
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"matrix: {message}")
+    result = REGISTRY.run_spec(spec)
+    print(result.text)
+    matrix = result.artifacts["matrix"]
+    _persist(args, matrix.to_json(), matrix.to_csv())
+    return 0
+
+
 def _replicate_clusters(stack, count: int):
     """``--clusters N``: the base cluster spec, N times, with derived ids.
 
@@ -405,11 +469,26 @@ def _format_default(value) -> str:
     instances as ``ClassName(...)``, enums as their value, and
     lists/tuples of specs as ``[ElementType]`` — so list-valued options
     like a federation's ``clusters: [ClusterSpec]`` stay one line.
+    Small all-scalar dataclasses spell their fields out — a supply
+    policy's nested controller gains (``PidGains(kp=…, ki=…, kd=…)``)
+    are tuning surface, and hiding them behind ``(...)`` made
+    ``compose --list`` useless for exactly the components it should
+    document best.  Bigger or nested dataclasses (``SlurmConfig``) keep
+    the one-line ``ClassName(...)`` shape.
     """
     import dataclasses
     import enum
 
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.fields(value)
+        values = [getattr(value, f.name) for f in fields]
+        if len(fields) <= 6 and all(
+            v is None or isinstance(v, (str, int, float, bool)) for v in values
+        ):
+            rendered = ", ".join(
+                f"{f.name}={v!r}" for f, v in zip(fields, values)
+            )
+            return f"{type(value).__name__}({rendered})"
         return f"{type(value).__name__}(...)"
     if isinstance(value, enum.Enum):
         return repr(value.value)
@@ -507,6 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "matrix":
+        return _run_matrix(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "run":

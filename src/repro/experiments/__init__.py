@@ -19,6 +19,7 @@ Module                    Reproduces
 :mod:`.optimize`          Sec. IV-B — length-set optimization
 :mod:`.longterm`          Sec. VII — long-horizon characterization
 :mod:`.federation`        beyond the paper: two-cluster federated fleet
+:mod:`.supply`            beyond the paper: supply-policy cells + matrix
 ========================  =======================================
 """
 
@@ -31,9 +32,11 @@ from repro.experiments.fig7 import Fig7Result, run_fig7
 from repro.experiments.optimize import run_optimize
 from repro.experiments.longterm import LongTermResult, run_longterm
 from repro.experiments.federation import run_federation
+from repro.experiments.supply import run_supply_matrix
 
 __all__ = [
     "run_federation",
+    "run_supply_matrix",
     "DayConfig",
     "DayResult",
     "Fig1Result",

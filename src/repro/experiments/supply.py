@@ -1,0 +1,243 @@
+"""Supply-policy scenarios: one cell, and the ranked matrix.
+
+``supply`` runs **one** (policy, workload, shape) combination as a
+composed stack — idle-surface prime jobs plus a FaaS load client over
+the chosen supply controller — and reports the four supply objectives
+(harvest, batch slowdown, cold-start rate, pilot churn) alongside the
+controller's own accounting.
+
+``supply_matrix`` sweeps ``supply`` over policies × workloads ×
+cluster shapes through the :class:`~repro.scenarios.sweep.SweepExecutor`
+(optionally across worker processes) and emits the ranked comparison of
+:mod:`repro.supply.matrix`.  The ``repro matrix`` CLI command is a thin
+front door over this scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    SimulationReport,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
+from repro.supply.matrix import run_matrix
+from repro.supply.policies import POLICY_NAMES
+
+#: FaaS load clients a cell can drive (both expose a Gatling report)
+WORKLOAD_CHOICES = ("gatling", "sebs")
+
+FULL_NODES, QUICK_NODES, SMOKE_NODES = 64, 24, 8
+FULL_HOURS, QUICK_HOURS, SMOKE_HOURS = 6.0, 1.0, 0.2
+
+#: matrix defaults: every policy × both workloads × one shape
+DEFAULT_POLICIES = ",".join(POLICY_NAMES)
+DEFAULT_WORKLOADS = ",".join(WORKLOAD_CHOICES)
+
+
+def supply_stack(
+    policy: str,
+    workload: str,
+    nodes: int,
+    horizon: float,
+    qps: float,
+    seed: int,
+) -> Stack:
+    """One supply cell as a declarative stack."""
+    workloads: List[WorkloadSpec] = [
+        WorkloadSpec("idleness-trace"),
+        WorkloadSpec(workload, qps=qps),
+    ]
+    return Stack(
+        cluster=ClusterSpec(nodes=nodes),
+        supply=SupplySpec(policy),
+        middleware=MiddlewareSpec(),
+        workloads=tuple(workloads),
+        probes=(
+            ProbeSpec("slurm-sampler"),
+            ProbeSpec("ow-log"),
+            ProbeSpec("accounting"),
+            ProbeSpec("supply-stats"),
+            ProbeSpec("gatling-report", source=workload),
+        ),
+        seed=seed,
+        horizon=horizon,
+        name=f"supply-{policy}-{workload}",
+    )
+
+
+def render_supply(report: SimulationReport, policy: str, workload: str) -> str:
+    """Objective-first text view of one supply cell."""
+    m = report.metrics
+
+    def get(key: str) -> float:
+        return m.get(key, float("nan"))
+
+    return "\n".join(
+        [
+            f"SUPPLY CELL — policy {policy!r} x workload {workload!r}",
+            "",
+            f"harvest (coverage)       : {get('coverage') * 100:.2f}%",
+            f"prime mean wait          : {get('prime_mean_wait_s'):.1f} s",
+            f"cold-start rate          : {get('cold_start_rate') * 100:.2f}%",
+            f"pilot churn              : {get('pilot_churn_per_h'):.1f} jobs/h",
+            "",
+            f"pilots started           : {get('pilots_started'):.0f}",
+            f"supply submitted         : {get('supply_submitted'):.0f} "
+            f"(over {get('supply_rounds'):.0f} rounds, "
+            f"{get('supply_truncated'):.0f} truncated)",
+            f"mean pilot queue depth   : {get('supply_mean_queue_depth'):.2f}",
+            f"avg healthy invokers     : {get('avg_healthy_invokers'):.2f}",
+            f"requests total           : {get('requests_total'):.0f}",
+            f"accepted by controller   : {get('accepted_share') * 100:.2f}%",
+            f"median response time     : {get('median_response_s') * 1000:.0f} ms",
+        ]
+    )
+
+
+@register(
+    "supply",
+    help="one supply-policy cell (policy x workload x cluster shape)",
+    seed=2027,
+    params=(
+        Param("policy", str, "fib", choices=POLICY_NAMES,
+              spec_field="supply", help="supply controller under test"),
+        Param("workload", str, "gatling", choices=WORKLOAD_CHOICES,
+              spec_field="workload", help="FaaS load client"),
+        Param("hours", float, FULL_HOURS,
+              scale={"quick": QUICK_HOURS, "smoke": SMOKE_HOURS},
+              spec_field="horizon", to_spec=lambda h: h * 3600.0,
+              help="experiment length in hours"),
+        Param("nodes", int, FULL_NODES,
+              scale={"quick": QUICK_NODES, "smoke": SMOKE_NODES},
+              spec_field="nodes", help="cluster size"),
+        Param("qps", float, 5.0, help="load-client request rate"),
+    ),
+)
+def supply_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    policy = spec.params["policy"]
+    workload = spec.params["workload"]
+    report = supply_stack(
+        policy=policy,
+        workload=workload,
+        nodes=spec.nodes,
+        horizon=spec.horizon,
+        qps=spec.params["qps"],
+        seed=spec.seed,
+    ).run()
+    return ScenarioResult(
+        spec=spec,
+        metrics=dict(report.metrics),
+        text=render_supply(report, policy, workload),
+        artifacts={"report": report},
+    )
+
+
+def _split_csv(raw: str, label: str) -> List[str]:
+    values = [token.strip() for token in str(raw).split(",") if token.strip()]
+    if not values:
+        raise ValueError(f"{label} must name at least one entry, got {raw!r}")
+    return values
+
+
+def _validated(values: Sequence[str], known: Sequence[str], label: str) -> List[str]:
+    unknown = [value for value in values if value not in known]
+    if unknown:
+        raise ValueError(f"unknown {label} {unknown}; known: {list(known)}")
+    return list(values)
+
+
+def parse_matrix_lists(params) -> tuple:
+    """Validated ``(policies, workloads, shapes)`` from matrix params.
+
+    Shared by the scenario runner and the ``repro matrix`` CLI's
+    pre-run validation, so bad names fail as usage errors before any
+    cell executes.
+    """
+    policies = _validated(
+        _split_csv(params["policies"], "policies"), POLICY_NAMES, "policy"
+    )
+    workloads = _validated(
+        _split_csv(params["workloads"], "workloads"),
+        WORKLOAD_CHOICES,
+        "workload",
+    )
+    shapes = [int(token) for token in _split_csv(params["shapes"], "shapes")]
+    return policies, workloads, shapes
+
+
+@register(
+    "supply_matrix",
+    help="ranked supply-policy x workload x shape comparison matrix",
+    seed=2027,
+    params=(
+        Param("policies", str, DEFAULT_POLICIES,
+              help="comma-separated supply policies to compare"),
+        Param("workloads", str, DEFAULT_WORKLOADS,
+              help="comma-separated FaaS workloads to drive"),
+        Param("shapes", str, "48", scale={"quick": "24", "smoke": "8"},
+              help="comma-separated cluster sizes (nodes)"),
+        Param("hours", float, FULL_HOURS,
+              scale={"quick": QUICK_HOURS, "smoke": SMOKE_HOURS},
+              help="per-cell experiment length in hours"),
+        Param("qps", float, 5.0, help="per-cell load-client request rate"),
+        Param("seeds", int, 1, help="seed replications per cell"),
+        Param("jobs", int, 1, sweepable=False,
+              help="worker processes for the sweep (1 = serial)"),
+    ),
+)
+def supply_matrix_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run the matrix; per-run seeds derive from this scenario's seed."""
+    policies, workloads, shapes = parse_matrix_lists(spec.params)
+    seeds = int(spec.params["seeds"])
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    result = run_matrix(
+        policies,
+        workloads,
+        shapes,
+        hours=spec.params["hours"],
+        qps=spec.params["qps"],
+        seeds=seeds,
+        scale=spec.scale,
+        jobs=max(1, int(spec.params["jobs"])),
+        base_seed=spec.seed,
+    )
+    metrics = {
+        "matrix_cells": float(len(result.cells)),
+        "matrix_runs": float(len(result.cells) * seeds),
+    }
+    for cell in result.cells:
+        label = cell.label(result.label_nodes)
+        metrics[f"score@{label}"] = cell.score
+        metrics[f"rank@{label}"] = float(cell.rank)
+        for name, value in cell.objectives.items():
+            metrics[f"{name}@{label}"] = value
+    return ScenarioResult(
+        spec=spec,
+        metrics=metrics,
+        text=result.render(),
+        artifacts={"matrix": result},
+    )
+
+
+def run_supply_matrix(
+    policies: str = DEFAULT_POLICIES,
+    workloads: str = DEFAULT_WORKLOADS,
+    scale: str = "quick",
+    jobs: int = 1,
+) -> ScenarioResult:
+    """Library entry point mirroring the other experiment modules."""
+    from repro.scenarios import REGISTRY
+
+    return REGISTRY.run(
+        "supply_matrix",
+        {"policies": policies, "workloads": workloads, "jobs": jobs},
+        scale=scale,
+    )

@@ -77,6 +77,16 @@ class Broker:
 
         self.env.process(deliver())
 
+    def peek_depth(self, name: str) -> int:
+        """Queued message count without creating the topic.
+
+        Unlike :meth:`depth`, asking about a topic nobody has published
+        to does not materialize an empty store — supply policies poll
+        backlog through this, and observation must never mutate state.
+        """
+        store = self._topics.get(name)
+        return 0 if store is None else len(store)
+
     def get(self, name: str) -> StoreGet:
         """An event resolving with the next message of the topic."""
         return self.topic(name).get()

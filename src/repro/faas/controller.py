@@ -143,6 +143,26 @@ class Controller:
     def invoker_topic(self, invoker_id: str) -> str:
         return f"invoker-{invoker_id}"
 
+    @property
+    def inflight_count(self) -> int:
+        """Fleet-wide :meth:`inflight_count_for` (observability sugar)."""
+        return self.inflight_count_for()
+
+    def inflight_count_for(self, cluster: Optional[str] = None) -> int:
+        """In-flight activations routed to one member cluster's invokers.
+
+        ``None`` returns the fleet total; also a pure read.  Federated
+        supply managers use this so one member's controller never reacts
+        to demand another member is already executing.
+        """
+        if cluster is None:
+            return len(self._pending)
+        return sum(
+            1
+            for _done, record in self._pending.values()
+            if record.cluster_id == cluster
+        )
+
     # ------------------------------------------------------------------
     # invocation path
     # ------------------------------------------------------------------

@@ -7,10 +7,14 @@ Glues the two substrates together:
 * :mod:`repro.hpcwhisk.pilot` — the pilot-job body: warm up, start an
   OpenWhisk invoker, register, serve, and on SIGTERM run the
   drain/deregister handoff before SIGKILL;
-* :mod:`repro.hpcwhisk.job_manager` — the **fib** and **var** supply
-  models: shell-script-like managers keeping the Slurm queue stocked with
-  preemptible pilot jobs (10 per length for fib; 100 flexible jobs for
-  var), replenishing every 15 s and never exceeding 100 queued;
+* :mod:`repro.hpcwhisk.job_manager` — the shared supply loop
+  (:class:`~repro.hpcwhisk.job_manager.PolicyJobManager`): a
+  shell-script-like manager keeping the Slurm queue stocked with
+  preemptible pilot jobs, replenishing every 15 s and never exceeding
+  100 queued.  The decision rule is a pluggable
+  :class:`~repro.supply.base.SupplyPolicy` — the paper's **fib** and
+  **var** strategies plus the feedback controllers of
+  :mod:`repro.supply`;
 * :mod:`repro.hpcwhisk.deploy` — one-call assembly of a complete system
   (cluster + broker + controller + manager) for experiments and examples.
 """
@@ -27,7 +31,11 @@ from repro.hpcwhisk.lengths import (
     SET_C2,
 )
 from repro.hpcwhisk.pilot import PilotTimeline, make_pilot_body
-from repro.hpcwhisk.job_manager import FibJobManager, VarJobManager
+from repro.hpcwhisk.job_manager import (
+    FibJobManager,
+    PolicyJobManager,
+    VarJobManager,
+)
 from repro.hpcwhisk.deploy import HPCWhiskSystem, build_federation, build_system
 from repro.hpcwhisk.optimizer import LengthSetOptimizer, OptimizationResult
 
@@ -40,6 +48,7 @@ __all__ = [
     "LengthSetOptimizer",
     "OptimizationResult",
     "PilotTimeline",
+    "PolicyJobManager",
     "SET_A1",
     "SET_A2",
     "SET_A3",

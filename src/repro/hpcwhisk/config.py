@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.faas.config import FaaSConfig
 from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
@@ -41,6 +42,10 @@ class HPCWhiskConfig:
     faas: FaaSConfig = field(default_factory=FaaSConfig)
     #: root seed offset for pilot-local randomness
     seed: int = 0
+    #: zero-arg factory building a fresh feedback controller per member
+    #: (see :mod:`repro.supply`); ``None`` keeps the classic
+    #: :attr:`supply_model` fib/var managers
+    policy_factory: Optional[Callable[[], object]] = None
 
     def __post_init__(self) -> None:
         if self.queue_per_length < 1 or self.var_queue_depth < 1:

@@ -33,7 +33,12 @@ from repro.faas.client import Alg1Wrapper, CommercialCloud, FaaSClient
 from repro.faas.controller import Controller
 from repro.faas.router import FederationRouter
 from repro.hpcwhisk.config import HPCWhiskConfig, SupplyModel
-from repro.hpcwhisk.job_manager import FibJobManager, VarJobManager, _BaseJobManager
+from repro.hpcwhisk.job_manager import (
+    FibJobManager,
+    PolicyJobManager,
+    VarJobManager,
+    _BaseJobManager,
+)
 from repro.hpcwhisk.pilot import PilotTimeline, make_pilot_body
 from repro.sim import Environment, RandomStreams
 
@@ -182,10 +187,22 @@ def build_federation(
                     controller, broker, config, rng, timelines, cluster_id=cid
                 )
 
-            if config.supply_model is SupplyModel.FIB:
-                managers[cluster_id] = FibJobManager(env, slurm, config, body_factory)
+            manager_kwargs = dict(faas_controller=controller, broker=broker)
+            if config.policy_factory is not None:
+                # One fresh controller instance per member: policy state
+                # (EWMA levels, PID integrators) never crosses clusters.
+                managers[cluster_id] = PolicyJobManager(
+                    env, slurm, config, body_factory,
+                    config.policy_factory(), **manager_kwargs,
+                )
+            elif config.supply_model is SupplyModel.FIB:
+                managers[cluster_id] = FibJobManager(
+                    env, slurm, config, body_factory, **manager_kwargs
+                )
             else:
-                managers[cluster_id] = VarJobManager(env, slurm, config, body_factory)
+                managers[cluster_id] = VarJobManager(
+                    env, slurm, config, body_factory, **manager_kwargs
+                )
 
     return HPCWhiskSystem(
         env=env,

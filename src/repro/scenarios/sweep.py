@@ -219,11 +219,13 @@ def reset_run_state() -> None:
     """
     from repro.cluster.job import reset_job_ids
     from repro.faas.messages import reset_activation_ids
+    from repro.hpcwhisk.job_manager import reset_submission_ids
     from repro.hpcwhisk.pilot import reset_pilot_ids
 
     reset_job_ids()
     reset_activation_ids()
     reset_pilot_ids()
+    reset_submission_ids()
 
 
 def execute_run(

@@ -1,0 +1,53 @@
+"""Pluggable pilot-job supply controllers (the supply-policy subsystem).
+
+The paper's fixed *fib*/*var* strategies and four feedback controllers
+(queue-aware, ewma, pid, hybrid) behind one interface::
+
+    policy.observe(SupplyObservation) -> SubmissionPlan
+
+The shared replenishment loop that drives a policy against a live
+cluster is :class:`repro.hpcwhisk.job_manager.PolicyJobManager`; the
+:mod:`repro.api` layer exposes every policy as a ``supply`` component,
+and :mod:`repro.supply.matrix` ranks policies against each other across
+workloads and cluster shapes (``repro matrix``).
+"""
+
+from repro.supply.base import (
+    NO_SUBMISSIONS,
+    PilotRequest,
+    SubmissionPlan,
+    SupplyObservation,
+    SupplyPolicy,
+    fill_to_depth,
+)
+from repro.supply.policies import (
+    FEEDBACK_POLICIES,
+    POLICY_NAMES,
+    EwmaPolicy,
+    FibPolicy,
+    HybridPolicy,
+    PidGains,
+    PidPolicy,
+    QueueAwarePolicy,
+    VarPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "EwmaPolicy",
+    "FEEDBACK_POLICIES",
+    "FibPolicy",
+    "HybridPolicy",
+    "NO_SUBMISSIONS",
+    "POLICY_NAMES",
+    "PidGains",
+    "PidPolicy",
+    "PilotRequest",
+    "QueueAwarePolicy",
+    "SubmissionPlan",
+    "SupplyObservation",
+    "SupplyPolicy",
+    "VarPolicy",
+    "fill_to_depth",
+    "make_policy",
+]

@@ -1,0 +1,194 @@
+"""The supply-control contract: observations in, submission plans out.
+
+The paper hand-tunes two pilot-job supply strategies (Sec. III-D): *fib*
+keeps 10 fixed-length jobs queued per length class, *var* keeps 100
+flexible-length jobs queued.  Both are really instances of one control
+loop — every 15 seconds, look at the queue and top it up — differing
+only in the decision rule.  This module names that loop's interface:
+
+* :class:`SupplyObservation` — everything a controller may look at in
+  one replenishment round: the pilot queue, the cluster's idle surface,
+  and the middleware's demand signals (healthy invokers, buffered and
+  in-flight activations).  Building one is *pure* — observation never
+  perturbs the simulation, so swapping policies cannot move events.
+* :class:`PilotRequest` / :class:`SubmissionPlan` — what the policy
+  wants queued: fixed-length jobs (with fib's length-proportional
+  priority) or flexible ``--time-min/--time`` jobs.
+* :class:`SupplyPolicy` — the controller interface:
+  ``observe(observation) -> SubmissionPlan``.  Policies are mutable
+  (EWMA levels, PID integrators) and **per-member**: a federation gives
+  every cluster its own instance, so feedback loops never cross
+  members.
+
+The shared loop lives in :class:`repro.hpcwhisk.job_manager.PolicyJobManager`;
+it enforces the global queue budget (``max_queued`` minus the current
+depth) by truncating the plan, so a policy can never overload Slurm no
+matter what it asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PilotRequest:
+    """One pilot job a policy wants queued.
+
+    ``seconds`` is the requested time limit; ``time_min`` (when given)
+    makes the job flexible (Slurm grants any limit in
+    ``[time_min, seconds]``, the var model's ``--time-min/--time``
+    shape); ``priority`` (when given) sets the within-tier priority —
+    fib uses length-proportional priorities to force longest-first
+    placement.
+    """
+
+    seconds: float
+    time_min: Optional[float] = None
+    priority: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("a pilot request needs a positive time limit")
+        if self.time_min is not None and not (0 < self.time_min <= self.seconds):
+            raise ValueError("time_min must be in (0, seconds]")
+
+    @property
+    def is_flexible(self) -> bool:
+        return self.time_min is not None
+
+
+@dataclass(frozen=True)
+class SubmissionPlan:
+    """What one :meth:`SupplyPolicy.observe` round wants submitted.
+
+    Requests are submitted in order until the manager's per-round budget
+    (``max_queued - queue_depth``) runs out, so policies should list the
+    most important jobs first (fib lists longest-first).
+    """
+
+    requests: Tuple[PilotRequest, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+#: the empty plan — "the queue is fine as it is"
+NO_SUBMISSIONS = SubmissionPlan()
+
+
+@dataclass(frozen=True)
+class SupplyObservation:
+    """One replenishment round's view of cluster + middleware state.
+
+    Everything here is a *read*: assembling an observation draws no
+    random numbers and schedules no events, so the observation machinery
+    itself cannot change a simulation's trajectory (the golden-trace
+    suite pins this — fib/var on the policy loop are byte-identical to
+    the historical managers).
+
+    Middleware fields are 0 for reduced stacks without a FaaS layer.
+    """
+
+    #: simulation time of this round
+    now: float
+    #: 0-based replenishment round counter
+    round_index: int
+    #: pilot jobs currently pending in the whisk partition
+    pending: Tuple[object, ...]
+    #: ``len(pending)`` (convenience; policies mostly need the count)
+    queue_depth: int
+    #: how many submissions the manager will accept this round
+    budget: int
+    #: pilot jobs currently running
+    running_pilots: int
+    #: cluster nodes currently idle (harvestable right now)
+    idle_nodes: int
+    #: total nodes in this member cluster
+    total_nodes: int
+    #: invokers registered healthy with the controller (this member's)
+    healthy_invokers: int
+    #: activations accepted but not yet resolved (executing + queued),
+    #: scoped to this member's invokers
+    inflight_activations: int
+    #: activations sitting unpulled on this member's invoker topics
+    buffered_activations: int
+    #: activations on the global fast lane (republished demand no
+    #: member owns yet — every member sees the same number)
+    fastlane_activations: int = 0
+
+    @property
+    def backlog(self) -> int:
+        """Demand not being served right now: unpulled broker messages.
+
+        Member-scoped invoker queues plus the shared fast lane — any
+        member could absorb fast-laned demand, so all of them see it.
+        """
+        return self.buffered_activations + self.fastlane_activations
+
+    @property
+    def executing_activations(self) -> int:
+        """In-flight activations one of this member's invokers has pulled.
+
+        Both terms are member-scoped (the fast lane is deliberately
+        excluded: subtracting fleet-wide demand from a member-scoped
+        count would floor busy members to "idle" during outages).
+        """
+        return max(0, self.inflight_activations - self.buffered_activations)
+
+    @property
+    def idle_invokers(self) -> int:
+        """Healthy invokers with no activation in hand (spare capacity)."""
+        return max(0, self.healthy_invokers - self.executing_activations)
+
+
+class SupplyPolicy:
+    """The uniform controller interface every supply strategy implements.
+
+    Subclasses override :meth:`observe`; the shared manager loop calls it
+    once per replenishment round and submits the plan (budget-truncated).
+    ``name`` doubles as the pilot-job name prefix (``whisk-<name>-…``)
+    and as the component name in the :mod:`repro.api` registry.
+    """
+
+    name: str = "policy"
+
+    def observe(self, observation: SupplyObservation) -> SubmissionPlan:
+        raise NotImplementedError
+
+    def inventory_cap(self) -> Optional[int]:
+        """The most pilots one plan ever asks for (None = unbounded).
+
+        A per-plan bound — ``len(plan.requests) <= inventory_cap()`` on
+        every round (the property-test suite pins this).  It is *not* a
+        bound on total queue occupancy: a policy reacting to state it
+        does not fully own (hybrid's backlog burst, fib facing foreign
+        jobs in its partition) can legitimately hold more queued than
+        one round's cap; the manager's ``max_queued`` budget is the
+        occupancy bound.
+        """
+        return None
+
+    def diagnostics(self) -> Dict[str, float]:
+        """Flat controller internals (gains, levels, errors) for probes."""
+        return {}
+
+
+def fill_to_depth(
+    deficit: int,
+    seconds: float,
+    *,
+    time_min: Optional[float] = None,
+    priority: Optional[float] = None,
+) -> SubmissionPlan:
+    """A plan of ``deficit`` identical requests (no-op when <= 0)."""
+    if deficit <= 0:
+        return NO_SUBMISSIONS
+    request = PilotRequest(seconds=seconds, time_min=time_min, priority=priority)
+    return SubmissionPlan(tuple([request] * deficit))
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Saturate *value* into ``[low, high]``."""
+    return max(low, min(high, value))

@@ -1,0 +1,313 @@
+"""The policy × workload × cluster-shape matrix runner (``repro matrix``).
+
+Sweeps supply policies against workload families and cluster shapes —
+every combination is one cell of the registered ``supply`` scenario,
+executed (optionally in parallel worker processes) by the
+:class:`~repro.scenarios.sweep.SweepExecutor`, so per-run seeds,
+serial/parallel byte-equality, and cross-seed aggregation are inherited
+from the sweep machinery.
+
+Each cell is then scored on the four questions the paper's supply
+section asks:
+
+* **harvest** — share of the idle surface turned into FaaS capacity
+  (``coverage``, higher is better);
+* **slowdown** — mean queue wait inflicted on prime batch jobs
+  (``prime_mean_wait_s``, lower is better);
+* **cold-start rate** — share of container starts that were cold
+  (``cold_start_rate``, lower is better);
+* **churn** — pilot jobs started per hour (``pilot_churn_per_h``,
+  lower is better: churn is scheduler pressure and warm-up waste).
+
+Scores are weighted min-max normalizations across the matrix's cells
+(see :data:`OBJECTIVES`), so a ranking is always relative to the matrix
+it came from.  The result renders as a ranked table and exports to
+JSON/CSV for dashboards.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.scenarios.sweep import SweepExecutor, SweepResult, SweepSpec
+
+#: metric key -> (weight, higher_is_better); weights sum to 1
+OBJECTIVES: Mapping[str, Tuple[float, bool]] = {
+    "harvest": (0.40, True),
+    "slowdown_s": (0.25, False),
+    "cold_start_rate": (0.20, False),
+    "churn_per_h": (0.15, False),
+}
+
+#: cell-scenario metric feeding each objective
+OBJECTIVE_SOURCES: Mapping[str, str] = {
+    "harvest": "coverage",
+    "slowdown_s": "prime_mean_wait_s",
+    "cold_start_rate": "cold_start_rate",
+    "churn_per_h": "pilot_churn_per_h",
+}
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One ranked (policy, workload, shape) combination."""
+
+    policy: str
+    workload: str
+    nodes: int
+    #: objective name -> cross-seed mean
+    objectives: Mapping[str, float]
+    #: weighted normalized score in [0, 1] (relative to this matrix)
+    score: float = 0.0
+    #: 1-based rank within the matrix (1 = best)
+    rank: int = 0
+
+    def label(self, with_nodes: bool = False) -> str:
+        base = f"{self.policy}+{self.workload}"
+        return f"{base}+n{self.nodes}" if with_nodes else base
+
+
+@dataclass
+class MatrixResult:
+    """A ranked matrix plus the raw sweep it came from."""
+
+    cells: List[MatrixCell]
+    sweep: SweepResult
+    seeds: int
+    scale: str
+    #: labels carry the node count when more than one shape was swept
+    label_nodes: bool = False
+    #: objectives dropped because no cell reported them (reduced stacks)
+    missing_objectives: Tuple[str, ...] = ()
+
+    def labels(self) -> List[str]:
+        return [cell.label(self.label_nodes) for cell in self.cells]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scale": self.scale,
+            "seeds": self.seeds,
+            "objectives": {
+                name: {"weight": weight, "higher_is_better": better}
+                for name, (weight, better) in OBJECTIVES.items()
+                if name not in self.missing_objectives
+            },
+            "cells": [
+                {
+                    "rank": cell.rank,
+                    "label": cell.label(self.label_nodes),
+                    "policy": cell.policy,
+                    "workload": cell.workload,
+                    "nodes": cell.nodes,
+                    "score": cell.score,
+                    **{k: cell.objectives[k] for k in sorted(cell.objectives)},
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """One row per cell, rank order."""
+        objective_names = [
+            name for name in OBJECTIVES if name not in self.missing_objectives
+        ]
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            ["rank", "label", "policy", "workload", "nodes", "score",
+             *objective_names]
+        )
+        for cell in self.cells:
+            writer.writerow(
+                [
+                    cell.rank,
+                    cell.label(self.label_nodes),
+                    cell.policy,
+                    cell.workload,
+                    cell.nodes,
+                    repr(cell.score),
+                    *[repr(cell.objectives.get(name, float("nan")))
+                      for name in objective_names],
+                ]
+            )
+        return buffer.getvalue()
+
+    def render(self) -> str:
+        """The ranked comparison table the CLI prints."""
+        lines = [
+            "SUPPLY MATRIX — ranked policy × workload comparison "
+            f"({len(self.cells)} cells, {self.seeds} seed(s), "
+            f"scale {self.scale})",
+            "",
+            f"{'rank':>4}  {'cell':<24} {'score':>6}  {'harvest%':>8}  "
+            f"{'wait s':>7}  {'cold%':>6}  {'churn/h':>8}",
+        ]
+        for cell in self.cells:
+            objectives = cell.objectives
+            lines.append(
+                f"{cell.rank:>4}  {cell.label(self.label_nodes):<24} "
+                f"{cell.score:>6.3f}  "
+                f"{objectives.get('harvest', float('nan')) * 100:>8.2f}  "
+                f"{objectives.get('slowdown_s', float('nan')):>7.1f}  "
+                f"{objectives.get('cold_start_rate', float('nan')) * 100:>6.2f}  "
+                f"{objectives.get('churn_per_h', float('nan')):>8.1f}"
+            )
+        lines += [
+            "",
+            "score = weighted min-max normalization across the cells above "
+            "(harvest 40%, wait 25%, cold 20%, churn 15%); "
+            "higher is better.",
+        ]
+        return "\n".join(lines)
+
+
+def score_cells(cells: Sequence[MatrixCell]) -> Tuple[List[MatrixCell], Tuple[str, ...]]:
+    """Rank cells by weighted normalized objectives.
+
+    Min-max normalization per objective across the matrix; an objective
+    with zero spread contributes a neutral 0.5 to every cell.
+    Objectives absent from every cell are dropped (their weight is
+    renormalized away) and reported back.  Ties break on the cell label,
+    so the ranking is fully deterministic.
+    """
+    if not cells:
+        return [], tuple(OBJECTIVES)
+    present = [
+        name
+        for name in OBJECTIVES
+        if any(name in cell.objectives for cell in cells)
+    ]
+    missing = tuple(name for name in OBJECTIVES if name not in present)
+    total_weight = sum(OBJECTIVES[name][0] for name in present)
+    spans: Dict[str, Tuple[float, float]] = {}
+    for name in present:
+        values = [
+            cell.objectives[name] for cell in cells if name in cell.objectives
+        ]
+        spans[name] = (min(values), max(values))
+
+    scored: List[MatrixCell] = []
+    for cell in cells:
+        score = 0.0
+        for name in present:
+            weight, higher_is_better = OBJECTIVES[name]
+            low, high = spans[name]
+            if name not in cell.objectives:
+                goodness = 0.0
+            elif high == low:
+                goodness = 0.5
+            else:
+                normalized = (cell.objectives[name] - low) / (high - low)
+                goodness = normalized if higher_is_better else 1.0 - normalized
+            score += (weight / total_weight) * goodness
+        scored.append(
+            MatrixCell(
+                policy=cell.policy,
+                workload=cell.workload,
+                nodes=cell.nodes,
+                objectives=cell.objectives,
+                score=score,
+            )
+        )
+    scored.sort(key=lambda c: (-c.score, c.label(with_nodes=True)))
+    return [
+        MatrixCell(
+            policy=cell.policy,
+            workload=cell.workload,
+            nodes=cell.nodes,
+            objectives=cell.objectives,
+            score=cell.score,
+            rank=index + 1,
+        )
+        for index, cell in enumerate(scored)
+    ], missing
+
+
+def matrix_sweep_spec(
+    policies: Sequence[str],
+    workloads: Sequence[str],
+    shapes: Sequence[int],
+    *,
+    hours: float,
+    qps: float,
+    seeds: int = 1,
+    scale: str = "quick",
+    jobs: int = 1,
+    base_seed: Optional[int] = None,
+) -> SweepSpec:
+    """The matrix as a plain sweep over the ``supply`` cell scenario."""
+    if not policies or not workloads or not shapes:
+        raise ValueError("the matrix needs >= 1 policy, workload, and shape")
+    return SweepSpec(
+        scenario="supply",
+        grid={
+            "policy": list(policies),
+            "workload": list(workloads),
+            "nodes": [int(n) for n in shapes],
+        },
+        fixed={"hours": float(hours), "qps": float(qps)},
+        seeds=seeds,
+        base_seed=base_seed,
+        scale=scale,
+        jobs=jobs,
+    )
+
+
+def run_matrix(
+    policies: Sequence[str],
+    workloads: Sequence[str],
+    shapes: Sequence[int] = (48,),
+    *,
+    hours: float = 1.0,
+    qps: float = 5.0,
+    seeds: int = 1,
+    scale: str = "quick",
+    jobs: int = 1,
+    base_seed: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> MatrixResult:
+    """Execute the matrix and return the ranked comparison."""
+    spec = matrix_sweep_spec(
+        policies,
+        workloads,
+        shapes,
+        hours=hours,
+        qps=qps,
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+        base_seed=base_seed,
+    )
+    executor = executor or SweepExecutor()
+    sweep = executor.run(spec)
+    cells: List[MatrixCell] = []
+    for cell in sweep.cells:
+        objectives = {
+            name: cell.metrics[source]["mean"]
+            for name, source in OBJECTIVE_SOURCES.items()
+            if source in cell.metrics
+        }
+        cells.append(
+            MatrixCell(
+                policy=str(cell.params["policy"]),
+                workload=str(cell.params["workload"]),
+                nodes=int(cell.params["nodes"]),
+                objectives=objectives,
+            )
+        )
+    ranked, missing = score_cells(cells)
+    return MatrixResult(
+        cells=ranked,
+        sweep=sweep,
+        seeds=seeds,
+        scale=scale,
+        label_nodes=len(set(shapes)) > 1,
+        missing_objectives=missing,
+    )

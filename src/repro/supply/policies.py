@@ -1,0 +1,380 @@
+"""The supply controllers: the paper's two strategies plus four
+feedback policies.
+
+* :class:`FibPolicy` / :class:`VarPolicy` — the paper's hand-tuned
+  strategies (Sec. III-D), re-expressed on the shared controller loop.
+  Their decision rules are ported verbatim from the historical
+  ``FibJobManager``/``VarJobManager`` and the golden-trace suite pins
+  them byte-identical.
+* :class:`QueueAwarePolicy` — targets a pilot inventory proportional to
+  the middleware's activation backlog (OpenWhisk-style reactive
+  scaling: more queued demand, more queued workers).
+* :class:`EwmaPolicy` — load-forecast driven *lengths*: an
+  exponentially weighted moving average of invoker busyness picks how
+  long the next pilots should be (sustained load amortizes warm-ups
+  over long jobs; bursty load prefers short, quickly-placed jobs).
+* :class:`PidPolicy` — classic error feedback on the idle-invoker
+  count with conditional-integration anti-windup; holds a configured
+  spare-capacity headroom.
+* :class:`HybridPolicy` — a scaled-down fib floor (guaranteed baseline
+  harvest) plus a reactive burst of short jobs when backlog spikes.
+
+All six are deterministic (no policy draws random numbers) and
+per-member: federations instantiate one controller per cluster via
+:func:`make_policy` factories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hpcwhisk.lengths import JobLengthSet
+from repro.supply.base import (
+    NO_SUBMISSIONS,
+    PilotRequest,
+    SubmissionPlan,
+    SupplyObservation,
+    SupplyPolicy,
+    clamp,
+    fill_to_depth,
+)
+
+
+class FibPolicy(SupplyPolicy):
+    """Fixed-length supply: ``queue_per_length`` queued jobs per length.
+
+    Longest-first with length-proportional priority, exactly the
+    shell-script rule of Sec. III-D-b.
+    """
+
+    name = "fib"
+
+    def __init__(self, length_set: JobLengthSet, queue_per_length: int = 10) -> None:
+        if queue_per_length < 1:
+            raise ValueError("queue_per_length must be positive")
+        self.length_set = length_set
+        self.queue_per_length = queue_per_length
+
+    def observe(self, observation: SupplyObservation) -> SubmissionPlan:
+        counts: Dict[float, int] = {s: 0 for s in self.length_set.seconds}
+        for job in observation.pending:
+            counts[job.spec.time_limit] = counts.get(job.spec.time_limit, 0) + 1
+        requests: List[PilotRequest] = []
+        # Longest first so that, under the shared queue cap, long jobs
+        # (highest priority anyway) are never crowded out.
+        for seconds in sorted(self.length_set.seconds, reverse=True):
+            deficit = self.queue_per_length - counts.get(seconds, 0)
+            for _ in range(max(0, deficit)):
+                # "The higher the execution time, the higher the job's
+                # priority within its priority tier."
+                requests.append(PilotRequest(seconds=seconds, priority=seconds))
+        return SubmissionPlan(tuple(requests))
+
+    def inventory_cap(self) -> Optional[int]:
+        return self.queue_per_length * len(self.length_set.minutes)
+
+
+class VarPolicy(SupplyPolicy):
+    """Flexible-length supply: ``depth`` queued ``--time-min/--time`` jobs."""
+
+    name = "var"
+
+    def __init__(
+        self, depth: int = 100, time_min: float = 120.0, time_max: float = 7200.0
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be positive")
+        if not (0 < time_min <= time_max):
+            raise ValueError("invalid var time bounds")
+        self.depth = depth
+        self.time_min = time_min
+        self.time_max = time_max
+
+    def observe(self, observation: SupplyObservation) -> SubmissionPlan:
+        return fill_to_depth(
+            self.depth - observation.queue_depth,
+            self.time_max,
+            time_min=self.time_min,
+        )
+
+    def inventory_cap(self) -> Optional[int]:
+        return self.depth
+
+
+class QueueAwarePolicy(SupplyPolicy):
+    """Backlog-proportional inventory: queued demand begets queued workers.
+
+    Target queue depth = ``base_depth + backlog_gain * backlog``,
+    clamped to ``max_depth``, filled with fixed ``job_minutes`` pilots.
+    With no demand it idles at the base inventory; a burst of buffered
+    activations grows the pilot queue in the same round.
+    """
+
+    name = "queue-aware"
+
+    def __init__(
+        self,
+        base_depth: int = 4,
+        backlog_gain: float = 0.5,
+        max_depth: int = 50,
+        job_minutes: int = 4,
+    ) -> None:
+        if base_depth < 0 or max_depth < 1:
+            raise ValueError("base_depth must be >= 0 and max_depth >= 1")
+        if backlog_gain < 0:
+            raise ValueError("backlog_gain must be >= 0")
+        if job_minutes < 2 or job_minutes % 2:
+            raise ValueError("job_minutes must be a positive even minute count")
+        self.base_depth = base_depth
+        self.backlog_gain = backlog_gain
+        self.max_depth = max_depth
+        self.job_minutes = job_minutes
+        self._last_target = float(base_depth)
+
+    def observe(self, observation: SupplyObservation) -> SubmissionPlan:
+        target = clamp(
+            self.base_depth + self.backlog_gain * observation.backlog,
+            0.0,
+            float(self.max_depth),
+        )
+        self._last_target = target
+        deficit = int(math.ceil(target)) - observation.queue_depth
+        return fill_to_depth(deficit, 60.0 * self.job_minutes)
+
+    def inventory_cap(self) -> Optional[int]:
+        return self.max_depth
+
+    def diagnostics(self) -> Dict[str, float]:
+        return {"target_depth": self._last_target}
+
+
+class EwmaPolicy(SupplyPolicy):
+    """Load-forecast driven lengths over a fixed queue depth.
+
+    Tracks an EWMA of invoker busyness (executing activations per
+    healthy invoker; 1.0 when saturated, and counted as saturated when
+    demand is buffered with no healthy invoker at all).  The forecast
+    indexes the length set: quiet forecasts pick the shortest class,
+    saturated forecasts the longest — sustained load amortizes warm-up
+    cost over long pilots, while a cold system keeps cheap short pilots
+    that place quickly into small backfill windows.
+    """
+
+    name = "ewma"
+
+    def __init__(
+        self,
+        length_set: JobLengthSet,
+        alpha: float = 0.3,
+        target_depth: int = 10,
+    ) -> None:
+        if not (0 < alpha <= 1):
+            raise ValueError("alpha must be in (0, 1]")
+        if target_depth < 1:
+            raise ValueError("target_depth must be positive")
+        self.length_set = length_set
+        self.alpha = alpha
+        self.target_depth = target_depth
+        self.level = 0.0
+
+    def _load_signal(self, observation: SupplyObservation) -> float:
+        if observation.healthy_invokers > 0:
+            return clamp(
+                observation.executing_activations / observation.healthy_invokers,
+                0.0,
+                1.0,
+            )
+        # No healthy capacity: queued demand anywhere means "saturated".
+        return 1.0 if observation.backlog > 0 else 0.0
+
+    def observe(self, observation: SupplyObservation) -> SubmissionPlan:
+        signal = self._load_signal(observation)
+        self.level += self.alpha * (signal - self.level)
+        lengths = self.length_set.minutes
+        index = min(len(lengths) - 1, int(self.level * len(lengths)))
+        deficit = self.target_depth - observation.queue_depth
+        return fill_to_depth(deficit, 60.0 * lengths[index])
+
+    def inventory_cap(self) -> Optional[int]:
+        return self.target_depth
+
+    def diagnostics(self) -> Dict[str, float]:
+        return {"ewma_level": self.level}
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """The PID controller's gains (per replenishment round)."""
+
+    kp: float = 1.5
+    ki: float = 0.25
+    kd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("PID gains must be >= 0")
+
+
+class PidPolicy(SupplyPolicy):
+    """Error feedback on the idle-invoker count, with anti-windup.
+
+    Holds ``target_idle`` spare healthy invokers: the control error is
+    ``target_idle - idle_invokers``, the PID output (plus the running
+    queue as implicit plant state) is the desired pilot queue depth,
+    clamped to ``[0, max_depth]``.  Anti-windup is conditional
+    integration — the integrator freezes while the output is saturated
+    and the error would push it further out, so a long outage does not
+    wind up a huge queue burst for the recovery.
+    """
+
+    name = "pid"
+
+    def __init__(
+        self,
+        target_idle: int = 2,
+        gains: PidGains = PidGains(),
+        max_depth: int = 40,
+        job_minutes: int = 4,
+    ) -> None:
+        if target_idle < 0:
+            raise ValueError("target_idle must be >= 0")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if job_minutes < 2 or job_minutes % 2:
+            raise ValueError("job_minutes must be a positive even minute count")
+        self.target_idle = target_idle
+        self.gains = gains
+        self.max_depth = max_depth
+        self.job_minutes = job_minutes
+        self.integral = 0.0
+        self._previous_error: Optional[float] = None
+        self._last_output = 0.0
+
+    def observe(self, observation: SupplyObservation) -> SubmissionPlan:
+        error = float(self.target_idle - observation.idle_invokers)
+        derivative = (
+            0.0 if self._previous_error is None else error - self._previous_error
+        )
+        gains = self.gains
+        unsaturated = (
+            gains.kp * error + self.integral + gains.ki * error + gains.kd * derivative
+        )
+        output = clamp(unsaturated, 0.0, float(self.max_depth))
+        saturated = unsaturated != output
+        if not saturated or (unsaturated > output) != (error > 0):
+            # Integrate only while unsaturated, or while the error is
+            # actively driving the output back into range.
+            self.integral += gains.ki * error
+            self.integral = clamp(self.integral, 0.0, float(self.max_depth))
+        self._previous_error = error
+        self._last_output = output
+        deficit = int(round(output)) - observation.queue_depth
+        return fill_to_depth(deficit, 60.0 * self.job_minutes)
+
+    def inventory_cap(self) -> Optional[int]:
+        return self.max_depth
+
+    def diagnostics(self) -> Dict[str, float]:
+        return {
+            "pid_error": (
+                0.0 if self._previous_error is None else self._previous_error
+            ),
+            "pid_integral": self.integral,
+            "pid_output": self._last_output,
+        }
+
+
+class HybridPolicy(SupplyPolicy):
+    """Fib floor + reactive burst.
+
+    A scaled-down :class:`FibPolicy` (``floor_per_length`` per class;
+    ``0`` disables the floor for a burst-only controller) guarantees
+    baseline harvest across all window sizes; when the middleware
+    backlog exceeds ``burst_threshold``, up to ``burst_size`` short
+    ``burst_minutes`` pilots ride along to absorb the spike.  Floor
+    jobs come first in the plan, so under a tight budget the guaranteed
+    inventory wins over the burst.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        length_set: JobLengthSet,
+        floor_per_length: int = 2,
+        burst_threshold: int = 4,
+        burst_size: int = 8,
+        burst_minutes: int = 2,
+    ) -> None:
+        if floor_per_length < 0:
+            raise ValueError("floor_per_length must be >= 0")
+        if burst_threshold < 1 or burst_size < 0:
+            raise ValueError("burst_threshold must be >= 1 and burst_size >= 0")
+        if burst_minutes < 2 or burst_minutes % 2:
+            raise ValueError("burst_minutes must be a positive even minute count")
+        self.floor = (
+            FibPolicy(length_set, queue_per_length=floor_per_length)
+            if floor_per_length > 0
+            else None
+        )
+        self.burst_threshold = burst_threshold
+        self.burst_size = burst_size
+        self.burst_minutes = burst_minutes
+        self._last_burst = 0
+
+    def observe(self, observation: SupplyObservation) -> SubmissionPlan:
+        plan = (
+            self.floor.observe(observation)
+            if self.floor is not None
+            else NO_SUBMISSIONS
+        )
+        burst = 0
+        if observation.backlog >= self.burst_threshold:
+            burst = self.burst_size
+        self._last_burst = burst
+        if not burst:
+            return plan
+        extra = tuple(
+            PilotRequest(seconds=60.0 * self.burst_minutes) for _ in range(burst)
+        )
+        return SubmissionPlan(plan.requests + extra)
+
+    def inventory_cap(self) -> Optional[int]:
+        floor_cap = 0 if self.floor is None else (self.floor.inventory_cap() or 0)
+        return floor_cap + self.burst_size
+
+    def diagnostics(self) -> Dict[str, float]:
+        return {"burst_jobs": float(self._last_burst)}
+
+
+#: feedback controllers constructible by name (fib/var excluded: their
+#: configuration lives in :class:`~repro.hpcwhisk.config.HPCWhiskConfig`)
+FEEDBACK_POLICIES = ("queue-aware", "ewma", "pid", "hybrid")
+
+#: every policy name the supply layer knows
+POLICY_NAMES = ("fib", "var") + FEEDBACK_POLICIES
+
+
+def make_policy(name: str, length_set: JobLengthSet, **options) -> SupplyPolicy:
+    """Build one fresh controller instance by registry name.
+
+    ``length_set`` feeds the policies that pick from a length menu;
+    ``options`` are forwarded to the policy constructor.  Factories must
+    be called once per federation member — controller state (EWMA
+    levels, PID integrators) is never shared across clusters.
+    """
+    if name == "fib":
+        return FibPolicy(length_set, **options)
+    if name == "var":
+        return VarPolicy(**options)
+    if name == "queue-aware":
+        return QueueAwarePolicy(**options)
+    if name == "ewma":
+        return EwmaPolicy(length_set, **options)
+    if name == "pid":
+        return PidPolicy(**options)
+    if name == "hybrid":
+        return HybridPolicy(length_set, **options)
+    raise KeyError(f"unknown supply policy {name!r}; known: {list(POLICY_NAMES)}")

@@ -18,7 +18,16 @@ def _loaded():
 
 EXPECTED_BUILTINS = {
     "cluster": {"slurm"},
-    "supply": {"fib", "var", "none", "static"},
+    "supply": {
+        "fib",
+        "var",
+        "none",
+        "static",
+        "queue-aware",
+        "ewma",
+        "pid",
+        "hybrid",
+    },
     "middleware": {"openwhisk"},
     "router": {"weighted-idle", "affinity-first", "failover"},
     "workload": {
@@ -38,6 +47,7 @@ EXPECTED_BUILTINS = {
         "accounting",
         "loadbalancer-stats",
         "federation-stats",
+        "supply-stats",
     },
 }
 

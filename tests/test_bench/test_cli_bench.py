@@ -27,9 +27,10 @@ def test_bench_default_runs_microbenches_plus_every_scenario(tmp_path, capsys):
     assert "BENCH_kernel.json" in written
     assert "BENCH_router.json" in written
     for name in ("fig1", "fig2", "fig3", "table1", "day", "fig7",
-                 "optimize", "longterm", "federation"):
+                 "optimize", "longterm", "federation", "supply",
+                 "supply_matrix"):
         assert f"BENCH_{name}.json" in written
-    assert len(written) == 11
+    assert len(written) == 13
 
 
 def test_bench_against_passing_baseline(tmp_path):

@@ -38,7 +38,8 @@ def test_bench_names_lists_microbenches_and_all_scenarios():
     assert names[0] == "kernel"
     assert names[1] == "router"
     assert "day" in names and "fig1" in names and "federation" in names
-    assert len(names) == 11
+    assert "supply" in names and "supply_matrix" in names
+    assert len(names) == 13
 
 
 def test_router_microbench_smoke_runs_and_counts():

@@ -113,9 +113,13 @@ def test_compose_list_catalogues_components(capsys):
     for name in ("slurm", "fib", "var", "static", "openwhisk",
                  "idleness-trace", "gatling", "slurm-sampler", "coverage",
                  "weighted-idle", "affinity-first", "failover",
-                 "failover-window", "federation-stats"):
+                 "failover-window", "federation-stats",
+                 "queue-aware", "ewma", "pid", "hybrid", "supply-stats"):
         assert name in out
     assert "queue_per_length" in out  # options are listed with defaults
+    # nested controller gains render with their values, like the nested
+    # cluster/router spec shapes above them
+    assert "PidGains(kp=1.5, ki=0.25, kd=0.0)" in out
     # nested/list-valued stack options render as their shape, not reprs
     assert "clusters           [ClusterSpec]" in out
     assert "router             RouterSpec" in out
@@ -128,7 +132,14 @@ def test_compose_list_formats_nested_defaults():
     from repro.cluster.slurmctld import SlurmConfig
     from repro.hpcwhisk.config import SupplyModel
 
+    from repro.supply import PidGains
+
     assert _format_default(SlurmConfig()) == "SlurmConfig(...)"
+    assert _format_default(PidGains()) == "PidGains(kp=1.5, ki=0.25, kd=0.0)"
+    assert (
+        _format_default(PidGains(kp=2.0, ki=0.0, kd=0.0))
+        == "PidGains(kp=2.0, ki=0.0, kd=0.0)"
+    )
     assert _format_default((ClusterSpec(), ClusterSpec())) == "[ClusterSpec]"
     assert _format_default(SupplyModel.FIB) == "'fib'"
     assert _format_default([1, 2]) == "[1, 2]"

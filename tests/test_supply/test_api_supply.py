@@ -1,0 +1,121 @@
+"""Supply components + supply-stats probe through the composable API."""
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    RouterSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.api.components import resolve_gains
+from repro.supply import PidGains
+
+
+def small_stack(supply: SupplySpec, probes=(), clusters=(), router=None):
+    return Stack(
+        cluster=ClusterSpec(nodes=4),
+        clusters=clusters,
+        supply=supply,
+        middleware=MiddlewareSpec(),
+        router=router,
+        workloads=(
+            WorkloadSpec("idleness-trace"),
+            WorkloadSpec("gatling", qps=2.0, functions=10),
+        ),
+        probes=tuple(probes),
+        seed=13,
+        horizon=600.0,
+        name="supply-api-test",
+    )
+
+
+def test_resolve_gains_accepts_mappings_and_instances():
+    assert resolve_gains(None) == PidGains()
+    assert resolve_gains(PidGains(1.0, 0.5, 0.1)) == PidGains(1.0, 0.5, 0.1)
+    assert resolve_gains({"kp": 2.0, "ki": 0.0}) == PidGains(kp=2.0, ki=0.0)
+    with pytest.raises(TypeError):
+        resolve_gains({"bogus": 1.0})
+
+
+def test_pid_supply_component_validates_options_eagerly():
+    stack = small_stack(SupplySpec("pid", gains={"kp": -1.0}))
+    with pytest.raises(ValueError, match="gains must be >= 0"):
+        stack.build()
+
+
+def test_supply_stats_probe_single_cluster():
+    report = small_stack(
+        SupplySpec("queue-aware", base_depth=2),
+        probes=(ProbeSpec("supply-stats"),),
+    ).run()
+    metrics = report.metrics
+    assert metrics["supply_rounds"] > 0
+    assert metrics["supply_submitted"] >= metrics["pilots_started"]
+    assert 0.0 <= metrics["cold_start_rate"] <= 1.0
+    assert metrics["supply_target_depth"] >= 0.0  # policy diagnostics flow in
+
+
+def test_supply_stats_probe_requires_a_manager():
+    stack = Stack(
+        cluster=ClusterSpec(nodes=2),
+        supply=SupplySpec("static", invokers=2),
+        middleware=MiddlewareSpec(),
+        workloads=(WorkloadSpec("gatling", qps=1.0, functions=5),),
+        probes=(ProbeSpec("supply-stats"),),
+        seed=1,
+        horizon=120.0,
+    )
+    with pytest.raises(ValueError, match="needs a pilot supply manager"):
+        stack.run()
+
+
+def test_supply_stats_probe_federated_merges_members():
+    report = small_stack(
+        SupplySpec("pid", target_idle=1),
+        probes=(ProbeSpec("supply-stats"),),
+        clusters=(
+            ClusterSpec(nodes=3, cluster_id="alpha"),
+            ClusterSpec(nodes=2, cluster_id="beta"),
+        ),
+        router=RouterSpec("failover"),
+    ).run()
+    metrics = report.metrics
+    for key in ("supply_submitted", "pilots_started", "supply_pid_output"):
+        assert f"{key}@alpha" in metrics
+        assert f"{key}@beta" in metrics
+    assert metrics["supply_submitted"] == (
+        metrics["supply_submitted@alpha"] + metrics["supply_submitted@beta"]
+    )
+    assert metrics["pilots_started"] == (
+        metrics["pilots_started@alpha"] + metrics["pilots_started@beta"]
+    )
+
+
+def test_feedback_supplies_compose_from_yaml_configs(tmp_path):
+    from repro.api import run_config
+
+    config = {
+        "name": "yaml-pid",
+        "seed": 3,
+        "horizon": 300,
+        "stack": {
+            "cluster": {"nodes": 3},
+            "supply": {
+                "name": "pid",
+                "target_idle": 1,
+                "gains": {"kp": 1.0, "ki": 0.2, "kd": 0.0},
+            },
+            "workloads": [
+                "idleness-trace",
+                {"name": "gatling", "qps": 2.0, "functions": 5},
+            ],
+            "probes": ["supply-stats"],
+        },
+    }
+    report = run_config(config)
+    assert report.metrics["supply_rounds"] > 0
+    assert "supply_pid_integral" in report.metrics

@@ -1,0 +1,169 @@
+"""PolicyJobManager integration: budgets, determinism, federation."""
+
+import pytest
+
+from repro.cluster import SlurmConfig
+from repro.faas import FunctionDef
+from repro.hpcwhisk import HPCWhiskConfig, PolicyJobManager, build_system
+from repro.hpcwhisk.lengths import JobLengthSet
+from repro.supply import (
+    FEEDBACK_POLICIES,
+    SupplyPolicy,
+    fill_to_depth,
+    make_policy,
+)
+
+TINY = JobLengthSet("tiny", (2, 4))
+
+
+def policy_config(name, **kwargs):
+    defaults = dict(
+        policy_factory=lambda: make_policy(name, TINY, **kwargs),
+        replenish_interval=5.0,
+    )
+    return HPCWhiskConfig(**defaults)
+
+
+def drive_load(system, horizon, period=5.0):
+    system.controller.deploy(FunctionDef(name="f", duration=0.01))
+
+    def client(env):
+        while env.now < horizon:
+            yield env.timeout(period)
+            yield from system.client.invoke("f")
+
+    system.env.process(client(system.env))
+
+
+# ----------------------------------------------------------------------
+# the shared loop
+# ----------------------------------------------------------------------
+class _GreedyPolicy(SupplyPolicy):
+    """Asks for far more than the queue cap every round."""
+
+    name = "greedy"
+
+    def observe(self, observation):
+        return fill_to_depth(500, 120.0)
+
+
+def test_budget_truncates_greedy_policies():
+    config = HPCWhiskConfig(
+        policy_factory=_GreedyPolicy, max_queued=20, replenish_interval=5.0
+    )
+    system = build_system(config, SlurmConfig(num_nodes=1), seed=3)
+    system.env.run(until=120)
+    manager = system.manager
+    assert isinstance(manager, PolicyJobManager)
+    assert manager.stats.truncated > 0
+    assert manager.stats.requested >= manager.stats.submitted
+    # The cap holds on the real queue, not just in accounting.
+    assert len(system.slurm.pending_jobs(partition="whisk")) <= 20
+    assert all(depth <= 20 for depth in manager.stats.queue_depths)
+
+
+def test_pilot_jobs_carry_the_policy_name():
+    system = build_system(
+        policy_config("queue-aware", base_depth=2), SlurmConfig(num_nodes=1), seed=3
+    )
+    system.env.run(until=60)
+    pending = system.slurm.pending_jobs(partition="whisk")
+    assert pending
+    assert all(job.spec.name.startswith("whisk-queue-aware-") for job in pending)
+    assert all(job.spec.user == "hpc-whisk" for job in pending)
+
+
+def test_observation_sees_middleware_state():
+    """Healthy-invoker counts flow into the policy once pilots register."""
+    seen = []
+
+    class _Recorder(SupplyPolicy):
+        name = "recorder"
+
+        def observe(self, observation):
+            seen.append(observation)
+            return fill_to_depth(2 - observation.queue_depth, 240.0)
+
+    config = HPCWhiskConfig(policy_factory=_Recorder, replenish_interval=5.0)
+    system = build_system(config, SlurmConfig(num_nodes=2), seed=3)
+    drive_load(system, horizon=500)
+    system.env.run(until=600)
+    assert max(obs.healthy_invokers for obs in seen) > 0
+    assert max(obs.inflight_activations for obs in seen) >= 0
+    assert all(obs.total_nodes == 2 for obs in seen)
+    rounds = [obs.round_index for obs in seen]
+    assert rounds == sorted(rounds)
+
+
+@pytest.mark.parametrize("name", FEEDBACK_POLICIES)
+def test_feedback_policies_are_seed_reproducible(name):
+    def run_once():
+        system = build_system(
+            policy_config(name), SlurmConfig(num_nodes=2), seed=11
+        )
+        drive_load(system, horizon=700)
+        system.env.run(until=900)
+        return (
+            [
+                (t.job_started_at, t.healthy_at, t.finished_at)
+                for t in system.pilot_timelines
+            ],
+            system.manager.stats.submitted,
+            system.manager.policy.diagnostics(),
+        )
+
+    assert run_once() == run_once()
+
+
+def test_inflight_count_scopes_by_member_cluster():
+    """Federated demand signals stay member-local (review regression)."""
+    from repro.faas.activation import ActivationRecord
+    from repro.faas.broker import Broker
+    from repro.faas.controller import Controller
+    from repro.sim import Environment, Event
+
+    env = Environment()
+    controller = Controller(env, Broker(env))
+    for index, cluster in enumerate(["alpha", "alpha", "beta"]):
+        record = ActivationRecord(
+            activation_id=f"a{index}",
+            function="f",
+            submitted_at=0.0,
+            invoker_id=f"inv-{index}",
+            cluster_id=cluster,
+        )
+        controller._pending[record.activation_id] = (Event(env), record)
+    assert controller.inflight_count == 3
+    assert controller.inflight_count_for(None) == 3
+    assert controller.inflight_count_for("alpha") == 2
+    assert controller.inflight_count_for("beta") == 1
+    assert controller.inflight_count_for("gamma") == 0
+
+
+# ----------------------------------------------------------------------
+# federation: per-member controller instances
+# ----------------------------------------------------------------------
+def test_federated_members_get_independent_policy_instances():
+    from repro.hpcwhisk import build_federation
+
+    config = policy_config("pid")
+    system = build_federation(
+        [
+            SlurmConfig(num_nodes=2, cluster_id="alpha"),
+            SlurmConfig(num_nodes=1, cluster_id="beta"),
+        ],
+        config,
+        seed=5,
+    )
+    assert set(system.managers) == {"alpha", "beta"}
+    alpha, beta = system.managers["alpha"], system.managers["beta"]
+    assert alpha.policy is not beta.policy
+    system.env.run(until=300)
+    # Both controllers ran their loops against their own cluster.
+    assert alpha.stats.replenish_rounds > 0
+    assert beta.stats.replenish_rounds > 0
+    assert alpha.controller is not beta.controller
+    # Observations are member-scoped: beta's single node can never show
+    # more than one healthy invoker, whatever alpha is running.
+    healthy_beta, _inflight, _buffered, _fastlane = beta._middleware_state()
+    assert healthy_beta <= 1

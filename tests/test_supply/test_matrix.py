@@ -1,0 +1,135 @@
+"""Matrix runner: scoring, determinism, scenario + CLI front doors."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import REGISTRY, load_builtin
+from repro.supply.matrix import (
+    MatrixCell,
+    matrix_sweep_spec,
+    run_matrix,
+    score_cells,
+)
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_builtin()
+
+
+def _cell(policy, workload="gatling", nodes=8, **objectives):
+    defaults = dict(
+        harvest=0.5, slowdown_s=5.0, cold_start_rate=0.5, churn_per_h=50.0
+    )
+    defaults.update(objectives)
+    return MatrixCell(
+        policy=policy, workload=workload, nodes=nodes, objectives=defaults
+    )
+
+
+# ----------------------------------------------------------------------
+# scoring
+# ----------------------------------------------------------------------
+def test_score_cells_ranks_dominant_cell_first():
+    better = _cell("pid", harvest=0.9, slowdown_s=1.0, cold_start_rate=0.1,
+                   churn_per_h=10.0)
+    worse = _cell("fib", harvest=0.2, slowdown_s=9.0, cold_start_rate=0.9,
+                  churn_per_h=90.0)
+    ranked, missing = score_cells([worse, better])
+    assert missing == ()
+    assert [cell.policy for cell in ranked] == ["pid", "fib"]
+    assert [cell.rank for cell in ranked] == [1, 2]
+    assert ranked[0].score == 1.0 and ranked[1].score == 0.0
+
+
+def test_score_cells_zero_spread_is_neutral_and_ties_break_on_label():
+    ranked, _missing = score_cells([_cell("var"), _cell("fib")])
+    assert [cell.score for cell in ranked] == [0.5, 0.5]
+    assert [cell.policy for cell in ranked] == ["fib", "var"]  # label order
+
+
+def test_score_cells_drops_objectives_absent_everywhere():
+    cells = [
+        MatrixCell("fib", "gatling", 8, {"harvest": 0.2}),
+        MatrixCell("pid", "gatling", 8, {"harvest": 0.8}),
+    ]
+    ranked, missing = score_cells(cells)
+    assert set(missing) == {"slowdown_s", "cold_start_rate", "churn_per_h"}
+    # harvest's weight renormalizes to 1.0: best cell scores 1.0
+    assert ranked[0].policy == "pid" and ranked[0].score == 1.0
+
+
+def test_matrix_sweep_spec_shapes_the_grid():
+    spec = matrix_sweep_spec(
+        ["fib", "pid"], ["gatling"], [8, 16], hours=0.2, qps=4.0, seeds=2
+    )
+    assert spec.scenario == "supply"
+    assert spec.grid == {
+        "policy": ["fib", "pid"],
+        "workload": ["gatling"],
+        "nodes": [8, 16],
+    }
+    assert spec.fixed == {"hours": 0.2, "qps": 4.0}
+    with pytest.raises(ValueError, match="matrix needs"):
+        matrix_sweep_spec([], ["gatling"], [8], hours=0.2, qps=4.0)
+
+
+# ----------------------------------------------------------------------
+# end-to-end (small smoke matrices)
+# ----------------------------------------------------------------------
+def test_run_matrix_smoke_two_cells():
+    result = run_matrix(
+        ["fib", "queue-aware"], ["gatling"], [8],
+        hours=0.2, qps=4.0, scale="smoke", base_seed=9,
+    )
+    assert len(result.cells) == 2
+    assert {cell.policy for cell in result.cells} == {"fib", "queue-aware"}
+    assert [cell.rank for cell in result.cells] == [1, 2]
+    assert result.missing_objectives == ()
+    for cell in result.cells:
+        assert set(cell.objectives) == {
+            "harvest", "slowdown_s", "cold_start_rate", "churn_per_h"
+        }
+    assert not result.label_nodes  # single shape: labels omit the node count
+    payload = json.loads(result.to_json())
+    assert payload["cells"][0]["rank"] == 1
+    header = result.to_csv().splitlines()[0]
+    assert header.startswith("rank,label,policy,workload,nodes,score")
+
+
+def test_supply_matrix_scenario_serial_parallel_identical():
+    overrides = {
+        "policies": "fib,queue-aware", "workloads": "gatling", "shapes": "8",
+    }
+    serial = REGISTRY.run("supply_matrix", {**overrides, "jobs": 1}, "smoke")
+    parallel = REGISTRY.run("supply_matrix", {**overrides, "jobs": 2}, "smoke")
+    assert serial.metrics == parallel.metrics
+    assert serial.text == parallel.text
+
+
+def test_supply_matrix_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="unknown policy"):
+        REGISTRY.run("supply_matrix", {"policies": "fib,bogus"}, "smoke")
+
+
+def test_matrix_cli_writes_ranked_json_and_csv(tmp_path, capsys):
+    json_path = tmp_path / "matrix.json"
+    csv_path = tmp_path / "matrix.csv"
+    assert main([
+        "matrix", "--scale", "smoke", "--policies", "fib,queue-aware",
+        "--workloads", "gatling", "--shapes", "8", "-j", "1",
+        "--json", str(json_path), "--csv", str(csv_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "SUPPLY MATRIX" in out and "rank" in out
+    payload = json.loads(json_path.read_text())
+    assert len(payload["cells"]) == 2
+    assert payload["cells"][0]["label"] in ("fib+gatling", "queue-aware+gatling")
+    assert len(csv_path.read_text().splitlines()) == 3  # header + 2 cells
+
+
+def test_matrix_cli_rejects_unknown_names():
+    with pytest.raises(SystemExit, match="unknown policy"):
+        main(["matrix", "--scale", "smoke", "--policies", "nope", "-j", "1"])

@@ -1,0 +1,282 @@
+"""Supply-policy unit + property tests.
+
+The hypothesis properties pin the controller-loop contract of ISSUE 5:
+
+* **conservation** — no policy ever plans past its declared inventory
+  cap, whatever the observation says;
+* **determinism** — two fresh controller instances fed the same
+  observation sequence produce identical plans (controller state
+  evolves deterministically; nothing draws randomness);
+* **fib/var equivalence** — the policy implementations reproduce the
+  historical ``FibJobManager``/``VarJobManager`` decision rules exactly
+  (the golden-trace suite additionally pins the end-to-end behaviour
+  byte-for-byte).
+"""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpcwhisk.lengths import SET_A1, JobLengthSet
+from repro.supply import (
+    EwmaPolicy,
+    FibPolicy,
+    HybridPolicy,
+    PidGains,
+    PidPolicy,
+    PilotRequest,
+    QueueAwarePolicy,
+    SupplyObservation,
+    VarPolicy,
+    make_policy,
+)
+
+TINY = JobLengthSet("tiny", (2, 4, 8))
+
+
+@dataclass
+class _StubSpec:
+    time_limit: float
+
+
+@dataclass
+class _StubJob:
+    spec: _StubSpec
+
+
+def make_observation(
+    pending_limits=(),
+    *,
+    now=0.0,
+    round_index=0,
+    max_queued=100,
+    running_pilots=0,
+    idle_nodes=4,
+    total_nodes=8,
+    healthy=0,
+    inflight=0,
+    buffered=0,
+    fastlane=0,
+) -> SupplyObservation:
+    pending = tuple(_StubJob(_StubSpec(limit)) for limit in pending_limits)
+    return SupplyObservation(
+        now=now,
+        round_index=round_index,
+        pending=pending,
+        queue_depth=len(pending),
+        budget=max(0, max_queued - len(pending)),
+        running_pilots=running_pilots,
+        idle_nodes=idle_nodes,
+        total_nodes=total_nodes,
+        healthy_invokers=healthy,
+        inflight_activations=inflight,
+        buffered_activations=buffered,
+        fastlane_activations=fastlane,
+    )
+
+
+#: plausible pilot lengths, including ones outside the policy length set
+pending_lists = st.lists(
+    st.sampled_from([120.0, 240.0, 480.0, 600.0]), max_size=60
+)
+
+observations = st.builds(
+    make_observation,
+    pending_lists,
+    healthy=st.integers(0, 40),
+    inflight=st.integers(0, 200),
+    buffered=st.integers(0, 120),
+    fastlane=st.integers(0, 60),
+    idle_nodes=st.integers(0, 64),
+    running_pilots=st.integers(0, 32),
+)
+
+ALL_POLICY_FACTORIES = [
+    lambda: FibPolicy(TINY, queue_per_length=3),
+    lambda: VarPolicy(depth=20, time_min=120.0, time_max=7200.0),
+    lambda: QueueAwarePolicy(base_depth=2, backlog_gain=0.5, max_depth=15),
+    lambda: EwmaPolicy(TINY, alpha=0.4, target_depth=6),
+    lambda: PidPolicy(target_idle=2, gains=PidGains(1.0, 0.3, 0.1), max_depth=12),
+    lambda: HybridPolicy(TINY, floor_per_length=1, burst_threshold=3, burst_size=5),
+]
+
+
+# ----------------------------------------------------------------------
+# conservation: plans never exceed the policy's inventory cap
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(observation=observations, factory=st.sampled_from(ALL_POLICY_FACTORIES))
+def test_plan_never_exceeds_inventory_cap(observation, factory):
+    policy = factory()
+    plan = policy.observe(observation)
+    cap = policy.inventory_cap()
+    assert cap is not None
+    assert 0 <= len(plan.requests) <= cap
+    for request in plan.requests:
+        assert request.seconds > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(observation=observations)
+def test_depth_targeting_policies_never_overfill(observation):
+    """Depth-targeting controllers keep depth + plan within their cap."""
+    for policy in (
+        VarPolicy(depth=20),
+        QueueAwarePolicy(base_depth=2, backlog_gain=0.5, max_depth=15),
+        EwmaPolicy(TINY, target_depth=6),
+        PidPolicy(max_depth=12),
+    ):
+        plan = policy.observe(observation)
+        if observation.queue_depth <= policy.inventory_cap():
+            assert observation.queue_depth + len(plan.requests) <= (
+                policy.inventory_cap()
+            )
+        else:  # already over target: never add more
+            assert len(plan.requests) == 0
+
+
+# ----------------------------------------------------------------------
+# determinism: same observations in, same plans out
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    sequence=st.lists(observations, min_size=1, max_size=8),
+    factory=st.sampled_from(ALL_POLICY_FACTORIES),
+)
+def test_fresh_instances_replay_identically(sequence, factory):
+    first = [factory().observe(obs) for obs in [sequence[0]]]  # warm check
+    a, b = factory(), factory()
+    plans_a = [a.observe(obs) for obs in sequence]
+    plans_b = [b.observe(obs) for obs in sequence]
+    assert plans_a == plans_b
+    assert a.diagnostics() == b.diagnostics()
+    assert first[0] == plans_a[0]
+
+
+# ----------------------------------------------------------------------
+# fib/var equivalence with the historical managers
+# ----------------------------------------------------------------------
+def _legacy_fib_desired(pending, length_set, queue_per_length):
+    """Verbatim port of the pre-refactor FibJobManager._desired_submissions."""
+    counts = {seconds: 0 for seconds in length_set.seconds}
+    for job in pending:
+        counts[job.spec.time_limit] = counts.get(job.spec.time_limit, 0) + 1
+    desired = []
+    for seconds in sorted(length_set.seconds, reverse=True):
+        deficit = queue_per_length - counts.get(seconds, 0)
+        for _ in range(max(0, deficit)):
+            desired.append((seconds, seconds))  # (time_limit, priority)
+    return desired
+
+
+@settings(max_examples=60, deadline=None)
+@given(pending_limits=pending_lists, queue_per_length=st.integers(1, 12))
+def test_fib_policy_matches_legacy_manager(pending_limits, queue_per_length):
+    observation = make_observation(pending_limits)
+    plan = FibPolicy(TINY, queue_per_length).observe(observation)
+    legacy = _legacy_fib_desired(observation.pending, TINY, queue_per_length)
+    assert [(r.seconds, r.priority) for r in plan.requests] == legacy
+    assert all(not r.is_flexible for r in plan.requests)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pending_limits=pending_lists, depth=st.integers(1, 120))
+def test_var_policy_matches_legacy_manager(pending_limits, depth):
+    observation = make_observation(pending_limits)
+    plan = VarPolicy(depth=depth).observe(observation)
+    legacy_deficit = max(0, depth - len(pending_limits))
+    assert len(plan.requests) == legacy_deficit
+    for request in plan.requests:
+        assert request.is_flexible
+        assert request.time_min == 120.0
+        assert request.seconds == 7200.0
+        assert request.priority is None
+
+
+# ----------------------------------------------------------------------
+# controller-specific behaviour
+# ----------------------------------------------------------------------
+def test_queue_aware_scales_with_backlog():
+    policy = QueueAwarePolicy(base_depth=2, backlog_gain=1.0, max_depth=10)
+    quiet = policy.observe(make_observation())
+    assert len(quiet.requests) == 2
+    busy = policy.observe(make_observation(buffered=6))
+    assert len(busy.requests) == 8  # base 2 + backlog 6
+    flooded = policy.observe(make_observation(buffered=1000))
+    assert len(flooded.requests) == 10  # clamped at max_depth
+
+
+def test_ewma_lengths_track_sustained_load():
+    policy = EwmaPolicy(TINY, alpha=1.0, target_depth=3)
+    idle = policy.observe(make_observation(healthy=4, inflight=0))
+    assert {r.seconds for r in idle.requests} == {120.0}  # shortest class
+    saturated = policy.observe(make_observation(healthy=4, inflight=50))
+    assert {r.seconds for r in saturated.requests} == {480.0}  # longest
+    assert 0.0 <= policy.level <= 1.0
+
+
+def test_pid_anti_windup_bounds_the_integral():
+    policy = PidPolicy(
+        target_idle=4, gains=PidGains(kp=1.0, ki=1.0, kd=0.0), max_depth=10
+    )
+    # Persistent max error: without anti-windup the integral would grow
+    # by ki*error every round, far past any useful actuation.
+    for _ in range(50):
+        policy.observe(make_observation(healthy=0, inflight=0))
+    assert policy.integral <= policy.max_depth
+    # Recovery: plenty of idle capacity drives the output back to zero
+    # promptly instead of bleeding off 50 rounds of windup.
+    for _ in range(10):
+        plan = policy.observe(make_observation(healthy=30, inflight=0))
+    assert len(plan.requests) == 0
+    assert policy.diagnostics()["pid_output"] == 0.0
+
+
+def test_hybrid_floor_plus_burst():
+    policy = HybridPolicy(
+        TINY, floor_per_length=1, burst_threshold=2, burst_size=4, burst_minutes=2
+    )
+    quiet = policy.observe(make_observation())
+    assert len(quiet.requests) == 3  # one per length class
+    busy = policy.observe(make_observation(buffered=2))
+    assert len(busy.requests) == 3 + 4
+    # Floor requests come first: the budget prefers guaranteed inventory.
+    assert [r.seconds for r in busy.requests[:3]] == [480.0, 240.0, 120.0]
+    assert all(r.seconds == 120.0 for r in busy.requests[3:])
+
+
+def test_hybrid_burst_only_mode():
+    """floor_per_length=0 is a valid burst-only controller."""
+    policy = HybridPolicy(
+        TINY, floor_per_length=0, burst_threshold=2, burst_size=3
+    )
+    assert len(policy.observe(make_observation()).requests) == 0
+    burst = policy.observe(make_observation(buffered=5))
+    assert len(burst.requests) == 3
+    assert policy.inventory_cap() == 3
+
+
+def test_observation_scope_arithmetic_excludes_fastlane():
+    """executing/idle stay member-scoped; backlog still sees the fast lane."""
+    observation = make_observation(
+        healthy=4, inflight=4, buffered=1, fastlane=10
+    )
+    assert observation.backlog == 11
+    assert observation.executing_activations == 3  # not floored by fastlane
+    assert observation.idle_invokers == 1
+
+
+def test_make_policy_rejects_unknown_names():
+    with pytest.raises(KeyError, match="unknown supply policy"):
+        make_policy("bogus", SET_A1)
+
+
+def test_pilot_request_validation():
+    with pytest.raises(ValueError):
+        PilotRequest(seconds=0.0)
+    with pytest.raises(ValueError):
+        PilotRequest(seconds=100.0, time_min=200.0)
+    with pytest.raises(ValueError):
+        PidGains(kp=-1.0)
