@@ -15,6 +15,7 @@ from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.streaming import CountSeries
 from repro.cluster.query import QueryLatencyModel, sinfo
 from repro.cluster.slurmctld import SlurmController
 from repro.sim import Environment, Interrupt
@@ -37,26 +38,76 @@ class SlurmSample:
 
 @dataclass
 class SamplerLog:
-    """The full poll sequence plus derived statistics."""
+    """The poll sequence plus streaming (single-pass) statistics.
+
+    Every :meth:`add` folds the sample into running
+    :class:`~repro.analysis.streaming.CountSeries` aggregates — the
+    count-based metrics (sums, means, exact percentiles, zero share)
+    never need the per-sample history.  The history itself is retained
+    by default (interval reconstruction for the coverage packing and
+    per-sample series still need it); trace-scale runs pass
+    ``keep_history=False`` and keep only the O(1) aggregates.
+    """
 
     samples: List[SlurmSample] = field(default_factory=list)
+    keep_history: bool = True
+    idle_series: CountSeries = field(default_factory=CountSeries)
+    whisk_series: CountSeries = field(default_factory=CountSeries)
+    available_series: CountSeries = field(default_factory=CountSeries)
+    first_time: float = float("nan")
+    last_time: float = float("nan")
+
+    def add(self, sample: SlurmSample) -> None:
+        """Fold one sample into the aggregates (and history, if kept)."""
+        if self.whisk_series.count == 0:
+            self.first_time = sample.time
+        self.last_time = sample.time
+        self.idle_series.add(len(sample.idle_nodes))
+        self.whisk_series.add(len(sample.whisk_nodes))
+        self.available_series.add(len(sample.available_nodes))
+        if self.keep_history:
+            self.samples.append(sample)
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self.whisk_series.count or len(self.samples)
+
+    def _require_history(self, what: str) -> None:
+        if not self.keep_history and not self.samples:
+            raise RuntimeError(
+                f"{what} needs the per-sample history, but this SamplerLog "
+                "was built with keep_history=False; re-run with history "
+                "enabled (slurm-sampler option history=true)"
+            )
 
     def mean_gap(self) -> float:
-        if len(self.samples) < 2:
+        """Mean inter-sample gap, from the streaming first/last times.
+
+        ``mean(diff(times))`` telescopes to ``(last - first) / (n-1)``,
+        so the history-free form is algebraically identical (and within
+        float rounding of the old re-scan).
+        """
+        n = len(self)
+        if n < 2:
             return float("nan")
+        if self.whisk_series.count:
+            return (self.last_time - self.first_time) / (n - 1)
+        # hand-built log (samples appended directly, bypassing add())
         times = np.array([s.time for s in self.samples])
         return float(np.diff(times).mean())
 
     def idle_counts(self) -> np.ndarray:
+        """Per-sample idle-node counts, aligned with the poll sequence."""
+        self._require_history("idle_counts()")
         return np.array([len(s.idle_nodes) for s in self.samples])
 
     def whisk_counts(self) -> np.ndarray:
+        """Per-sample whisk-node counts, aligned with the poll sequence."""
+        self._require_history("whisk_counts()")
         return np.array([len(s.whisk_nodes) for s in self.samples])
 
     def available_counts(self) -> np.ndarray:
+        """Per-sample available-node counts, aligned with the poll sequence."""
+        self._require_history("available_counts()")
         return np.array([len(s.available_nodes) for s in self.samples])
 
 
@@ -71,6 +122,7 @@ class SlurmSampler:
         pause: float = 10.0,
         whisk_partition: str = "whisk",
         exclude: Optional[Set[str]] = None,
+        keep_history: bool = True,
     ) -> None:
         self.env = env
         self.controller = controller
@@ -78,7 +130,7 @@ class SlurmSampler:
         self.pause = pause
         self.whisk_partition = whisk_partition
         self.exclude = exclude or set()
-        self.log = SamplerLog()
+        self.log = SamplerLog(keep_history=keep_history)
         self._proc = env.process(self._run())
 
     def stop(self) -> None:
@@ -96,7 +148,7 @@ class SlurmSampler:
                     whisk_partition=self.whisk_partition,
                     exclude=self.exclude,
                 )
-                self.log.samples.append(
+                self.log.add(
                     SlurmSample(
                         time=env.now,
                         idle_nodes=snapshot.idle_nodes,

@@ -1,0 +1,216 @@
+"""Streaming (single-pass, O(1)-memory) aggregates for analysis probes.
+
+The analysis layer historically re-scanned full sample histories
+(``array('d')`` buffers, lists of :class:`SlurmSample`) after every run
+to produce its metrics.  That is exact but requires the history to be
+resident — a structural blocker for trace-scale runs where a sampler
+can emit millions of samples.  This module provides the running
+aggregates that make the same metrics computable incrementally, sample
+by sample, with the history optionally discarded:
+
+:class:`StreamingStats`
+    count / sum / min / max plus Welford mean-variance for arbitrary
+    float streams, with an optional deterministic reservoir sketch for
+    quantiles.  The running ``mean`` is ``total/count`` — for integer
+    -valued streams (every partial sum below 2**53) this is *bit-equal*
+    to the numpy re-scan mean.
+
+:class:`CountSeries`
+    the specialisation the Slurm-level metrics actually need: streams
+    of small non-negative integer counts (idle/whisk/available node
+    counts).  Keeps an exact value histogram, so percentiles are
+    **exact** — :meth:`CountSeries.summary` reconstructs a sorted array
+    from the histogram (``O(distinct values)`` resident state) and
+    feeds it through the same :func:`~repro.analysis.metrics.
+    percentile_summary` used by the re-scan path, making streaming and
+    re-scan results byte-identical.
+
+:class:`ReservoirSketch`
+    a fixed-size uniform reservoir over a float stream, exact while the
+    stream fits (``seen <= capacity``) and an unbiased sample beyond.
+    The PRNG is a seeded xorshift64* — deterministic across runs and
+    platforms, independent of global RNG state.
+
+Exact re-scan stays available as a verification mode: probes that adopt
+streaming aggregates re-derive their metrics from the retained history
+and assert agreement when ``REPRO_VERIFY_METRICS=1`` is set.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.metrics import PercentileSummary, percentile_summary
+
+_INF = float("inf")
+
+
+class ReservoirSketch:
+    """Deterministic fixed-size uniform reservoir over a float stream.
+
+    Implements Algorithm R with a seeded xorshift64* generator: exact
+    (holds every value) while ``seen <= capacity``, an unbiased uniform
+    sample of the stream afterwards.  Determinism matters more than
+    statistical finesse here — two identical runs must produce
+    identical sketches, whatever else consumed the global RNG.
+    """
+
+    __slots__ = ("capacity", "values", "seen", "_state")
+
+    def __init__(self, capacity: int = 512, seed: int = 0x9E3779B9) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.values: List[float] = []
+        self.seen = 0
+        self._state = (seed or 1) & 0xFFFFFFFFFFFFFFFF
+
+    def _rand_below(self, n: int) -> int:
+        """Next xorshift64* draw reduced to ``[0, n)``."""
+        x = self._state
+        x ^= (x >> 12) & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x << 25)) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 27
+        self._state = x
+        return ((x * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF) % n
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+            return
+        slot = self._rand_below(self.seen)
+        if slot < self.capacity:
+            self.values[slot] = value
+
+    @property
+    def exact(self) -> bool:
+        """True while the sketch still holds every value seen."""
+        return self.seen <= self.capacity
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (exact while :attr:`exact`)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.values, dtype=float), q * 100.0))
+
+
+class StreamingStats:
+    """Single-pass count/sum/min/max + Welford mean-variance.
+
+    ``mean`` is ``total/count`` (the running sum, not the Welford mean):
+    for integer-valued streams every partial sum is exact in float64, so
+    it matches the re-scan ``np.mean`` bit for bit.  The Welford
+    recurrence is kept for the *variance*, where the naive
+    sum-of-squares form loses catastrophically.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_mean", "_m2", "sketch")
+
+    def __init__(self, quantiles: bool = False, capacity: int = 512) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = _INF
+        self.max = -_INF
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.sketch: Optional[ReservoirSketch] = (
+            ReservoirSketch(capacity) if quantiles else None
+        )
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.sketch is not None:
+            self.sketch.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``ddof=0``, matching ``np.var``)."""
+        return self._m2 / self.count if self.count else float("nan")
+
+    @property
+    def std(self) -> float:
+        return sqrt(self.variance) if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        if self.sketch is None:
+            raise RuntimeError(
+                "quantile sketch disabled; construct with quantiles=True"
+            )
+        return self.sketch.quantile(q)
+
+
+class CountSeries:
+    """Streaming aggregate over a series of non-negative integer counts.
+
+    The resident state is an exact value histogram (``value -> how many
+    samples``), which for node-count streams is tiny (bounded by the
+    cluster size) however long the run.  Everything the Slurm-level
+    metrics need falls out exactly: sums and means (integer arithmetic,
+    exact in float64), the zero share, and — via :meth:`as_array` —
+    exact percentiles through the very same code path the re-scan uses.
+    """
+
+    __slots__ = ("count", "total", "zeros", "histogram")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.zeros = 0
+        self.histogram: Dict[int, int] = {}
+
+    def add(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if value == 0:
+            self.zeros += 1
+        histogram = self.histogram
+        histogram[value] = histogram.get(value, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def zero_share(self) -> float:
+        """Fraction of samples equal to zero (0.0 on an empty series).
+
+        Matches ``float(np.mean(values == 0))`` exactly: the boolean
+        sum is an integer, and the division is the same float64 op.
+        """
+        return self.zeros / self.count if self.count else 0.0
+
+    def as_array(self) -> np.ndarray:
+        """The full sample multiset, reconstructed sorted by value.
+
+        Order-independent statistics (percentiles, sums, means) over
+        this array equal those over the original sample order.
+        """
+        if not self.count:
+            return np.array([], dtype=np.int64)
+        values = sorted(self.histogram)
+        return np.repeat(
+            np.asarray(values, dtype=np.int64),
+            np.asarray([self.histogram[v] for v in values], dtype=np.int64),
+        )
+
+    def summary(self) -> PercentileSummary:
+        """Exact 25-50-75p + mean, identical to the re-scan summary."""
+        return percentile_summary(self.as_array())

@@ -16,6 +16,7 @@ reports the same metric keys as the registered ``day`` scenario, because
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
@@ -37,16 +38,31 @@ from repro.api.stack import Probe, StackContext
 
 @dataclass
 class SamplerArtifact:
-    """Slurm-level perspective: the poll log plus derived summaries."""
+    """Slurm-level perspective: the poll log plus derived summaries.
+
+    The summaries are computed from the log's streaming aggregates; the
+    per-sample count arrays are exposed lazily (they re-scan the
+    retained history on access, and raise a clear error when the
+    sampler ran with ``history=false``).
+    """
 
     log: SamplerLog
-    whisk_counts: np.ndarray
-    available_counts: np.ndarray
-    idle_counts: np.ndarray
     slurm_workers: PercentileSummary
     available_workers: PercentileSummary
     slurm_used_share: float
     zero_available_share: float
+
+    @property
+    def whisk_counts(self) -> np.ndarray:
+        return self.log.whisk_counts()
+
+    @property
+    def available_counts(self) -> np.ndarray:
+        return self.log.available_counts()
+
+    @property
+    def idle_counts(self) -> np.ndarray:
+        return self.log.idle_counts()
 
 
 @dataclass
@@ -62,23 +78,51 @@ class FederatedSamplerArtifact:
 
 
 def _sampler_artifact(log: SamplerLog) -> SamplerArtifact:
+    # Metrics come from the log's streaming aggregates — no history
+    # re-scan.  Integer sums/means and histogram-reconstructed
+    # percentiles are bit-equal to the old full-array pass, which the
+    # REPRO_VERIFY_METRICS=1 mode asserts below.
+    whisk = log.whisk_series
+    available = log.available_series
+    total_available = float(available.total)
+    artifact = SamplerArtifact(
+        log=log,
+        slurm_workers=whisk.summary(),
+        available_workers=available.summary(),
+        slurm_used_share=(
+            float(whisk.total) / total_available if total_available else 0.0
+        ),
+        zero_available_share=available.zero_share,
+    )
+    if os.environ.get("REPRO_VERIFY_METRICS") == "1" and log.samples:
+        _verify_sampler_metrics(artifact, log)
+    return artifact
+
+
+def _verify_sampler_metrics(artifact: SamplerArtifact, log: SamplerLog) -> None:
+    """Exact re-scan verification of the streaming sampler metrics."""
     whisk_counts = log.whisk_counts()
     available_counts = log.available_counts()
-    idle_counts = log.idle_counts()
     total_available = float(available_counts.sum())
-    slurm_used_share = (
-        float(whisk_counts.sum()) / total_available if total_available else 0.0
-    )
-    return SamplerArtifact(
-        log=log,
-        whisk_counts=whisk_counts,
-        available_counts=available_counts,
-        idle_counts=idle_counts,
-        slurm_workers=percentile_summary(whisk_counts),
-        available_workers=percentile_summary(available_counts),
-        slurm_used_share=slurm_used_share,
-        zero_available_share=float(np.mean(available_counts == 0)),
-    )
+    expected = {
+        "slurm_workers": percentile_summary(whisk_counts),
+        "available_workers": percentile_summary(available_counts),
+        "slurm_used_share": (
+            float(whisk_counts.sum()) / total_available if total_available else 0.0
+        ),
+        "zero_available_share": float(np.mean(available_counts == 0)),
+    }
+    actual = {
+        "slurm_workers": artifact.slurm_workers,
+        "available_workers": artifact.available_workers,
+        "slurm_used_share": artifact.slurm_used_share,
+        "zero_available_share": artifact.zero_available_share,
+    }
+    if actual != expected:
+        raise AssertionError(
+            "streaming sampler metrics diverged from the exact re-scan:\n"
+            f"  streaming: {actual}\n  re-scan:   {expected}"
+        )
 
 
 class SlurmSamplerProbe(Probe):
@@ -108,9 +152,11 @@ class SlurmSamplerProbe(Probe):
         # Federated view: whisk/available surfaces add across members;
         # sample counts differ per member (independent latency jitter),
         # so shares aggregate over the union of samples.
-        whisk_total = sum(float(a.whisk_counts.sum()) for a in per_cluster.values())
+        whisk_total = sum(
+            float(a.log.whisk_series.total) for a in per_cluster.values()
+        )
         avail_total = sum(
-            float(a.available_counts.sum()) for a in per_cluster.values()
+            float(a.log.available_series.total) for a in per_cluster.values()
         )
         # No fleet-level zero_available_share: member samples are not
         # time-aligned, so "share of time the whole fleet had zero
@@ -135,8 +181,14 @@ class SlurmSamplerProbe(Probe):
 
 @component("probe", "slurm-sampler", help="Slurm-level polling (Sec. IV-A)")
 def slurm_sampler_probe(
-    ctx: StackContext, pause: float = 10.0, whisk_partition: str = "whisk"
+    ctx: StackContext,
+    pause: float = 10.0,
+    whisk_partition: str = "whisk",
+    history: bool = True,
 ) -> SlurmSamplerProbe:
+    """``history=False`` keeps only the streaming aggregates — O(1)
+    memory however long the run, at the cost of the per-sample series
+    and of any probe that packs the sampled intervals (coverage)."""
     samplers = {
         slurm.cluster_id: SlurmSampler(
             ctx.env,
@@ -144,6 +196,7 @@ def slurm_sampler_probe(
             ctx.member_stream("sampler", slurm.cluster_id),
             pause=pause,
             whisk_partition=whisk_partition,
+            keep_history=history,
         )
         for slurm in ctx.system.clusters.values()
     }
@@ -173,6 +226,12 @@ class CoverageProbe(Probe):
         self.source = source
 
     def _pack(self, log, horizon: float) -> CoverageResult:
+        if not log.samples and len(log):
+            raise ValueError(
+                "coverage probe needs the sampler's per-sample history to "
+                "pack availability intervals, but the slurm-sampler ran "
+                "with history=false"
+            )
         available = intervals_by_node(log.samples, "available", end_time=horizon)
         return CoverageSimulator(warmup=self.warmup).run(
             available, self.length_set, horizon=horizon

@@ -22,18 +22,27 @@ The CLI front end is ``python -m repro bench`` (see
 from repro.bench.harness import (
     BENCH_SCHEMA,
     BASELINE_SCHEMA,
+    MICROBENCH_RUNNERS,
     BenchRecord,
     Comparison,
     bench_names,
     compare_records,
     load_baseline,
     parse_regression,
+    profile_bench,
     run_bench,
     write_baseline,
     write_record,
 )
 from repro.bench.instrument import KernelProbe, KernelStats
-from repro.bench.kernel import KERNEL_BENCH_NAME, run_kernel_bench
+from repro.bench.kernel import (
+    FLOOD_BENCH_NAME,
+    FLOOD_WHEEL_BENCH_NAME,
+    KERNEL_BENCH_NAME,
+    KERNEL_WHEEL_BENCH_NAME,
+    run_flood_bench,
+    run_kernel_bench,
+)
 from repro.bench.router import ROUTER_BENCH_NAME, run_router_bench
 
 __all__ = [
@@ -41,16 +50,22 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchRecord",
     "Comparison",
+    "FLOOD_BENCH_NAME",
+    "FLOOD_WHEEL_BENCH_NAME",
     "KERNEL_BENCH_NAME",
+    "KERNEL_WHEEL_BENCH_NAME",
     "KernelProbe",
     "KernelStats",
+    "MICROBENCH_RUNNERS",
     "ROUTER_BENCH_NAME",
     "run_router_bench",
     "bench_names",
     "compare_records",
     "load_baseline",
     "parse_regression",
+    "profile_bench",
     "run_bench",
+    "run_flood_bench",
     "run_kernel_bench",
     "write_baseline",
     "write_record",

@@ -22,13 +22,24 @@ than ``max_regression`` below the baseline's.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import os
+import pstats
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from functools import partial
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.bench.instrument import KernelProbe, KernelStats
-from repro.bench.kernel import KERNEL_BENCH_NAME, run_kernel_bench
+from repro.bench.kernel import (
+    FLOOD_BENCH_NAME,
+    FLOOD_WHEEL_BENCH_NAME,
+    KERNEL_BENCH_NAME,
+    KERNEL_WHEEL_BENCH_NAME,
+    run_flood_bench,
+    run_kernel_bench,
+)
 from repro.bench.router import ROUTER_BENCH_NAME, run_router_bench
 from repro.scenarios.registry import REGISTRY, load_builtin
 from repro.scenarios.sweep import reset_run_state
@@ -89,10 +100,23 @@ class BenchRecord:
         )
 
 
+#: name -> ``runner(preset) -> KernelStats`` for the pure microbenches.
+#: The heap/wheel pairs pin their queue implementation explicitly so
+#: recorded numbers stay comparable across baselines no matter what the
+#: session default (or ``REPRO_QUEUE``) resolves to.
+MICROBENCH_RUNNERS: Dict[str, Callable[[str], KernelStats]] = {
+    KERNEL_BENCH_NAME: partial(run_kernel_bench, queue="heap"),
+    KERNEL_WHEEL_BENCH_NAME: partial(run_kernel_bench, queue="wheel"),
+    FLOOD_BENCH_NAME: partial(run_flood_bench, queue="heap"),
+    FLOOD_WHEEL_BENCH_NAME: partial(run_flood_bench, queue="wheel"),
+    ROUTER_BENCH_NAME: run_router_bench,
+}
+
+
 def bench_names() -> List[str]:
     """All runnable benchmarks: the microbenches + every scenario."""
     load_builtin()
-    return [KERNEL_BENCH_NAME, ROUTER_BENCH_NAME] + REGISTRY.names()
+    return list(MICROBENCH_RUNNERS) + REGISTRY.names()
 
 
 def _median_by_wall_time(repeats: List[KernelStats]) -> KernelStats:
@@ -116,18 +140,12 @@ def run_bench(name: str, preset: str = "quick", repeats: int = 1) -> BenchRecord
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    if name == KERNEL_BENCH_NAME:
-        stats = _median_by_wall_time(
-            [run_kernel_bench(preset) for _ in range(repeats)]
-        )
-        return BenchRecord(
-            name=name, kind="kernel", preset=preset, stats=stats
-        )
-    if name == ROUTER_BENCH_NAME:
+    runner = MICROBENCH_RUNNERS.get(name)
+    if runner is not None:
         runs = []
         for _ in range(repeats):
             reset_run_state()
-            runs.append(run_router_bench(preset))
+            runs.append(runner(preset))
         return BenchRecord(
             name=name, kind="kernel", preset=preset,
             stats=_median_by_wall_time(runs),
@@ -151,6 +169,37 @@ def run_bench(name: str, preset: str = "quick", repeats: int = 1) -> BenchRecord
         name=name, kind="scenario", preset=preset,
         stats=_median_by_wall_time(runs), seed=seed, metrics=metrics,
     )
+
+
+def profile_bench(name: str, preset: str = "quick", top: int = 25) -> str:
+    """Run one benchmark under cProfile; return a pstats top-``top`` table.
+
+    The profile covers a single run (no repeats — profiling overhead
+    makes wall-time medians meaningless anyway), sorted by internal
+    time, which is where kernel hot spots show.  The returned text is
+    what ``repro bench <name> --profile`` prints, so future kernel PRs
+    can ship before/after evidence straight from the tool.
+    """
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    runner = MICROBENCH_RUNNERS.get(name)
+    if runner is None:
+        load_builtin()
+        scenario = REGISTRY.get(name)  # raises KeyError with known names
+        work = lambda: scenario.run({}, scale=preset)  # noqa: E731
+    else:
+        work = lambda: runner(preset)  # noqa: E731
+    reset_run_state()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        work()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("tottime").print_stats(top)
+    return stream.getvalue()
 
 
 def write_record(record: BenchRecord, out_dir: str = ".") -> str:

@@ -21,13 +21,19 @@ as ``BENCH_kernel.json``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from repro.bench.instrument import KernelProbe, KernelStats
 from repro.sim import Environment
 
 #: registry-safe name of the microbenchmark in ``repro bench`` output
 KERNEL_BENCH_NAME = "kernel"
+#: the same four-segment suite pinned to the calendar-queue scheduler
+KERNEL_WHEEL_BENCH_NAME = "kernel-wheel"
+#: drain-rate benchmark of the timeout-flood regime (binary heap)
+FLOOD_BENCH_NAME = "flood"
+#: the flood regime pinned to the calendar-queue scheduler
+FLOOD_WHEEL_BENCH_NAME = "flood-wheel"
 
 
 @dataclass(frozen=True)
@@ -137,8 +143,16 @@ def cancellation_storm(env: Environment, count: int) -> None:
     env.run()
 
 
-def run_kernel_bench(preset: str = "quick") -> KernelStats:
-    """Run all four segments at *preset* scale under a fresh probe."""
+def run_kernel_bench(preset: str = "quick", queue: Optional[str] = None) -> KernelStats:
+    """Run all four segments at *preset* scale under a fresh probe.
+
+    ``queue`` pins the event-queue implementation for every environment
+    the benchmark creates (``None`` follows the kernel default /
+    ``REPRO_QUEUE``).  The recorded entries pin it explicitly —
+    ``kernel`` to ``"heap"``, ``kernel-wheel`` to ``"wheel"`` — so both
+    scheduler paths stay comparable across baselines regardless of the
+    session default.
+    """
     try:
         scale = KERNEL_SCALES[preset]
     except KeyError:
@@ -148,8 +162,97 @@ def run_kernel_bench(preset: str = "quick") -> KernelStats:
         ) from None
     with KernelProbe() as probe:
         for _ in range(scale.rounds):
-            timeout_flood(Environment(), scale.flood_events)
-            process_churn(Environment(), scale.churn_processes, scale.churn_steps)
-            event_relay(Environment(), scale.relay_chains, scale.relay_length)
-            cancellation_storm(Environment(), scale.cancel_events)
+            timeout_flood(Environment(queue=queue), scale.flood_events)
+            process_churn(
+                Environment(queue=queue), scale.churn_processes, scale.churn_steps
+            )
+            event_relay(
+                Environment(queue=queue), scale.relay_chains, scale.relay_length
+            )
+            cancellation_storm(Environment(queue=queue), scale.cancel_events)
     return probe.stats
+
+
+# ----------------------------------------------------------------------
+# timeout-flood regime: drain rate at fig5 resident depth
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FloodScale:
+    """Sizing of the flood-regime drain benchmark.
+
+    Unlike :class:`KernelScale` this regime deliberately builds a *deep*
+    resident queue — ``resident_events`` pending timeouts, the depth a
+    fig5-scale experiment day peaks at — because the drain rate at depth
+    is exactly what separates the binary heap (``O(log n)`` per pop)
+    from the calendar queue (amortized ``O(1)``).  The tombstone segment
+    schedules ``tombstone_events`` and cancels every other one before
+    draining, so the measurement covers tombstone discard at depth too.
+    """
+
+    resident_events: int
+    tombstone_events: int
+    rounds: int = 1
+
+    @property
+    def approx_events(self) -> int:
+        # tombstoned entries are discarded, not processed
+        return self.rounds * (self.resident_events + self.tombstone_events // 2)
+
+
+FLOOD_SCALES: Dict[str, FloodScale] = {
+    # fig5-scale resident depth, repeated for a multi-second window
+    "full": FloodScale(resident_events=120_000, tombstone_events=120_000, rounds=10),
+    "quick": FloodScale(resident_events=120_000, tombstone_events=120_000, rounds=2),
+    "smoke": FloodScale(resident_events=20_000, tombstone_events=20_000, rounds=5),
+}
+
+
+def _combined_stats(windows: Sequence[KernelStats]) -> KernelStats:
+    """Fold per-drain probe windows into one benchmark measurement."""
+    return KernelStats(
+        events_processed=sum(w.events_processed for w in windows),
+        events_scheduled=sum(w.events_scheduled for w in windows),
+        peak_queue_depth=max(w.peak_queue_depth for w in windows),
+        wall_time_s=sum(w.wall_time_s for w in windows),
+    )
+
+
+def run_flood_bench(preset: str = "quick", queue: Optional[str] = None) -> KernelStats:
+    """Measure pure drain throughput in the timeout-flood regime.
+
+    Event *creation* cost is identical across queue implementations and
+    already covered by the ``kernel`` entry, so here the probe windows
+    wrap only ``env.run()``: the queue is flooded (and, in the second
+    segment, half-tombstoned) first, then the drain is timed.
+    """
+    try:
+        scale = FLOOD_SCALES[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown flood bench preset {preset!r}; "
+            f"expected one of {sorted(FLOOD_SCALES)}"
+        ) from None
+    windows = []
+    for _ in range(scale.rounds):
+        env = Environment(queue=queue)
+        sink = [].append
+        timeout = env.timeout
+        for i in range(scale.resident_events):
+            timeout((i % 97) * 0.25, value=i).callbacks.append(sink)
+        with KernelProbe() as probe:
+            env.run()
+        windows.append(probe.stats)
+
+        env = Environment(queue=queue)
+        timeouts = [
+            env.timeout(1.0 + (i % 31) * 0.5)
+            for i in range(scale.tombstone_events)
+        ]
+        cancel = env.cancel
+        for victim in timeouts[::2]:
+            cancel(victim)
+        with KernelProbe() as probe:
+            env.run()
+        windows.append(probe.stats)
+    return _combined_stats(windows)

@@ -156,6 +156,11 @@ def _add_bench_parser(sub) -> None:
                              "(default: 10%%)")
     parser.add_argument("--write-baseline", metavar="PATH",
                         help="also write all records as a combined baseline")
+    parser.add_argument("--profile", nargs="?", const=25, type=int,
+                        metavar="N",
+                        help="instead of recording, run each named benchmark "
+                             "under cProfile and print the top-N functions "
+                             "by internal time (default N: 25)")
 
 
 def _add_matrix_parser(sub) -> None:
@@ -304,6 +309,7 @@ def _run_bench(args) -> int:
         compare_records,
         load_baseline,
         parse_regression,
+        profile_bench,
         run_bench,
         write_baseline,
         write_record,
@@ -318,9 +324,18 @@ def _run_bench(args) -> int:
             raise KeyError(f"unknown benchmark(s) {unknown}; known: {known}")
         if args.repeats < 1:
             raise ValueError("repeats must be >= 1")
+        if args.profile is not None and args.profile < 1:
+            raise ValueError("--profile N must be >= 1")
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
         raise SystemExit(f"bench: {message}")
+
+    if args.profile is not None:
+        for name in names:
+            print(f"=== profile: {name} (preset {args.preset}, "
+                  f"top {args.profile} by internal time) ===")
+            print(profile_bench(name, preset=args.preset, top=args.profile))
+        return 0
 
     records = {}
     for name in names:

@@ -40,6 +40,13 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Interrupt, InterruptError, Process
+from repro.sim.queue import (
+    DEFAULT_QUEUE,
+    QUEUE_KINDS,
+    CalendarQueue,
+    HeapEventQueue,
+    resolve_queue,
+)
 from repro.sim.resources import (
     FilterStore,
     PriorityItem,
@@ -52,7 +59,12 @@ from repro.sim.rng import RandomStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
+    "DEFAULT_QUEUE",
     "Environment",
+    "HeapEventQueue",
+    "QUEUE_KINDS",
+    "resolve_queue",
     "Event",
     "EventPriority",
     "FilterStore",

@@ -16,10 +16,12 @@ the end of every ``run()``/``step()``, which is what
 
 from __future__ import annotations
 
+from functools import partial as _partial
 from heapq import heappop as _heappop, heappush as _heappush
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Generator, Iterable, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.queue import CalendarQueue, HeapEventQueue, resolve_queue
 
 #: Simulated time.  One unit is one second throughout this code base.
 SimTime = float
@@ -76,15 +78,24 @@ class Environment:
     scheduled for the same instant at the same priority fire in the order
     they were scheduled, which every test in this repository relies on.
 
-    Scheduled events can be withdrawn with :meth:`cancel`: the heap entry
+    Scheduled events can be withdrawn with :meth:`cancel`: the queue entry
     is tombstoned and silently discarded when it reaches the front of the
-    heap.  ``len(env)``, :meth:`peek`, and :attr:`peak_queue_depth` agree
+    queue.  ``len(env)``, :meth:`peek`, and :attr:`peak_queue_depth` agree
     on this: all count only live (non-cancelled) entries.
+
+    The backing store is pluggable: ``queue="heap"`` uses the classic
+    binary heap, ``"wheel"`` the calendar queue, and ``"auto"`` (the
+    default) the calendar queue with automatic degradation back to heap
+    layout for workloads outside its sweet spot.  All produce the exact
+    same event order — see :mod:`repro.sim.queue`.
     """
 
     __slots__ = (
         "_now",
         "_queue",
+        "_push",
+        "_pop",
+        "queue_kind",
         "_eid",
         "_eid_flushed",
         "_active_process",
@@ -93,9 +104,26 @@ class Environment:
         "peak_queue_depth",
     )
 
-    def __init__(self, initial_time: SimTime = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: SimTime = 0.0,
+        queue: Optional[str] = None,
+    ) -> None:
         self._now: SimTime = float(initial_time)
-        self._queue: List[Tuple[SimTime, int, int, Event]] = []
+        impl, degrade = resolve_queue(queue)
+        if impl == "heap":
+            q = HeapEventQueue()
+            # partial() of the C heap functions: pushes from the inlined
+            # hot paths in events.py stay a single C call.
+            self._push = _partial(_heappush, q)
+            self._pop = _partial(_heappop, q)
+        else:
+            q = CalendarQueue(degrade=degrade)
+            self._push = q.push
+            self._pop = q.pop
+        self._queue = q
+        #: which backing store this environment runs on ("heap"/"wheel")
+        self.queue_kind: str = impl
         self._eid: int = 0
         self._eid_flushed: int = 0
         self._active_process: Optional["Process"] = None
@@ -126,20 +154,24 @@ class Environment:
     def peek(self) -> SimTime:
         """Time of the next live scheduled event, or ``float('inf')``.
 
-        Cancelled (tombstoned) entries at the front of the heap are
+        Cancelled (tombstoned) entries at the front of the queue are
         garbage-collected on the way.
         """
         queue = self._queue
         cancelled = self._cancelled
-        while queue:
-            when, _prio, _eid, event = queue[0]
+        pop = self._pop
+        peek_entry = queue.peek_entry
+        while True:
+            entry = peek_entry()
+            if entry is None:
+                return _INF
+            event = entry[3]
             if cancelled and event in cancelled:
-                _heappop(queue)
+                pop()
                 cancelled.discard(event)
                 event._queued = False
                 continue
-            return when
-        return _INF
+            return entry[0]
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) scheduled events."""
@@ -163,7 +195,7 @@ class Environment:
             raise ValueError(f"negative delay: {delay!r}")
         self._eid += 1
         event._queued = True
-        _heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._push((self._now + delay, priority, self._eid, event))
 
     def cancel(self, event: Event) -> bool:
         """Withdraw a scheduled event so it is discarded unprocessed.
@@ -224,10 +256,11 @@ class Environment:
         """
         queue = self._queue
         cancelled = self._cancelled
+        pop = self._pop
         while True:
             depth = len(queue) - len(cancelled)
             try:
-                when, _prio, _eid, event = _heappop(queue)
+                when, _prio, _eid, event = pop()
             except IndexError:
                 raise EmptySchedule() from None
             if cancelled and event in cancelled:
@@ -278,31 +311,69 @@ class Environment:
             stop_event.callbacks.append(self._stop_callback)
 
         # Tight loop: everything the per-event path touches is a local.
+        # One branch per backing store so heap mode keeps its direct C
+        # heappop and wheel mode its bound-method pop — selected once
+        # per run(), not per event.
         queue = self._queue
         cancelled = self._cancelled
-        pop = _heappop
         processed = 0
         peak = 0
         try:
-            while queue:
-                depth = len(queue) - len(cancelled)
-                if depth > peak:
-                    peak = depth
-                when, _prio, _eid, event = pop(queue)
-                if cancelled and event in cancelled:
-                    cancelled.discard(event)
-                    event._queued = False
-                    continue
-                self._now = when
-                event._processed = True
-                processed += 1
-                callbacks = event.callbacks
-                event.callbacks = None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False:
-                    if not event.defused:
-                        raise event._value
+            if self.queue_kind == "heap":
+                pop = _heappop
+                while queue:
+                    depth = len(queue) - len(cancelled)
+                    if depth > peak:
+                        peak = depth
+                    when, _prio, _eid, event = pop(queue)
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        event._queued = False
+                        continue
+                    self._now = when
+                    event._processed = True
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False:
+                        if not event.defused:
+                            raise event._value
+            else:
+                pop = self._pop
+                while queue._size:
+                    depth = queue._size - len(cancelled)
+                    if depth > peak:
+                        peak = depth
+                    # Inlined CalendarQueue.pop fast path (in-bucket
+                    # drain); bucket advance, incoming-heap race, and
+                    # degraded mode take the slow path.  All queue state
+                    # is written back before callbacks run, so code that
+                    # peeks or pushes mid-callback sees it consistent.
+                    batch = queue._batch
+                    idx = queue._idx
+                    if idx < len(batch) and not queue._incoming:
+                        entry = batch[idx]
+                        queue._idx = idx + 1
+                        queue._size -= 1
+                    else:
+                        entry = pop()
+                    when, _prio, _eid, event = entry
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        event._queued = False
+                        continue
+                    self._now = when
+                    event._processed = True
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False:
+                        if not event.defused:
+                            raise event._value
         except StopSimulation as stop:
             return stop.value
         finally:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,10 +81,12 @@ class Event:
         self._value = value
         # Inlined env.schedule(self, priority=priority): settling an
         # event is a kernel hot path (every process step ends here).
+        # env._push is the queue's push pre-bound at Environment
+        # construction (a C heappush partial in heap mode).
         env = self.env
         env._eid += 1
         self._queued = True
-        _heappush(env._queue, (env._now, priority, env._eid, self))
+        env._push((env._now, priority, env._eid, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = EventPriority.NORMAL) -> "Event":
@@ -141,7 +142,7 @@ class Timeout(Event):
         self.defused = False
         self.delay = delay
         env._eid += 1
-        _heappush(env._queue, (env._now + delay, 1, env._eid, self))
+        env._push((env._now + delay, 1, env._eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Timeout delay={self.delay}>"

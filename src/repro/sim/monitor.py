@@ -10,6 +10,13 @@ sample, C-contiguous) rather than Python lists of boxed floats: the
 ``append`` coerces to double in C, so the sampling loop does no
 per-sample ``float()`` calls, and :meth:`Monitor.series` exposes the
 buffers to numpy without copying element objects.
+
+Alongside the buffers every probe keeps a
+:class:`~repro.analysis.streaming.StreamingStats` running aggregate
+(count/sum/min/max/Welford variance), available via
+:meth:`Monitor.stats` — and with ``keep_history=False`` the buffers
+are skipped entirely, so an arbitrarily long run monitors in O(1)
+memory (the trace-engine mode; :meth:`series` is then unavailable).
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from repro.analysis.streaming import StreamingStats
 from repro.sim.core import Environment
 from repro.sim.process import Interrupt
 
@@ -26,16 +34,25 @@ from repro.sim.process import Interrupt
 class Monitor:
     """Samples named probes every ``interval`` seconds."""
 
-    def __init__(self, env: Environment, interval: float = 10.0) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        interval: float = 10.0,
+        keep_history: bool = True,
+    ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.env = env
         self.interval = interval
+        self.keep_history = keep_history
         self._probes: Dict[str, Callable[[], float]] = {}
         #: sample timestamps, one per sampling tick (float64 buffer)
         self.times: array = array("d")
         #: probe name -> float64 sample buffer, aligned with :attr:`times`
         self.samples: Dict[str, array] = {}
+        #: probe name -> running aggregate, maintained in both modes
+        self.streams: Dict[str, StreamingStats] = {}
+        self._count = 0
         self._proc = None
 
     def probe(self, name: str, fn: Callable[[], float]) -> "Monitor":
@@ -44,6 +61,7 @@ class Monitor:
             raise RuntimeError("cannot add probes after start()")
         self._probes[name] = fn
         self.samples[name] = array("d")
+        self.streams[name] = StreamingStats()
         return self
 
     def start(self) -> "Monitor":
@@ -61,16 +79,25 @@ class Monitor:
     def _run(self):
         env = self.env
         interval = self.interval
+        keep = self.keep_history
         times_append = self.times.append
         # array('d').append coerces to C double itself — no float() per sample
-        probes: List[Tuple[Callable[[float], None], Callable[[], float]]] = [
-            (self.samples[name].append, fn) for name, fn in self._probes.items()
+        probes: List[Tuple[Callable[[float], None], Callable[[float], None], Callable[[], float]]] = [
+            (self.samples[name].append, self.streams[name].add, fn)
+            for name, fn in self._probes.items()
         ]
         try:
             while True:
-                times_append(env.now)
-                for append, fn in probes:
-                    append(fn())
+                self._count += 1
+                if keep:
+                    times_append(env.now)
+                    for append, add, fn in probes:
+                        value = fn()
+                        append(value)
+                        add(value)
+                else:
+                    for _append, add, fn in probes:
+                        add(fn())
                 yield env.timeout(interval)
         except Interrupt:
             return
@@ -80,16 +107,41 @@ class Monitor:
         """(times, values) for one probe, as float64 arrays."""
         if name not in self.samples:
             raise KeyError(f"unknown probe {name!r}")
+        if not self.keep_history and self._count:
+            raise RuntimeError(
+                "series() needs sample history, but this Monitor was built "
+                "with keep_history=False; use stats() for the running "
+                "aggregates"
+            )
         return (
             np.asarray(self.times, dtype=np.float64),
             np.asarray(self.samples[name], dtype=np.float64),
         )
 
+    def stats(self, name: str) -> StreamingStats:
+        """Running aggregate for one probe (works in both modes)."""
+        try:
+            return self.streams[name]
+        except KeyError:
+            raise KeyError(f"unknown probe {name!r}") from None
+
     def mean(self, name: str) -> float:
-        values = self.samples.get(name)
-        if not len(values or ()):
+        """Mean of a probe's samples.
+
+        With history retained this is the numpy re-scan, bit-identical
+        to what it always was; in streaming mode it is the running
+        ``total/count`` (identical for integer-valued probes, within
+        float summation order otherwise).
+        """
+        if self.keep_history:
+            values = self.samples.get(name)
+            if not len(values or ()):
+                return float("nan")
+            return float(np.mean(values))
+        stream = self.streams.get(name)
+        if stream is None or not stream.count:
             return float("nan")
-        return float(np.mean(values))
+        return stream.mean
 
     def __len__(self) -> int:
-        return len(self.times)
+        return self._count if not self.keep_history else len(self.times)

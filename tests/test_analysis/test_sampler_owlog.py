@@ -41,6 +41,39 @@ def test_available_is_union(env):
     assert sample.available_nodes == ("a", "b", "c")
 
 
+def test_sampler_history_free_mode_keeps_streaming_aggregates(env, rng):
+    controller = SlurmController(env, SlurmConfig(num_nodes=2))
+    lean = SlurmSampler(env, controller, rng, keep_history=False)
+    env.run(until=3600)
+    lean.stop()
+    log = lean.log
+    assert log.samples == []
+    assert len(log) > 300
+    assert log.mean_gap() == pytest.approx(10.5, abs=0.8)
+    assert log.available_series.count == len(log)
+    # per-sample arrays are gone, and say so usefully
+    with pytest.raises(RuntimeError, match="history=true"):
+        log.idle_counts()
+    with pytest.raises(RuntimeError, match="history=true"):
+        log.available_counts()
+
+
+def test_sampler_streaming_aggregates_match_history(env, rng):
+    controller = SlurmController(env, SlurmConfig(num_nodes=4))
+    controller.submit(JobSpec(name="j", time_limit=900, actual_runtime=900))
+    sampler = SlurmSampler(env, controller, rng)
+    env.run(until=1800)
+    sampler.stop()
+    log = sampler.log
+    idle = log.idle_counts()
+    assert log.idle_series.count == len(idle)
+    assert log.idle_series.total == int(idle.sum())
+    assert log.idle_series.as_array().tolist() == sorted(idle)
+    assert log.mean_gap() == pytest.approx(
+        float(np.diff([s.time for s in log.samples]).mean())
+    )
+
+
 # ----------------------------------------------------------------------
 # interval reconstruction
 # ----------------------------------------------------------------------

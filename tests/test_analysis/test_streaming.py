@@ -1,0 +1,204 @@
+"""Streaming aggregates must agree with the exact re-scan they replace."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import percentile_summary
+from repro.analysis.streaming import CountSeries, ReservoirSketch, StreamingStats
+
+_COUNTS = st.lists(st.integers(min_value=0, max_value=512), min_size=1, max_size=300)
+_FLOATS = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+# ---------------------------------------------------------------------------
+# CountSeries: the integer-count path must be *byte-identical* to re-scan
+
+
+@given(values=_COUNTS)
+@settings(max_examples=200, deadline=None)
+def test_count_series_summary_equals_rescan(values):
+    series = CountSeries()
+    for value in values:
+        series.add(value)
+    rescan = percentile_summary(np.array(values))
+    assert series.summary() == rescan
+
+
+@given(values=_COUNTS)
+@settings(max_examples=200, deadline=None)
+def test_count_series_scalar_aggregates_equal_rescan(values):
+    series = CountSeries()
+    for value in values:
+        series.add(value)
+    arr = np.array(values)
+    assert series.count == len(values)
+    assert series.total == int(arr.sum())
+    assert series.mean == float(np.mean(arr))
+    assert series.zero_share == float(np.mean(arr == 0))
+
+
+@given(values=_COUNTS)
+@settings(max_examples=100, deadline=None)
+def test_count_series_as_array_is_sorted_multiset(values):
+    series = CountSeries()
+    for value in values:
+        series.add(value)
+    assert series.as_array().tolist() == sorted(values)
+
+
+def test_count_series_empty():
+    series = CountSeries()
+    assert series.count == 0
+    assert math.isnan(series.mean)
+    assert series.zero_share == 0.0
+    assert series.as_array().tolist() == []
+
+
+# ---------------------------------------------------------------------------
+# StreamingStats: exact for count/min/max/sum; Welford variance to rtol
+
+
+@given(values=_FLOATS)
+@settings(max_examples=200, deadline=None)
+def test_streaming_stats_exact_fields(values):
+    stats = StreamingStats()
+    for value in values:
+        stats.add(value)
+    assert stats.count == len(values)
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+    # running sum is sequential left-to-right — identical to math.fsum-free
+    # Python sum(), and within 1 ulp-per-step of np.mean*n
+    assert stats.total == sum(values)
+
+
+@given(values=st.lists(st.integers(min_value=-10_000, max_value=10_000), min_size=1, max_size=128))
+@settings(max_examples=200, deadline=None)
+def test_streaming_mean_bit_equal_to_numpy_for_integer_streams(values):
+    """Integer-valued streams: every partial sum is exact in float64, and
+    np.mean's pairwise summation is sequential for n <= 128, so the
+    running mean is bit-equal to the re-scan mean."""
+    stats = StreamingStats()
+    for value in values:
+        stats.add(float(value))
+    assert stats.mean == float(np.mean(np.array(values, dtype=float)))
+
+
+@given(values=_FLOATS)
+@settings(max_examples=200, deadline=None)
+def test_streaming_variance_matches_numpy(values):
+    stats = StreamingStats()
+    for value in values:
+        stats.add(value)
+    expected = float(np.var(np.asarray(values, dtype=float)))
+    assert stats.variance == pytest.approx(expected, rel=1e-9, abs=1e-9)
+    assert stats.std == pytest.approx(math.sqrt(expected), rel=1e-9, abs=1e-9)
+
+
+def test_streaming_stats_empty():
+    stats = StreamingStats()
+    assert math.isnan(stats.mean)
+    assert math.isnan(stats.variance)
+    assert math.isnan(stats.std)
+
+
+def test_streaming_quantile_requires_sketch():
+    stats = StreamingStats()
+    stats.add(1.0)
+    with pytest.raises(RuntimeError, match="quantiles=True"):
+        stats.quantile(0.5)
+
+
+def test_streaming_quantile_with_sketch_exact_below_capacity():
+    stats = StreamingStats(quantiles=True, capacity=64)
+    values = [float(v) for v in range(50)]
+    for value in values:
+        stats.add(value)
+    assert stats.sketch.exact
+    assert stats.quantile(0.5) == float(np.percentile(values, 50.0))
+
+
+# ---------------------------------------------------------------------------
+# ReservoirSketch
+
+
+def test_reservoir_exact_until_capacity_then_samples():
+    sketch = ReservoirSketch(capacity=10)
+    for value in range(10):
+        sketch.add(float(value))
+    assert sketch.exact
+    assert sorted(sketch.values) == [float(v) for v in range(10)]
+    for value in range(10, 1000):
+        sketch.add(float(value))
+    assert not sketch.exact
+    assert sketch.seen == 1000
+    assert len(sketch.values) == 10
+    assert all(0.0 <= v < 1000.0 for v in sketch.values)
+
+
+def test_reservoir_is_deterministic():
+    def build():
+        sketch = ReservoirSketch(capacity=16)
+        for value in range(500):
+            sketch.add(float(value))
+        return sketch.values
+
+    assert build() == build()
+
+
+def test_reservoir_keeps_roughly_uniform_sample():
+    sketch = ReservoirSketch(capacity=200)
+    for value in range(20_000):
+        sketch.add(float(value))
+    # a uniform 200-sample of [0, 20000) has mean ~10000; allow wide slack
+    assert 7_000 < np.mean(sketch.values) < 13_000
+
+
+def test_reservoir_rejects_bad_args():
+    with pytest.raises(ValueError):
+        ReservoirSketch(capacity=0)
+    sketch = ReservoirSketch(capacity=4)
+    with pytest.raises(ValueError):
+        sketch.quantile(1.5)
+    assert math.isnan(sketch.quantile(0.5))  # empty sketch
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the sampler probe's verification mode (REPRO_VERIFY_METRICS)
+
+
+def test_sampler_probe_streaming_agrees_with_rescan_verification(monkeypatch):
+    """Run a real scenario probe with REPRO_VERIFY_METRICS=1: the probe
+    recomputes every metric from the retained history and raises on any
+    mismatch, so a clean run *is* the assertion."""
+    from repro.api import (
+        ClusterSpec,
+        ProbeSpec,
+        Stack,
+        SupplySpec,
+        WorkloadSpec,
+    )
+
+    monkeypatch.setenv("REPRO_VERIFY_METRICS", "1")
+    report = Stack(
+        cluster=ClusterSpec(nodes=8),
+        supply=SupplySpec("fib"),
+        workloads=(
+            WorkloadSpec("idleness-trace", min_intensity=4.0, outage_share=0.0),
+        ),
+        probes=(ProbeSpec("slurm-sampler"),),
+        seed=7,
+        horizon=600.0,
+        name="verify-streaming",
+    ).run()
+    artifact = report.artifacts["slurm-sampler"]
+    assert artifact.slurm_workers is not None
+    assert artifact.zero_available_share == artifact.log.available_series.zero_share

@@ -104,6 +104,47 @@ def test_static_supply_spawns_invoker_fleet():
     assert report.metrics["success_of_accepted_share"] > 0.9
 
 
+def test_sampler_probe_history_free_mode_still_reports_metrics():
+    stack = small_stack(
+        probes=(ProbeSpec("slurm-sampler", history=False),),
+    )
+    report = stack.run()
+    # all sampler metrics flow from the streaming aggregates
+    assert report.metrics["avg_whisk_nodes"] >= 0
+    assert 0.0 <= report.metrics["zero_available_share"] <= 1.0
+    artifact = report.artifacts["slurm-sampler"]
+    assert artifact.log.samples == []
+    assert len(artifact.log) > 0
+    # the per-sample arrays are genuinely gone, with a pointed error
+    with pytest.raises(RuntimeError, match="history=true"):
+        artifact.whisk_counts
+    with pytest.raises(RuntimeError, match="history=true"):
+        artifact.idle_counts
+
+
+def test_history_free_matches_history_metrics():
+    from repro.scenarios.sweep import reset_run_state
+
+    reset_run_state()
+    full = small_stack().run()
+    reset_run_state()
+    lean = small_stack(
+        probes=(ProbeSpec("slurm-sampler", history=False),),
+    ).run()
+    assert lean.metrics == full.metrics
+
+
+def test_coverage_probe_rejects_history_free_sampler():
+    stack = small_stack(
+        probes=(
+            ProbeSpec("slurm-sampler", history=False),
+            ProbeSpec("coverage"),
+        ),
+    )
+    with pytest.raises(ValueError, match="history=false"):
+        stack.run()
+
+
 def test_probe_ordering_enforced_for_coverage():
     # coverage declared before the sampler it reads from -> clear error
     stack = small_stack(probes=(ProbeSpec("coverage"), ProbeSpec("slurm-sampler")))

@@ -25,12 +25,15 @@ def test_bench_default_runs_microbenches_plus_every_scenario(tmp_path, capsys):
     assert main(["bench", "--preset", "smoke", "--out-dir", str(tmp_path)]) == 0
     written = {path.name for path in tmp_path.glob("BENCH_*.json")}
     assert "BENCH_kernel.json" in written
+    assert "BENCH_kernel-wheel.json" in written
+    assert "BENCH_flood.json" in written
+    assert "BENCH_flood-wheel.json" in written
     assert "BENCH_router.json" in written
     for name in ("fig1", "fig2", "fig3", "table1", "day", "fig7",
                  "optimize", "longterm", "federation", "supply",
                  "supply_matrix"):
         assert f"BENCH_{name}.json" in written
-    assert len(written) == 13
+    assert len(written) == 16
 
 
 def test_bench_against_passing_baseline(tmp_path):
@@ -66,6 +69,24 @@ def test_bench_against_detects_regression(tmp_path, capsys):
         "--against", str(baseline), "--max-regression", "10%",
     ]) == 1
     assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_bench_profile_prints_hotspots_and_writes_nothing(tmp_path, capsys):
+    assert main([
+        "bench", "kernel", "--preset", "smoke", "--out-dir", str(tmp_path),
+        "--profile", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "=== profile: kernel" in out
+    assert "tottime" in out
+    # profiling replaces the measurement run: no artifacts are written
+    assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+def test_bench_profile_bad_top_is_a_usage_error(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["bench", "kernel", "--out-dir", str(tmp_path),
+              "--profile", "0"])
 
 
 def test_bench_unknown_name_is_a_usage_error(tmp_path):

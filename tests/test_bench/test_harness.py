@@ -35,11 +35,11 @@ def _record(name, eps, kind="kernel"):
 
 def test_bench_names_lists_microbenches_and_all_scenarios():
     names = bench_names()
-    assert names[0] == "kernel"
-    assert names[1] == "router"
+    assert names[:5] == ["kernel", "kernel-wheel", "flood", "flood-wheel",
+                         "router"]
     assert "day" in names and "fig1" in names and "federation" in names
     assert "supply" in names and "supply_matrix" in names
-    assert len(names) == 13
+    assert len(names) == 16
 
 
 def test_router_microbench_smoke_runs_and_counts():
@@ -74,6 +74,59 @@ def test_kernel_microbench_smoke_counts():
 def test_kernel_microbench_unknown_preset():
     with pytest.raises(KeyError):
         run_kernel_bench("huge")
+
+
+def test_flood_microbench_smoke_counts():
+    from repro.bench.kernel import FLOOD_SCALES, run_flood_bench
+
+    scale = FLOOD_SCALES["smoke"]
+    stats = run_flood_bench("smoke")
+    # resident events all fire; half the tombstone events are cancelled
+    live = scale.resident_events + scale.tombstone_events - scale.tombstone_events // 2
+    assert stats.events_processed == scale.rounds * live == scale.approx_events
+    # counter flushes land inside the drain windows, so every schedule counts
+    assert stats.events_scheduled == scale.rounds * (
+        scale.resident_events + scale.tombstone_events
+    )
+    assert stats.peak_queue_depth >= scale.resident_events
+    assert stats.events_per_sec > 0
+    with pytest.raises(KeyError):
+        run_flood_bench("huge")
+
+
+def test_flood_bench_identical_counts_across_queues():
+    from repro.bench.kernel import run_flood_bench
+
+    heap = run_flood_bench("smoke", queue="heap")
+    wheel = run_flood_bench("smoke", queue="wheel")
+    assert heap.events_processed == wheel.events_processed
+    assert heap.events_scheduled == wheel.events_scheduled
+    assert heap.peak_queue_depth == wheel.peak_queue_depth
+
+
+def test_microbench_runners_pin_their_queues():
+    from repro.bench import MICROBENCH_RUNNERS
+
+    assert set(MICROBENCH_RUNNERS) == {
+        "kernel", "kernel-wheel", "flood", "flood-wheel", "router",
+    }
+    wheel_record = run_bench("kernel-wheel", preset="smoke")
+    assert wheel_record.kind == "kernel"
+    assert wheel_record.stats.events_processed == \
+        run_bench("kernel", preset="smoke").stats.events_processed
+
+
+def test_profile_bench_reports_hotspots():
+    from repro.bench import profile_bench
+
+    report = profile_bench("kernel", preset="smoke", top=5)
+    assert "cumtime" in report and "tottime" in report
+    # the kernel run loop must show up among the top entries
+    assert "run" in report
+    with pytest.raises(ValueError):
+        profile_bench("kernel", preset="smoke", top=0)
+    with pytest.raises(KeyError):
+        profile_bench("warp-drive", preset="smoke")
 
 
 def test_run_bench_scenario_records_metrics_and_seed(tmp_path):

@@ -111,6 +111,49 @@ def test_monitor_double_stop_is_safe(env):
     assert len(monitor) == 3
 
 
+def test_monitor_streaming_mode_drops_history(env):
+    """keep_history=False: O(1) memory, aggregates still exact."""
+    values = iter([1.0, 3.0, 5.0, 7.0])
+    monitor = (
+        Monitor(env, interval=1.0, keep_history=False)
+        .probe("x", lambda: next(values))
+        .start()
+    )
+    env.run(until=3.5)
+    assert len(monitor) == 4
+    assert len(monitor.times) == 0
+    assert len(monitor.samples["x"]) == 0
+    stats = monitor.stats("x")
+    assert stats.count == 4
+    assert stats.min == 1.0 and stats.max == 7.0
+    assert monitor.mean("x") == pytest.approx(4.0)
+    with pytest.raises(RuntimeError, match="keep_history=False"):
+        monitor.series("x")
+    with pytest.raises(KeyError):
+        monitor.stats("nope")
+
+
+def test_monitor_streams_match_history_mode(env):
+    """In history mode the streaming aggregates run alongside the buffers
+    and must agree with the numpy re-scan."""
+    monitor = Monitor(env, interval=2.0).probe("t", lambda: env.now).start()
+    env.run(until=11.0)
+    _, values = monitor.series("t")
+    stats = monitor.stats("t")
+    assert stats.count == len(values)
+    assert stats.total == float(np.sum(values))
+    assert stats.min == float(values.min())
+    assert stats.max == float(values.max())
+    assert monitor.mean("t") == float(np.mean(values))
+
+
+def test_monitor_streaming_mean_nan_without_samples(env):
+    monitor = Monitor(env, interval=1.0, keep_history=False).probe(
+        "x", lambda: 1.0
+    )
+    assert np.isnan(monitor.mean("x"))
+
+
 def test_monitor_probe_alignment_when_stopped(env):
     """All probe series stay the same length however sampling ends."""
     monitor = (

@@ -1,0 +1,291 @@
+"""Heap-vs-wheel equivalence: both queues, one observable kernel.
+
+The calendar queue is only allowed to exist because it is
+indistinguishable from the binary heap: identical pop order for any
+interleaving of schedules and cancellations (including same-timestamp
+ties, which the ``eid`` sequence number must break identically), and
+``len``/``peek`` agreement throughout.  These tests drive random
+schedule programs through both implementations side by side, plus unit
+tests for the calendar-specific machinery (mid-drain pushes, width
+resizing, heap degradation) and the cancel-of-head regression.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CalendarQueue, Environment, HeapEventQueue, resolve_queue
+from repro.sim.queue import DEFAULT_QUEUE
+
+#: one scheduled operation: (delay, priority, cancel this one?)
+_OPS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.sampled_from([0, 1]),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _run_program(kind, ops):
+    """Execute one schedule/cancel program; return the firing order."""
+    env = Environment(queue=kind)
+    fired = []
+    events = []
+    for delay, priority, _cancel in ops:
+        event = env.event()
+        event._ok = True
+        event._value = None
+        env.schedule(event, delay=delay, priority=priority)
+        events.append(event)
+    for index, event in enumerate(events):
+        event.callbacks.append(
+            lambda e, i=index: fired.append((env.now, i))
+        )
+    for index, (_d, _p, cancel) in enumerate(ops):
+        if cancel:
+            assert env.cancel(events[index])
+    env.run()
+    return fired
+
+
+@given(ops=_OPS)
+@settings(max_examples=200, deadline=None)
+def test_heap_and_wheel_fire_identically(ops):
+    assert _run_program("heap", ops) == _run_program("wheel", ops)
+
+
+@given(ops=_OPS)
+@settings(max_examples=100, deadline=None)
+def test_auto_matches_heap(ops):
+    assert _run_program("heap", ops) == _run_program("auto", ops)
+
+
+@given(
+    delays=st.lists(
+        st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0]), min_size=2, max_size=40
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_same_timestamp_ties_break_identically(delays):
+    """Heavily-colliding timestamps: FIFO tie-break must match exactly."""
+    ops = [(delay, 1, False) for delay in delays]
+    assert _run_program("heap", ops) == _run_program("wheel", ops)
+
+
+@given(ops=_OPS)
+@settings(max_examples=100, deadline=None)
+def test_len_and_peek_agree_across_queues(ops):
+    envs = [Environment(queue=kind) for kind in ("heap", "wheel")]
+    all_events = []
+    for env in envs:
+        events = []
+        for delay, priority, _cancel in ops:
+            event = env.event()
+            event._ok = True
+            event._value = None
+            env.schedule(event, delay=delay, priority=priority)
+            events.append(event)
+        all_events.append(events)
+    for index, (_d, _p, cancel) in enumerate(ops):
+        if cancel:
+            for env, events in zip(envs, all_events):
+                assert env.cancel(events[index])
+    heap_env, wheel_env = envs
+    assert len(heap_env) == len(wheel_env)
+    assert heap_env.peek() == wheel_env.peek()
+    # peek may garbage-collect tombstones; liveness must be unchanged
+    assert len(heap_env) == len(wheel_env)
+    heap_env.run()
+    wheel_env.run()
+    assert len(heap_env) == len(wheel_env) == 0
+
+
+# ---------------------------------------------------------------------------
+# satellite regression: cancel-of-head + schedule-at-same-timestamp
+
+
+@pytest.mark.parametrize("kind", ["heap", "wheel"])
+def test_cancel_head_then_schedule_same_timestamp(kind):
+    """Cancelling the queue head then scheduling at its exact timestamp.
+
+    The tombstone of the cancelled head must be discarded without
+    swallowing the newcomer that lands on the same ``(time, priority)``
+    slot — the wheel routes that newcomer through its mid-drain
+    ``incoming`` path, which is exactly the interaction under test.
+    """
+    env = Environment(queue=kind)
+    fired = []
+    head = env.timeout(5.0)
+    later = env.timeout(7.0)
+    head.callbacks.append(lambda e: fired.append("head"))
+    later.callbacks.append(lambda e: fired.append("later"))
+    assert env.peek() == 5.0
+    assert env.cancel(head)
+
+    replacement = env.timeout(5.0)
+    replacement.callbacks.append(lambda e: fired.append("replacement"))
+    assert len(env) == 2
+    assert env.peek() == 5.0
+    env.run()
+    assert fired == ["replacement", "later"]
+    assert len(env) == 0
+
+
+@pytest.mark.parametrize("kind", ["heap", "wheel"])
+def test_cancel_head_mid_run_then_same_timestamp_schedule(kind):
+    """The same interaction arranged *during* the run by a process."""
+    env = Environment(queue=kind)
+    fired = []
+
+    def saboteur(env, victim):
+        yield env.timeout(1.0)
+        assert env.cancel(victim)
+        replacement = env.timeout(victim_delay - env.now)
+        replacement.callbacks.append(lambda e: fired.append("replacement"))
+
+    victim_delay = 4.0
+    victim = env.timeout(victim_delay)
+    victim.callbacks.append(lambda e: fired.append("victim"))
+    env.process(saboteur(env, victim))
+    env.run()
+    assert fired == ["replacement"]
+
+
+# ---------------------------------------------------------------------------
+# calendar-queue unit tests
+
+
+def _entries(*times):
+    return [(float(t), 1, eid, object()) for eid, t in enumerate(times)]
+
+
+def test_wheel_mid_drain_push_orders_before_batch_tail():
+    """A push into the draining bucket must not fire after later batch
+    entries — the out-of-order incoming-heap case."""
+    q = CalendarQueue(width=1.0, degrade=False)
+    first, mid, tail = _entries(10.1, 10.2, 10.4)
+    q.push(first)
+    q.push(tail)
+    assert q.pop() is first  # bucket 10 is now mid-drain
+    q.push(mid)  # same bucket, must precede 10.4
+    assert q.pop() is mid
+    assert q.pop() is tail
+    assert len(q) == 0
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_wheel_incoming_pushes_arrive_out_of_order():
+    q = CalendarQueue(width=1.0, degrade=False)
+    a, b, c, d = _entries(10.1, 10.2, 10.3, 10.4)
+    q.push(a)
+    assert q.pop() is a
+    # incoming pushes in non-time order: the incoming heap must sort them
+    q.push(d)
+    q.push(b)
+    q.push(c)
+    assert [q.pop() for _ in range(3)] == [b, c, d]
+
+
+def test_wheel_peek_agrees_with_pop_and_len():
+    q = CalendarQueue(width=1.0, degrade=False)
+    entries = _entries(3.0, 1.0, 2.0, 1.0)
+    for entry in entries:
+        q.push(entry)
+    while len(q):
+        size = len(q)
+        head = q.peek_entry()
+        assert q.peek_entry() is head  # peek is idempotent
+        assert len(q) == size  # ...and non-consuming
+        assert q.pop() is head
+        assert len(q) == size - 1
+    assert q.peek_entry() is None
+
+
+def test_wheel_resizes_toward_occupancy_band():
+    """Sparse events over a wide span: the width must grow."""
+    q = CalendarQueue(width=0.001, degrade=False)
+    for entry in _entries(*[i * 50.0 for i in range(256)]):
+        q.push(entry)
+    start_width = q.width
+    popped = [q.pop() for _ in range(256)]
+    assert [e[0] for e in popped] == sorted(e[0] for e in popped)
+    assert q.width > start_width
+    assert not q.degraded
+
+
+def test_wheel_degrades_to_heap_when_widening_never_helps():
+    q = CalendarQueue(width=1e-9, degrade=True)
+    times = [i * 1e9 for i in range(300)]
+    for entry in _entries(*times):
+        q.push(entry)
+    popped = []
+    while len(q):
+        popped.append(q.pop())
+    assert [e[0] for e in popped] == sorted(t for t in times)
+    # degradation is an internal fallback: order held either way, and
+    # the queue stays usable afterwards
+    extra = (42.0, 1, 10_000, object())
+    q.push(extra)
+    assert q.pop() is extra
+
+
+def test_wheel_degraded_mode_stays_correct():
+    q = CalendarQueue(width=1.0, degrade=True)
+    q._degrade_to_heap()
+    assert q.degraded
+    entries = _entries(5.0, 1.0, 3.0)
+    for entry in entries:
+        q.push(entry)
+    assert q.peek_entry()[0] == 1.0
+    assert [q.pop()[0] for _ in range(3)] == [1.0, 3.0, 5.0]
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_wheel_rejects_bad_width():
+    with pytest.raises(ValueError):
+        CalendarQueue(width=0.0)
+    with pytest.raises(ValueError):
+        CalendarQueue(width=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# queue selection
+
+
+def test_resolve_queue_kinds():
+    assert resolve_queue("heap") == ("heap", False)
+    assert resolve_queue("wheel") == ("wheel", False)
+    assert resolve_queue("auto") == ("wheel", True)
+    with pytest.raises(ValueError):
+        resolve_queue("bogus")
+
+
+def test_resolve_queue_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_QUEUE", "heap")
+    assert resolve_queue(None) == ("heap", False)
+    monkeypatch.setenv("REPRO_QUEUE", "wheel")
+    assert resolve_queue(None) == ("wheel", False)
+    # empty string means unset, falling back to the default
+    monkeypatch.setenv("REPRO_QUEUE", "")
+    assert resolve_queue(None) == resolve_queue(DEFAULT_QUEUE)
+    # the explicit argument wins over the environment
+    monkeypatch.setenv("REPRO_QUEUE", "heap")
+    assert resolve_queue("wheel") == ("wheel", False)
+
+
+def test_environment_queue_kind_attribute(monkeypatch):
+    monkeypatch.delenv("REPRO_QUEUE", raising=False)
+    assert Environment(queue="heap").queue_kind == "heap"
+    assert Environment(queue="wheel").queue_kind == "wheel"
+    assert Environment(queue="auto").queue_kind == "wheel"
+    impl, _degrade = resolve_queue(None)
+    assert Environment().queue_kind == impl
+    assert isinstance(Environment(queue="heap")._queue, HeapEventQueue)
+    assert isinstance(Environment(queue="wheel")._queue, CalendarQueue)
+    with pytest.raises(ValueError):
+        Environment(queue="bogus")
