@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Streaming memory ceiling: peak RSS must stay flat as the horizon grows.
+
+The streaming workload layer's contract is O(1) resident memory in the
+run length: invocations are pulled lazily from generator-backed sources,
+outcome aggregation is streaming (``StreamReport``), and with
+``record_history: false`` the controller keeps counters instead of a
+per-activation ledger.  A regression anywhere in that chain — a
+materialized schedule, an unbounded log, a leaky probe — shows up as
+peak RSS scaling with the horizon.
+
+This script runs the same streaming stack at a base horizon and at
+``factor`` times that horizon, **each in a fresh subprocess** (so
+``ru_maxrss`` measures one run, not the max over both), and fails when
+the long run's peak RSS exceeds the short run's by more than the
+allowed ratio.  CI runs it as the streaming-smoke gate::
+
+    PYTHONPATH=src python benchmarks/streaming_rss.py
+
+Tune with --horizon/--factor/--max-ratio; --child is internal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import sys
+
+
+def run_child(horizon: float) -> None:
+    """One measured run: build, run, report peak RSS as JSON on stdout."""
+    from repro.api import (
+        ClusterSpec,
+        MiddlewareSpec,
+        ProbeSpec,
+        Stack,
+        SupplySpec,
+        WorkloadSpec,
+    )
+
+    stack = Stack(
+        cluster=ClusterSpec(nodes=8),
+        supply=SupplySpec("fib"),
+        middleware=MiddlewareSpec("openwhisk", record_history=False),
+        workloads=(
+            WorkloadSpec("idleness-trace", outage_share=0.0),
+            WorkloadSpec(
+                "faas-stream",
+                qps=10.0,
+                functions=50,
+                azure_durations=False,
+                diurnal_amplitude=0.3,
+            ),
+        ),
+        probes=(
+            ProbeSpec("slurm-sampler", history=False),
+            ProbeSpec("stream-report"),
+        ),
+        seed=20_26,
+        horizon=horizon,
+        name="stream-rss",
+    )
+    report = stack.run()
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(
+        json.dumps(
+            {
+                "horizon_s": horizon,
+                "peak_rss_kib": peak_kib,
+                "requests": report.metrics["stream_requests_total"],
+            }
+        )
+    )
+
+
+def measure(horizon: float) -> dict:
+    out = subprocess.run(
+        [sys.executable, __file__, "--child", str(horizon)],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--horizon", type=float, default=600.0,
+                        help="base horizon, simulated seconds (default 600)")
+    parser.add_argument("--factor", type=float, default=10.0,
+                        help="long-run horizon multiplier (default 10)")
+    parser.add_argument("--max-ratio", type=float, default=1.30,
+                        help="allowed peak-RSS growth long/short (default 1.30)")
+    parser.add_argument("--child", type=float, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.child is not None:
+        run_child(args.child)
+        return 0
+
+    short = measure(args.horizon)
+    long = measure(args.horizon * args.factor)
+    ratio = long["peak_rss_kib"] / short["peak_rss_kib"]
+    print(f"short run: {short['horizon_s']:>8.0f}s  "
+          f"{short['requests']:>8.0f} requests  "
+          f"peak RSS {short['peak_rss_kib'] / 1024:.1f} MiB")
+    print(f"long run : {long['horizon_s']:>8.0f}s  "
+          f"{long['requests']:>8.0f} requests  "
+          f"peak RSS {long['peak_rss_kib'] / 1024:.1f} MiB")
+    print(f"growth   : x{args.factor:.0f} horizon -> x{ratio:.3f} peak RSS "
+          f"(ceiling x{args.max_ratio:.2f})")
+    if ratio > args.max_ratio:
+        print(
+            f"FAIL: peak RSS grew x{ratio:.3f} over a x{args.factor:.0f} "
+            "horizon — the streaming path is accumulating per-invocation "
+            "state somewhere",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: peak RSS is flat in the horizon")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

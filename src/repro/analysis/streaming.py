@@ -99,6 +99,44 @@ class ReservoirSketch:
             return float("nan")
         return float(np.percentile(np.asarray(self.values, dtype=float), q * 100.0))
 
+    def merge(self, other: "ReservoirSketch") -> None:
+        """Fold another sketch into this one (deterministic, in place).
+
+        Exact while the union fits the capacity; beyond that each side
+        contributes an evenly-strided subsample proportional to how many
+        values it has *seen* — deterministic (no RNG draw) so shard
+        merges reproduce byte-for-byte, at the cost of being a
+        systematic rather than uniform subsample.
+        """
+        if other.seen == 0:
+            return
+        combined_seen = self.seen + other.seen
+        if len(self.values) + len(other.values) <= self.capacity:
+            self.values = self.values + list(other.values)
+        else:
+            take_self = round(self.capacity * self.seen / combined_seen)
+            take_self = min(len(self.values), max(0, take_self))
+            take_other = min(len(other.values), self.capacity - take_self)
+            take_self = min(len(self.values), self.capacity - take_other)
+            self.values = _strided_subsample(self.values, take_self) + _strided_subsample(
+                other.values, take_other
+            )
+        self.seen = combined_seen
+        self._state = (
+            (self._state ^ ((other._state * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF))
+            or 1
+        )
+
+
+def _strided_subsample(values: List[float], k: int) -> List[float]:
+    """``k`` evenly-strided elements of *values* (all of them if k >= len)."""
+    n = len(values)
+    if k >= n:
+        return list(values)
+    if k <= 0:
+        return []
+    return [values[(i * n) // k] for i in range(k)]
+
 
 class StreamingStats:
     """Single-pass count/sum/min/max + Welford mean-variance.
@@ -156,6 +194,31 @@ class StreamingStats:
             )
         return self.sketch.quantile(q)
 
+    def merge(self, other: "StreamingStats") -> None:
+        """Fold another stats object into this one (in place).
+
+        Count, sum, min, max and the mean are exact; the variance uses
+        the parallel (Chan et al.) combination of the Welford moments,
+        also exact up to float rounding.  Sketches merge per
+        :meth:`ReservoirSketch.merge` (exact while the union fits).
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self._mean = other._mean
+            self._m2 = other._m2
+        else:
+            delta = other._mean - self._mean
+            combined = self.count + other.count
+            self._mean += delta * other.count / combined
+            self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if self.sketch is not None and other.sketch is not None:
+            self.sketch.merge(other.sketch)
+
 
 class CountSeries:
     """Streaming aggregate over a series of non-negative integer counts.
@@ -183,6 +246,14 @@ class CountSeries:
             self.zeros += 1
         histogram = self.histogram
         histogram[value] = histogram.get(value, 0) + 1
+
+    def merge(self, other: "CountSeries") -> None:
+        """Fold another series into this one (exact: histograms add)."""
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        for value, hits in other.histogram.items():
+            self.histogram[value] = self.histogram.get(value, 0) + hits
 
     @property
     def mean(self) -> float:

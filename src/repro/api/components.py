@@ -28,6 +28,11 @@ from repro.sim import Interrupt
 from repro.supply import PidGains, make_policy
 from repro.workloads.gatling import GatlingClient
 from repro.workloads.hpc_trace import trace_to_prime_jobs
+from repro.workloads.streaming import (
+    FaaSStreamClient,
+    FixedDurationModel,
+    build_stream_source,
+)
 from repro.workloads.idleness import IdlenessTraceGenerator
 
 LengthSetLike = Union[str, JobLengthSet, Sequence[float]]
@@ -350,6 +355,7 @@ def openwhisk_middleware(
     use_fast_lane: Optional[bool] = None,
     interrupt_running: Optional[bool] = None,
     max_retries: Optional[int] = None,
+    record_history: Optional[bool] = None,
 ) -> MiddlewareBuild:
     """``None`` options fall back to the :class:`FaaSConfig` defaults;
     ``balancer`` picks hash-affinity (default), round-robin, or
@@ -377,6 +383,7 @@ def openwhisk_middleware(
             "use_fast_lane": use_fast_lane,
             "interrupt_running": interrupt_running,
             "max_retries": max_retries,
+            "record_history": record_history,
         }.items()
         if value is not None
     }
@@ -494,6 +501,97 @@ def gatling_workload(
         duration=duration,
         rng=ctx.streams.stream("gatling"),
     )
+    client.start(horizon if horizon is not None else ctx.horizon)
+    return client
+
+
+def build_stream_plan(rng, cluster_ids, options: Mapping[str, Any]):
+    """Functions + source for a ``faas-stream`` spec: the one code path.
+
+    Both the unsharded component below and the sharded coordinator
+    (:mod:`repro.shard`) turn a spec's options into ``(function defs,
+    source)`` through this helper, with the same named stream — so the
+    two execution modes consume the identical invocation sequence for
+    the same seed.  Unknown options raise via
+    :func:`~repro.workloads.streaming.build_stream_source`.
+    """
+    opts = dict(options)
+    opts.pop("horizon", None)
+    count = int(opts.pop("functions", 100))
+    fn_duration = float(opts.pop("duration", 0.010))
+    qps = float(opts.pop("qps", 10.0))
+    region_shift = bool(opts.pop("region_shift", False))
+    azure_durations = bool(opts.pop("azure_durations", True))
+    deployed = sleep_functions(count, fn_duration)
+    source = build_stream_source(
+        rng,
+        [f.name for f in deployed],
+        qps,
+        duration_model=(
+            None if azure_durations else FixedDurationModel(fn_duration)
+        ),
+        regions=list(cluster_ids) if region_shift else None,
+        **opts,
+    )
+    return deployed, source
+
+
+@component(
+    "workload",
+    "faas-stream",
+    help="streaming open-loop FaaS load (lazy source + modulators)",
+)
+def faas_stream_workload(
+    ctx: StackContext,
+    qps: float = 10.0,
+    functions: int = 100,
+    duration: float = 0.010,
+    azure_durations: bool = True,
+    horizon: Optional[float] = None,
+    zipf_s: float = 1.1,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: float = 86_400.0,
+    diurnal_phase: float = 0.0,
+    burst_at: Optional[float] = None,
+    burst_duration: float = 300.0,
+    burst_factor: float = 4.0,
+    flash_at: Optional[float] = None,
+    flash_magnitude: float = 9.0,
+    flash_rise: float = 60.0,
+    flash_decay: float = 600.0,
+    region_shift: bool = False,
+    region_period: float = 86_400.0,
+    region_sharpness: float = 1.0,
+) -> FaaSStreamClient:
+    if ctx.system.controller is None:
+        raise ValueError("the faas-stream workload needs middleware in the stack")
+    deployed, source = build_stream_plan(
+        ctx.streams.stream("stream"),
+        ctx.cluster_ids,
+        dict(
+            qps=qps,
+            functions=functions,
+            duration=duration,
+            azure_durations=azure_durations,
+            zipf_s=zipf_s,
+            diurnal_amplitude=diurnal_amplitude,
+            diurnal_period=diurnal_period,
+            diurnal_phase=diurnal_phase,
+            burst_at=burst_at,
+            burst_duration=burst_duration,
+            burst_factor=burst_factor,
+            flash_at=flash_at,
+            flash_magnitude=flash_magnitude,
+            flash_rise=flash_rise,
+            flash_decay=flash_decay,
+            region_shift=region_shift,
+            region_period=region_period,
+            region_sharpness=region_sharpness,
+        ),
+    )
+    for function in deployed:
+        ctx.system.controller.deploy(function)
+    client = FaaSStreamClient(ctx.env, ctx.system.client, source)
     client.start(horizon if horizon is not None else ctx.horizon)
     return client
 

@@ -94,8 +94,19 @@ def _sampler_artifact(log: SamplerLog) -> SamplerArtifact:
         ),
         zero_available_share=available.zero_share,
     )
-    if os.environ.get("REPRO_VERIFY_METRICS") == "1" and log.samples:
-        _verify_sampler_metrics(artifact, log)
+    if os.environ.get("REPRO_VERIFY_METRICS") == "1":
+        if log.samples:
+            _verify_sampler_metrics(artifact, log)
+        elif len(log):
+            # Verification was *requested* but the history it re-scans
+            # was discarded — failing loudly beats silently skipping the
+            # check the caller asked for.
+            raise RuntimeError(
+                "REPRO_VERIFY_METRICS=1 needs the per-sample history to "
+                "re-scan, but this sampler ran with history=false; re-run "
+                "with the slurm-sampler option history=true or unset "
+                "REPRO_VERIFY_METRICS"
+            )
     return artifact
 
 
@@ -218,19 +229,41 @@ class CoverageArtifact:
 
 
 class CoverageProbe(Probe):
+    """Clairvoyant interval packing — the one probe that *cannot* run
+    from streaming aggregates (it replays the sampled intervals).  With
+    ``missing_history="error"`` (default) a history-free sampler is a
+    loud, pointed failure; ``missing_history="skip"`` degrades
+    gracefully instead, contributing no metrics, so one probe set can
+    serve both exact small runs and O(1)-memory trace-scale runs."""
+
     def __init__(
-        self, length_set: LengthSetLike, warmup: float, source: str
+        self,
+        length_set: LengthSetLike,
+        warmup: float,
+        source: str,
+        missing_history: str = "error",
     ) -> None:
+        if missing_history not in ("error", "skip"):
+            raise ValueError(
+                "coverage option missing_history must be 'error' or 'skip', "
+                f"got {missing_history!r}"
+            )
         self.length_set = resolve_length_set(length_set)
         self.warmup = warmup
         self.source = source
+        self.missing_history = missing_history
+
+    @staticmethod
+    def _has_history(log) -> bool:
+        return bool(log.samples) or not len(log)
 
     def _pack(self, log, horizon: float) -> CoverageResult:
-        if not log.samples and len(log):
+        if not self._has_history(log):
             raise ValueError(
                 "coverage probe needs the sampler's per-sample history to "
                 "pack availability intervals, but the slurm-sampler ran "
-                "with history=false"
+                "with history=false (declare coverage with "
+                "missing_history=skip to degrade gracefully)"
             )
         available = intervals_by_node(log.samples, "available", end_time=horizon)
         return CoverageSimulator(warmup=self.warmup).run(
@@ -244,6 +277,14 @@ class CoverageProbe(Probe):
                 f"coverage probe needs the {self.source!r} probe declared "
                 "before it (it packs the sampled availability surface)"
             )
+        if self.missing_history == "skip":
+            logs = (
+                [m.log for m in sampler.per_cluster.values()]
+                if isinstance(sampler, FederatedSamplerArtifact)
+                else [sampler.log]
+            )
+            if not all(self._has_history(log) for log in logs):
+                return {}, None
         if isinstance(sampler, FederatedSamplerArtifact):
             per_cluster = {
                 cid: self._pack(member.log, ctx.horizon)
@@ -280,8 +321,14 @@ def coverage_probe(
     length_set: LengthSetLike = "A1",
     warmup: float = 20.0,
     source: str = "slurm-sampler",
+    missing_history: str = "error",
 ) -> CoverageProbe:
-    return CoverageProbe(length_set=length_set, warmup=warmup, source=source)
+    return CoverageProbe(
+        length_set=length_set,
+        warmup=warmup,
+        source=source,
+        missing_history=missing_history,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -355,6 +402,39 @@ def gatling_report_probe(
     ctx: StackContext, source: str = "gatling"
 ) -> GatlingReportProbe:
     return GatlingReportProbe(source=source)
+
+
+# ---------------------------------------------------------------------------
+# stream-report (streaming-injector outcomes, O(1) memory)
+
+
+class StreamReportProbe(Probe):
+    """Metrics from a :class:`~repro.workloads.streaming.StreamReport`.
+
+    The streaming counterpart of ``gatling-report``: every metric comes
+    from running aggregates, so the probe works unchanged at trace
+    scale.  Metric keys carry a ``stream_`` prefix to compose cleanly
+    next to a gatling probe in the same stack.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+    def collect(self, ctx: StackContext) -> Tuple[Dict[str, float], Any]:
+        client = ctx.handles.get(self.source)
+        if client is None:
+            raise ValueError(
+                f"stream-report probe found no {self.source!r} workload handle"
+            )
+        report = client.report
+        return report.metrics(), report
+
+
+@component("probe", "stream-report", help="streaming-injector request outcomes")
+def stream_report_probe(
+    ctx: StackContext, source: str = "faas-stream"
+) -> StreamReportProbe:
+    return StreamReportProbe(source=source)
 
 
 # ---------------------------------------------------------------------------

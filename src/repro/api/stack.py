@@ -221,7 +221,15 @@ class StackContext:
         Mirrors the deploy-layer convention: the primary member keeps
         the historical unsuffixed stream name, later members get
         ``base@<cluster_id>`` — so N=1 stacks stay byte-identical.
+        A shard stack (one member standing in for federation member
+        *i*) uses member *i*'s federated stream names, keeping member
+        dynamics seed-identical across shard counts.
         """
+        shard_index = self.stack.shard_member_index
+        if shard_index is not None:
+            if shard_index == 0:
+                return self.streams.stream(base)
+            return self.streams.stream(f"{base}@{cluster_id}")
         ids = self.cluster_ids
         if not ids or cluster_id == ids[0]:
             return self.streams.stream(base)
@@ -244,7 +252,8 @@ class SimulationReport:
     horizon: float
     metrics: Dict[str, float]
     artifacts: Dict[str, Any]
-    system: HPCWhiskSystem
+    #: live system handles (None for sharded runs — workers have exited)
+    system: Optional[HPCWhiskSystem]
 
     def render(self) -> str:
         from repro.analysis.report import render_kv
@@ -291,6 +300,9 @@ class Stack:
     clusters: Tuple[ClusterSpec, ...] = ()
     #: cross-cluster routing policy (federations; None = flat routing)
     router: Optional[RouterSpec] = None
+    #: sharded execution: this single-member stack stands in for
+    #: federation member *i* (stream names, see ``member_stream``)
+    shard_member_index: Optional[int] = None
 
     def __post_init__(self) -> None:
         for spec, expected in (
@@ -336,6 +348,14 @@ class Stack:
             raise ValueError("horizon must be positive")
         if self.run_extra < 0:
             raise ValueError("run_extra must be >= 0")
+        if self.shard_member_index is not None:
+            if self.shard_member_index < 0:
+                raise ValueError("shard_member_index must be >= 0")
+            if self.clusters:
+                raise ValueError(
+                    "shard_member_index applies to single-member shard "
+                    "stacks; a federated stack is sharded via run_sharded()"
+                )
 
     # ------------------------------------------------------------------
     def validate(self, registry: ComponentRegistry = COMPONENTS) -> None:
@@ -419,6 +439,7 @@ class Stack:
             router=router,
             with_middleware=with_middleware,
             with_manager=supply.with_manager,
+            shard_member_index=self.shard_member_index,
         )
         ctx = StackContext(
             stack=self,
@@ -472,3 +493,20 @@ class Stack:
             artifacts=dict(ctx.artifacts),
             system=ctx.system,
         )
+
+    def run_sharded(
+        self,
+        shards: Optional[int] = None,
+        sync_window: float = 60.0,
+    ) -> "SimulationReport":
+        """Run this federated stack as one kernel process per member.
+
+        Delegates to :func:`repro.shard.run_sharded`: conservative
+        time-window synchronization at the federation-router boundary,
+        per-member ``@<id>`` substreams (deterministic per seed), and a
+        fleet-merged report.  ``shards`` must equal the member count
+        when given.
+        """
+        from repro.shard import run_sharded
+
+        return run_sharded(self, shards=shards, sync_window=sync_window)

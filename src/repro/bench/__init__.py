@@ -44,6 +44,7 @@ from repro.bench.kernel import (
     run_kernel_bench,
 )
 from repro.bench.router import ROUTER_BENCH_NAME, run_router_bench
+from repro.bench.shards import SHARDS_BENCH_NAME, run_shards_bench
 
 __all__ = [
     "BASELINE_SCHEMA",
@@ -58,7 +59,9 @@ __all__ = [
     "KernelStats",
     "MICROBENCH_RUNNERS",
     "ROUTER_BENCH_NAME",
+    "SHARDS_BENCH_NAME",
     "run_router_bench",
+    "run_shards_bench",
     "bench_names",
     "compare_records",
     "load_baseline",

@@ -41,6 +41,7 @@ from repro.bench.kernel import (
     run_kernel_bench,
 )
 from repro.bench.router import ROUTER_BENCH_NAME, run_router_bench
+from repro.bench.shards import SHARDS_BENCH_NAME, run_shards_bench
 from repro.scenarios.registry import REGISTRY, load_builtin
 from repro.scenarios.sweep import reset_run_state
 
@@ -110,6 +111,7 @@ MICROBENCH_RUNNERS: Dict[str, Callable[[str], KernelStats]] = {
     FLOOD_BENCH_NAME: partial(run_flood_bench, queue="heap"),
     FLOOD_WHEEL_BENCH_NAME: partial(run_flood_bench, queue="wheel"),
     ROUTER_BENCH_NAME: run_router_bench,
+    SHARDS_BENCH_NAME: run_shards_bench,
 }
 
 

@@ -1,0 +1,106 @@
+"""Shard-scaling benchmark: the multi-process federation hot path.
+
+Runs the streaming two-member federation (the :mod:`repro.experiments.
+stream_day` stack shape) through :func:`repro.shard.run_sharded` — one
+kernel process per member, window-synchronized at the router — and
+reports fleet throughput as a :class:`~repro.bench.instrument.
+KernelStats`: event counters **summed across the shard workers** over
+the coordinator's wall clock.  That makes events/sec the genuine
+parallel figure of merit: a regression here means either the kernels
+got slower or the window synchronization started serializing them.
+
+``repro bench shards`` records ``BENCH_shards.json`` and the CI
+bench-smoke job gates it against the committed baseline exactly like
+the single-process microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bench.instrument import KernelStats
+
+#: registry-safe name of the shard-scaling benchmark in ``repro bench``
+SHARDS_BENCH_NAME = "shards"
+
+
+@dataclass(frozen=True)
+class ShardScale:
+    """Sizing of the shard-scaling benchmark."""
+
+    members: int
+    nodes_per_member: int
+    horizon: float
+    qps: float
+    sync_window: float = 60.0
+
+
+SHARD_SCALES: Dict[str, ShardScale] = {
+    "full": ShardScale(
+        members=4, nodes_per_member=24, horizon=14_400.0, qps=24.0
+    ),
+    "quick": ShardScale(
+        members=2, nodes_per_member=16, horizon=3_600.0, qps=8.0
+    ),
+    "smoke": ShardScale(
+        members=2, nodes_per_member=8, horizon=900.0, qps=4.0
+    ),
+}
+
+
+def run_shards_bench(preset: str = "quick") -> KernelStats:
+    """Run the sharded streaming federation at *preset* scale."""
+    try:
+        scale = SHARD_SCALES[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown shards bench preset {preset!r}; "
+            f"expected one of {sorted(SHARD_SCALES)}"
+        ) from None
+
+    from repro.api import (
+        ClusterSpec,
+        MiddlewareSpec,
+        ProbeSpec,
+        RouterSpec,
+        Stack,
+        SupplySpec,
+        WorkloadSpec,
+    )
+
+    stack = Stack(
+        clusters=tuple(
+            ClusterSpec(nodes=scale.nodes_per_member, cluster_id=f"m{index}")
+            for index in range(scale.members)
+        ),
+        supply=SupplySpec("fib"),
+        middleware=MiddlewareSpec(),
+        router=RouterSpec("weighted-idle"),
+        workloads=(
+            WorkloadSpec("idleness-trace", outage_share=0.0),
+            WorkloadSpec(
+                "faas-stream",
+                qps=scale.qps,
+                functions=50,
+                azure_durations=False,
+                diurnal_amplitude=0.3,
+                region_shift=True,
+                region_period=scale.horizon,
+            ),
+        ),
+        probes=(ProbeSpec("slurm-sampler", history=False),),
+        seed=1105,
+        horizon=scale.horizon,
+        name="bench-shards",
+    )
+    report = stack.run_sharded(
+        shards=scale.members, sync_window=scale.sync_window
+    )
+    kernel = report.artifacts["kernel"]
+    return KernelStats(
+        events_processed=int(kernel["events_processed"]),
+        events_scheduled=int(kernel["events_scheduled"]),
+        peak_queue_depth=int(kernel["peak_queue_depth"]),
+        wall_time_s=float(kernel["wall_time_s"]),
+    )

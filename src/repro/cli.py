@@ -217,6 +217,16 @@ def _add_run_parser(sub) -> None:
                              "base cluster into an N-member federation "
                              "(members get derived cluster ids and "
                              "independent random substreams)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="stack-mode: run the federation sharded, one "
+                             "kernel process per member (N must equal the "
+                             "member count; a single-cluster config is "
+                             "first replicated into N members, like "
+                             "--clusters N)")
+    parser.add_argument("--sync-window", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="sharded runs: conservative synchronization "
+                             "window in simulated seconds (default: 60)")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
                         help="also write run metrics as JSON")
 
@@ -452,12 +462,26 @@ def _run_config(args) -> int:
                     "--clusters applies to stack-mode configs only (a "
                     "scenario config wires its own cluster layout)"
                 )
+            if args.shards is not None:
+                raise ValueError(
+                    "--shards applies to stack-mode configs only (a "
+                    "scenario config wires its own cluster layout)"
+                )
             spec = REGISTRY.spec_from_config(config)
         else:
             stack = stack_from_config(config)
             if args.clusters is not None:
                 stack = _replicate_clusters(stack, args.clusters)
                 stack.validate()
+            if args.shards is not None:
+                if args.shards < 1:
+                    raise ValueError("--shards must be >= 1")
+                if args.clusters is None and len(stack.member_clusters()) == 1:
+                    # single-cluster config: --shards N doubles as
+                    # --clusters N (the shard boundary is the member
+                    # boundary, so members must exist to shard over)
+                    stack = _replicate_clusters(stack, args.shards)
+                    stack.validate()
     except OSError as error:
         raise SystemExit(f"run: {error}")
     except (KeyError, ValueError, TypeError) as error:
@@ -468,6 +492,15 @@ def _run_config(args) -> int:
     if spec is not None:
         result = REGISTRY.run_spec(spec)
         print(result.text)  # pre-rendered, identical to the subcommand
+    elif args.shards is not None:
+        try:
+            result = stack.run_sharded(
+                shards=args.shards, sync_window=args.sync_window
+            )
+        except ValueError as error:
+            message = error.args[0] if error.args else error
+            raise SystemExit(f"run: {message}")
+        print(result.render())
     else:
         result = stack.run()
         print(result.render())  # rendered from the merged probe metrics

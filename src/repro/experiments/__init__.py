@@ -20,6 +20,7 @@ Module                    Reproduces
 :mod:`.longterm`          Sec. VII — long-horizon characterization
 :mod:`.federation`        beyond the paper: two-cluster federated fleet
 :mod:`.supply`            beyond the paper: supply-policy cells + matrix
+:mod:`.stream_day`        beyond the paper: streaming full-day federation
 ========================  =======================================
 """
 
@@ -33,9 +34,11 @@ from repro.experiments.optimize import run_optimize
 from repro.experiments.longterm import LongTermResult, run_longterm
 from repro.experiments.federation import run_federation
 from repro.experiments.supply import run_supply_matrix
+from repro.experiments.stream_day import run_stream_day
 
 __all__ = [
     "run_federation",
+    "run_stream_day",
     "run_supply_matrix",
     "DayConfig",
     "DayResult",

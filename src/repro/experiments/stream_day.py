@@ -1,0 +1,202 @@
+"""The streaming full-day experiment: a million-user trace, one machine.
+
+The ROADMAP's north-star load — "millions of users over a full day" —
+is structurally impossible for the materialize-then-replay workload
+path (a day at 120 req/s is ~10M invocation objects).  This scenario
+drives a two-member federation from the **streaming** workload layer
+instead: a lazy Poisson source under a diurnal envelope, with an
+evening flash crowd and a follow-the-sun region shift, pulled one
+invocation at a time so resident memory is O(in-flight), never
+O(horizon).
+
+The same stack runs in two execution modes:
+
+* ``--shards 0`` (default) — the exact single-process federation.
+* ``--shards 2`` — one kernel process per member, window-synchronized
+  at the router boundary (:mod:`repro.shard`).  Per-member metrics are
+  seed-identical to the unsharded run; stream/routing aggregates agree
+  within the ``--sync-window`` tolerance.
+
+At the ``full`` scale (24 h x 120 req/s ≈ 10M invocations) the sharded
+mode is the difference between "eventually" and "over lunch".
+"""
+
+from __future__ import annotations
+
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    RouterSpec,
+    SimulationReport,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.scenarios import Param, ScenarioResult, ScenarioSpec, register
+
+FULL_NODES, FULL_EDGE = 200, 100
+QUICK_NODES, QUICK_EDGE = 96, 48
+SMOKE_NODES, SMOKE_EDGE = 16, 8
+
+#: flash crowd fires at this fraction of the horizon ("evening spike")
+FLASH_FRAC = 0.7
+
+
+def stream_day_stack(
+    nodes: int,
+    edge_nodes: int,
+    horizon: float,
+    qps: float,
+    seed: int,
+    azure_durations: bool = False,
+) -> Stack:
+    """The streaming two-member federation as a declarative stack."""
+    return Stack(
+        clusters=(
+            ClusterSpec(nodes=nodes, cluster_id="alpha"),
+            ClusterSpec(nodes=edge_nodes, cluster_id="beta"),
+        ),
+        supply=SupplySpec("fib"),
+        middleware=MiddlewareSpec(),
+        router=RouterSpec("weighted-idle"),
+        workloads=(
+            WorkloadSpec(
+                "idleness-trace",
+                intensity_scale=0.8,
+                length_scale=1.5,
+                outage_share=0.0,
+                min_intensity=max(2.0, nodes / 8.0),
+                diurnal_amplitude=0.5,
+            ),
+            WorkloadSpec(
+                "faas-stream",
+                qps=qps,
+                functions=100,
+                azure_durations=azure_durations,
+                diurnal_amplitude=0.4,
+                diurnal_period=86_400.0,
+                flash_at=FLASH_FRAC * horizon,
+                flash_magnitude=4.0,
+                flash_rise=60.0,
+                flash_decay=600.0,
+                region_shift=True,
+                region_period=horizon,
+            ),
+        ),
+        probes=(
+            ProbeSpec("slurm-sampler", history=False),
+            ProbeSpec("stream-report"),
+            ProbeSpec("federation-stats"),
+        ),
+        seed=seed,
+        horizon=horizon,
+        name="stream-day",
+    )
+
+
+def render_stream_day(report: SimulationReport, shards: int) -> str:
+    """Fleet + per-member text view of one streaming run."""
+    m = report.metrics
+    members = ("alpha", "beta")
+    mode = (
+        f"sharded x{shards} (sync window {m.get('sync_window_s', 0):.0f}s)"
+        if shards
+        else "unsharded (exact)"
+    )
+    lines = [
+        f"STREAM DAY — streaming federation, {mode}",
+        "",
+        f"{'metric':<26} {'fleet':>10} "
+        + " ".join(f"{cid:>10}" for cid in members),
+    ]
+
+    def row(label: str, key: str, scale: float = 1.0, digits: int = 2,
+            fleet: float = None) -> str:
+        if fleet is None:
+            fleet = m.get(key, float("nan"))
+        cells = [m.get(f"{key}@{cid}", float("nan")) * scale for cid in members]
+        return (
+            f"{label:<26} {fleet * scale:>10.{digits}f} "
+            + " ".join(f"{cell:>10.{digits}f}" for cell in cells)
+        )
+
+    lines.append(row("coverage %", "coverage", 100.0))
+    lines.append(row("avg whisk nodes", "avg_whisk_nodes"))
+    lines.append(row("avg available nodes", "avg_available_nodes"))
+    lines.append(
+        row("activations routed", "fed_routed", digits=0,
+            fleet=m.get("fed_routed_total", float("nan")))
+    )
+    lines.append(row("routed share %", "fed_routed_share", 100.0, fleet=1.0))
+    lines += [
+        "",
+        f"stream requests total    : {m['stream_requests_total']:.0f}",
+        f"accepted by controller   : {m['stream_accepted_share'] * 100:.2f}%",
+        f"success of accepted      : "
+        f"{m['stream_success_share_of_invoked'] * 100:.2f}%",
+    ]
+    if "stream_p50_response_s" in m:
+        lines += [
+            f"median response time     : {m['stream_p50_response_s'] * 1000:.0f} ms",
+            f"p99 response time        : {m['stream_p99_response_s']:.2f} s",
+        ]
+    if "fed_rejected_503" in m:
+        lines.append(f"rejected 503             : {m['fed_rejected_503']:.0f}")
+    return "\n".join(lines)
+
+
+@register(
+    "stream_day",
+    help="streaming full-day federation (lazy sources, optional shards)",
+    seed=2027,
+    workload="faas-stream",
+    params=(
+        Param("hours", float, 24.0, scale={"quick": 2.0, "smoke": 0.25},
+              spec_field="horizon", to_spec=lambda h: h * 3600.0,
+              help="experiment length in hours"),
+        Param("nodes", int, FULL_NODES,
+              scale={"quick": QUICK_NODES, "smoke": SMOKE_NODES},
+              spec_field="nodes", help="primary (alpha) cluster size"),
+        Param("edge_nodes", int, FULL_EDGE,
+              scale={"quick": QUICK_EDGE, "smoke": SMOKE_EDGE},
+              help="edge (beta) cluster size"),
+        Param("qps", float, 120.0, scale={"quick": 12.0, "smoke": 4.0},
+              help="base streaming request rate (pre-modulation)"),
+        Param("shards", int, 0,
+              help="0 = unsharded exact run; 2 = one process per member"),
+        Param("sync_window", float, 60.0,
+              help="sharded runs: synchronization window (simulated s)"),
+        Param("azure_durations", bool, False,
+              help="draw Azure-trace durations instead of fixed sleeps"),
+    ),
+)
+def stream_day_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    shards = int(spec.params["shards"])
+    stack = stream_day_stack(
+        nodes=spec.nodes,
+        edge_nodes=spec.params["edge_nodes"],
+        horizon=spec.horizon,
+        qps=spec.params["qps"],
+        seed=spec.seed,
+        azure_durations=spec.params["azure_durations"],
+    )
+    if shards:
+        report = stack.run_sharded(
+            shards=shards, sync_window=spec.params["sync_window"]
+        )
+    else:
+        report = stack.run()
+    return ScenarioResult(
+        spec=spec,
+        metrics=dict(report.metrics),
+        text=render_stream_day(report, shards),
+        artifacts={"report": report},
+    )
+
+
+def run_stream_day(hours: float = 2.0, shards: int = 0):
+    """Library entry point mirroring the other experiment modules."""
+    from repro.scenarios import REGISTRY
+
+    return REGISTRY.run("stream_day", {"hours": hours, "shards": shards})

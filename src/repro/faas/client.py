@@ -33,10 +33,19 @@ class FaaSClient:
         params: Any = None,
         duration: Optional[float] = None,
         interruptible: bool = True,
+        cluster: Optional[str] = None,
     ):
-        """Blocking invocation (generator)."""
+        """Blocking invocation (generator).
+
+        ``cluster`` is an optional federation-member placement
+        preference (see :meth:`Controller.choose_invoker`).
+        """
         result = yield from self.controller.invoke(
-            function, params=params, duration=duration, interruptible=interruptible
+            function,
+            params=params,
+            duration=duration,
+            interruptible=interruptible,
+            cluster=cluster,
         )
         return result
 

@@ -20,6 +20,12 @@ class FaaSConfig:
     # -- controller -----------------------------------------------------
     #: blocking-invocation timeout: controller gives up waiting, seconds
     activation_timeout: float = 60.0
+    #: keep the per-activation ledger (``Controller.records``) and the
+    #: per-request 503 entries of the event log.  True mirrors OpenWhisk's
+    #: CouchDB activation store; False keeps only O(1) counters, which is
+    #: what trace-scale streaming runs need — a full day at 120 req/s is
+    #: ~10M ledger entries of pure memory growth otherwise
+    record_history: bool = True
     #: controller-side scan interval for missed pings, seconds
     health_check_interval: float = 2.0
     #: an invoker missing pings for this long is declared gone, seconds

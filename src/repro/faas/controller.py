@@ -166,15 +166,24 @@ class Controller:
     # ------------------------------------------------------------------
     # invocation path
     # ------------------------------------------------------------------
-    def choose_invoker(self, function: str) -> Optional[str]:
+    def choose_invoker(
+        self, function: str, cluster: Optional[str] = None
+    ) -> Optional[str]:
         """Two-stage federated routing, or the flat single-pool default.
 
         With a :class:`~repro.faas.router.FederationRouter` configured,
         the router picks the member cluster and the load balancer picks
         among that cluster's healthy invokers.  Without a router the
         behaviour is exactly stock: the load balancer sees the whole
-        healthy list.
+        healthy list.  An explicit ``cluster`` preference (region-tagged
+        streaming invocations) short-circuits the router while that
+        member has healthy invokers; an empty preferred pool falls back
+        to the normal path rather than 503ing.
         """
+        if cluster is not None:
+            preferred = self.healthy_invokers(cluster=cluster)
+            if preferred:
+                return self.load_balancer.choose(function, preferred, self.broker)
         if self.router is not None:
             pools = self.healthy_by_cluster()
             cluster = self.router.choose(function, pools, self.broker)
@@ -189,6 +198,7 @@ class Controller:
         params: Any = None,
         duration: Optional[float] = None,
         interruptible: bool = True,
+        cluster: Optional[str] = None,
     ):
         """A process generator: performs one blocking invocation.
 
@@ -204,12 +214,15 @@ class Controller:
                 status=ActivationStatus.FAILED,
                 error=f"function {function!r} is not deployed",
             )
-        target = self.choose_invoker(function)
+        target = self.choose_invoker(function, cluster=cluster)
         if target is None:
             self.unavailable_count += 1
-            self.events.append(
-                ControllerEvent(time=env.now, kind="503", detail={"function": function})
-            )
+            if self.config.record_history:
+                self.events.append(
+                    ControllerEvent(
+                        time=env.now, kind="503", detail={"function": function}
+                    )
+                )
             return ActivationResult(
                 activation_id="",
                 function=function,
@@ -240,7 +253,8 @@ class Controller:
             invoker_id=target,
             cluster_id=target_cluster,
         )
-        self.records.append(record)
+        if self.config.record_history:
+            self.records.append(record)
         done = Event(env)
         self._pending[activation_id] = (done, record)
         self.broker.publish(self.invoker_topic(target), message)

@@ -23,6 +23,13 @@ Every policy sees the same input — an ordered ``cluster_id -> healthy
 invoker ids`` mapping — and returns a member id with at least one
 healthy invoker, or ``None`` when the whole fleet is unavailable (the
 controller then answers 503 exactly as in the single-cluster path).
+
+The same policies drive **window-synchronized sharded execution**
+(:mod:`repro.shard`): there the coordinator calls :meth:`~
+FederationRouter.choose` once per invocation with the healthy views
+reported at the *previous* sync-window boundary (conservatively stale
+by at most one window) and ``broker=None`` — policies must not
+dereference the broker, and none of the built-ins do.
 """
 
 from __future__ import annotations

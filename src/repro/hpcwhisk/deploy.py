@@ -114,10 +114,24 @@ def build_federation(
     router: Optional[FederationRouter] = None,
     with_middleware: bool = True,
     with_manager: bool = True,
+    shard_member_index: Optional[int] = None,
 ) -> HPCWhiskSystem:
-    """Assemble N member clusters under one federated control plane."""
+    """Assemble N member clusters under one federated control plane.
+
+    ``shard_member_index`` supports sharded execution (one process per
+    federation member, :mod:`repro.shard`): a single-member build that
+    stands in for member *i* of a larger federation consumes the very
+    stream names member *i* would consume inside the unsharded
+    federation (``slurm@<id>``, ``pilots@<id>``, …), so per-member
+    dynamics are seed-identical across shard counts.
+    """
     if not slurm_configs:
         raise ValueError("a federation needs at least one member SlurmConfig")
+    if shard_member_index is not None and len(slurm_configs) != 1:
+        raise ValueError(
+            "shard_member_index applies to single-member (shard) builds; "
+            f"got {len(slurm_configs)} members"
+        )
     config = config or HPCWhiskConfig()
     env = env or Environment()
     streams = RandomStreams(seed=seed)
@@ -132,11 +146,12 @@ def build_federation(
             from dataclasses import replace
 
             slurm_config = replace(slurm_config, cluster_id=cluster_id)
+        name_index = index if shard_member_index is None else shard_member_index
         clusters[cluster_id] = SlurmController(
             env,
             slurm_config,
             partitions=default_partitions(),
-            rng=streams.stream(_stream_name("slurm", cluster_id, index)),
+            rng=streams.stream(_stream_name("slurm", cluster_id, name_index)),
         )
     member_ids = list(clusters)
     primary = clusters[member_ids[0]]
@@ -160,27 +175,37 @@ def build_federation(
             federation=federation,
         )
 
+    # Sharded builds give each member its own middleware; suffix its
+    # streams like any other member-local component so shard 0 stays
+    # byte-identical to the historical single-cluster middleware.
+    mw_index = shard_member_index if shard_member_index is not None else 0
+    primary_id = member_ids[0]
     if router is not None:
-        router.bind_rng(streams.stream("router"))
+        router.bind_rng(streams.stream(_stream_name("router", primary_id, mw_index)))
     broker = Broker(env, publish_latency=config.faas.publish_latency)
     controller = Controller(
         env,
         broker,
         config=config.faas,
-        rng=streams.stream("controller"),
+        rng=streams.stream(_stream_name("controller", primary_id, mw_index)),
         load_balancer=load_balancer,
         router=router,
         cluster_order=member_ids,
     )
     client = FaaSClient(controller)
-    commercial = CommercialCloud(env, streams.stream("commercial"))
+    commercial = CommercialCloud(
+        env, streams.stream(_stream_name("commercial", primary_id, mw_index))
+    )
     wrapped = Alg1Wrapper(client, commercial)
 
     timelines: List[PilotTimeline] = []
     managers: Dict[str, _BaseJobManager] = {}
     if with_manager:
         for index, (cluster_id, slurm) in enumerate(clusters.items()):
-            pilot_rng = streams.stream(_stream_name("pilots", cluster_id, index))
+            name_index = index if shard_member_index is None else shard_member_index
+            pilot_rng = streams.stream(
+                _stream_name("pilots", cluster_id, name_index)
+            )
 
             def body_factory(rng=pilot_rng, cid=cluster_id):
                 return make_pilot_body(

@@ -1,0 +1,13 @@
+"""Sharded federated simulation: one kernel process per member.
+
+See :mod:`repro.shard.runner` for the execution model (conservative
+time-window synchronization at the federation-router boundary).
+"""
+
+from repro.shard.runner import (
+    COORDINATOR_PROBES,
+    MEMBER_LOCAL_WORKLOADS,
+    run_sharded,
+)
+
+__all__ = ["COORDINATOR_PROBES", "MEMBER_LOCAL_WORKLOADS", "run_sharded"]

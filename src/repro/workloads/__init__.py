@@ -13,6 +13,9 @@ Everything stochastic about the reproduction's inputs lives here:
 * :mod:`repro.workloads.faas_trace` — Azure-like FaaS invocation durations.
 * :mod:`repro.workloads.gatling` — the constant-rate open-model load client
   used by the responsiveness experiments (Figs 5b/6b, Sec. V-C).
+* :mod:`repro.workloads.streaming` — lazy invocation sources + composable
+  intensity modulators (diurnal/burst/flash-crowd/region-shift) and the
+  O(1)-memory streaming injector for trace-scale runs.
 * :mod:`repro.workloads.sebs` — real bfs/mst/pagerank kernels (SeBS).
 * :mod:`repro.workloads.lambda_model` — the AWS Lambda comparator (Fig 7).
 """
@@ -25,13 +28,36 @@ from repro.workloads.distributions import (
 )
 from repro.workloads.idleness import IdlenessTrace, IdlenessTraceGenerator, IdlePeriod
 from repro.workloads.hpc_trace import PrimeWorkload, busy_intervals, trace_to_prime_jobs
-from repro.workloads.faas_trace import AzureDurationModel
+from repro.workloads.faas_trace import AzureDurationModel, Invocation
 from repro.workloads.gatling import GatlingClient, GatlingReport, RequestOutcome
+from repro.workloads.streaming import (
+    BurstModulator,
+    DiurnalModulator,
+    FaaSStreamClient,
+    FixedDurationModel,
+    FlashCrowdModulator,
+    PoissonSource,
+    RegionShiftModulator,
+    StreamReport,
+    StreamSource,
+    build_stream_source,
+)
 
 __all__ = [
     "AzureDurationModel",
+    "BurstModulator",
+    "DiurnalModulator",
+    "FaaSStreamClient",
+    "FixedDurationModel",
+    "FlashCrowdModulator",
     "GatlingClient",
     "GatlingReport",
+    "Invocation",
+    "PoissonSource",
+    "RegionShiftModulator",
+    "StreamReport",
+    "StreamSource",
+    "build_stream_source",
     "IdlePeriod",
     "IdlePeriodLengthModel",
     "IdlenessTrace",

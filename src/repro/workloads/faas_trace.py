@@ -42,11 +42,17 @@ class AzureDurationModel:
 
 @dataclass(frozen=True)
 class Invocation:
-    """One planned invocation: when, which function, how long it computes."""
+    """One planned invocation: when, which function, how long it computes.
+
+    ``cluster`` is an optional placement preference (a federation member
+    id) set by region-aware sources; plain sources leave it ``None`` and
+    routing falls back to the load-balancer / federation policy.
+    """
 
     time: float
     function: str
     duration: float
+    cluster: Optional[str] = None
 
 
 class PoissonInvocationProcess:
@@ -89,4 +95,27 @@ class PoissonInvocationProcess:
         ]
 
     def iter_generate(self, horizon: float) -> Iterator[Invocation]:
-        yield from self.generate(horizon)
+        """Invocations in ``[0, horizon)``, one at a time, O(1) memory.
+
+        Unlike :meth:`generate` — which draws the Poisson count up front
+        and sorts a full horizon of uniforms — this samples exponential
+        inter-arrival gaps incrementally, so resident memory is constant
+        regardless of the horizon.  The two constructions describe the
+        same homogeneous Poisson process (identical distribution per
+        seed, not the identical draw sequence); ``generate``'s output is
+        untouched for existing callers.
+        """
+        rng = self._rng
+        scale = 1.0 / self.rate
+        n_functions = len(self.functions)
+        t = 0.0
+        while True:
+            t += float(rng.exponential(scale))
+            if t >= horizon:
+                return
+            index = int(rng.choice(n_functions, p=self._popularity))
+            yield Invocation(
+                time=t,
+                function=self.functions[index],
+                duration=float(self.duration_model.sample()),
+            )

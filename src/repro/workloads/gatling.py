@@ -32,9 +32,15 @@ class RequestOutcome:
 
 @dataclass
 class GatlingReport:
-    """Aggregated view of a load run."""
+    """Aggregated view of a load run.
+
+    ``run_horizon`` is stamped by :meth:`GatlingClient.start` so that
+    minute-binned series cover the whole run even when the trailing
+    minutes saw no submissions.
+    """
 
     outcomes: List[RequestOutcome] = field(default_factory=list)
+    run_horizon: Optional[float] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -74,7 +80,17 @@ class GatlingReport:
 
     # -- per-minute series (Figs 5b / 6b) ---------------------------------
     def per_minute(self, horizon: Optional[float] = None) -> Dict[str, np.ndarray]:
-        """Minute-binned counts of successful / failed / lost / 503."""
+        """Minute-binned counts of successful / failed / lost / 503.
+
+        The bin range is, in order of preference: the explicit
+        ``horizon`` argument, the :attr:`run_horizon` recorded at
+        injection start, then — for hand-built reports only — the last
+        submission time.  The last fallback under-counts minutes when a
+        run's tail has no submissions, which is exactly why the client
+        stamps the real horizon.
+        """
+        if horizon is None:
+            horizon = self.run_horizon
         if not self.outcomes and horizon is None:
             return {k: np.zeros(0, dtype=int) for k in ("successful", "failed", "lost", "rejected")}
         end = horizon if horizon is not None else max(o.submitted_at for o in self.outcomes) + 1
@@ -130,6 +146,7 @@ class GatlingClient:
 
     def start(self, horizon: float) -> None:
         """Begin injecting; stops issuing new requests at *horizon*."""
+        self.report.run_horizon = float(horizon)
         self._proc = self.env.process(self._inject(horizon))
 
     def _inject(self, horizon: float):

@@ -172,6 +172,115 @@ def test_reservoir_rejects_bad_args():
 
 
 # ---------------------------------------------------------------------------
+# merge: the shard-fold contract (coordinator merges per-member aggregates)
+
+
+@given(left=_FLOATS, right=_FLOATS)
+@settings(max_examples=200, deadline=None)
+def test_streaming_stats_merge_equals_whole_stream(left, right):
+    merged = StreamingStats()
+    for value in left:
+        merged.add(value)
+    other = StreamingStats()
+    for value in right:
+        other.add(value)
+    merged.merge(other)
+    whole = np.asarray(left + right, dtype=float)
+    assert merged.count == len(whole)
+    assert merged.min == float(whole.min())
+    assert merged.max == float(whole.max())
+    assert merged.total == pytest.approx(float(whole.sum()), rel=1e-12, abs=1e-9)
+    # parallel (Chan et al.) moment combination: exact up to float rounding
+    assert merged.variance == pytest.approx(float(np.var(whole)), rel=1e-9, abs=1e-9)
+
+
+def test_streaming_stats_merge_empty_sides():
+    stats = StreamingStats()
+    stats.add(3.0)
+    stats.merge(StreamingStats())  # no-op
+    assert stats.count == 1 and stats.mean == 3.0
+    empty = StreamingStats()
+    empty.merge(stats)  # adopts the other side's moments
+    assert empty.count == 1 and empty.mean == 3.0 and empty.variance == 0.0
+
+
+def test_streaming_stats_merge_folds_sketches():
+    left = StreamingStats(quantiles=True, capacity=64)
+    right = StreamingStats(quantiles=True, capacity=64)
+    for value in range(20):
+        left.add(float(value))
+    for value in range(20, 50):
+        right.add(float(value))
+    left.merge(right)
+    assert left.sketch.exact  # union (50) fits the capacity (64)
+    assert left.quantile(0.5) == float(np.percentile(np.arange(50.0), 50.0))
+
+
+@given(left=_COUNTS, right=_COUNTS)
+@settings(max_examples=200, deadline=None)
+def test_count_series_merge_equals_whole_stream(left, right):
+    merged = CountSeries()
+    for value in left:
+        merged.add(value)
+    other = CountSeries()
+    for value in right:
+        other.add(value)
+    merged.merge(other)
+    whole = CountSeries()
+    for value in left + right:
+        whole.add(value)
+    assert merged.histogram == whole.histogram
+    assert merged.count == whole.count
+    assert merged.total == whole.total
+    assert merged.zeros == whole.zeros
+    # histograms add exactly -> percentiles identical to the re-scan
+    assert merged.summary() == percentile_summary(np.array(left + right))
+
+
+def test_reservoir_merge_exact_while_union_fits():
+    left = ReservoirSketch(capacity=32)
+    right = ReservoirSketch(capacity=32)
+    for value in range(10):
+        left.add(float(value))
+    for value in range(10, 25):
+        right.add(float(value))
+    left.merge(right)
+    assert left.seen == 25
+    assert left.exact
+    assert sorted(left.values) == [float(v) for v in range(25)]
+
+
+def test_reservoir_merge_deterministic_and_seen_proportional():
+    def build():
+        left = ReservoirSketch(capacity=16)
+        right = ReservoirSketch(capacity=16)
+        for value in range(300):
+            left.add(float(value))
+        for value in range(300, 1000):
+            right.add(float(value))
+        left.merge(right)
+        return left
+
+    first, second = build(), build()
+    assert first.values == second.values  # no RNG draw in the merge
+    assert first.seen == 1000
+    assert len(first.values) == 16
+    # each side contributes proportionally to how much it has *seen*:
+    # right saw 70% of the stream -> ~11 of 16 slots
+    from_right = sum(1 for value in first.values if value >= 300.0)
+    assert 9 <= from_right <= 13
+
+
+def test_reservoir_merge_empty_other_is_noop():
+    sketch = ReservoirSketch(capacity=8)
+    for value in range(5):
+        sketch.add(float(value))
+    before = (list(sketch.values), sketch.seen)
+    sketch.merge(ReservoirSketch(capacity=8))
+    assert (list(sketch.values), sketch.seen) == before
+
+
+# ---------------------------------------------------------------------------
 # end-to-end: the sampler probe's verification mode (REPRO_VERIFY_METRICS)
 
 

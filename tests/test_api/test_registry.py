@@ -37,6 +37,7 @@ EXPECTED_BUILTINS = {
         "sebs",
         "hpc-jobs",
         "failover-window",
+        "faas-stream",
     },
     "probe": {
         "slurm-sampler",
@@ -48,6 +49,7 @@ EXPECTED_BUILTINS = {
         "loadbalancer-stats",
         "federation-stats",
         "supply-stats",
+        "stream-report",
     },
 }
 

@@ -1,0 +1,195 @@
+"""Sharded execution: determinism, shard-count invariance, partitioning.
+
+One kernel process per federation member, conservative window sync at
+the router boundary.  The load-bearing promises tested here:
+
+- the same seed gives the identical merged report, run after run;
+- per-member cluster dynamics are *seed-identical* between the flat
+  (single-kernel) and the sharded execution of the same stack — the
+  ``@<id>`` substream discipline at work;
+- workload partitioning and the shards/members sanity checks fail
+  loudly, before any process is forked.
+"""
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    MiddlewareSpec,
+    ProbeSpec,
+    RouterSpec,
+    Stack,
+    SupplySpec,
+    WorkloadSpec,
+)
+from repro.cluster.job import reset_job_ids
+from repro.faas.messages import reset_activation_ids
+from repro.hpcwhisk.pilot import reset_pilot_ids
+from repro.scenarios.sweep import reset_run_state
+from repro.shard.runner import (
+    _partition_workloads,
+    _resolve_member_configs,
+    run_sharded,
+)
+
+
+def fed_stack(**overrides):
+    base = dict(
+        clusters=(
+            ClusterSpec(nodes=8, cluster_id="alpha"),
+            ClusterSpec(nodes=6, cluster_id="beta"),
+        ),
+        supply=SupplySpec("fib"),
+        middleware=MiddlewareSpec(),
+        router=RouterSpec("weighted-idle"),
+        workloads=(
+            WorkloadSpec("idleness-trace", min_intensity=3.0, outage_share=0.0),
+            WorkloadSpec(
+                "faas-stream", qps=3.0, functions=8, azure_durations=False
+            ),
+        ),
+        probes=(
+            ProbeSpec("slurm-sampler", history=False),
+            ProbeSpec("stream-report"),
+            ProbeSpec("federation-stats"),
+        ),
+        seed=29,
+        horizon=600.0,
+        name="shard-unit",
+    )
+    base.update(overrides)
+    return Stack(**base)
+
+
+def _fresh():
+    """Identical global counter state before every run: workers fork
+    from this process, so the parent state is part of the experiment."""
+    reset_job_ids()
+    reset_activation_ids()
+    reset_pilot_ids()
+    reset_run_state()
+
+
+# ---------------------------------------------------------------------------
+# end-to-end runs
+
+
+def test_sharded_run_is_deterministic():
+    _fresh()
+    first = fed_stack().run_sharded(shards=2)
+    _fresh()
+    second = fed_stack().run_sharded(shards=2)
+    assert first.metrics == second.metrics
+    assert first.metrics["shards"] == 2
+    assert first.metrics["stream_requests_total"] > 0
+
+
+def test_shard_count_invariance_against_flat_run():
+    """Flat vs sharded execution of the same stack: member-local
+    dynamics (fib supply under the idleness trace) are seed-identical —
+    exactly equal — while the stream totals agree to a 1% tolerance
+    (in-flight requests at the horizon may resolve differently)."""
+    _fresh()
+    flat = fed_stack().run()
+    _fresh()
+    shard = fed_stack().run_sharded(shards=2)
+    for key in ("avg_whisk_nodes@alpha", "avg_whisk_nodes@beta"):
+        assert shard.metrics[key] == flat.metrics[key]
+    a = flat.metrics["stream_requests_total"]
+    b = shard.metrics["stream_requests_total"]
+    assert a > 0 and b > 0
+    assert abs(a - b) <= 0.01 * max(a, b)
+    # fleet sums reconstructed from worker extras, same formulas as flat
+    assert shard.metrics["coverage"] == pytest.approx(
+        flat.metrics["coverage"], rel=1e-9
+    )
+
+
+def test_sharded_report_shape():
+    _fresh()
+    report = fed_stack().run_sharded(shards=2)
+    assert report.system is None  # per-member systems die with the workers
+    assert report.metrics["sync_window_s"] == 60.0
+    assert {"shard-metrics", "stream-report", "routing", "kernel"} <= set(
+        report.artifacts
+    )
+    assert report.artifacts["kernel"]["events_processed"] > 0
+    # serializable without the (absent) system handle
+    assert '"shards": 2' in report.to_json()
+
+
+# ---------------------------------------------------------------------------
+# validation (no processes forked)
+
+
+def test_shards_must_match_member_count():
+    with pytest.raises(ValueError, match="shards == members"):
+        fed_stack().run_sharded(shards=3)
+
+
+def test_sync_window_must_be_positive():
+    with pytest.raises(ValueError, match="sync_window"):
+        fed_stack().run_sharded(shards=2, sync_window=0.0)
+
+
+def test_partition_rejects_unsupported_workload():
+    stack = fed_stack(workloads=(WorkloadSpec("gatling", qps=1.0),))
+    with pytest.raises(ValueError, match="cannot run sharded"):
+        run_sharded(stack, shards=2)
+
+
+def test_partition_placement_rules():
+    stack = fed_stack(
+        workloads=(
+            WorkloadSpec("idleness-trace", outage_share=0.0),
+            WorkloadSpec("pinned-jobs", cluster="beta"),
+            WorkloadSpec("faas-stream", qps=1.0),
+        )
+    )
+    stream, per_member = _partition_workloads(stack, ["alpha", "beta"])
+    assert stream is not None and stream.name == "faas-stream"
+    assert [w.name for w in per_member["alpha"]] == ["idleness-trace"]
+    assert [w.name for w in per_member["beta"]] == [
+        "idleness-trace",
+        "pinned-jobs",
+    ]
+
+
+def test_partition_rejects_unknown_target_cluster():
+    stack = fed_stack(workloads=(WorkloadSpec("pinned-jobs", cluster="gamma"),))
+    with pytest.raises(ValueError, match="unknown cluster"):
+        _partition_workloads(stack, ["alpha", "beta"])
+
+
+def test_resolve_member_configs_assigns_positional_ids():
+    stack = fed_stack(clusters=(ClusterSpec(nodes=4), ClusterSpec(nodes=4)))
+    members = _resolve_member_configs(stack)
+    assert [cid for cid, _spec in members] == ["c0", "c1"]
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+
+
+def test_cli_rejects_shards_on_scenario_configs(tmp_path):
+    from repro.cli import main
+
+    config = tmp_path / "scenario.yaml"
+    config.write_text("scenario: fig3\n")
+    with pytest.raises(SystemExit, match="stack-mode"):
+        main(["run", "--config", str(config), "--shards", "2"])
+
+
+def test_cli_rejects_non_positive_shards(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match=">= 1"):
+        main(
+            [
+                "run",
+                "--config",
+                "examples/configs/stream_day.yaml",
+                "--shards",
+                "0",
+            ]
+        )

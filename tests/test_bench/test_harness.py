@@ -35,11 +35,12 @@ def _record(name, eps, kind="kernel"):
 
 def test_bench_names_lists_microbenches_and_all_scenarios():
     names = bench_names()
-    assert names[:5] == ["kernel", "kernel-wheel", "flood", "flood-wheel",
-                         "router"]
+    assert names[:6] == ["kernel", "kernel-wheel", "flood", "flood-wheel",
+                         "router", "shards"]
     assert "day" in names and "fig1" in names and "federation" in names
     assert "supply" in names and "supply_matrix" in names
-    assert len(names) == 16
+    assert "stream_day" in names
+    assert len(names) == 18
 
 
 def test_router_microbench_smoke_runs_and_counts():
@@ -108,7 +109,7 @@ def test_microbench_runners_pin_their_queues():
     from repro.bench import MICROBENCH_RUNNERS
 
     assert set(MICROBENCH_RUNNERS) == {
-        "kernel", "kernel-wheel", "flood", "flood-wheel", "router",
+        "kernel", "kernel-wheel", "flood", "flood-wheel", "router", "shards",
     }
     wheel_record = run_bench("kernel-wheel", preset="smoke")
     assert wheel_record.kind == "kernel"

@@ -7,7 +7,7 @@ from repro.scenarios import REGISTRY, load_builtin
 
 EXPECTED = [
     "fig1", "fig2", "fig3", "table1", "day", "fig7", "optimize", "longterm",
-    "federation", "supply", "supply_matrix",
+    "federation", "supply", "supply_matrix", "stream_day",
 ]
 
 

@@ -89,6 +89,44 @@ def test_per_minute_binning():
     assert list(series["rejected"]) == [0, 0, 1]
 
 
+def test_per_minute_uses_recorded_run_horizon():
+    """Regression: a run whose tail has no submissions must still bin
+    every minute of the horizon — the ``run_horizon`` stamped at
+    injection start wins over the last-submission fallback, which used
+    to silently drop trailing quiet minutes."""
+    report = GatlingReport(
+        outcomes=[RequestOutcome(10.0, "f", ActivationStatus.SUCCESS, 0.1)],
+        run_horizon=300.0,
+    )
+    series = report.per_minute()
+    assert list(series["successful"]) == [1, 0, 0, 0, 0]
+    # an explicit horizon argument still overrides the stamped one
+    assert len(report.per_minute(horizon=120.0)["successful"]) == 2
+
+
+def test_per_minute_fallback_without_horizon_stops_at_last_submission():
+    report = GatlingReport(
+        outcomes=[RequestOutcome(10.0, "f", ActivationStatus.SUCCESS, 0.1)]
+    )
+    assert list(report.per_minute()["successful"]) == [1]
+
+
+def test_per_minute_empty_report_with_horizon_is_all_zero_bins():
+    report = GatlingReport(run_horizon=120.0)
+    series = report.per_minute()
+    assert list(series["successful"]) == [0, 0]
+    assert list(series["rejected"]) == [0, 0]
+
+
+def test_client_stamps_run_horizon(env):
+    target = ScriptedTarget(env, [(ActivationStatus.SUCCESS, 0.01)])
+    client = GatlingClient(env, target, ["f"], rate_per_second=1.0)
+    client.start(horizon=240.0)
+    env.run(until=300.0)
+    assert client.report.run_horizon == 240.0
+    assert len(client.report.per_minute()["successful"]) == 4
+
+
 def test_empty_report():
     report = GatlingReport()
     assert report.invoked_share == 0.0
