@@ -1,0 +1,96 @@
+"""One tabular writer for every table the repo emits.
+
+``cli.py`` (per-run metric CSV), ``supply/matrix.py`` (ranked matrix
+CSV), ``scenarios/sweep.py`` (per-cell aggregate CSV), and ``repro
+query`` / ``repro report`` all print or persist rows-with-columns; this
+module is the single implementation they share.
+
+Cells are written exactly as given — callers that need byte-stable
+output (the committed CSV shapes asserted by tests) pre-format floats
+with ``repr`` themselves, everything else passes raw values through
+:mod:`csv`'s standard quoting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from numbers import Number
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """An ordered set of columns plus rows of cells."""
+
+    columns: List[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    title: Optional[str] = None
+
+    @classmethod
+    def from_cursor(cls, cursor, title: Optional[str] = None) -> "Table":
+        """Materialize a DB-API cursor (column names from description)."""
+        columns = [desc[0] for desc in cursor.description or ()]
+        return cls(columns=columns, rows=[list(row) for row in cursor], title=title)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Header + one line per row, ``\\n`` terminated (csv quoting)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_json(self, indent: int = 2) -> str:
+        """A JSON list of one object per row, column order preserved."""
+        payload = [dict(zip(self.columns, row)) for row in self.rows]
+        return json.dumps(payload, indent=indent, default=str)
+
+    def render(self) -> str:
+        """Aligned text table: numbers right-aligned, text left-aligned."""
+        cells = [[_format_cell(value) for value in row] for row in self.rows]
+        widths = [len(name) for name in self.columns]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        numeric = [
+            all(
+                isinstance(row[index], Number) or row[index] is None
+                for row in self.rows
+            )
+            for index in range(len(self.columns))
+        ]
+
+        def line(values: Sequence[str]) -> str:
+            parts = []
+            for index, value in enumerate(values):
+                if numeric[index]:
+                    parts.append(f"{value:>{widths[index]}}")
+                else:
+                    parts.append(f"{value:<{widths[index]}}")
+            return "  ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(line(self.columns))
+        lines.append(line(["-" * width for width in widths]))
+        if not cells:
+            lines.append("(no rows)")
+        else:
+            lines.extend(line(row) for row in cells)
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

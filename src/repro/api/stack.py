@@ -454,6 +454,9 @@ class Stack:
 
     def run(self, registry: ComponentRegistry = COMPONENTS) -> SimulationReport:
         """Build, attach workloads and probes, simulate, and collect."""
+        import time
+
+        started = time.perf_counter()
         ctx = self.build(registry)
 
         for spec in self.workloads:
@@ -485,7 +488,7 @@ class Stack:
             ctx.metrics.update(metrics)
             ctx.artifacts[spec.name] = artifact
 
-        return SimulationReport(
+        report = SimulationReport(
             name=self.name,
             seed=self.seed,
             horizon=self.horizon,
@@ -493,6 +496,11 @@ class Stack:
             artifacts=dict(ctx.artifacts),
             system=ctx.system,
         )
+
+        from repro.warehouse import capture
+
+        capture.record_stack(report, wall_time_s=time.perf_counter() - started)
+        return report
 
     def run_sharded(
         self,
@@ -507,6 +515,18 @@ class Stack:
         fleet-merged report.  ``shards`` must equal the member count
         when given.
         """
+        import time
+
         from repro.shard import run_sharded
 
-        return run_sharded(self, shards=shards, sync_window=sync_window)
+        started = time.perf_counter()
+        report = run_sharded(self, shards=shards, sync_window=sync_window)
+
+        from repro.warehouse import capture
+
+        capture.record_stack(
+            report,
+            wall_time_s=time.perf_counter() - started,
+            shards=len(self.member_clusters()) if shards is None else shards,
+        )
+        return report

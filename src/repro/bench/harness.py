@@ -62,6 +62,20 @@ class BenchRecord:
     seed: Optional[int] = None
     #: the scenario's flat result metrics (empty for the kernel bench)
     metrics: Mapping[str, float] = field(default_factory=dict)
+    #: canonical configuration identity (always derived; see __post_init__)
+    spec_hash: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # always the canonical derivation, so records deserialized from
+        # old files (no spec_hash key) equal freshly built ones and the
+        # from_dict(to_dict()) round-trip stays exact
+        from repro.provenance import spec_hash
+
+        object.__setattr__(
+            self,
+            "spec_hash",
+            spec_hash({"bench": self.name, "preset": self.preset}),
+        )
 
     @property
     def events_per_sec(self) -> float:
@@ -70,6 +84,7 @@ class BenchRecord:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "schema": BENCH_SCHEMA,
+            "spec_hash": self.spec_hash,
             "name": self.name,
             "kind": self.kind,
             "preset": self.preset,

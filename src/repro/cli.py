@@ -56,11 +56,19 @@ from repro.scenarios import (
 )
 
 #: argparse dests that are CLI plumbing, not scenario parameters
-_CONTROL_DESTS = ("command", "scale", "json_path", "csv_path")
+_CONTROL_DESTS = ("command", "scale", "json_path", "csv_path", "no_store")
 
 
 def _flag(name: str) -> str:
     return "--" + name.replace("_", "-")
+
+
+def _add_no_store(parser) -> None:
+    parser.add_argument(
+        "--no-store", action="store_true", dest="no_store",
+        help="do not record this run into the results warehouse "
+             "(equivalent to REPRO_WAREHOUSE=0)",
+    )
 
 
 def _describe_seed(scenario: Scenario) -> str:
@@ -95,6 +103,7 @@ def _add_scenario_parser(sub, scenario: Scenario) -> None:
                         help="also write run metrics as JSON")
     parser.add_argument("--csv", dest="csv_path", metavar="PATH",
                         help="also write run metrics as CSV")
+    _add_no_store(parser)
 
 
 def _add_sweep_parser(sub) -> None:
@@ -128,6 +137,7 @@ def _add_sweep_parser(sub) -> None:
                         help="also write the JSON aggregate to PATH")
     parser.add_argument("--csv", dest="csv_path", metavar="PATH",
                         help="also write a per-metric CSV to PATH")
+    _add_no_store(parser)
 
 
 def _add_bench_parser(sub) -> None:
@@ -161,6 +171,7 @@ def _add_bench_parser(sub) -> None:
                         help="instead of recording, run each named benchmark "
                              "under cProfile and print the top-N functions "
                              "by internal time (default N: 25)")
+    _add_no_store(parser)
 
 
 def _add_matrix_parser(sub) -> None:
@@ -198,6 +209,7 @@ def _add_matrix_parser(sub) -> None:
                         help="also write the ranked matrix as JSON")
     parser.add_argument("--csv", dest="csv_path", metavar="PATH",
                         help="also write the ranked matrix as CSV")
+    _add_no_store(parser)
 
 
 def _add_run_parser(sub) -> None:
@@ -229,6 +241,91 @@ def _add_run_parser(sub) -> None:
                              "window in simulated seconds (default: 60)")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
                         help="also write run metrics as JSON")
+    _add_no_store(parser)
+
+
+def _add_query_parser(sub) -> None:
+    parser = sub.add_parser(
+        "query", help="SQL + canned queries over the results warehouse",
+        description="Query the results warehouse (every scenario / sweep / "
+                    "matrix / bench / stack run recorded by default under "
+                    ".repro/warehouse.sqlite).  SQL is the front door — "
+                    "tables: runs, metrics, artifacts — plus canned "
+                    "queries: ranking (mean metric per grouping param), "
+                    "trend (per-revision means), regressions (latest runs "
+                    "vs their baseline, exits 1 on a regression), drift "
+                    "(same spec/seed, different metrics).",
+    )
+    parser.add_argument(
+        "sql", metavar="SQL|CANNED",
+        help="a SELECT statement, or one of: ranking, trend, regressions, "
+             "drift",
+    )
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="warehouse path (default: $REPRO_WAREHOUSE or "
+                             ".repro/warehouse.sqlite)")
+    parser.add_argument("--format", choices=("table", "json", "csv"),
+                        default="table", help="stdout format (default: table)")
+    parser.add_argument("--metric", default=None,
+                        help="canned queries: metric name (ranking/trend "
+                             "default: coverage; regressions: events_per_sec)")
+    parser.add_argument("--name", default=None,
+                        help="trend: restrict to one run name")
+    parser.add_argument("--group", default=None,
+                        help="ranking: grouping parameter (default: policy)")
+    parser.add_argument("--kind", default=None,
+                        help="canned queries: run kind filter")
+    parser.add_argument("--baseline-label", default="baseline",
+                        help="regressions: label of the baseline runs "
+                             "(default: baseline)")
+    parser.add_argument("--current-label", default=None,
+                        help="regressions: restrict current runs to a label")
+    parser.add_argument("--max-regression", default="10%", metavar="PCT",
+                        help="regressions: tolerated events/sec drop "
+                             "(default: 10%%)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="ranking: keep only the top N rows")
+    parser.add_argument("--backfill", action="store_true",
+                        help="first ingest the committed BENCH_baseline.json "
+                             "+ tests/golden/*.json (idempotent)")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="also write the result as JSON")
+    parser.add_argument("--csv", dest="csv_path", metavar="PATH",
+                        help="also write the result as CSV")
+
+
+def _add_report_parser(sub) -> None:
+    parser = sub.add_parser(
+        "report", help="per-metric trend/regression summary between revisions",
+        description="Compare every (run, metric) mean between two sets of "
+                    "recorded runs — two git revisions (--from-rev/--to-rev, "
+                    "default: earliest vs latest recorded), or the runs "
+                    "before vs after a timestamp (--split).  Flags metrics "
+                    "whose mean moved beyond the threshold.",
+    )
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="warehouse path (default: $REPRO_WAREHOUSE or "
+                             ".repro/warehouse.sqlite)")
+    parser.add_argument("--metric", default=None,
+                        help="restrict to one metric name")
+    parser.add_argument("--name", default=None,
+                        help="restrict to one run name")
+    parser.add_argument("--kind", default=None,
+                        help="restrict to one run kind (scenario, bench, …)")
+    parser.add_argument("--from-rev", default=None, metavar="REV",
+                        help="baseline git revision (default: earliest "
+                             "recorded)")
+    parser.add_argument("--to-rev", default=None, metavar="REV",
+                        help="comparison git revision (default: latest "
+                             "recorded)")
+    parser.add_argument("--split", default=None, metavar="TIMESTAMP",
+                        help="instead of revisions: compare runs created "
+                             "before vs at/after this ISO timestamp")
+    parser.add_argument("--threshold", default="10%", metavar="PCT",
+                        help="flag metrics whose mean moved more than this "
+                             "(default: 10%%)")
+    parser.add_argument("--format", choices=("table", "json", "csv"),
+                        default="table", help="stdout format (default: table)")
 
 
 def _add_compose_parser(sub) -> None:
@@ -255,6 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench_parser(sub)
     _add_run_parser(sub)
     _add_compose_parser(sub)
+    _add_query_parser(sub)
+    _add_report_parser(sub)
     return parser
 
 
@@ -303,13 +402,17 @@ def _run_scenario(args) -> int:
     }
     result = REGISTRY.run(args.command, overrides, scale=args.scale)
     print(result.text)
+    from repro.analysis.tables import Table
+
     run = result.to_dict()
-    csv_lines = ["scenario,scale,seed,metric,value"]
-    csv_lines += [
-        f"{run['scenario']},{run['scale']},{run['seed']},{name},{value!r}"
-        for name, value in run["metrics"].items()
-    ]
-    _persist(args, result.to_json(), "\n".join(csv_lines) + "\n")
+    table = Table(
+        columns=["scenario", "scale", "seed", "metric", "value"],
+        rows=[
+            [run["scenario"], run["scale"], run["seed"], name, repr(value)]
+            for name, value in run["metrics"].items()
+        ],
+    )
+    _persist(args, result.to_json(), table.to_csv())
     return 0
 
 
@@ -347,10 +450,16 @@ def _run_bench(args) -> int:
             print(profile_bench(name, preset=args.preset, top=args.profile))
         return 0
 
+    from repro.warehouse import capture
+
     records = {}
+    current_ids: Dict[str, str] = {}
     for name in names:
         record = run_bench(name, preset=args.preset, repeats=args.repeats)
         path = write_record(record, args.out_dir)
+        run_id = capture.record_bench(record, label="current", artifact=path)
+        if run_id is not None:
+            current_ids[name] = run_id
         stats = record.stats
         print(
             f"{name:<10} {stats.events_processed:>10} events  "
@@ -365,9 +474,23 @@ def _run_bench(args) -> int:
         print(f"baseline ({len(records)} entr{'y' if len(records) == 1 else 'ies'}) -> {path}")
 
     if args.against:
+        # the gate is a warehouse query when capture is on (the baseline
+        # file is ingested first, so the verdict is provable from the
+        # store afterwards); the in-memory comparator is the fallback
+        # when the store is disabled or a capture failed — both paths
+        # produce identical Comparison values by construction.
+        store = capture.default_store() if len(current_ids) == len(records) else None
         try:
-            baseline = load_baseline(args.against)
-            comparisons = compare_records(records, baseline, threshold)
+            if store is not None:
+                from repro.warehouse.queries import bench_gate
+
+                baseline_ids = store.ingest_baseline(args.against)
+                comparisons = bench_gate(
+                    store, current_ids, baseline_ids, threshold
+                )
+            else:
+                baseline = load_baseline(args.against)
+                comparisons = compare_records(records, baseline, threshold)
         except (OSError, ValueError) as error:
             raise SystemExit(f"bench: {error}")
         if not comparisons:
@@ -627,8 +750,187 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _emit_table(args, table) -> None:
+    """Print a query result in the chosen format; honour --json/--csv."""
+    if args.format == "json":
+        print(table.to_json())
+    elif args.format == "csv":
+        print(table.to_csv(), end="")
+    else:
+        print(table.render())
+    if getattr(args, "json_path", None) or getattr(args, "csv_path", None):
+        _persist(args, table.to_json(), table.to_csv())
+
+
+def _open_store(db: Optional[str], backfill: bool = False):
+    """The warehouse behind ``repro query``/``repro report``."""
+    import os
+
+    from repro.warehouse import capture
+    from repro.warehouse.store import RunStore
+
+    path = db or capture.store_path() or capture.DEFAULT_PATH
+    if not os.path.exists(path) and not backfill:
+        raise SystemExit(
+            f"query: no warehouse at {path} — run any scenario/bench/matrix "
+            "first (capture is on by default), point --db at a store, or "
+            "pass --backfill to seed one from the committed artifacts"
+        )
+    store = RunStore(path)
+    if backfill:
+        counts = store.backfill(".")
+        print(
+            f"backfill: {counts['baseline']} baseline entr"
+            f"{'y' if counts['baseline'] == 1 else 'ies'}, "
+            f"{counts['golden']} golden trace(s) -> {path}",
+            file=sys.stderr,
+        )
+    return store
+
+
+def _run_query(args) -> int:
+    import sqlite3
+
+    from repro.bench.harness import parse_regression
+    from repro.warehouse import queries
+
+    token = args.sql.strip()
+    try:
+        store = _open_store(args.db, backfill=args.backfill)
+        if token in queries.CANNED:
+            options: Dict[str, Any] = {}
+            if token == "ranking":
+                options["metric"] = args.metric or "coverage"
+                options["group"] = args.group or "policy"
+                options["kind"] = args.kind or "scenario"
+                if args.limit is not None:
+                    options["limit"] = args.limit
+            elif token == "trend":
+                options["metric"] = args.metric or "coverage"
+                options["name"] = args.name
+                options["kind"] = args.kind
+            elif token == "regressions":
+                options["threshold"] = parse_regression(args.max_regression)
+                options["metric"] = args.metric or "events_per_sec"
+                options["kind"] = args.kind or "bench"
+                options["baseline_label"] = args.baseline_label
+                options["current_label"] = args.current_label
+            table = queries.run_canned(store, token, **options)
+        else:
+            table = store.query(token)
+    except sqlite3.Error as error:
+        raise SystemExit(f"query: {error}")
+    except ValueError as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"query: {message}")
+    _emit_table(args, table)
+    if token == "regressions":
+        regressed = [row for row in table.rows if row[-1]]
+        if regressed:
+            print(
+                f"query: {len(regressed)} benchmark(s) regressed vs baseline",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _run_report(args) -> int:
+    import sqlite3
+
+    from repro.bench.harness import parse_regression
+
+    try:
+        threshold = parse_regression(args.threshold)
+    except ValueError as error:
+        raise SystemExit(f"report: {error}")
+    if (args.from_rev is None) != (args.to_rev is None):
+        raise SystemExit("report: --from-rev and --to-rev go together")
+    if args.split is not None and args.from_rev is not None:
+        raise SystemExit("report: pick revisions or --split, not both")
+
+    store = _open_store(args.db)
+    filters, params = "", {}
+    if args.metric is not None:
+        filters += " AND m.name = :metric"
+        params["metric"] = args.metric
+    if args.name is not None:
+        filters += " AND r.name = :name"
+        params["name"] = args.name
+    if args.kind is not None:
+        filters += " AND r.kind = :kind"
+        params["kind"] = args.kind
+
+    def side_means(condition: str, extra: Dict[str, Any]):
+        sql = f"""
+            SELECT r.name, m.name AS metric, AVG(m.value) AS mean
+            FROM runs r JOIN metrics m ON m.run_id = r.run_id
+            WHERE {condition}{filters}
+            GROUP BY r.name, m.name
+        """
+        table = store.query(sql, {**params, **extra})
+        return {(row[0], row[1]): row[2] for row in table.rows}
+
+    try:
+        if args.split is not None:
+            from_label, to_label = f"< {args.split}", f">= {args.split}"
+            before = side_means("r.created_at < :split", {"split": args.split})
+            after = side_means("r.created_at >= :split", {"split": args.split})
+        else:
+            from_rev, to_rev = args.from_rev, args.to_rev
+            if from_rev is None:
+                revs = store.query(
+                    "SELECT COALESCE(git_rev, '(none)') AS rev FROM runs "
+                    "GROUP BY git_rev ORDER BY MIN(rowid)"
+                ).rows
+                if len(revs) < 2:
+                    print(
+                        "report: fewer than two recorded revisions — run "
+                        "experiments at another revision first, or compare "
+                        "time windows with --split"
+                    )
+                    return 0
+                from_rev, to_rev = str(revs[0][0]), str(revs[-1][0])
+            from_label, to_label = from_rev, to_rev
+            before = side_means(
+                "COALESCE(r.git_rev, '(none)') = :rev", {"rev": from_rev}
+            )
+            after = side_means(
+                "COALESCE(r.git_rev, '(none)') = :rev", {"rev": to_rev}
+            )
+    except sqlite3.Error as error:
+        raise SystemExit(f"report: {error}")
+
+    from repro.analysis.tables import Table
+
+    rows = []
+    for key in sorted(set(before) & set(after)):
+        base, current = float(before[key]), float(after[key])
+        delta = (current / base - 1.0) if base != 0 else 0.0
+        flag = "CHANGED" if abs(delta) > threshold else ""
+        rows.append([key[0], key[1], base, current, f"{delta:+.1%}", flag])
+    table = Table(
+        columns=["name", "metric", "from_mean", "to_mean", "delta", "flag"],
+        rows=rows,
+        title=f"report: {from_label} -> {to_label} "
+              f"(threshold {threshold:.0%})",
+    )
+    _emit_table(args, table)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_store", False):
+        # set the env (not just process state) so sweep/matrix worker
+        # processes inherit the opt-out
+        from repro.warehouse import capture
+
+        capture.disable()
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "report":
+        return _run_report(args)
     if args.command == "list":
         print(_render_list())
         return 0

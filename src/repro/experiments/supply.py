@@ -209,19 +209,9 @@ def supply_matrix_scenario(spec: ScenarioSpec) -> ScenarioResult:
         jobs=max(1, int(spec.params["jobs"])),
         base_seed=spec.seed,
     )
-    metrics = {
-        "matrix_cells": float(len(result.cells)),
-        "matrix_runs": float(len(result.cells) * seeds),
-    }
-    for cell in result.cells:
-        label = cell.label(result.label_nodes)
-        metrics[f"score@{label}"] = cell.score
-        metrics[f"rank@{label}"] = float(cell.rank)
-        for name, value in cell.objectives.items():
-            metrics[f"{name}@{label}"] = value
     return ScenarioResult(
         spec=spec,
-        metrics=metrics,
+        metrics=result.flat_metrics(),
         text=result.render(),
         artifacts={"matrix": result},
     )

@@ -1,0 +1,90 @@
+"""Canonical provenance stamps shared by every result emitter.
+
+Before the results warehouse, each subsystem that persisted JSON rolled
+its own identity story: bench records had a schema tag but no spec
+hash, scenario/matrix/sweep results had neither, and cross-run tooling
+could not tell "same configuration, new code" from "different
+configuration".  This module is the one shared helper:
+
+* :func:`spec_hash` — a short, canonical SHA-256 over a JSON-able
+  identity payload (sorted keys, compact separators), stable across
+  processes, Python versions, and dict insertion order;
+* :func:`git_rev` — the working tree's revision (``REPRO_GIT_REV``
+  overrides; the subprocess lookup is cached per process);
+* the ``repro-*/1`` schema tags stamped into every emitted JSON payload
+  so the warehouse ingester can key on them.
+
+Everything here is dependency-free so any layer may import it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from functools import lru_cache
+from typing import Any, Mapping, Optional
+
+#: schema tag stamped into ``ScenarioResult.to_dict()`` JSON
+RESULT_SCHEMA = "repro-result/1"
+#: schema tag stamped into ``SweepResult.to_dict()`` JSON
+SWEEP_SCHEMA = "repro-sweep/1"
+#: schema tag stamped into ``MatrixResult.to_dict()`` JSON
+MATRIX_SCHEMA = "repro-matrix/1"
+
+#: environment override for :func:`git_rev` (CI sets it; tests pin it)
+GIT_REV_ENV = "REPRO_GIT_REV"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic compact JSON: sorted keys, no whitespace.
+
+    Non-JSON values fall back to ``str`` so hashing never raises on an
+    enum or a Path smuggled into a params mapping.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def spec_hash(payload: Mapping[str, Any]) -> str:
+    """16-hex-char canonical hash of an identity payload.
+
+    The shared replacement for the per-subsystem ad-hoc hashing this
+    repo used to do: every emitter builds a plain mapping of whatever
+    identifies its configuration (scenario name + resolved params,
+    bench name + preset, sweep grid…) and stamps the digest.  Two runs
+    share a hash exactly when their identity payloads are canonically
+    equal.
+    """
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@lru_cache(maxsize=1)
+def _git_rev_from_worktree() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def git_rev() -> Optional[str]:
+    """The current revision label, or None outside a git checkout.
+
+    ``REPRO_GIT_REV`` (when set) wins — it is how CI stamps the exact
+    commit under test and how tests pin deterministic provenance; an
+    empty value means "no revision".  The subprocess fallback is cached
+    for the life of the process.
+    """
+    env = os.environ.get(GIT_REV_ENV)
+    if env is not None:
+        return env.strip() or None
+    return _git_rev_from_worktree()

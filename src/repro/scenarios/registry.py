@@ -101,6 +101,30 @@ class Param:
         return coerced
 
 
+def _run_captured(
+    runner: Callable[[ScenarioSpec], ScenarioResult], spec: ScenarioSpec
+) -> ScenarioResult:
+    """Run a resolved spec and record the result into the warehouse.
+
+    Both registry entry points (``Scenario.run`` and
+    ``ScenarioRegistry.run_spec``) funnel through here, so every
+    scenario execution — CLI, sweeps (in worker processes), benches,
+    configs — is captured exactly once.  Capture is opt-out via
+    ``REPRO_WAREHOUSE`` and never raises (see
+    :mod:`repro.warehouse.capture`).
+    """
+    import time
+
+    started = time.perf_counter()
+    result = runner(spec)
+    elapsed = time.perf_counter() - started
+
+    from repro.warehouse import capture
+
+    capture.record_scenario(result, wall_time_s=elapsed)
+    return result
+
+
 #: a scenario's default seed: a constant, or a function of resolved params
 SeedDefault = Union[int, Callable[[Mapping[str, Any]], int]]
 
@@ -168,7 +192,7 @@ class Scenario:
     def run(
         self, overrides: Optional[Mapping[str, Any]] = None, scale: str = "full"
     ) -> ScenarioResult:
-        return self.runner(self.build_spec(overrides, scale))
+        return _run_captured(self.runner, self.build_spec(overrides, scale))
 
 
 class ScenarioRegistry:
@@ -220,7 +244,7 @@ class ScenarioRegistry:
 
     def run_spec(self, spec: ScenarioSpec) -> ScenarioResult:
         """Run an already-resolved spec through its scenario's runner."""
-        return self.get(spec.name).runner(spec)
+        return _run_captured(self.get(spec.name).runner, spec)
 
     #: allowed keys of a scenario-mode config mapping
     CONFIG_KEYS = ("scenario", "scale", "seed", "overrides")

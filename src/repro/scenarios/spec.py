@@ -40,6 +40,24 @@ class ScenarioSpec:
     #: scenario-specific parameters, resolved (name -> value)
     params: Mapping[str, Any] = field(default_factory=dict)
 
+    def spec_hash(self) -> str:
+        """Canonical configuration identity (scenario + resolved params).
+
+        Seed and scale are deliberately excluded — they are separate
+        axes of a run's identity (the warehouse stores them as their
+        own columns), so two runs of the same configuration at
+        different seeds share a spec hash and the ``drift`` query can
+        group on it.
+        """
+        from repro.provenance import spec_hash
+
+        return spec_hash(
+            {
+                "scenario": self.name,
+                "params": {k: self.params[k] for k in sorted(self.params)},
+            }
+        )
+
     def overrides(self) -> Dict[str, Any]:
         """The flat override mapping that rebuilds this spec.
 
@@ -80,7 +98,11 @@ class ScenarioResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready view (spec + metrics, no artifacts)."""
+        from repro.provenance import RESULT_SCHEMA
+
         return {
+            "schema": RESULT_SCHEMA,
+            "spec_hash": self.spec.spec_hash(),
             "scenario": self.spec.name,
             "scale": self.spec.scale,
             "seed": self.spec.seed,

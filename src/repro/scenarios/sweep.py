@@ -20,8 +20,6 @@ Determinism is the design center:
 
 from __future__ import annotations
 
-import csv
-import io
 import itertools
 import json
 import math
@@ -86,6 +84,25 @@ class SweepSpec:
     #: fixed (non-swept) parameter overrides applied to every cell
     fixed: Mapping[str, Any] = field(default_factory=dict)
 
+    def spec_hash(self) -> str:
+        """Canonical sweep identity: scenario + grid + fixed + seeds.
+
+        ``base_seed``/``jobs``/``scale`` are excluded — the seed and
+        scale are separate identity axes in the warehouse, and the
+        worker count never changes results (serial/parallel sweeps are
+        byte-identical by contract).
+        """
+        from repro.provenance import spec_hash
+
+        return spec_hash(
+            {
+                "scenario": self.scenario,
+                "grid": {k: list(self.grid[k]) for k in sorted(self.grid)},
+                "fixed": {k: self.fixed[k] for k in sorted(self.fixed)},
+                "seeds": self.seeds,
+            }
+        )
+
 
 @dataclass
 class CellResult:
@@ -113,7 +130,11 @@ class SweepResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic aggregate view (identical for serial/parallel)."""
+        from repro.provenance import SWEEP_SCHEMA
+
         return {
+            "schema": SWEEP_SCHEMA,
+            "spec_hash": self.spec.spec_hash(),
             "scenario": self.spec.scenario,
             "scale": self.spec.scale,
             "base_seed": self.base_seed,
@@ -135,24 +156,22 @@ class SweepResult:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
-    def to_csv(self) -> str:
+    def to_table(self) -> "Table":
         """One row per (cell, metric): params (grid + fixed overrides),
-        then n/mean/stdev/ci95."""
+        then n/mean/stdev/ci95.  Floats are repr-formatted so the CSV
+        rendering is byte-stable across Python versions."""
+        from repro.analysis.tables import Table
+
         fixed = dict(self.spec.fixed)
         param_names = sorted(
             {name for cell in self.cells for name in cell.params} | set(fixed)
         )
-        buffer = io.StringIO()
-        writer = csv.writer(buffer, lineterminator="\n")
-        writer.writerow(
-            ["scenario", "scale", "base_seed", *param_names,
-             "metric", "n", "mean", "stdev", "ci95"]
-        )
+        rows = []
         for cell in self.cells:
             params = {**fixed, **cell.params}
             for name in sorted(cell.metrics):
                 agg = cell.metrics[name]
-                writer.writerow(
+                rows.append(
                     [
                         self.spec.scenario,
                         self.spec.scale,
@@ -165,7 +184,14 @@ class SweepResult:
                         repr(agg["ci95"]),
                     ]
                 )
-        return buffer.getvalue()
+        return Table(
+            columns=["scenario", "scale", "base_seed", *param_names,
+                     "metric", "n", "mean", "stdev", "ci95"],
+            rows=rows,
+        )
+
+    def to_csv(self) -> str:
+        return self.to_table().to_csv()
 
 
 def aggregate_metrics(runs: Sequence[Mapping[str, float]]) -> Dict[str, Dict[str, float]]:
@@ -349,10 +375,18 @@ class SweepExecutor:
             for cell_index, (cell, seeds) in enumerate(plan)
         ]
         pids = tuple(sorted({pid for _metrics, pid in outcomes}))
-        return SweepResult(
+        result = SweepResult(
             spec=spec,
             base_seed=self._base_seed(spec),
             cells=cells,
             elapsed=elapsed,
             worker_pids=pids,
         )
+
+        # the aggregate goes into the warehouse from the parent process;
+        # individual replicates were already captured where they ran
+        # (worker processes write the store concurrently under WAL)
+        from repro.warehouse import capture
+
+        capture.record_sweep(result)
+        return result

@@ -27,8 +27,6 @@ JSON/CSV for dashboards.
 
 from __future__ import annotations
 
-import csv
-import io
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -87,8 +85,33 @@ class MatrixResult:
     def labels(self) -> List[str]:
         return [cell.label(self.label_nodes) for cell in self.cells]
 
+    def flat_metrics(self) -> Dict[str, float]:
+        """The matrix as flat ``name`` / ``name@label`` float metrics.
+
+        The shape every flat-metric consumer shares: the
+        ``supply_matrix`` scenario result, the warehouse's matrix rows,
+        and sweep aggregation all read this one flattening — matrix
+        size, then per-cell score, rank, and objectives suffixed with
+        the cell's label.
+        """
+        metrics: Dict[str, float] = {
+            "matrix_cells": float(len(self.cells)),
+            "matrix_runs": float(len(self.cells) * self.seeds),
+        }
+        for cell in self.cells:
+            label = cell.label(self.label_nodes)
+            metrics[f"score@{label}"] = cell.score
+            metrics[f"rank@{label}"] = float(cell.rank)
+            for name, value in cell.objectives.items():
+                metrics[f"{name}@{label}"] = value
+        return metrics
+
     def to_dict(self) -> Dict[str, object]:
+        from repro.provenance import MATRIX_SCHEMA
+
         return {
+            "schema": MATRIX_SCHEMA,
+            "spec_hash": self.sweep.spec.spec_hash(),
             "scale": self.scale,
             "seeds": self.seeds,
             "objectives": {
@@ -113,19 +136,17 @@ class MatrixResult:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
-    def to_csv(self) -> str:
-        """One row per cell, rank order."""
+    def to_table(self) -> "Table":
+        """One row per cell, rank order (floats repr'd for byte-stable CSV)."""
+        from repro.analysis.tables import Table
+
         objective_names = [
             name for name in OBJECTIVES if name not in self.missing_objectives
         ]
-        buffer = io.StringIO()
-        writer = csv.writer(buffer, lineterminator="\n")
-        writer.writerow(
-            ["rank", "label", "policy", "workload", "nodes", "score",
-             *objective_names]
-        )
-        for cell in self.cells:
-            writer.writerow(
+        return Table(
+            columns=["rank", "label", "policy", "workload", "nodes", "score",
+                     *objective_names],
+            rows=[
                 [
                     cell.rank,
                     cell.label(self.label_nodes),
@@ -136,8 +157,12 @@ class MatrixResult:
                     *[repr(cell.objectives.get(name, float("nan")))
                       for name in objective_names],
                 ]
-            )
-        return buffer.getvalue()
+                for cell in self.cells
+            ],
+        )
+
+    def to_csv(self) -> str:
+        return self.to_table().to_csv()
 
     def render(self) -> str:
         """The ranked comparison table the CLI prints."""
@@ -303,7 +328,7 @@ def run_matrix(
             )
         )
     ranked, missing = score_cells(cells)
-    return MatrixResult(
+    result = MatrixResult(
         cells=ranked,
         sweep=sweep,
         seeds=seeds,
@@ -311,3 +336,8 @@ def run_matrix(
         label_nodes=len(set(shapes)) > 1,
         missing_objectives=missing,
     )
+
+    from repro.warehouse import capture
+
+    capture.record_matrix(result)
+    return result

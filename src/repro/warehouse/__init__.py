@@ -1,0 +1,12 @@
+"""Results warehouse: one SQLite store over every runner's results.
+
+See :mod:`repro.warehouse.store` for the :class:`RunStore` API,
+:mod:`repro.warehouse.queries` for the canned queries behind ``repro
+query``, and :mod:`repro.warehouse.capture` for the automatic opt-out
+capture every runner goes through.
+"""
+
+from repro.warehouse.schema import SCHEMA_VERSION
+from repro.warehouse.store import RunRecord, RunStore
+
+__all__ = ["RunRecord", "RunStore", "SCHEMA_VERSION"]

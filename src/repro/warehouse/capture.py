@@ -1,0 +1,121 @@
+"""Automatic, best-effort run capture into the default warehouse.
+
+Every runner (scenario registry, sweep executor, matrix, bench, stack)
+calls one of the ``record_*`` functions here after a run completes.
+Capture is:
+
+* **opt-out** — enabled by default at ``.repro/warehouse.sqlite``; the
+  ``REPRO_WAREHOUSE`` env var disables it (``0``/``off``/``false``/
+  ``no``/``none``/empty) or points it at another path, and the CLI's
+  ``--no-store`` flag sets the env so sweep worker processes inherit
+  the opt-out;
+* **best-effort** — a store failure (read-only filesystem, locked
+  volume…) warns once and never breaks the run that produced the
+  results;
+* **lazy** — runners import this module inside the call, so the
+  warehouse costs nothing until a run actually finishes.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+ENV_VAR = "REPRO_WAREHOUSE"
+DEFAULT_PATH = os.path.join(".repro", "warehouse.sqlite")
+_OFF_TOKENS = frozenset({"", "0", "off", "false", "no", "none"})
+
+_store = None
+_store_path: Optional[str] = None
+_warned = False
+
+
+def store_path() -> Optional[str]:
+    """The capture target, or None when capture is disabled."""
+    value = os.environ.get(ENV_VAR)
+    if value is None:
+        return DEFAULT_PATH
+    if value.strip().lower() in _OFF_TOKENS:
+        return None
+    return value
+
+
+def enabled() -> bool:
+    return store_path() is not None
+
+
+def disable() -> None:
+    """Turn capture off for this process and its children."""
+    os.environ[ENV_VAR] = "0"
+
+
+def default_store():
+    """The process-wide store at :func:`store_path` (None if disabled).
+
+    Cached per path, so repeated captures in one process share one
+    connection; a fresh store backfills the committed baseline/golden
+    artifacts when created inside a repo checkout.
+    """
+    global _store, _store_path
+    path = store_path()
+    if path is None:
+        return None
+    if _store is not None and _store_path == path:
+        return _store
+    from repro.warehouse.store import RunStore
+
+    if _store is not None:
+        _store.close()
+    _store = RunStore(path, auto_backfill=True)
+    _store_path = path
+    return _store
+
+
+def reset() -> None:
+    """Drop the cached store (tests re-point the env between cases)."""
+    global _store, _store_path, _warned
+    if _store is not None:
+        _store.close()
+    _store = None
+    _store_path = None
+    _warned = False
+
+
+def _capture(method: str, *args, **kwargs) -> Optional[str]:
+    global _warned
+    try:
+        store = default_store()
+        if store is None:
+            return None
+        return getattr(store, method)(*args, **kwargs)
+    except Exception as exc:  # capture must never break the run
+        if not _warned:
+            _warned = True
+            warnings.warn(
+                f"results warehouse capture failed ({exc}); "
+                "set REPRO_WAREHOUSE=0 to silence",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return None
+
+
+def record_scenario(result, wall_time_s=None, label=None) -> Optional[str]:
+    return _capture("record_scenario", result, wall_time_s=wall_time_s, label=label)
+
+
+def record_sweep(result) -> Optional[str]:
+    return _capture("record_sweep", result)
+
+
+def record_matrix(result) -> Optional[str]:
+    return _capture("record_matrix", result)
+
+
+def record_bench(record, label=None, artifact=None) -> Optional[str]:
+    return _capture("record_bench", record, label=label, artifact=artifact)
+
+
+def record_stack(report, wall_time_s=None, shards=None) -> Optional[str]:
+    return _capture("record_stack", report, wall_time_s=wall_time_s, shards=shards)

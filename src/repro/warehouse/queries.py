@@ -1,0 +1,289 @@
+"""Canned queries over the results warehouse.
+
+``repro query`` accepts either raw SQL or one of the named queries
+here; ``repro bench --against`` and ``repro report`` are thin fronts
+over the same functions.  Each canned query takes a
+:class:`~repro.warehouse.store.RunStore` plus keyword options and
+returns a :class:`~repro.analysis.tables.Table`:
+
+``ranking``
+    Rank values of one grouping parameter (default ``policy``) by the
+    cross-run average of one metric (default ``coverage``) — "which
+    supply policy wins on harvest across everything we've recorded?".
+``trend``
+    One row per (git revision, run name): a metric's mean at each
+    recorded revision, oldest revision first — "when did cold-start
+    rate move?".
+``regressions``
+    The CI bench gate as SQL: latest current run per benchmark joined
+    against its ``baseline``-labelled run; delta and verdict computed
+    exactly like :func:`repro.bench.harness.compare_records`.
+``drift``
+    Runs whose identity (name, spec hash, seed, scale) recorded more
+    than one distinct metrics digest — determinism drift across
+    revisions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.analysis.tables import Table
+
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _check_identifier(token: str, what: str) -> str:
+    if not _IDENTIFIER.match(token or ""):
+        raise ValueError(f"{what} must be an identifier, got {token!r}")
+    return token
+
+
+def ranking(
+    store,
+    metric: str = "coverage",
+    group: str = "policy",
+    kind: str = "scenario",
+    limit: Optional[int] = None,
+) -> Table:
+    """Cross-run average of *metric* per value of the *group* param."""
+    _check_identifier(group, "group")
+    sql = f"""
+        SELECT json_extract(r.payload, '$.params.{group}') AS {group},
+               COUNT(*) AS runs,
+               AVG(m.value) AS mean,
+               MIN(m.value) AS min,
+               MAX(m.value) AS max
+        FROM runs r
+        JOIN metrics m ON m.run_id = r.run_id
+        WHERE r.kind = :kind
+          AND m.name = :metric
+          AND json_extract(r.payload, '$.params.{group}') IS NOT NULL
+        GROUP BY 1
+        ORDER BY mean DESC, 1
+    """
+    params: Dict[str, Any] = {"kind": kind, "metric": metric}
+    if limit is not None:
+        sql += " LIMIT :limit"
+        params["limit"] = int(limit)
+    table = store.query(sql, params)
+    table.title = f"ranking: mean {metric} by {group} over {kind} runs"
+    return table
+
+
+def trend(
+    store,
+    metric: str = "coverage",
+    name: Optional[str] = None,
+    kind: Optional[str] = None,
+) -> Table:
+    """A metric's per-revision mean, oldest recorded revision first."""
+    sql = """
+        SELECT COALESCE(r.git_rev, '(none)') AS git_rev,
+               r.name,
+               COUNT(*) AS runs,
+               AVG(m.value) AS mean,
+               MIN(r.created_at) AS first_seen
+        FROM runs r
+        JOIN metrics m ON m.run_id = r.run_id
+        WHERE m.name = :metric
+    """
+    params: Dict[str, Any] = {"metric": metric}
+    if name is not None:
+        sql += " AND r.name = :name"
+        params["name"] = name
+    if kind is not None:
+        sql += " AND r.kind = :kind"
+        params["kind"] = kind
+    sql += """
+        GROUP BY r.git_rev, r.name
+        ORDER BY first_seen, git_rev, r.name
+    """
+    table = store.query(sql, params)
+    table.title = f"trend: mean {metric} per git revision"
+    return table
+
+
+#: the SQL core of the regression gate: one row per benchmark present
+#: on both sides, with delta/verdict computed exactly like
+#: ``compare_records`` (delta = cur/base - 1 when base > 0, else 0.0)
+_REGRESSIONS_SQL = """
+    SELECT cur.name,
+           cur.scale  AS current_preset,
+           base.scale AS baseline_preset,
+           bm.value   AS baseline_eps,
+           cm.value   AS current_eps,
+           CASE WHEN bm.value > 0 THEN cm.value / bm.value - 1.0
+                ELSE 0.0 END AS delta,
+           CASE WHEN bm.value > 0
+                 AND cm.value / bm.value - 1.0 < -:threshold THEN 1
+                ELSE 0 END AS regressed
+    FROM runs cur
+    JOIN metrics cm ON cm.run_id = cur.run_id AND cm.name = :metric
+    JOIN runs base
+      ON base.name = cur.name
+     AND base.kind = cur.kind
+     AND base.run_id <> cur.run_id
+    JOIN metrics bm ON bm.run_id = base.run_id AND bm.name = :metric
+"""
+
+
+def regressions(
+    store,
+    threshold: float = 0.10,
+    metric: str = "events_per_sec",
+    kind: str = "bench",
+    baseline_label: str = "baseline",
+    current_label: Optional[str] = None,
+    current_ids: Optional[Mapping[str, str]] = None,
+    baseline_ids: Optional[Mapping[str, str]] = None,
+) -> Table:
+    """Latest current run per benchmark vs its baseline run.
+
+    With ``current_ids``/``baseline_ids`` (name -> run id mappings, as
+    returned by the capture layer and :meth:`RunStore.ingest_baseline`),
+    the join is pinned to exactly those runs and rows come back in
+    current-mapping order — the ``repro bench --against`` gate.  Without
+    them, "current" is the latest run per name whose label is not the
+    baseline label, and "baseline" the latest ``baseline``-labelled run.
+
+    Raises :class:`ValueError` on a preset mismatch between a benchmark
+    and its baseline entry, like the in-memory comparator.
+    """
+    params: Dict[str, Any] = {"threshold": float(threshold), "metric": metric}
+    sql = _REGRESSIONS_SQL
+    if current_ids is not None or baseline_ids is not None:
+        if current_ids is None or baseline_ids is None:
+            raise ValueError("current_ids and baseline_ids go together")
+        cur_marks = ",".join(f":cur{i}" for i in range(len(current_ids)))
+        base_marks = ",".join(f":base{i}" for i in range(len(baseline_ids)))
+        params.update(
+            {f"cur{i}": rid for i, rid in enumerate(current_ids.values())}
+        )
+        params.update(
+            {f"base{i}": rid for i, rid in enumerate(baseline_ids.values())}
+        )
+        sql += f"""
+            WHERE cur.run_id IN ({cur_marks or "''"})
+              AND base.run_id IN ({base_marks or "''"})
+        """
+    else:
+        params["kind"] = kind
+        params["baseline_label"] = baseline_label
+        sql += """
+            WHERE cur.kind = :kind
+              AND COALESCE(cur.label, '') <> :baseline_label
+              AND base.label = :baseline_label
+              AND cur.rowid = (
+                  SELECT MAX(c2.rowid) FROM runs c2
+                  WHERE c2.kind = cur.kind AND c2.name = cur.name
+                    AND COALESCE(c2.label, '') <> :baseline_label)
+              AND base.rowid = (
+                  SELECT MAX(b2.rowid) FROM runs b2
+                  WHERE b2.kind = base.kind AND b2.name = base.name
+                    AND b2.label = :baseline_label)
+        """
+        if current_label is not None:
+            sql = sql.replace(
+                "COALESCE(cur.label, '') <> :baseline_label",
+                "cur.label = :current_label",
+            ).replace(
+                "COALESCE(c2.label, '') <> :baseline_label",
+                "c2.label = :current_label",
+            )
+            params["current_label"] = current_label
+    table = store.query(sql, params)
+    for row in table.rows:
+        name, current_preset, baseline_preset = row[0], row[1], row[2]
+        if current_preset != baseline_preset:
+            raise ValueError(
+                f"benchmark {name!r}: cannot compare preset "
+                f"{current_preset!r} against baseline preset "
+                f"{baseline_preset!r}"
+            )
+    if current_ids:
+        order = {name: index for index, name in enumerate(current_ids)}
+        table.rows.sort(key=lambda row: order.get(row[0], len(order)))
+    else:
+        table.rows.sort(key=lambda row: row[0])
+    table.title = f"regressions: {metric} vs baseline (threshold {threshold:.0%})"
+    return table
+
+
+def drift(store, include_bench: bool = False) -> Table:
+    """Identical run identities that recorded different metrics.
+
+    Benchmarks are excluded by default: their wall-clock throughput
+    metrics legitimately differ run to run, so every bench pair would
+    be reported as drift.
+    """
+    sql = """
+        SELECT r.kind, r.name, r.spec_hash, r.seed, r.scale,
+               COUNT(*) AS runs,
+               COUNT(DISTINCT r.metrics_digest) AS digests,
+               COUNT(DISTINCT COALESCE(r.git_rev, '')) AS revisions
+        FROM runs r
+        WHERE (:include_bench OR r.kind <> 'bench')
+        GROUP BY r.kind, r.name, r.spec_hash, r.seed, r.scale
+        HAVING COUNT(DISTINCT r.metrics_digest) > 1
+        ORDER BY r.kind, r.name, r.spec_hash, r.seed, r.scale
+    """
+    table = store.query(sql, {"include_bench": int(bool(include_bench))})
+    table.title = "drift: same spec/seed/scale, different metrics"
+    return table
+
+
+def bench_gate(
+    store,
+    current_ids: Mapping[str, str],
+    baseline_ids: Mapping[str, str],
+    max_regression: float,
+) -> List["Comparison"]:
+    """The query-backed regression gate, as Comparison objects.
+
+    Runs the :func:`regressions` canned query pinned to the given run
+    ids and converts the rows back into
+    :class:`~repro.bench.harness.Comparison` values, so ``repro bench
+    --against`` prints and exits identically whether the verdict came
+    from the in-memory comparator or from the warehouse.
+    """
+    from repro.bench.harness import Comparison
+
+    table = regressions(
+        store,
+        threshold=max_regression,
+        current_ids=current_ids,
+        baseline_ids=baseline_ids,
+    )
+    return [
+        Comparison(
+            name=str(row[0]),
+            baseline_eps=float(row[3]),
+            current_eps=float(row[4]),
+            delta=float(row[5]),
+            regressed=bool(row[6]),
+        )
+        for row in table.rows
+    ]
+
+
+#: canned query name -> callable(store, **options) -> Table
+CANNED: Dict[str, Callable[..., Table]] = {
+    "ranking": ranking,
+    "trend": trend,
+    "regressions": regressions,
+    "drift": drift,
+}
+
+
+def run_canned(store, query, **options: Any) -> Table:
+    # *query* deliberately avoids the name ``name`` — several canned
+    # queries take a ``name=`` filter option of their own
+    try:
+        runner = CANNED[query]
+    except KeyError:
+        raise ValueError(
+            f"unknown canned query {query!r} (have: {', '.join(sorted(CANNED))})"
+        ) from None
+    return runner(store, **options)

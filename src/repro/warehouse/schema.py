@@ -1,0 +1,107 @@
+"""The warehouse's versioned SQLite schema and its migrations.
+
+The store keeps its schema version in SQLite's ``user_version`` pragma.
+:func:`migrate` applies every migration whose version exceeds the
+database's current one, inside a single transaction per migration, so a
+store created by any earlier release upgrades in place the first time a
+newer :class:`~repro.warehouse.store.RunStore` opens it.
+
+Schema (version 1)::
+
+    runs       one row per recorded run: identity (run_id, kind, name,
+               spec_hash, seed, scale, label), provenance (git_rev,
+               created_at, wall_time_s), a metrics_digest for drift
+               queries, and the run's canonical JSON payload (resolved
+               params, preset, …) for ``json_extract`` queries
+    metrics    flat (run_id, name, value) rows — every flat float
+               metric a run emitted, ``@member``-suffixed keys included
+    artifacts  (run_id, name, path) pointers to on-disk JSON artifacts
+               (golden traces, BENCH_*.json, baseline files)
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import List, Tuple
+
+#: the schema version this code writes and expects
+SCHEMA_VERSION = 1
+
+#: ordered (version, statements) pairs; append-only across releases
+MIGRATIONS: List[Tuple[int, Tuple[str, ...]]] = [
+    (
+        1,
+        (
+            """
+            CREATE TABLE runs (
+                run_id         TEXT PRIMARY KEY,
+                kind           TEXT NOT NULL,
+                name           TEXT NOT NULL,
+                spec_hash      TEXT,
+                seed           INTEGER,
+                scale          TEXT,
+                label          TEXT,
+                git_rev        TEXT,
+                created_at     TEXT NOT NULL,
+                wall_time_s    REAL,
+                metrics_digest TEXT,
+                payload        TEXT
+            )
+            """,
+            "CREATE INDEX idx_runs_kind_name ON runs(kind, name)",
+            "CREATE INDEX idx_runs_identity ON runs(name, spec_hash, seed, scale)",
+            """
+            CREATE TABLE metrics (
+                run_id TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+                name   TEXT NOT NULL,
+                value  REAL,
+                PRIMARY KEY (run_id, name)
+            )
+            """,
+            "CREATE INDEX idx_metrics_name ON metrics(name)",
+            """
+            CREATE TABLE artifacts (
+                run_id TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+                name   TEXT NOT NULL,
+                path   TEXT NOT NULL,
+                PRIMARY KEY (run_id, name)
+            )
+            """,
+        ),
+    ),
+]
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def migrate(conn: sqlite3.Connection) -> int:
+    """Bring *conn* up to :data:`SCHEMA_VERSION`; returns the version.
+
+    Raises :class:`ValueError` when the database was written by a newer
+    release than this code — silently reading a future schema could
+    return wrong answers, which is worse than failing.
+    """
+    current = schema_version(conn)
+    if current > SCHEMA_VERSION:
+        raise ValueError(
+            f"warehouse schema version {current} is newer than this "
+            f"code's {SCHEMA_VERSION}; upgrade the repro package"
+        )
+    for version, statements in MIGRATIONS:
+        if version <= current:
+            continue
+        try:
+            with conn:  # one transaction per migration step
+                for statement in statements:
+                    conn.execute(statement)
+                conn.execute(f"PRAGMA user_version = {int(version)}")
+        except sqlite3.OperationalError:
+            # two processes can race to create a fresh store (parallel
+            # sweep workers); the loser's DDL fails on the winner's
+            # committed tables — fine iff the step really is in place
+            if schema_version(conn) < version:
+                raise
+        current = version
+    return current

@@ -1,0 +1,417 @@
+"""The persistent run store: every runner's results, one SQLite file.
+
+:class:`RunStore` records runs from all five runners — registered
+scenarios, sweeps, the policy matrix, benchmarks, and composed stacks
+(flat or sharded) — into the versioned schema of
+:mod:`repro.warehouse.schema`, and answers SQL over them (``repro
+query`` / ``repro report`` and the canned queries of
+:mod:`repro.warehouse.queries`).
+
+Design points:
+
+* **Deterministic run ids.**  A run's id is the canonical hash of its
+  identity (kind, name, spec hash, seed, scale, label, git rev) plus
+  its metrics digest — so ingesting the same results twice is a no-op
+  (``INSERT OR IGNORE``), while the same spec producing *different*
+  metrics (drift, or a new revision changing results) records a new
+  row.  Timestamps are provenance, never identity.
+* **Concurrent writers.**  The store runs in WAL mode with a generous
+  busy timeout; sweep worker processes write cell runs directly and
+  concurrently (see ``tests/test_warehouse/test_capture.py``).
+* **Read-only queries.**  Ad-hoc SQL opens a separate ``mode=ro``
+  connection, so ``repro query`` can never mutate the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro import provenance
+from repro.analysis.tables import Table
+from repro.warehouse.schema import SCHEMA_VERSION, migrate, schema_version
+
+#: run kinds the store records (free-form, but these are the builtins)
+RUN_KINDS = ("scenario", "sweep", "matrix", "bench", "stack")
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+@dataclass
+class RunRecord:
+    """One run, ready to be written into the store."""
+
+    kind: str
+    name: str
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    spec_hash: Optional[str] = None
+    seed: Optional[int] = None
+    scale: Optional[str] = None
+    #: free-form tag partitioning runs ("baseline", "current", "golden")
+    label: Optional[str] = None
+    git_rev: Optional[str] = None
+    created_at: Optional[str] = None
+    wall_time_s: Optional[float] = None
+    #: canonical JSON-able context (resolved params, preset, grid, …)
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    #: artifact name -> on-disk path
+    artifacts: Mapping[str, str] = field(default_factory=dict)
+
+    def metrics_digest(self) -> str:
+        return provenance.spec_hash(
+            {name: float(self.metrics[name]) for name in sorted(self.metrics)}
+        )
+
+    def run_id(self) -> str:
+        """Deterministic identity: same results -> same id, always."""
+        return provenance.spec_hash(
+            {
+                "kind": self.kind,
+                "name": self.name,
+                "spec_hash": self.spec_hash,
+                "seed": self.seed,
+                "scale": self.scale,
+                "label": self.label,
+                "git_rev": self.git_rev,
+                "metrics_digest": self.metrics_digest(),
+            }
+        )
+
+
+class RunStore:
+    """Record, ingest, migrate, and query the results warehouse."""
+
+    def __init__(self, path: os.PathLike, auto_backfill: bool = False) -> None:
+        self.path = str(path)
+        fresh = not os.path.exists(self.path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        migrate(self._conn)
+        if fresh and auto_backfill:
+            # A brand-new store seeds itself from the committed
+            # artifacts when run from a checkout, so the very first
+            # `repro query` already has a baseline to compare against.
+            try:
+                self.backfill(os.getcwd())
+            except Exception:  # pragma: no cover - best-effort seeding
+                pass
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def schema_version(self) -> int:
+        return schema_version(self._conn)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, record: RunRecord) -> str:
+        """Write one run (idempotent by run id); returns the run id."""
+        if record.git_rev is None:
+            # resolve the ambient revision BEFORE the id is computed —
+            # it is part of the identity, so the same deterministic
+            # results at a new revision must be a new row, not an
+            # INSERT OR IGNORE no-op
+            record = replace(record, git_rev=provenance.git_rev())
+        run_id = record.run_id()
+        git_rev = record.git_rev
+        created_at = record.created_at or _utc_now()
+        payload = provenance.canonical_json(record.payload) if record.payload else None
+        with self._conn:
+            inserted = self._conn.execute(
+                "INSERT OR IGNORE INTO runs (run_id, kind, name, spec_hash,"
+                " seed, scale, label, git_rev, created_at, wall_time_s,"
+                " metrics_digest, payload)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    record.kind,
+                    record.name,
+                    record.spec_hash,
+                    record.seed,
+                    record.scale,
+                    record.label,
+                    git_rev,
+                    created_at,
+                    record.wall_time_s,
+                    record.metrics_digest(),
+                    payload,
+                ),
+            ).rowcount
+            if inserted:
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO metrics (run_id, name, value)"
+                    " VALUES (?, ?, ?)",
+                    [
+                        (run_id, name, float(record.metrics[name]))
+                        for name in sorted(record.metrics)
+                    ],
+                )
+            if record.artifacts:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO artifacts (run_id, name, path)"
+                    " VALUES (?, ?, ?)",
+                    [
+                        (run_id, name, str(path))
+                        for name, path in sorted(record.artifacts.items())
+                    ],
+                )
+        return run_id
+
+    def record_scenario(
+        self,
+        result,
+        wall_time_s: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> str:
+        """Record one :class:`~repro.scenarios.spec.ScenarioResult`."""
+        spec = result.spec
+        return self.record(
+            RunRecord(
+                kind="scenario",
+                name=spec.name,
+                metrics=dict(result.metrics),
+                spec_hash=spec.spec_hash(),
+                seed=spec.seed,
+                scale=spec.scale,
+                label=label,
+                wall_time_s=wall_time_s,
+                payload={
+                    "params": {k: spec.params[k] for k in sorted(spec.params)}
+                },
+            )
+        )
+
+    def record_sweep(self, result) -> str:
+        """Record one :class:`~repro.scenarios.sweep.SweepResult`.
+
+        Cell aggregates flatten to ``<metric>@<cell_key>`` rows (plain
+        ``<metric>`` for the single-cell, no-grid sweep), carrying the
+        cross-seed mean — individual replicates are already recorded as
+        their own scenario runs by the capture layer.
+        """
+        from repro.scenarios.sweep import cell_key
+
+        spec = result.spec
+        metrics: Dict[str, float] = {}
+        for cell in result.cells:
+            suffix = f"@{cell_key(cell.params)}" if cell.params else ""
+            for name in sorted(cell.metrics):
+                metrics[f"{name}{suffix}"] = cell.metrics[name]["mean"]
+        return self.record(
+            RunRecord(
+                kind="sweep",
+                name=spec.scenario,
+                metrics=metrics,
+                spec_hash=spec.spec_hash(),
+                seed=result.base_seed,
+                scale=spec.scale,
+                wall_time_s=result.elapsed,
+                payload={
+                    "grid": {k: list(v) for k, v in spec.grid.items()},
+                    "fixed": dict(spec.fixed),
+                    "seeds": spec.seeds,
+                },
+            )
+        )
+
+    def record_matrix(self, result) -> str:
+        """Record one :class:`~repro.supply.matrix.MatrixResult`."""
+        spec = result.sweep.spec
+        return self.record(
+            RunRecord(
+                kind="matrix",
+                name=spec.scenario,
+                metrics=result.flat_metrics(),
+                spec_hash=spec.spec_hash(),
+                seed=result.sweep.base_seed,
+                scale=result.scale,
+                wall_time_s=result.sweep.elapsed,
+                payload={
+                    "grid": {k: list(v) for k, v in spec.grid.items()},
+                    "fixed": dict(spec.fixed),
+                    "seeds": result.seeds,
+                },
+            )
+        )
+
+    def record_bench(
+        self,
+        record,
+        label: Optional[str] = None,
+        artifact: Optional[str] = None,
+    ) -> str:
+        """Record one :class:`~repro.bench.harness.BenchRecord`.
+
+        The kernel counters and the wall-clock throughput become metric
+        rows alongside the benchmark's scenario metrics; the preset
+        doubles as the run's scale so regression queries can refuse
+        cross-preset comparisons exactly like the in-memory comparator.
+        """
+        stats = record.stats
+        metrics: Dict[str, float] = {
+            "events_per_sec": float(stats.events_per_sec),
+            "events_processed": float(stats.events_processed),
+            "events_scheduled": float(stats.events_scheduled),
+            "peak_queue_depth": float(stats.peak_queue_depth),
+            "wall_time_s": float(stats.wall_time_s),
+        }
+        for name in sorted(record.metrics):
+            metrics.setdefault(name, float(record.metrics[name]))
+        return self.record(
+            RunRecord(
+                kind="bench",
+                name=record.name,
+                metrics=metrics,
+                spec_hash=record.spec_hash,
+                seed=record.seed,
+                scale=record.preset,
+                label=label,
+                payload={"preset": record.preset, "bench_kind": record.kind},
+                artifacts={"record": artifact} if artifact else {},
+            )
+        )
+
+    def record_stack(
+        self,
+        report,
+        wall_time_s: Optional[float] = None,
+        shards: Optional[int] = None,
+    ) -> str:
+        """Record one :class:`~repro.api.stack.SimulationReport`."""
+        payload: Dict[str, Any] = {"horizon": report.horizon}
+        if shards is not None:
+            payload["shards"] = int(shards)
+        return self.record(
+            RunRecord(
+                kind="stack",
+                name=report.name,
+                metrics=dict(report.metrics),
+                spec_hash=provenance.spec_hash(
+                    {"stack": report.name, "horizon": report.horizon}
+                ),
+                seed=report.seed,
+                label="sharded" if shards is not None else None,
+                wall_time_s=wall_time_s,
+                payload=payload,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # ingest / backfill
+    # ------------------------------------------------------------------
+    def ingest_golden(self, path: os.PathLike) -> str:
+        """Ingest one committed golden trace (a ScenarioResult JSON)."""
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        params = dict(payload.get("params", {}))
+        spec_hash = payload.get("spec_hash") or provenance.spec_hash(
+            {
+                "scenario": payload["scenario"],
+                "params": {k: params[k] for k in sorted(params)},
+            }
+        )
+        return self.record(
+            RunRecord(
+                kind="scenario",
+                name=str(payload["scenario"]),
+                metrics=dict(payload.get("metrics", {})),
+                spec_hash=spec_hash,
+                seed=payload.get("seed"),
+                scale=payload.get("scale"),
+                label="golden",
+                payload={"params": params},
+                artifacts={"golden": str(path)},
+            )
+        )
+
+    def ingest_baseline(
+        self, path: os.PathLike, label: str = "baseline"
+    ) -> Dict[str, str]:
+        """Ingest a bench baseline (or single-record) file.
+
+        Returns ``benchmark name -> run id`` for every entry, in the
+        file's entry order — the query-backed regression gate joins
+        against exactly these ids.
+        """
+        from repro.bench.harness import load_baseline
+
+        return {
+            name: self.record_bench(record, label=label, artifact=str(path))
+            for name, record in load_baseline(str(path)).items()
+        }
+
+    def backfill(self, root: os.PathLike = ".") -> Dict[str, int]:
+        """Ingest the committed artifacts under a repo checkout.
+
+        ``BENCH_baseline.json`` (label ``baseline``) and every
+        ``tests/golden/*.json`` scenario trace (label ``golden``), so a
+        fresh store is non-empty from its first run.  Idempotent: run
+        ids derive from file contents, so re-backfilling changes
+        nothing.
+        """
+        root = Path(root)
+        counts = {"baseline": 0, "golden": 0}
+        baseline = root / "BENCH_baseline.json"
+        if baseline.is_file():
+            counts["baseline"] = len(self.ingest_baseline(baseline))
+        golden_dir = root / "tests" / "golden"
+        if golden_dir.is_dir():
+            for path in sorted(golden_dir.glob("*.json")):
+                self.ingest_golden(path)
+                counts["golden"] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, sql: str, params: Mapping[str, Any] = ()) -> Table:
+        """Run read-only SQL against the store; returns a Table.
+
+        Uses a separate ``mode=ro`` connection so arbitrary SQL (the
+        ``repro query`` front door) cannot mutate the warehouse.
+        """
+        uri = f"file:{self.path}?mode=ro"
+        conn = sqlite3.connect(uri, uri=True, timeout=30.0)
+        try:
+            cursor = conn.execute(sql, params)
+            return Table.from_cursor(cursor)
+        finally:
+            conn.close()
+
+    def run_count(self, kind: Optional[str] = None) -> int:
+        sql = "SELECT COUNT(*) FROM runs"
+        params = ()
+        if kind is not None:
+            sql += " WHERE kind = ?"
+            params = (kind,)
+        return int(self._conn.execute(sql, params).fetchone()[0])
+
+    def kinds(self) -> Dict[str, int]:
+        """``kind -> recorded run count`` over the whole store."""
+        rows = self._conn.execute(
+            "SELECT kind, COUNT(*) FROM runs GROUP BY kind ORDER BY kind"
+        ).fetchall()
+        return {str(kind): int(count) for kind, count in rows}

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,10 @@ from repro.cluster.job import reset_job_ids
 from repro.faas.messages import reset_activation_ids
 from repro.hpcwhisk.pilot import reset_pilot_ids
 from repro.sim import Environment
+
+# the suite runs hundreds of scenarios; don't write them all into a
+# results warehouse (warehouse tests opt back in with their own paths)
+os.environ.setdefault("REPRO_WAREHOUSE", "0")
 
 
 @pytest.fixture(autouse=True)

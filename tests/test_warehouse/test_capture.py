@@ -1,0 +1,210 @@
+"""Automatic capture: env semantics, every runner, concurrent writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.registry import REGISTRY, load_builtin
+from repro.scenarios.sweep import SweepExecutor, SweepSpec
+from repro.warehouse import capture
+from repro.warehouse.store import RunStore
+
+load_builtin()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_capture(tmp_path, monkeypatch):
+    """Point capture at a per-test store and drop the process cache.
+
+    Runs from an empty cwd so a fresh store's auto-backfill finds no
+    committed artifacts — these tests count exactly the runs they make.
+    """
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_WAREHOUSE", str(tmp_path / "capture.sqlite"))
+    monkeypatch.setenv("REPRO_GIT_REV", "testrev")
+    capture.reset()
+    yield
+    capture.reset()
+
+
+def _store(tmp_path) -> RunStore:
+    return RunStore(tmp_path / "capture.sqlite")
+
+
+# ---------------------------------------------------------------------------
+# env semantics
+
+
+@pytest.mark.parametrize("token", ["0", "off", "false", "no", "NONE", ""])
+def test_off_tokens_disable_capture(monkeypatch, token):
+    monkeypatch.setenv("REPRO_WAREHOUSE", token)
+    assert capture.store_path() is None
+    assert not capture.enabled()
+    assert capture.default_store() is None
+
+
+def test_unset_env_means_the_default_path(monkeypatch):
+    monkeypatch.delenv("REPRO_WAREHOUSE")
+    assert capture.store_path() == capture.DEFAULT_PATH
+
+
+def test_any_other_value_is_the_store_path(monkeypatch):
+    monkeypatch.setenv("REPRO_WAREHOUSE", "/somewhere/else.sqlite")
+    assert capture.store_path() == "/somewhere/else.sqlite"
+
+
+def test_capture_failure_warns_once_and_never_raises(monkeypatch, tmp_path):
+    # point the store at a path that cannot be created
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    monkeypatch.setenv("REPRO_WAREHOUSE", str(blocker / "w.sqlite"))
+    capture.reset()
+    with pytest.warns(RuntimeWarning, match="warehouse capture failed"):
+        REGISTRY.run("day", {}, scale="smoke")  # survives the bad store
+    capture.reset()
+
+
+# ---------------------------------------------------------------------------
+# runner wiring
+
+
+def test_scenario_run_is_captured(tmp_path):
+    result = REGISTRY.run("day", {}, scale="smoke")
+    with _store(tmp_path) as store:
+        rows = store.query(
+            "SELECT kind, name, spec_hash, seed, scale, git_rev "
+            "FROM runs WHERE kind = 'scenario'"
+        ).rows
+        assert rows == [
+            ["scenario", "day", result.spec.spec_hash(),
+             result.spec.seed, "smoke", "testrev"]
+        ]
+        # the scenario's composed stack records its own run too
+        assert store.kinds().get("stack") == 1
+        wall = store.query(
+            "SELECT wall_time_s FROM runs WHERE kind = 'scenario'"
+        ).rows[0][0]
+        assert wall > 0
+
+
+def test_run_spec_entry_point_is_captured_once(tmp_path):
+    spec = REGISTRY.build_spec("fig3", {}, scale="smoke")
+    REGISTRY.run_spec(spec)
+    with _store(tmp_path) as store:
+        assert store.run_count("scenario") == 1
+
+
+def test_parallel_sweep_workers_write_the_store_concurrently(tmp_path):
+    spec = SweepSpec(
+        scenario="day",
+        grid={"model": ["fib", "var"]},
+        seeds=2,
+        scale="smoke",
+        jobs=2,
+    )
+    result = SweepExecutor().run(spec)
+    assert len(result.worker_pids) > 1  # really ran in worker processes
+    with _store(tmp_path) as store:
+        kinds = store.kinds()
+        # 2 cells x 2 seeds, recorded from the workers under WAL
+        assert kinds["scenario"] == 4
+        assert kinds["sweep"] == 1  # the parent's aggregate
+        sweep_row = store.query(
+            "SELECT name, spec_hash, seed, scale FROM runs WHERE kind='sweep'"
+        ).rows[0]
+        assert sweep_row == [
+            "day", spec.spec_hash(), result.base_seed, "smoke",
+        ]
+        # cell aggregates land as metric@cell_key rows
+        suffixed = store.query(
+            "SELECT COUNT(*) FROM metrics m JOIN runs r USING (run_id) "
+            "WHERE r.kind='sweep' AND m.name LIKE '%@model=%'"
+        ).rows[0][0]
+        assert suffixed > 0
+
+
+def test_stack_run_is_captured(tmp_path):
+    from repro.api import ProbeSpec, Stack, SupplySpec, WorkloadSpec
+
+    stack = Stack(
+        supply=SupplySpec("fib"),
+        workloads=(WorkloadSpec("gatling", qps=2.0),),
+        probes=(ProbeSpec("ow-log"),),
+        seed=7,
+        horizon=120.0,
+        name="capture-smoke",
+    )
+    report = stack.run()
+    with _store(tmp_path) as store:
+        rows = store.query(
+            "SELECT kind, name, seed FROM runs WHERE kind = 'stack'"
+        ).rows
+        assert rows == [["stack", "capture-smoke", 7]]
+        stored = dict(
+            store.query(
+                "SELECT m.name, m.value FROM metrics m JOIN runs r "
+                "USING (run_id) WHERE r.kind = 'stack'"
+            ).rows
+        )
+        assert stored == pytest.approx(report.metrics)
+
+
+def test_matrix_run_is_captured(tmp_path):
+    from repro.supply.matrix import run_matrix
+
+    result = run_matrix(["fib"], ["gatling"], hours=0.1, scale="smoke")
+    with _store(tmp_path) as store:
+        kinds = store.kinds()
+        assert kinds["matrix"] == 1
+        assert kinds["scenario"] == 1  # the single cell run
+        stored = dict(
+            store.query(
+                "SELECT m.name, m.value FROM metrics m JOIN runs r "
+                "USING (run_id) WHERE r.kind = 'matrix'"
+            ).rows
+        )
+        assert stored == pytest.approx(result.flat_metrics())
+
+
+def test_bench_capture_stores_preset_as_scale(tmp_path):
+    from repro.bench.harness import run_bench
+
+    record = run_bench("kernel", preset="smoke")
+    run_id = capture.record_bench(record, label="current")
+    assert run_id is not None
+    with _store(tmp_path) as store:
+        row = store.query(
+            "SELECT kind, name, scale, label, spec_hash FROM runs "
+            "WHERE kind = 'bench'"
+        ).rows[0]
+        assert row == ["bench", "kernel", "smoke", "current",
+                       record.spec_hash]
+        eps = store.query(
+            "SELECT value FROM metrics WHERE name = 'events_per_sec'"
+        ).rows[0][0]
+        assert eps == pytest.approx(record.events_per_sec)
+
+
+# ---------------------------------------------------------------------------
+# CLI opt-out
+
+
+def test_cli_no_store_flag_disables_capture(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    assert main(["fig3", "--scale", "smoke", "--no-store"]) == 0
+    capsys.readouterr()
+    assert not (tmp_path / "capture.sqlite").exists()
+    # and the env now carries the opt-out for worker processes
+    import os
+
+    assert os.environ["REPRO_WAREHOUSE"] == "0"
+
+
+def test_cli_runs_are_captured_by_default(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["fig3", "--scale", "smoke"]) == 0
+    capsys.readouterr()
+    with _store(tmp_path) as store:
+        assert store.run_count("scenario") == 1

@@ -1,0 +1,182 @@
+"""``repro query`` / ``repro report``: formats, exit codes, gate parity."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchRecord
+from repro.bench.instrument import KernelStats
+from repro.cli import main
+from repro.warehouse import capture
+from repro.warehouse.store import RunRecord, RunStore
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _scenario(name, policy, coverage, rev, seed=1):
+    return RunRecord(
+        kind="scenario",
+        name=name,
+        metrics={"coverage": coverage},
+        spec_hash=f"spec-{name}-{policy}",
+        seed=seed,
+        scale="smoke",
+        git_rev=rev,
+        created_at="2026-01-01T00:00:00Z",
+        payload={"params": {"policy": policy}},
+    )
+
+
+def _bench(name, events, preset="smoke"):
+    return BenchRecord(
+        name=name,
+        kind="kernel",
+        preset=preset,
+        stats=KernelStats(
+            events_processed=events,
+            events_scheduled=events,
+            peak_queue_depth=4,
+            wall_time_s=1.0,
+        ),
+    )
+
+
+@pytest.fixture
+def db(tmp_path, monkeypatch):
+    """A populated store on disk; tests drive it through --db."""
+    monkeypatch.setenv("REPRO_GIT_REV", "rev-b")  # pins the bench rows
+    path = tmp_path / "cli.sqlite"
+    with RunStore(path) as store:
+        store.record(_scenario("supply", "fib", 0.50, "rev-a"))
+        store.record(_scenario("supply", "pid", 0.80, "rev-a", seed=2))
+        store.record(_scenario("supply", "fib", 0.60, "rev-b", seed=11))
+        store.record(_scenario("supply", "pid", 0.90, "rev-b", seed=12))
+        store.record_bench(_bench("kernel", 1000), label="baseline")
+        store.record_bench(_bench("kernel", 800), label="current")  # -20%
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# repro query
+
+
+def test_raw_sql_in_every_format(db, capsys):
+    assert main(["query", "SELECT COUNT(*) AS n FROM runs", "--db", db]) == 0
+    rendered = capsys.readouterr().out
+    assert "n" in rendered and "6" in rendered
+
+    assert main(["query", "SELECT COUNT(*) AS n FROM runs", "--db", db,
+                 "--format", "csv"]) == 0
+    assert capsys.readouterr().out == "n\n6\n"
+
+    assert main(["query", "SELECT COUNT(*) AS n FROM runs", "--db", db,
+                 "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out) == [{"n": 6}]
+
+
+def test_canned_ranking_through_the_cli(db, capsys):
+    assert main(["query", "ranking", "--db", db, "--format", "csv"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0] == "policy,runs,mean,min,max"
+    assert lines[1].startswith("pid,2,")  # best mean coverage first
+    assert lines[2].startswith("fib,2,")
+
+
+def test_regressions_sets_the_exit_code(db, capsys):
+    assert main(["query", "regressions", "--db", db]) == 1  # -20% at 10%
+    captured = capsys.readouterr()
+    assert "kernel" in captured.out
+    assert "regressed" in captured.err
+    # a generous threshold turns the same store green
+    assert main(["query", "regressions", "--db", db,
+                 "--max-regression", "50%"]) == 0
+
+
+def test_bad_sql_is_a_clean_error(db):
+    with pytest.raises(SystemExit, match="query:"):
+        main(["query", "SELECT nope FROM nowhere", "--db", db])
+
+
+def test_missing_store_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no warehouse"):
+        main(["query", "drift", "--db", str(tmp_path / "absent.sqlite")])
+
+
+def test_backfill_seeds_a_store_from_committed_artifacts(
+    tmp_path, monkeypatch, capsys
+):
+    monkeypatch.chdir(REPO_ROOT)
+    db = str(tmp_path / "seeded.sqlite")
+    assert main(["query", "SELECT COUNT(*) AS n FROM runs", "--db", db,
+                 "--backfill", "--format", "csv"]) == 0
+    captured = capsys.readouterr()
+    assert "backfill:" in captured.err
+    count = int(captured.out.splitlines()[1])
+    assert count > 0  # committed goldens + bench baseline
+
+
+# ---------------------------------------------------------------------------
+# repro report
+
+
+def test_report_between_two_revisions(db, capsys):
+    assert main(["report", "--db", db, "--from-rev", "rev-a",
+                 "--to-rev", "rev-b"]) == 0
+    out = capsys.readouterr().out
+    # coverage moved 0.65 -> 0.75 (+15.4%), over the 10% threshold
+    assert "supply" in out and "coverage" in out
+    assert "+15.4%" in out and "CHANGED" in out
+
+
+def test_report_default_revisions_are_first_and_last(db, capsys):
+    assert main(["report", "--db", db]) == 0
+    assert "rev-a -> rev-b" in capsys.readouterr().out
+
+
+def test_report_with_one_revision_explains_itself(tmp_path, capsys):
+    path = tmp_path / "single.sqlite"
+    with RunStore(path) as store:
+        store.record(_scenario("supply", "fib", 0.5, "only-rev"))
+    assert main(["report", "--db", str(path)]) == 0
+    assert "fewer than two recorded revisions" in capsys.readouterr().out
+
+
+def test_report_rejects_half_a_revision_pair(db):
+    with pytest.raises(SystemExit, match="go together"):
+        main(["report", "--db", db, "--from-rev", "rev-a"])
+
+
+# ---------------------------------------------------------------------------
+# the query-backed bench gate, end to end through the CLI
+
+
+def test_bench_against_goes_through_the_warehouse(tmp_path, monkeypatch, capsys):
+    store_path = tmp_path / "gate.sqlite"
+    monkeypatch.chdir(tmp_path)  # keep bench artifacts out of the repo
+    monkeypatch.setenv("REPRO_WAREHOUSE", str(store_path))
+    capture.reset()
+    try:
+        code = main([
+            "bench", "kernel", "--preset", "smoke",
+            "--against", str(REPO_ROOT / "BENCH_baseline.json"),
+            "--max-regression", "90%",
+        ])
+    finally:
+        capture.reset()
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "kernel" in out and "ok" in out
+    # the verdict is provable from the store: the baseline file was
+    # ingested and the current run captured before the gate query ran
+    with RunStore(store_path) as store:
+        labels = dict(
+            store.query(
+                "SELECT COALESCE(label, ''), COUNT(*) FROM runs "
+                "WHERE kind = 'bench' GROUP BY 1"
+            ).rows
+        )
+    assert labels["current"] == 1
+    assert labels["baseline"] > 0  # every committed baseline entry

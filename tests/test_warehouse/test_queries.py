@@ -1,0 +1,178 @@
+"""Canned queries: committed CSV goldens + exact bench-gate parity.
+
+The goldens under ``tests/golden/queries/*.csv`` pin each canned
+query's byte-exact CSV over a deterministic hand-built store.  Refresh
+after an intentional change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_warehouse/test_queries.py -q
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchRecord, compare_records
+from repro.bench.instrument import KernelStats
+from repro.warehouse import queries
+from repro.warehouse.store import RunRecord, RunStore
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden" / "queries"
+
+
+def _scenario(name, policy, coverage, rev, seed=1, created="2026-01-01T00:00:00Z"):
+    return RunRecord(
+        kind="scenario",
+        name=name,
+        metrics={"coverage": coverage, "cold_start_rate": coverage / 10.0},
+        spec_hash=f"spec-{name}-{policy}",
+        seed=seed,
+        scale="smoke",
+        git_rev=rev,
+        created_at=created,
+        payload={"params": {"policy": policy, "nodes": 8}},
+    )
+
+
+def _bench_record(name, events, preset="smoke"):
+    return BenchRecord(
+        name=name,
+        kind="kernel",
+        preset=preset,
+        stats=KernelStats(
+            events_processed=events,
+            events_scheduled=events,
+            peak_queue_depth=4,
+            wall_time_s=1.0 if events else 0.0,
+        ),
+    )
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    """A deterministic store: two revisions, a drift pair, bench runs."""
+    monkeypatch.setenv("REPRO_GIT_REV", "queryrev")
+    s = RunStore(tmp_path / "q.sqlite")
+    # ranking/trend input: two policies, two revisions (distinct seeds,
+    # so only the deliberate drift pair below trips the drift query)
+    s.record(_scenario("supply", "fib", 0.50, "rev-a"))
+    s.record(_scenario("supply", "fib", 0.60, "rev-b", seed=11,
+                       created="2026-02-01T00:00:00Z"))
+    s.record(_scenario("supply", "pid", 0.80, "rev-a", seed=2))
+    s.record(_scenario("supply", "pid", 0.90, "rev-b", seed=12,
+                       created="2026-02-01T00:00:00Z"))
+    # drift input: same identity, different metrics across revisions
+    s.record(_scenario("day", "fib", 0.40, "rev-a", seed=9))
+    s.record(_scenario("day", "fib", 0.45, "rev-b", seed=9,
+                       created="2026-02-01T00:00:00Z"))
+    # regression input: one regressed, one improved bench
+    for record, eps in (("kernel", 1000), ("flood", 2000)):
+        s.record_bench(_bench_record(record, eps), label="baseline")
+    s.record_bench(_bench_record("kernel", 800), label="current")   # -20%
+    s.record_bench(_bench_record("flood", 2500), label="current")   # +25%
+    yield s
+    s.close()
+
+
+@pytest.mark.parametrize(
+    "name, options",
+    [
+        ("ranking", {"metric": "coverage", "group": "policy"}),
+        ("trend", {"metric": "coverage", "name": "supply"}),
+        ("regressions", {"threshold": 0.10}),
+        ("drift", {}),
+    ],
+)
+def test_canned_query_matches_committed_golden(store, name, options):
+    payload = queries.run_canned(store, name, **options).to_csv()
+    golden_path = GOLDEN_DIR / f"{name}.csv"
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(payload)
+        pytest.skip(f"regenerated {golden_path}")
+    assert golden_path.exists(), (
+        f"missing canned-query golden {golden_path}; generate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    assert payload == golden_path.read_text()
+
+
+def test_ranking_rejects_non_identifier_groups(store):
+    with pytest.raises(ValueError, match="identifier"):
+        queries.ranking(store, group="policy; DROP TABLE runs")
+
+
+def test_regressions_exit_signal_and_order(store):
+    table = queries.regressions(store, threshold=0.10)
+    assert table.columns[-1] == "regressed"
+    assert [(row[0], row[-1]) for row in table.rows] == [
+        ("flood", 0), ("kernel", 1),
+    ]
+
+
+def test_drift_flags_only_the_drifting_identity(store):
+    table = queries.drift(store)
+    assert [(row[0], row[1]) for row in table.rows] == [("scenario", "day")]
+    assert table.rows[0][6] == 2  # two distinct metrics digests
+
+
+# ---------------------------------------------------------------------------
+# gate parity: the warehouse query reproduces compare_records exactly
+
+
+def _gate_fixture(tmp_path, current, baseline):
+    store = RunStore(tmp_path / "gate.sqlite")
+    current_ids = {
+        name: store.record_bench(rec, label="current")
+        for name, rec in current.items()
+    }
+    baseline_ids = {
+        name: store.record_bench(rec, label="baseline")
+        for name, rec in baseline.items()
+    }
+    return store, current_ids, baseline_ids
+
+
+def test_bench_gate_matches_compare_records(tmp_path):
+    current = {
+        "kernel": _bench_record("kernel", 850),   # -15%: regressed at 10%
+        "flood": _bench_record("flood", 2400),    # +20%: fine
+        "router": _bench_record("router", 500),   # not in baseline: skipped
+        "shards": _bench_record("shards", 123),   # baseline eps 0 edge
+    }
+    baseline = {
+        "kernel": _bench_record("kernel", 1000),
+        "flood": _bench_record("flood", 2000),
+        "shards": _bench_record("shards", 0),     # events_per_sec == 0.0
+        "extra": _bench_record("extra", 42),      # only in baseline: ignored
+    }
+    expected = compare_records(current, baseline, 0.10)
+    store, current_ids, baseline_ids = _gate_fixture(tmp_path, current, baseline)
+    got = queries.bench_gate(store, current_ids, baseline_ids, 0.10)
+    assert got == expected  # same Comparison dataclass, field for field
+    assert [c.name for c in got] == ["kernel", "flood", "shards"]
+    assert [c.regressed for c in got] == [True, False, False]
+    assert got[2].delta == 0.0  # zero-baseline edge: delta pinned to 0.0
+    store.close()
+
+
+def test_bench_gate_raises_on_preset_mismatch_like_the_comparator(tmp_path):
+    current = {"kernel": _bench_record("kernel", 900, preset="quick")}
+    baseline = {"kernel": _bench_record("kernel", 1000, preset="smoke")}
+    with pytest.raises(ValueError, match="cannot compare preset"):
+        compare_records(current, baseline, 0.10)
+    store, current_ids, baseline_ids = _gate_fixture(tmp_path, current, baseline)
+    with pytest.raises(ValueError, match="cannot compare preset"):
+        queries.bench_gate(store, current_ids, baseline_ids, 0.10)
+    store.close()
+
+
+def test_bench_gate_with_no_common_benchmarks_is_empty(tmp_path):
+    current = {"router": _bench_record("router", 10)}
+    baseline = {"kernel": _bench_record("kernel", 1000)}
+    store, current_ids, baseline_ids = _gate_fixture(tmp_path, current, baseline)
+    assert queries.bench_gate(store, current_ids, baseline_ids, 0.10) == []
+    assert compare_records(current, baseline, 0.10) == []
+    store.close()

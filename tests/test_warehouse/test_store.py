@@ -1,0 +1,194 @@
+"""RunStore contract: schema/migrations, idempotent recording, backfill."""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.registry import REGISTRY, load_builtin
+from repro.warehouse.schema import SCHEMA_VERSION, migrate, schema_version
+from repro.warehouse.store import RunRecord, RunStore
+
+load_builtin()
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(tmp_path / "w.sqlite") as s:
+        yield s
+
+
+def _record(**overrides) -> RunRecord:
+    base = dict(
+        kind="scenario",
+        name="day",
+        metrics={"coverage": 0.5, "cold_start_rate": 0.1},
+        spec_hash="abc123",
+        seed=317,
+        scale="smoke",
+        git_rev="rev1",
+        payload={"params": {"model": "fib"}},
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+# ---------------------------------------------------------------------------
+# schema / migrations
+
+
+def test_fresh_store_is_at_current_schema_version(store):
+    assert store.schema_version == SCHEMA_VERSION
+
+
+def test_migrate_brings_an_empty_database_up(tmp_path):
+    conn = sqlite3.connect(tmp_path / "raw.sqlite")
+    assert schema_version(conn) == 0
+    assert migrate(conn) == SCHEMA_VERSION
+    tables = {
+        row[0]
+        for row in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'"
+        )
+    }
+    assert {"runs", "metrics", "artifacts"} <= tables
+    conn.close()
+
+
+def test_migrate_is_idempotent(tmp_path):
+    conn = sqlite3.connect(tmp_path / "raw.sqlite")
+    migrate(conn)
+    assert migrate(conn) == SCHEMA_VERSION  # second pass: no-op, no raise
+    conn.close()
+
+
+def test_future_schema_version_is_rejected(tmp_path):
+    path = tmp_path / "future.sqlite"
+    conn = sqlite3.connect(path)
+    conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+    conn.close()
+    with pytest.raises(ValueError, match="newer than this"):
+        RunStore(path)
+
+
+def test_reopening_an_existing_store_round_trips(tmp_path):
+    path = tmp_path / "w.sqlite"
+    with RunStore(path) as first:
+        run_id = first.record(_record())
+    with RunStore(path) as second:
+        assert second.schema_version == SCHEMA_VERSION
+        table = second.query("SELECT run_id, kind, name FROM runs")
+        assert table.rows == [[run_id, "scenario", "day"]]
+
+
+# ---------------------------------------------------------------------------
+# recording
+
+
+def test_record_writes_runs_metrics_and_artifacts(store):
+    run_id = store.record(
+        _record(artifacts={"golden": "tests/golden/day.json"})
+    )
+    runs = store.query(
+        "SELECT kind, name, spec_hash, seed, scale, git_rev FROM runs"
+    )
+    assert runs.rows == [["scenario", "day", "abc123", 317, "smoke", "rev1"]]
+    metrics = store.query(
+        "SELECT name, value FROM metrics WHERE run_id = ? ORDER BY name",
+        (run_id,),
+    )
+    assert metrics.rows == [["cold_start_rate", 0.1], ["coverage", 0.5]]
+    artifacts = store.query("SELECT name, path FROM artifacts")
+    assert artifacts.rows == [["golden", "tests/golden/day.json"]]
+
+
+def test_record_twice_is_idempotent_by_run_id(store):
+    first = store.record(_record())
+    second = store.record(_record())
+    assert first == second
+    assert store.run_count() == 1
+    assert len(store.query("SELECT * FROM metrics")) == 2
+
+
+def test_same_identity_different_metrics_is_a_new_run(store):
+    store.record(_record())
+    store.record(_record(metrics={"coverage": 0.7}))
+    assert store.run_count() == 2  # metrics digest is part of the identity
+
+
+def test_same_results_at_a_new_ambient_revision_is_a_new_run(
+    store, monkeypatch
+):
+    # git_rev defaults are resolved before the run id is computed: a
+    # deterministic run re-recorded at a new revision must land as its
+    # own row (trend/report depend on it), not vanish into the ignore.
+    monkeypatch.setenv("REPRO_GIT_REV", "rev-one")
+    store.record(_record(git_rev=None))
+    monkeypatch.setenv("REPRO_GIT_REV", "rev-two")
+    store.record(_record(git_rev=None))
+    assert store.run_count() == 2
+    revs = store.query("SELECT git_rev FROM runs ORDER BY git_rev").rows
+    assert revs == [["rev-one"], ["rev-two"]]
+
+
+def test_created_at_does_not_change_the_run_id():
+    early = _record(created_at="2026-01-01T00:00:00Z")
+    late = _record(created_at="2026-06-01T00:00:00Z")
+    assert early.run_id() == late.run_id()
+
+
+def test_record_scenario_round_trip(store, monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_REV", "pinned")
+    result = REGISTRY.run("day", {}, scale="smoke")
+    run_id = store.record_scenario(result, wall_time_s=1.5)
+    row = store.query(
+        "SELECT kind, name, spec_hash, seed, scale, git_rev, wall_time_s "
+        "FROM runs WHERE run_id = ?",
+        (run_id,),
+    ).rows[0]
+    assert row == [
+        "scenario", "day", result.spec.spec_hash(), result.spec.seed,
+        "smoke", "pinned", 1.5,
+    ]
+    stored = dict(
+        store.query(
+            "SELECT name, value FROM metrics WHERE run_id = ?", (run_id,)
+        ).rows
+    )
+    assert stored == pytest.approx(result.metrics)
+
+
+def test_query_connection_is_read_only(store):
+    store.record(_record())
+    with pytest.raises(sqlite3.OperationalError):
+        store.query("DELETE FROM runs")
+
+
+# ---------------------------------------------------------------------------
+# ingest / backfill
+
+
+def test_backfill_ingests_committed_artifacts_idempotently(store):
+    first = store.backfill(REPO_ROOT)  # baseline + golden traces
+    assert first["baseline"] > 0
+    assert first["golden"] > 0
+    count = store.run_count()
+    second = store.backfill(REPO_ROOT)
+    assert second == first
+    assert store.run_count() == count  # re-ingest changed nothing
+    kinds = store.kinds()
+    assert kinds["bench"] == first["baseline"]
+    assert kinds["scenario"] == first["golden"]
+
+
+def test_ingested_golden_matches_live_spec_hash(store):
+    store.backfill(REPO_ROOT)
+    stored = store.query(
+        "SELECT spec_hash, seed, scale FROM runs WHERE name = 'day'"
+    ).rows[0]
+    spec = REGISTRY.build_spec("day", {}, scale="smoke")
+    assert stored == [spec.spec_hash(), spec.seed, "smoke"]
