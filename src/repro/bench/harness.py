@@ -36,9 +36,13 @@ from repro.bench.kernel import (
     FLOOD_BENCH_NAME,
     FLOOD_WHEEL_BENCH_NAME,
     KERNEL_BENCH_NAME,
+    KERNEL_COMPILED_BENCH_NAME,
     KERNEL_WHEEL_BENCH_NAME,
+    TIMEOUT_FLOOD_BENCH_NAME,
     run_flood_bench,
     run_kernel_bench,
+    run_kernel_compiled_bench,
+    run_timeout_flood_bench,
 )
 from repro.bench.router import ROUTER_BENCH_NAME, run_router_bench
 from repro.bench.shards import SHARDS_BENCH_NAME, run_shards_bench
@@ -105,6 +109,8 @@ class BenchRecord:
             events_scheduled=int(payload["events_scheduled"]),
             peak_queue_depth=int(payload["peak_queue_depth"]),
             wall_time_s=float(payload["wall_time_s"]),
+            # absent in records written before the allocation pool landed
+            events_reused=int(payload.get("events_reused", 0)),
         )
         return cls(
             name=str(payload["name"]),
@@ -123,8 +129,10 @@ class BenchRecord:
 MICROBENCH_RUNNERS: Dict[str, Callable[[str], KernelStats]] = {
     KERNEL_BENCH_NAME: partial(run_kernel_bench, queue="heap"),
     KERNEL_WHEEL_BENCH_NAME: partial(run_kernel_bench, queue="wheel"),
+    KERNEL_COMPILED_BENCH_NAME: run_kernel_compiled_bench,
     FLOOD_BENCH_NAME: partial(run_flood_bench, queue="heap"),
     FLOOD_WHEEL_BENCH_NAME: partial(run_flood_bench, queue="wheel"),
+    TIMEOUT_FLOOD_BENCH_NAME: partial(run_timeout_flood_bench, queue="wheel"),
     ROUTER_BENCH_NAME: run_router_bench,
     SHARDS_BENCH_NAME: run_shards_bench,
 }

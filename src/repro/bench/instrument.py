@@ -38,6 +38,10 @@ class KernelStats:
     peak_queue_depth: int
     #: wall-clock duration of the window, seconds
     wall_time_s: float
+    #: events served from the allocation pool instead of a fresh object;
+    #: the alloc/op regression signal (reuse rate dropping means the
+    #: allocation diet regressed even if events/sec still looks fine)
+    events_reused: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -50,6 +54,7 @@ class KernelStats:
         return {
             "events_processed": self.events_processed,
             "events_scheduled": self.events_scheduled,
+            "events_reused": self.events_reused,
             "peak_queue_depth": self.peak_queue_depth,
             "wall_time_s": self.wall_time_s,
             "events_per_sec": self.events_per_sec,
@@ -92,8 +97,8 @@ class KernelProbe:
         if self._snapshot is None:
             raise RuntimeError("probe not started")
         wall = time.perf_counter() - self._started_at
-        processed0, scheduled0, peak0 = self._snapshot
-        processed1, scheduled1, window_peak = KERNEL_TOTALS.snapshot()
+        processed0, scheduled0, reused0, peak0 = self._snapshot
+        processed1, scheduled1, reused1, window_peak = KERNEL_TOTALS.snapshot()
         KERNEL_TOTALS.peak_queue_depth = max(window_peak, peak0)
         self._snapshot = None
         self.stats = KernelStats(
@@ -101,6 +106,7 @@ class KernelProbe:
             events_scheduled=scheduled1 - scheduled0,
             peak_queue_depth=window_peak,
             wall_time_s=wall,
+            events_reused=reused1 - reused0,
         )
         return self.stats
 

@@ -34,6 +34,12 @@ KERNEL_WHEEL_BENCH_NAME = "kernel-wheel"
 FLOOD_BENCH_NAME = "flood"
 #: the flood regime pinned to the calendar-queue scheduler
 FLOOD_WHEEL_BENCH_NAME = "flood-wheel"
+#: steady-state allocation-path benchmark: waves on one environment so
+#: every wave after the first is served from the event freelist
+TIMEOUT_FLOOD_BENCH_NAME = "timeout-flood"
+#: the four-segment suite under the hot-loop build a fresh interpreter
+#: selects (the mypyc extension when built, the interpreted floor here)
+KERNEL_COMPILED_BENCH_NAME = "kernel-compiled"
 
 
 @dataclass(frozen=True)
@@ -215,6 +221,7 @@ def _combined_stats(windows: Sequence[KernelStats]) -> KernelStats:
         events_scheduled=sum(w.events_scheduled for w in windows),
         peak_queue_depth=max(w.peak_queue_depth for w in windows),
         wall_time_s=sum(w.wall_time_s for w in windows),
+        events_reused=sum(w.events_reused for w in windows),
     )
 
 
@@ -256,3 +263,125 @@ def run_flood_bench(preset: str = "quick", queue: Optional[str] = None) -> Kerne
             env.run()
         windows.append(probe.stats)
     return _combined_stats(windows)
+
+
+# ----------------------------------------------------------------------
+# timeout-flood regime: steady-state allocation path (freelist hot)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WaveScale:
+    """Sizing of the steady-state allocation benchmark.
+
+    ``wave_events`` stays at (just under) the freelist's ``POOL_CAP`` so
+    a full wave's worth of Timeout objects survives each drain on the
+    pool: from the second wave on, *every* creation is a recycle rather
+    than an allocation.  Scaling up means more waves — a bigger wave
+    would overflow the pool and benchmark the allocator again, which is
+    the ``flood`` entry's job.
+    """
+
+    wave_events: int
+    waves: int
+
+    @property
+    def approx_events(self) -> int:
+        return self.wave_events * self.waves
+
+
+WAVE_SCALES: Dict[str, WaveScale] = {
+    # fig5-scale total volume through a single long-lived environment
+    "full": WaveScale(wave_events=4_000, waves=750),
+    "quick": WaveScale(wave_events=4_000, waves=100),
+    "smoke": WaveScale(wave_events=4_000, waves=25),
+}
+
+
+def run_timeout_flood_bench(
+    preset: str = "quick", queue: Optional[str] = None
+) -> KernelStats:
+    """Measure create+drain throughput with the event freelist hot.
+
+    Unlike ``flood`` (a fresh environment per drain — every Timeout is a
+    real allocation) this runs every wave on *one* environment, so waves
+    after the first draw their objects from the pool.  The probe window
+    covers creation too: the allocation diet is exactly what this entry
+    gates, and ``events_reused`` in the record shows the pool working
+    (steady state approaches ``(waves-1)/waves`` of all events).
+    """
+    try:
+        scale = WAVE_SCALES[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown timeout-flood bench preset {preset!r}; "
+            f"expected one of {sorted(WAVE_SCALES)}"
+        ) from None
+    env = Environment(queue=queue)
+    with KernelProbe() as probe:
+        # the callback must not retain the event ([].append would): a
+        # retained event fails the recycler's refcount guard by design
+        sink = _discard
+        timeout = env.timeout
+        for _ in range(scale.waves):
+            for i in range(scale.wave_events):
+                timeout((i % 97) * 0.25, value=i).callbacks.append(sink)
+            env.run()
+    return probe.stats
+
+
+def _discard(event: object) -> None:
+    """Callback-dispatch cost without keeping a reference to the event."""
+
+
+# ----------------------------------------------------------------------
+# compiled-loop entry: the suite under a fresh interpreter's loop choice
+# ----------------------------------------------------------------------
+
+_CHILD_BENCH = """
+import json, sys
+from repro.bench.kernel import run_kernel_bench
+from repro.sim import COMPILED_LOOP
+stats = run_kernel_bench(sys.argv[1], queue="heap")
+print(json.dumps({"compiled": COMPILED_LOOP, **stats.as_dict()}))
+"""
+
+
+def run_kernel_compiled_bench(preset: str = "quick") -> KernelStats:
+    """The four-segment suite under the hot-loop build of a fresh process.
+
+    Hot-loop selection is process-global and fixed at import, so this
+    entry runs the suite in a subprocess with ``REPRO_COMPILED``
+    cleared: the child picks up a mypyc build of ``repro.sim._hotloop``
+    when one is on the path, and the interpreted loop otherwise.  The
+    committed baseline number is therefore the *interpreted floor* —
+    wherever a compiled build is present (CI's compiled-kernel leg, a
+    developer who ran ``tools/build_compiled.py``) the same entry
+    measures the compiled loop, and the regression gate enforces that
+    compilation never makes the kernel slower than interpretation.
+    Wall time is measured inside the child, so process startup does not
+    pollute the figure.
+    """
+    import json
+    import os
+    import subprocess
+    import sys
+
+    if preset not in KERNEL_SCALES:
+        raise KeyError(
+            f"unknown kernel bench preset {preset!r}; "
+            f"expected one of {sorted(KERNEL_SCALES)}"
+        )
+    child_env = dict(os.environ)
+    child_env.pop("REPRO_COMPILED", None)
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD_BENCH, preset],
+        capture_output=True, text=True, env=child_env, check=True,
+    )
+    payload = json.loads(result.stdout)
+    return KernelStats(
+        events_processed=int(payload["events_processed"]),
+        events_scheduled=int(payload["events_scheduled"]),
+        peak_queue_depth=int(payload["peak_queue_depth"]),
+        wall_time_s=float(payload["wall_time_s"]),
+        events_reused=int(payload["events_reused"]),
+    )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -36,7 +37,7 @@ from repro.faas.messages import (
     PingMessage,
     next_activation_id,
 )
-from repro.sim import Environment, Event
+from repro.sim import AnyOf, Environment, Event
 
 
 class InvokerStatus(enum.Enum):
@@ -100,6 +101,18 @@ class Controller:
         self.routed_counts: Dict[str, int] = {}
         self.registry = FunctionRegistry()
         self.invokers: Dict[str, InvokerRecord] = {}
+        # Incrementally-maintained healthy views: the invoke hot path
+        # must not rescan the whole registry per call.  `_healthy_pools`
+        # holds one sorted id list per cluster, `_healthy_all` the flat
+        # sorted fleet; both are updated on status transitions only.
+        # `_healthy_view` caches the dict `healthy_by_cluster()` returns
+        # and is dropped (never mutated in place) on any transition, so
+        # downstream routers can key per-view caches on dict identity.
+        self._healthy_pools: Dict[str, List[str]] = {}
+        self._healthy_all: List[str] = []
+        self._healthy_view: Optional[Dict[str, List[str]]] = None
+        #: in-flight activation count per member cluster ("" = unfederated)
+        self._inflight_by_cluster: Dict[str, int] = {}
         self._pending: Dict[str, Tuple[Event, ActivationRecord]] = {}
         #: every accepted activation, in submit order (the request ledger)
         self.records: List[ActivationRecord] = []
@@ -119,12 +132,9 @@ class Controller:
         self.registry.deploy(function)
 
     def healthy_invokers(self, cluster: Optional[str] = None) -> List[str]:
-        return sorted(
-            record.invoker_id
-            for record in self.invokers.values()
-            if record.status is InvokerStatus.HEALTHY
-            and (cluster is None or record.cluster_id == cluster)
-        )
+        if cluster is None:
+            return list(self._healthy_all)
+        return list(self._healthy_pools.get(cluster, ()))
 
     def healthy_by_cluster(self) -> Dict[str, List[str]]:
         """Healthy invoker ids per member cluster, declaration order.
@@ -132,13 +142,53 @@ class Controller:
         Every declared member appears (possibly with an empty list), so
         routers see outages as empty pools, not missing keys; workers
         from undeclared clusters are appended in sorted-id order.
+
+        The returned dict is cached and shared between calls until the
+        next invoker status transition, at which point a *new* dict is
+        built — it is never mutated in place, so consumers (the
+        federation routers) may key derived-state caches on its
+        identity.  Treat it as read-only.
         """
-        pools: Dict[str, List[str]] = {cid: [] for cid in self.cluster_order}
-        for record in sorted(self.invokers.values(), key=lambda r: r.invoker_id):
-            if record.status is not InvokerStatus.HEALTHY:
-                continue
-            pools.setdefault(record.cluster_id, []).append(record.invoker_id)
-        return pools
+        view = self._healthy_view
+        if view is None:
+            pools = self._healthy_pools
+            view = {cid: list(pools.get(cid, ())) for cid in self.cluster_order}
+            # Undeclared clusters appear only while non-empty, ordered
+            # by their smallest healthy invoker id (the order the old
+            # sorted-rescan produced).
+            extras = [
+                (pool[0], cid)
+                for cid, pool in pools.items()
+                if pool and cid not in view
+            ]
+            extras.sort()
+            for _first_id, cid in extras:
+                view[cid] = list(pools[cid])
+            self._healthy_view = view
+        return view
+
+    def _pool_add(self, record: InvokerRecord) -> None:
+        """Status transition -> HEALTHY: insert into the sorted pools."""
+        pool = self._healthy_pools.get(record.cluster_id)
+        if pool is None:
+            pool = self._healthy_pools[record.cluster_id] = []
+        insort(pool, record.invoker_id)
+        insort(self._healthy_all, record.invoker_id)
+        self._healthy_view = None
+
+    def _pool_remove(self, record: InvokerRecord) -> None:
+        """Status transition HEALTHY -> *: drop from the sorted pools."""
+        pool = self._healthy_pools.get(record.cluster_id)
+        invoker_id = record.invoker_id
+        if pool is not None:
+            i = bisect_left(pool, invoker_id)
+            if i < len(pool) and pool[i] == invoker_id:
+                del pool[i]
+        flat = self._healthy_all
+        i = bisect_left(flat, invoker_id)
+        if i < len(flat) and flat[i] == invoker_id:
+            del flat[i]
+        self._healthy_view = None
 
     def invoker_topic(self, invoker_id: str) -> str:
         return f"invoker-{invoker_id}"
@@ -157,11 +207,23 @@ class Controller:
         """
         if cluster is None:
             return len(self._pending)
-        return sum(
-            1
-            for _done, record in self._pending.values()
-            if record.cluster_id == cluster
+        return self._inflight_by_cluster.get(cluster, 0)
+
+    def _pending_add(self, done: Event, record: ActivationRecord) -> None:
+        """Track an accepted activation (and its member inflight count)."""
+        self._pending[record.activation_id] = (done, record)
+        self._inflight_by_cluster[record.cluster_id] = (
+            self._inflight_by_cluster.get(record.cluster_id, 0) + 1
         )
+
+    def _inflight_dec(self, record: ActivationRecord) -> None:
+        counts = self._inflight_by_cluster
+        cluster_id = record.cluster_id
+        remaining = counts.get(cluster_id, 0) - 1
+        if remaining > 0:
+            counts[cluster_id] = remaining
+        else:
+            counts.pop(cluster_id, None)
 
     # ------------------------------------------------------------------
     # invocation path
@@ -255,13 +317,13 @@ class Controller:
         )
         if self.config.record_history:
             self.records.append(record)
-        done = Event(env)
-        self._pending[activation_id] = (done, record)
+        done = env.event()
+        self._pending_add(done, record)
         self.broker.publish(self.invoker_topic(target), message)
 
         deadline = env.timeout(self.config.activation_timeout)
-        yield done | deadline
-        if done.processed:
+        yield AnyOf(env, [done, deadline])
+        if done._processed:
             completion: CompletionMessage = done.value
             status = (
                 ActivationStatus.SUCCESS if completion.success else ActivationStatus.FAILED
@@ -276,7 +338,8 @@ class Controller:
                 fast_laned=record.fast_laned,
             )
         # Timed out: stop tracking; a late completion is dropped.
-        self._pending.pop(activation_id, None)
+        if self._pending.pop(activation_id, None) is not None:
+            self._inflight_dec(record)
         record.status = ActivationStatus.TIMEOUT
         record.completed_at = env.now
         return ActivationResult(
@@ -299,6 +362,7 @@ class Controller:
             if entry is None:
                 continue  # late completion after timeout: dropped
             done, record = entry
+            self._inflight_dec(record)
             record.completed_at = env.now
             record.status = (
                 ActivationStatus.SUCCESS if completion.success else ActivationStatus.FAILED
@@ -315,7 +379,13 @@ class Controller:
         while True:
             ping: PingMessage = yield self.broker.get(HEALTH_TOPIC)
             if ping.kind == "register":
-                self.invokers[ping.invoker_id] = InvokerRecord(
+                previous = self.invokers.get(ping.invoker_id)
+                if previous is not None and previous.status is InvokerStatus.HEALTHY:
+                    # Re-registration overwrites the record (possibly
+                    # under a different cluster): retract the old pool
+                    # entry before inserting the fresh one.
+                    self._pool_remove(previous)
+                record = InvokerRecord(
                     invoker_id=ping.invoker_id,
                     node=ping.node,
                     status=InvokerStatus.HEALTHY,
@@ -324,6 +394,8 @@ class Controller:
                     status_since=env.now,
                     cluster_id=ping.cluster,
                 )
+                self.invokers[ping.invoker_id] = record
+                self._pool_add(record)
                 self.events.append(
                     ControllerEvent(env.now, "invoker_registered", ping.invoker_id)
                 )
@@ -337,6 +409,7 @@ class Controller:
                     record.status = InvokerStatus.DRAINING
                     record.status_since = env.now
                     record.last_ping = env.now
+                    self._pool_remove(record)
                     moved = 0
                     if self.config.use_fast_lane:
                         moved = self.broker.move_all(
@@ -359,6 +432,8 @@ class Controller:
             elif ping.kind == "deregister":
                 record = self.invokers.get(ping.invoker_id)
                 if record is not None and record.status is not InvokerStatus.GONE:
+                    if record.status is InvokerStatus.HEALTHY:
+                        self._pool_remove(record)
                     record.status = InvokerStatus.GONE
                     record.status_since = env.now
                     record.gone_at = env.now
@@ -376,6 +451,8 @@ class Controller:
                 if record.status is InvokerStatus.GONE:
                     continue
                 if record.last_ping < deadline:
+                    if record.status is InvokerStatus.HEALTHY:
+                        self._pool_remove(record)
                     record.status = InvokerStatus.GONE
                     record.status_since = env.now
                     record.gone_at = env.now

@@ -67,18 +67,46 @@ class FederationRouter:
         raise NotImplementedError
 
 
+#: shared empty result for the single-member fast path below; read-only
+_NO_MEMBERS: List[str] = []
+
+
 def _populated(clusters: Dict[str, List[str]]) -> List[str]:
-    """Member ids with at least one healthy invoker, declaration order."""
+    """Member ids with at least one healthy invoker, declaration order.
+
+    The N=1 federation (which ROADMAP pins byte-identical to the
+    unfederated system) short-circuits without building a fresh list
+    per invocation — single-member is the common degenerate case on the
+    invoke hot path.
+    """
+    if len(clusters) == 1:
+        for cid, healthy in clusters.items():
+            if healthy:
+                return [cid]
+            return _NO_MEMBERS
     return [cid for cid, healthy in clusters.items() if healthy]
 
 
 class WeightedIdle(FederationRouter):
-    """Weight members by healthy-worker count (follow-the-idle)."""
+    """Weight members by healthy-worker count (follow-the-idle).
+
+    The candidate list and the cumulative weight distribution are
+    cached per healthy *view* (keyed on dict identity — providers hand
+    out a new dict per state change and never mutate one in place; the
+    cache holds a strong reference so the id cannot be recycled).  The
+    draw itself consumes the bound rng stream exactly like
+    ``rng.choice(n, p=weights)`` did — one uniform double inverted
+    through the same normalized cumsum — so routing decisions are
+    byte-identical to the rescan implementation, draw for draw.
+    """
 
     name = "weighted-idle"
 
     def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
         self._rng = rng
+        self._view: Optional[Dict[str, List[str]]] = None
+        self._candidates: List[str] = []
+        self._cdf: Optional[np.ndarray] = None
 
     def bind_rng(self, rng: np.random.Generator) -> None:
         self._rng = rng
@@ -86,7 +114,24 @@ class WeightedIdle(FederationRouter):
     def choose(
         self, function: str, clusters: Dict[str, List[str]], broker: "Broker"
     ) -> Optional[str]:
-        candidates = _populated(clusters)
+        if clusters is self._view:
+            candidates = self._candidates
+        else:
+            candidates = _populated(clusters)
+            cdf = None
+            if len(candidates) > 1:
+                # Mirrors np.random.Generator.choice(p=...): normalize,
+                # cumsum, renormalize the last bin to exactly 1.0 —
+                # identical float ops, so identical inversions.
+                weights = np.array(
+                    [float(len(clusters[cid])) for cid in candidates]
+                )
+                weights = weights / weights.sum()
+                cdf = weights.cumsum()
+                cdf /= cdf[-1]
+            self._view = clusters
+            self._candidates = candidates
+            self._cdf = cdf
         if not candidates:
             return None
         if len(candidates) == 1:
@@ -96,26 +141,41 @@ class WeightedIdle(FederationRouter):
                 "WeightedIdle router has no bound rng; call bind_rng() "
                 "(system assembly does this from the 'router' stream)"
             )
-        weights = np.array(
-            [float(len(clusters[cid])) for cid in candidates]
-        )
-        weights = weights / weights.sum()
-        index = int(self._rng.choice(len(candidates), p=weights))
+        index = int(self._cdf.searchsorted(self._rng.random(), side="right"))
         return candidates[index]
 
 
 class AffinityFirst(FederationRouter):
-    """Hash the function to a home cluster; fail over in sorted order."""
+    """Hash the function to a home cluster; fail over in sorted order.
+
+    Caches the sorted member list per healthy view (dict identity, see
+    :class:`WeightedIdle`) and the crc32 of each function name seen —
+    both are pure functions of their inputs, so the cached path returns
+    exactly what the recompute did.
+    """
 
     name = "affinity-first"
+
+    def __init__(self) -> None:
+        self._view: Optional[Dict[str, List[str]]] = None
+        self._members: List[str] = []
+        self._crc: Dict[str, int] = {}
 
     def choose(
         self, function: str, clusters: Dict[str, List[str]], broker: "Broker"
     ) -> Optional[str]:
-        members = sorted(clusters)
+        if clusters is self._view:
+            members = self._members
+        else:
+            members = sorted(clusters)
+            self._view = clusters
+            self._members = members
         if not members:
             return None
-        home = zlib.crc32(function.encode("utf-8")) % len(members)
+        crc = self._crc.get(function)
+        if crc is None:
+            crc = self._crc[function] = zlib.crc32(function.encode("utf-8"))
+        home = crc % len(members)
         for offset in range(len(members)):
             cid = members[(home + offset) % len(members)]
             if clusters[cid]:
@@ -124,17 +184,32 @@ class AffinityFirst(FederationRouter):
 
 
 class Failover(FederationRouter):
-    """All traffic to the first declared member with healthy workers."""
+    """All traffic to the first declared member with healthy workers.
+
+    The winning member is cached per healthy view (dict identity, see
+    :class:`WeightedIdle`): the preference scan only reruns when the
+    fleet state actually changed.
+    """
 
     name = "failover"
+
+    def __init__(self) -> None:
+        self._view: Optional[Dict[str, List[str]]] = None
+        self._first: Optional[str] = None
 
     def choose(
         self, function: str, clusters: Dict[str, List[str]], broker: "Broker"
     ) -> Optional[str]:
+        if clusters is self._view:
+            return self._first
+        first = None
         for cid, healthy in clusters.items():
             if healthy:
-                return cid
-        return None
+                first = cid
+                break
+        self._view = clusters
+        self._first = first
+        return first
 
 
 #: policy catalogue keyed by router name (the `router:` config values)

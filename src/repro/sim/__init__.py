@@ -31,7 +31,13 @@ Design notes
   simulated unit as one second.
 """
 
-from repro.sim.core import Environment, SimTime, StopSimulation
+from repro.sim.core import (
+    COMPILED_LOOP,
+    Environment,
+    SimTime,
+    StopSimulation,
+    resolve_pool,
+)
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -60,8 +66,10 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "CalendarQueue",
+    "COMPILED_LOOP",
     "DEFAULT_QUEUE",
     "Environment",
+    "resolve_pool",
     "HeapEventQueue",
     "QUEUE_KINDS",
     "resolve_queue",

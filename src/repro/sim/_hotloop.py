@@ -1,0 +1,187 @@
+"""The kernel's hot loop, extracted for optional mypyc compilation.
+
+This module contains the per-event drain loops behind
+:meth:`repro.sim.core.Environment.run` — the single hottest code in the
+repository.  It is written to be compiled by mypyc (see
+``tools/build_compiled.py``); when no compiled build is present the
+plain interpreted source runs unchanged, so behaviour is identical
+either way and the compiled artifact is purely an accelerator.
+
+Two constraints shape the code:
+
+* **Zero package imports.**  mypyc builds this file standalone, so it
+  must not import anything from ``repro``.  The event classes and the
+  stop exception are injected once via :func:`install` when
+  ``repro.sim.core`` loads.
+* **Byte-identical semantics.**  The loops here are the former inlined
+  bodies of ``Environment.run`` — same pops, same counter flushes, same
+  cancellation tombstone handling — proven against every committed
+  golden under both queue implementations.
+
+The loop also hosts the event-recycling side of the allocation pool:
+after an event's callbacks have run, if the environment pools events and
+the *only* remaining reference is the loop's own local (checked with
+``sys.getrefcount``), the object is reset and parked on the
+environment's freelist for :meth:`Environment.timeout` /
+:meth:`Environment.event` to reuse.  Any event the user (or a Condition,
+a Store, a pending dict...) still holds fails the refcount guard and is
+simply left for the garbage collector — recycling is opt-out-by-holding,
+never observable.
+
+``COMPILED`` reports whether this module instance is the mypyc build
+(imports of the compiled extension shadow the ``.py`` source on disk).
+``REPRO_COMPILED=0`` makes :mod:`repro.sim.core` bypass a compiled build
+and load this source file directly.
+"""
+
+from heapq import heappop as _heappop
+from sys import getrefcount as _getrefcount
+from typing import Any, Tuple
+
+#: True when this module instance is the mypyc-compiled extension.
+COMPILED: bool = not __file__.endswith(".py")
+
+#: recycled events parked per environment; bounded so a burst can never
+#: pin an unbounded amount of memory on the freelist
+POOL_CAP: int = 4096
+
+# Injected by install() — the kernel's event classes and stop signal.
+# Plain module globals so the loop's type checks are exact-class tests.
+_Timeout: Any = None
+_Event: Any = None
+_Stop: Any = None
+
+
+def install(timeout_cls: Any, event_cls: Any, stop_exc: Any) -> None:
+    """Inject the kernel classes this module must not import."""
+    global _Timeout, _Event, _Stop
+    _Timeout = timeout_cls
+    _Event = event_cls
+    _Stop = stop_exc
+
+
+def run_loop(env: Any) -> Tuple[bool, Any]:
+    """Drain *env*'s queue; the body of ``Environment.run``.
+
+    Returns ``(True, value)`` when a :class:`StopSimulation` halted the
+    run and ``(False, None)`` when the queue drained.  Counters are
+    flushed into the environment (and the process-wide totals) on every
+    exit path, including exceptions propagating out of callbacks.
+    """
+    queue = env._queue
+    cancelled = env._cancelled
+    tpool = env._timeout_pool
+    epool = env._event_pool
+    processed = 0
+    peak = 0
+    try:
+        try:
+            if env.queue_kind == "heap":
+                pop = _heappop
+                while queue:
+                    # Peak tracking: live depth <= raw length, so only
+                    # pay the tombstone subtraction when the raw length
+                    # clears the current peak.
+                    depth = len(queue)
+                    if depth > peak:
+                        if cancelled:
+                            depth -= len(cancelled)
+                        if depth > peak:
+                            peak = depth
+                    when, _prio, _eid, event = pop(queue)
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        event._queued = False
+                        continue
+                    env._now = when
+                    event._processed = True
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False:
+                        if not event.defused:
+                            raise event._value
+                    elif tpool is not None:
+                        # Recycle: only exact Timeout/Event instances
+                        # (subclasses carry extra state), and only when
+                        # the loop local is the last reference — 2 is
+                        # this frame's slot plus getrefcount's argument.
+                        cls = type(event)
+                        if cls is _Timeout:
+                            if len(tpool) < POOL_CAP and _getrefcount(event) == 2:
+                                event._value = None
+                                tpool.append(event)
+                        elif cls is _Event:
+                            if len(epool) < POOL_CAP and _getrefcount(event) == 2:
+                                event._value = None
+                                epool.append(event)
+            else:
+                pop = env._pop
+                while queue._size:
+                    depth = queue._size
+                    if depth > peak:
+                        if cancelled:
+                            depth -= len(cancelled)
+                        if depth > peak:
+                            peak = depth
+                    # Inlined CalendarQueue.pop fast path: in-bucket
+                    # drain including the incoming-heap head race (every
+                    # zero-delay event lands in the currently-draining
+                    # bucket, so the race is the common case, not the
+                    # exception); only bucket advance and degraded mode
+                    # take the slow path.  All queue state is written
+                    # back before callbacks run, so code that peeks or
+                    # pushes mid-callback sees it consistent.  Consumed
+                    # batch slots are cleared so the recycler's refcount
+                    # guard sees the loop as the last holder.
+                    batch = queue._batch
+                    idx = queue._idx
+                    inc = queue._incoming
+                    if idx < len(batch):
+                        entry = batch[idx]
+                        if inc and inc[0] < entry:
+                            entry = _heappop(inc)
+                        else:
+                            batch[idx] = None
+                            queue._idx = idx + 1
+                        queue._size -= 1
+                    elif inc:
+                        entry = _heappop(inc)
+                        queue._size -= 1
+                    else:
+                        entry = pop()
+                    when, _prio, _eid, event = entry
+                    entry = None
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        event._queued = False
+                        continue
+                    env._now = when
+                    event._processed = True
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False:
+                        if not event.defused:
+                            raise event._value
+                    elif tpool is not None:
+                        cls = type(event)
+                        if cls is _Timeout:
+                            if len(tpool) < POOL_CAP and _getrefcount(event) == 2:
+                                event._value = None
+                                tpool.append(event)
+                        elif cls is _Event:
+                            if len(epool) < POOL_CAP and _getrefcount(event) == 2:
+                                event._value = None
+                                epool.append(event)
+        except BaseException as exc:
+            if isinstance(exc, _Stop):
+                return (True, exc.value)
+            raise
+        return (False, None)
+    finally:
+        env._flush_counters(processed, peak)

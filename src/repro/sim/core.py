@@ -16,6 +16,7 @@ the end of every ``run()``/``step()``, which is what
 
 from __future__ import annotations
 
+import os
 from functools import partial as _partial
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Generator, Iterable, Optional, Tuple
@@ -50,7 +51,12 @@ class KernelTotals:
     creates internally.  See :class:`repro.bench.instrument.KernelProbe`.
     """
 
-    __slots__ = ("events_processed", "events_scheduled", "peak_queue_depth")
+    __slots__ = (
+        "events_processed",
+        "events_scheduled",
+        "events_reused",
+        "peak_queue_depth",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -58,15 +64,68 @@ class KernelTotals:
     def reset(self) -> None:
         self.events_processed = 0
         self.events_scheduled = 0
+        self.events_reused = 0
         self.peak_queue_depth = 0
 
-    def snapshot(self) -> Tuple[int, int, int]:
-        """``(events_processed, events_scheduled, peak_queue_depth)``."""
-        return (self.events_processed, self.events_scheduled, self.peak_queue_depth)
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """``(events_processed, events_scheduled, events_reused, peak_queue_depth)``."""
+        return (
+            self.events_processed,
+            self.events_scheduled,
+            self.events_reused,
+            self.peak_queue_depth,
+        )
 
 
 #: the one process-wide aggregate (reset it via ``KERNEL_TOTALS.reset()``)
 KERNEL_TOTALS = KernelTotals()
+
+
+#: kernel-wide default for the event allocation pool; disable per
+#: environment with ``Environment(pool=False)`` or process-wide with
+#: ``REPRO_POOL=0``.
+DEFAULT_POOL = True
+
+
+def resolve_pool(flag: Optional[bool] = None) -> bool:
+    """Resolve the event-pool selector (arg > ``REPRO_POOL`` > default)."""
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get("REPRO_POOL", "")
+    if raw == "":
+        return DEFAULT_POOL
+    return raw.lower() not in ("0", "off", "false", "no")
+
+
+def _load_hotloop():
+    """Select the run-loop implementation (compiled build vs pure source).
+
+    A mypyc build of :mod:`repro.sim._hotloop` (built by
+    ``tools/build_compiled.py``) shadows the ``.py`` source on import and
+    is picked up automatically.  ``REPRO_COMPILED=0`` forces the pure
+    interpreted source even when a compiled extension is installed, by
+    loading the ``.py`` file directly under a private module name.
+    """
+    if os.environ.get("REPRO_COMPILED", "") == "0":
+        import importlib.util
+
+        path = os.path.join(os.path.dirname(__file__), "_hotloop.py")
+        spec = importlib.util.spec_from_file_location("repro.sim._hotloop_pure", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    from repro.sim import _hotloop
+
+    return _hotloop
+
+
+_hotloop = _load_hotloop()
+_hotloop.install(Timeout, Event, StopSimulation)
+
+#: True when the mypyc-compiled hot loop is active this process.
+COMPILED_LOOP: bool = bool(getattr(_hotloop, "COMPILED", False))
+
+_run_loop = _hotloop.run_loop
 
 
 class Environment:
@@ -100,7 +159,11 @@ class Environment:
         "_eid_flushed",
         "_active_process",
         "_cancelled",
+        "_timeout_pool",
+        "_event_pool",
         "events_processed",
+        "events_reused",
+        "_reused_flushed",
         "peak_queue_depth",
     )
 
@@ -108,6 +171,7 @@ class Environment:
         self,
         initial_time: SimTime = 0.0,
         queue: Optional[str] = None,
+        pool: Optional[bool] = None,
     ) -> None:
         self._now: SimTime = float(initial_time)
         impl, degrade = resolve_queue(queue)
@@ -128,8 +192,20 @@ class Environment:
         self._eid_flushed: int = 0
         self._active_process: Optional["Process"] = None
         self._cancelled: set = set()
+        # Event freelists (``None`` = pooling disabled): processed
+        # Timeout/Event instances with no surviving references are
+        # parked here by the run loop and reused by timeout()/event().
+        if resolve_pool(pool):
+            self._timeout_pool: Optional[list] = []
+            self._event_pool: Optional[list] = []
+        else:
+            self._timeout_pool = None
+            self._event_pool = None
         #: events processed by this environment's run loop so far
         self.events_processed: int = 0
+        #: events served from the freelist instead of a fresh allocation
+        self.events_reused: int = 0
+        self._reused_flushed: int = 0
         #: largest queue depth observed while processing events
         self.peak_queue_depth: int = 0
 
@@ -229,9 +305,63 @@ class Environment:
     # event/process factories (convenience mirrors of simpy's API)
     # ------------------------------------------------------------------
     def event(self) -> Event:
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = Event.PENDING
+            event._ok = None
+            event._processed = False
+            event._queued = False
+            event.defused = False
+            self.events_reused += 1
+            return event
         return Event(self)
 
+    def _init_event(self, callback: Any) -> Event:
+        """Pooled, pre-succeeded, URGENT-scheduled event in one step.
+
+        The process-bootstrap shape (`Process.__init__` is the only
+        caller): equivalent to ``event()`` + mark succeeded + schedule
+        URGENT, without the intermediate resets those steps redo.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            self.events_reused += 1
+        else:
+            event = Event.__new__(Event)
+            event.env = self
+        event.callbacks = [callback]
+        event._value = None
+        event._ok = True
+        event._processed = False
+        event._queued = True
+        event.defused = False
+        self._eid += 1
+        self._push((self._now, 0, self._eid, event))
+        return event
+
     def timeout(self, delay: SimTime, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            # Reuse a recycled Timeout: every field Timeout.__init__
+            # writes is written fresh here, so no state survives the
+            # recycle — only the object identity does.
+            if delay < 0:
+                raise ValueError(f"negative delay: {delay!r}")
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._processed = False
+            timeout._queued = True
+            timeout.defused = False
+            timeout.delay = delay
+            self.events_reused += 1
+            self._eid += 1
+            self._push((self._now + delay, 1, self._eid, timeout))
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> "Process":
@@ -303,81 +433,20 @@ class Environment:
                 raise ValueError(
                     f"until ({horizon}) must not be before now ({self._now})"
                 )
-            stop_event = Event(self)
+            stop_event = self.event()
             stop_event._ok = True
             stop_event._value = None
             # URGENT so the horizon pre-empts same-instant NORMAL events.
             self.schedule(stop_event, delay=horizon - self._now, priority=0)
             stop_event.callbacks.append(self._stop_callback)
 
-        # Tight loop: everything the per-event path touches is a local.
-        # One branch per backing store so heap mode keeps its direct C
-        # heappop and wheel mode its bound-method pop — selected once
-        # per run(), not per event.
-        queue = self._queue
-        cancelled = self._cancelled
-        processed = 0
-        peak = 0
-        try:
-            if self.queue_kind == "heap":
-                pop = _heappop
-                while queue:
-                    depth = len(queue) - len(cancelled)
-                    if depth > peak:
-                        peak = depth
-                    when, _prio, _eid, event = pop(queue)
-                    if cancelled and event in cancelled:
-                        cancelled.discard(event)
-                        event._queued = False
-                        continue
-                    self._now = when
-                    event._processed = True
-                    processed += 1
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    for callback in callbacks:
-                        callback(event)
-                    if event._ok is False:
-                        if not event.defused:
-                            raise event._value
-            else:
-                pop = self._pop
-                while queue._size:
-                    depth = queue._size - len(cancelled)
-                    if depth > peak:
-                        peak = depth
-                    # Inlined CalendarQueue.pop fast path (in-bucket
-                    # drain); bucket advance, incoming-heap race, and
-                    # degraded mode take the slow path.  All queue state
-                    # is written back before callbacks run, so code that
-                    # peeks or pushes mid-callback sees it consistent.
-                    batch = queue._batch
-                    idx = queue._idx
-                    if idx < len(batch) and not queue._incoming:
-                        entry = batch[idx]
-                        queue._idx = idx + 1
-                        queue._size -= 1
-                    else:
-                        entry = pop()
-                    when, _prio, _eid, event = entry
-                    if cancelled and event in cancelled:
-                        cancelled.discard(event)
-                        event._queued = False
-                        continue
-                    self._now = when
-                    event._processed = True
-                    processed += 1
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    for callback in callbacks:
-                        callback(event)
-                    if event._ok is False:
-                        if not event.defused:
-                            raise event._value
-        except StopSimulation as stop:
-            return stop.value
-        finally:
-            self._flush_counters(processed, peak)
+        # The per-event drain lives in repro.sim._hotloop (one branch
+        # per backing store, everything bound to locals) so the same
+        # loop body can optionally run as a mypyc-compiled extension.
+        # It flushes the kernel counters on every exit path itself.
+        stopped, value = _run_loop(self)
+        if stopped:
+            return value
 
         if stop_event is not None and not stop_event.processed:
             # Queue drained before the stop event fired.
@@ -394,6 +463,8 @@ class Environment:
         totals.events_processed += processed
         totals.events_scheduled += self._eid - self._eid_flushed
         self._eid_flushed = self._eid
+        totals.events_reused += self.events_reused - self._reused_flushed
+        self._reused_flushed = self.events_reused
         if peak > totals.peak_queue_depth:
             totals.peak_queue_depth = peak
 

@@ -16,6 +16,14 @@ class EventPriority(enum.IntEnum):
     NORMAL = 1
 
 
+#: Interned plain-``int`` aliases of :class:`EventPriority` for the hot
+#: paths: queue entries built from these compare int-vs-int inside the
+#: heap/wheel C comparison loops instead of going through the IntEnum
+#: subclass, and the values are identical so event order cannot change.
+URGENT: int = int(EventPriority.URGENT)
+NORMAL: int = int(EventPriority.NORMAL)
+
+
 class Event:
     """A one-shot occurrence other parts of the simulation can wait on.
 
@@ -73,9 +81,9 @@ class Event:
         return self._value
 
     # -- settling ------------------------------------------------------
-    def succeed(self, value: Any = None, priority: int = EventPriority.NORMAL) -> "Event":
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Settle the event successfully and schedule its callbacks."""
-        if self._value is not Event.PENDING:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -89,7 +97,7 @@ class Event:
         env._push((env._now, priority, env._eid, self))
         return self
 
-    def fail(self, exception: BaseException, priority: int = EventPriority.NORMAL) -> "Event":
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
         """Settle the event with an exception."""
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -121,6 +129,11 @@ class Event:
             else "pending"
         )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+#: module-level alias of the sentinel — hot paths compare against a
+#: global load instead of the two-step ``Event.PENDING`` class lookup
+_PENDING = Event.PENDING
 
 
 class Timeout(Event):
@@ -158,7 +171,15 @@ class Condition(Event):
     __slots__ = ("_events", "_count", "_needed")
 
     def __init__(self, env: "Environment", events: list[Event], needed: int) -> None:
-        super().__init__(env)
+        # Flattened Event.__init__ — conditions are built per wait-on-
+        # multiple (every invocation's result-or-deadline race is one).
+        self.env = env
+        self.callbacks = []
+        self._value = Event.PENDING
+        self._ok = None
+        self._processed = False
+        self._queued = False
+        self.defused = False
         for event in events:
             if event.env is not env:
                 raise ValueError("mixing events from different environments")
@@ -168,12 +189,13 @@ class Condition(Event):
         if not events or self._needed == 0:
             self.succeed(self._collect())
             return
+        on_child = self._on_child
         for event in events:
-            if event.processed:
-                self._on_child(event)
+            if event._processed:
+                on_child(event)
             else:
-                event.callbacks.append(self._on_child)
-            if self.triggered:
+                event.callbacks.append(on_child)
+            if self._value is not _PENDING:
                 break
 
     def _on_child(self, event: Event) -> None:
@@ -194,7 +216,7 @@ class Condition(Event):
         return {
             event: event._value
             for event in self._events
-            if event.processed and event.ok
+            if event._processed and event._ok
         }
 
 

@@ -14,12 +14,15 @@ point.
 
 from __future__ import annotations
 
+from types import GeneratorType as _GeneratorType
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event, EventPriority
+from repro.sim.events import URGENT, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
+
+_PENDING = Event.PENDING
 
 
 class Interrupt(Exception):
@@ -44,29 +47,37 @@ class Process(Event):
     __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if type(generator) is not _GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # Flattened Event.__init__ — one Python call saved per spawn,
+        # and process churn spawns one of these per simulated request.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._processed = False
+        self._queued = False
+        self.defused = False
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        #: the event this process currently waits on (None when resuming)
-        self._target: Optional[Event] = None
         #: one bound method reused for every yield (a fresh bound-method
         #: object per suspension is measurable at millions of events)
-        self._resume_cb = self._resume
-        # Bootstrap: resume the generator at the next instant.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume_cb)
-        env.schedule(init, priority=EventPriority.URGENT)
-        self._target = init
+        resume = self._resume
+        self._resume_cb = resume
+        # Bootstrap: resume the generator at the next instant.  Pulled
+        # from the environment's event pool (process churn recycles one
+        # bootstrap event per spawn), pre-succeeded and URGENT-scheduled
+        # in one step — this runs once per simulated request/job/tick.
+        #: the event this process currently waits on (None when resuming)
+        self._target: Optional[Event] = env._init_event(resume)
 
     # -- state ---------------------------------------------------------
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
-        return self._value is Event.PENDING
+        return self._value is _PENDING
 
     @property
     def target(self) -> Optional[Event]:
@@ -99,27 +110,25 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event.defused = True
         interrupt_event.callbacks.append(self._resume_cb)
-        self.env.schedule(interrupt_event, priority=EventPriority.URGENT)
+        self.env.schedule(interrupt_event, priority=URGENT)
 
     # -- generator driving ------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self._value is not Event.PENDING:
+        if self._value is not _PENDING:
             # A queued interrupt can arrive after normal termination; drop it.
             return
         env = self.env
         env._active_process = self
         generator = self._generator
-        send = generator.send
-        throw = generator.throw
         target: Optional[Event] = None
         while True:
             try:
                 if event._ok:
-                    next_target = send(event._value)
+                    next_target = generator.send(event._value)
                 else:
                     # Failed event or interrupt: throw into the generator.
                     event.defused = True
-                    next_target = throw(event._value)
+                    next_target = generator.throw(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 self._target = None
@@ -137,7 +146,7 @@ class Process(Event):
                     f"process {self.name!r} yielded a non-event: {next_target!r}"
                 )
                 try:
-                    throw(exc)
+                    generator.throw(exc)
                 except BaseException as err:
                     self._target = None
                     self.fail(err)

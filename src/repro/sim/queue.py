@@ -227,6 +227,12 @@ class CalendarQueue:
                 entry = _heappop(inc)
             else:
                 self._idx = idx + 1
+                # Consumed slots are cleared (never re-read: _idx has
+                # moved past) so the entry tuple — and the event inside
+                # it — is freed as soon as the caller drops it, which
+                # is what lets the run loop's recycler see a processed
+                # event's refcount hit the pool-eligibility floor.
+                batch[idx] = None
             self._size -= 1
             return entry
         inc = self._incoming
@@ -254,7 +260,9 @@ class CalendarQueue:
         self._batch = batch
         self._idx = 1
         self._size -= 1
-        return batch[0]
+        entry = batch[0]
+        batch[0] = None
+        return entry
 
     def peek_entry(self) -> Optional[Entry]:
         """Smallest entry without consuming it, or ``None``.

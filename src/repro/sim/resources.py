@@ -113,7 +113,15 @@ class StoreGet(Event):
     __slots__ = ("store", "predicate")
 
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None) -> None:
-        super().__init__(store.env)
+        # Flattened Event.__init__ — one call saved per get, and every
+        # broker-topic consume is one of these.
+        self.env = store.env
+        self.callbacks = []
+        self._value = Event.PENDING
+        self._ok = None
+        self._processed = False
+        self._queued = False
+        self.defused = False
         self.store = store
         self.predicate = predicate
         store._getters.append(self)
@@ -176,17 +184,28 @@ class Store:
     def _dispatch(self) -> None:
         # Repeatedly match the earliest-waiting getter whose predicate some
         # buffered item satisfies.  FIFO on both sides.
-        made_progress = True
-        while made_progress and self._getters and self.items:
+        getters = self._getters
+        items = self.items
+        while getters and items:
+            head = getters[0]
+            if head.predicate is None:
+                # FIFO fast path — the shape of every broker-topic get:
+                # the earliest getter takes the earliest item, with no
+                # snapshot copy of the waiter list and no index scan.
+                del getters[0]
+                head.succeed(items.pop(0))
+                continue
             made_progress = False
-            for getter in list(self._getters):
+            for getter in list(getters):
                 index = self._next_index(getter.predicate)
                 if index is not None:
-                    self._getters.remove(getter)
-                    item = self.items.pop(index)
+                    getters.remove(getter)
+                    item = items.pop(index)
                     getter.succeed(item)
                     made_progress = True
                     break
+            if not made_progress:
+                return
 
 
 class FilterStore(Store):

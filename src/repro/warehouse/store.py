@@ -275,6 +275,7 @@ class RunStore:
             "events_per_sec": float(stats.events_per_sec),
             "events_processed": float(stats.events_processed),
             "events_scheduled": float(stats.events_scheduled),
+            "events_reused": float(stats.events_reused),
             "peak_queue_depth": float(stats.peak_queue_depth),
             "wall_time_s": float(stats.wall_time_s),
         }

@@ -35,12 +35,13 @@ def _record(name, eps, kind="kernel"):
 
 def test_bench_names_lists_microbenches_and_all_scenarios():
     names = bench_names()
-    assert names[:6] == ["kernel", "kernel-wheel", "flood", "flood-wheel",
+    assert names[:8] == ["kernel", "kernel-wheel", "kernel-compiled",
+                         "flood", "flood-wheel", "timeout-flood",
                          "router", "shards"]
     assert "day" in names and "fig1" in names and "federation" in names
     assert "supply" in names and "supply_matrix" in names
     assert "stream_day" in names
-    assert len(names) == 18
+    assert len(names) == 20
 
 
 def test_router_microbench_smoke_runs_and_counts():
@@ -95,6 +96,42 @@ def test_flood_microbench_smoke_counts():
         run_flood_bench("huge")
 
 
+def test_timeout_flood_bench_reuses_the_pool():
+    from repro.bench.kernel import WAVE_SCALES, run_timeout_flood_bench
+
+    scale = WAVE_SCALES["smoke"]
+    stats = run_timeout_flood_bench("smoke")
+    assert stats.events_processed == scale.approx_events
+    assert stats.events_scheduled == scale.approx_events
+    # waves run on one environment: everything after the first wave is
+    # served from the freelist, not the allocator
+    assert stats.events_reused == (scale.waves - 1) * scale.wave_events
+    assert stats.peak_queue_depth == scale.wave_events
+    with pytest.raises(KeyError):
+        run_timeout_flood_bench("huge")
+
+
+def test_kernel_compiled_bench_matches_kernel_counts():
+    from repro.bench.kernel import run_kernel_compiled_bench
+
+    # same workload as `kernel`, measured in a fresh subprocess under
+    # whatever hot-loop build that process selects — counts must agree
+    stats = run_kernel_compiled_bench("smoke")
+    direct = run_kernel_bench("smoke", queue="heap")
+    assert stats.events_processed == direct.events_processed
+    assert stats.events_scheduled == direct.events_scheduled
+    assert stats.events_reused == direct.events_reused
+    assert stats.events_per_sec > 0
+    with pytest.raises(KeyError):
+        run_kernel_compiled_bench("huge")
+
+
+def test_from_dict_defaults_events_reused_for_old_records():
+    payload = _record("kernel", 1000).to_dict()
+    del payload["events_reused"]  # records written before the pool landed
+    assert BenchRecord.from_dict(payload).stats.events_reused == 0
+
+
 def test_flood_bench_identical_counts_across_queues():
     from repro.bench.kernel import run_flood_bench
 
@@ -109,7 +146,8 @@ def test_microbench_runners_pin_their_queues():
     from repro.bench import MICROBENCH_RUNNERS
 
     assert set(MICROBENCH_RUNNERS) == {
-        "kernel", "kernel-wheel", "flood", "flood-wheel", "router", "shards",
+        "kernel", "kernel-wheel", "kernel-compiled", "flood", "flood-wheel",
+        "timeout-flood", "router", "shards",
     }
     wheel_record = run_bench("kernel-wheel", preset="smoke")
     assert wheel_record.kind == "kernel"

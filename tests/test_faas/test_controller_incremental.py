@@ -1,0 +1,159 @@
+"""Incremental control-plane state vs a brute-force registry rescan.
+
+The controller maintains its healthy-invoker pools, the cached
+``healthy_by_cluster`` view, and per-cluster inflight counts
+*incrementally* (updated on status transitions / accept / resolve only).
+These tests replay random transition scripts through the same helpers
+the consumers use and, after every step, compare against the old
+full-rescan derivation — the incremental state must be a pure cache,
+never an approximation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas.activation import ActivationRecord
+from repro.faas.broker import Broker
+from repro.faas.controller import Controller, InvokerRecord, InvokerStatus
+from repro.faas.router import Failover
+from repro.sim import Environment, Event
+
+CLUSTERS = ["east", "west", "extra-1", "extra-2"]
+DECLARED = ["east", "west"]
+
+#: one transition: (invoker index, cluster index, bring it up?)
+_SCRIPT = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=len(CLUSTERS) - 1),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _controller():
+    env = Environment()
+    return Controller(
+        env,
+        Broker(env),
+        rng=np.random.default_rng(0),
+        router=Failover(),
+        cluster_order=list(DECLARED),
+    )
+
+
+def _rescan_healthy(controller, cluster=None):
+    """The old derivation: sorted scan over the whole registry."""
+    return sorted(
+        record.invoker_id
+        for record in controller.invokers.values()
+        if record.status is InvokerStatus.HEALTHY
+        and (cluster is None or record.cluster_id == cluster)
+    )
+
+
+def _rescan_by_cluster(controller):
+    """The old view: declared members first, then setdefault-in-sorted-order."""
+    view = {cid: [] for cid in controller.cluster_order}
+    for invoker_id in sorted(controller.invokers):
+        record = controller.invokers[invoker_id]
+        if record.status is InvokerStatus.HEALTHY:
+            view.setdefault(record.cluster_id, []).append(invoker_id)
+    return view
+
+
+def _apply(controller, invoker_id, cluster_id, up):
+    """Replay one transition via the consumers' helpers."""
+    record = controller.invokers.get(invoker_id)
+    if up:
+        if record is not None and record.status is InvokerStatus.HEALTHY:
+            controller._pool_remove(record)  # re-registration, maybe moved
+        if record is None:
+            record = InvokerRecord(
+                invoker_id=invoker_id,
+                node=f"node-{invoker_id}",
+                status=InvokerStatus.HEALTHY,
+                registered_at=0.0,
+                last_ping=0.0,
+                status_since=0.0,
+                cluster_id=cluster_id,
+            )
+            controller.invokers[invoker_id] = record
+        else:
+            record.status = InvokerStatus.HEALTHY
+            record.cluster_id = cluster_id
+        controller._pool_add(record)
+    elif record is not None:
+        if record.status is InvokerStatus.HEALTHY:
+            controller._pool_remove(record)
+        record.status = InvokerStatus.GONE
+
+
+@given(script=_SCRIPT)
+@settings(max_examples=150, deadline=None)
+def test_incremental_pools_match_full_rescan(script):
+    controller = _controller()
+    for index, cluster_index, up in script:
+        _apply(controller, f"inv-{index}", CLUSTERS[cluster_index], up)
+        assert controller.healthy_invokers() == _rescan_healthy(controller)
+        for cluster in CLUSTERS:
+            assert controller.healthy_invokers(cluster=cluster) == _rescan_healthy(
+                controller, cluster
+            )
+        assert controller.healthy_by_cluster() == _rescan_by_cluster(controller)
+
+
+@given(script=_SCRIPT)
+@settings(max_examples=50, deadline=None)
+def test_view_identity_is_stable_until_a_transition(script):
+    controller = _controller()
+    for index, cluster_index, up in script:
+        _apply(controller, f"inv-{index}", CLUSTERS[cluster_index], up)
+        first = controller.healthy_by_cluster()
+        # reads never invalidate: same dict object until the next transition
+        assert controller.healthy_by_cluster() is first
+        snapshot = {cid: list(members) for cid, members in first.items()}
+        _apply(controller, f"inv-{index}", CLUSTERS[cluster_index], up)
+        # a transition rebuilds rather than mutates: the old dict object
+        # keeps its contents, so identity-keyed router caches stay sound
+        assert first == snapshot
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=len(CLUSTERS) - 1), st.booleans()),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_inflight_counts_match_pending_scan(ops):
+    controller = _controller()
+    env = controller.env
+    live = []
+    serial = 0
+    for cluster_index, accept in ops:
+        cluster_id = CLUSTERS[cluster_index]
+        if accept or not live:
+            serial += 1
+            record = ActivationRecord(
+                activation_id=f"act-{serial}",
+                function="f",
+                submitted_at=0.0,
+                invoker_id="inv-0",
+                cluster_id=cluster_id,
+            )
+            controller._pending_add(Event(env), record)
+            live.append(record)
+        else:
+            record = live.pop()
+            del controller._pending[record.activation_id]
+            controller._inflight_dec(record)
+        pending = [rec for _done, rec in controller._pending.values()]
+        assert controller.inflight_count == len(pending)
+        for cluster in CLUSTERS:
+            expected = sum(1 for rec in pending if rec.cluster_id == cluster)
+            assert controller.inflight_count_for(cluster) == expected

@@ -132,7 +132,9 @@ def test_inflight_count_scopes_by_member_cluster():
             invoker_id=f"inv-{index}",
             cluster_id=cluster,
         )
-        controller._pending[record.activation_id] = (Event(env), record)
+        # The tracked-insertion path invoke() uses: keeps the per-member
+        # inflight counters in lockstep with _pending.
+        controller._pending_add(Event(env), record)
     assert controller.inflight_count == 3
     assert controller.inflight_count_for(None) == 3
     assert controller.inflight_count_for("alpha") == 2
