@@ -55,7 +55,15 @@ class ComponentSpec:
     """One component choice: a registered name plus its options.
 
     Subclasses pin the component *kind*; options are validated against
-    the factory's signature when the stack is built.
+    the factory's signature when the stack is built.  Specs are plain
+    values — hashable, comparable, and cheap to construct::
+
+        >>> SupplySpec("static", invokers=3)
+        SupplySpec('static', invokers=3)
+        >>> ClusterSpec().name          # subclasses carry the default
+        'slurm'
+        >>> SupplySpec("fib") == SupplySpec("fib")
+        True
     """
 
     kind: str = ""
@@ -283,6 +291,28 @@ class Stack:
     gets its own supply manager and pilot fleet built from the one
     ``supply`` spec, and the ``router`` steers activations across
     members above each cluster's load balancer.
+
+    A stack is pure data until :meth:`build`/:meth:`run` — composing
+    one touches no registry and draws no randomness::
+
+        >>> stack = Stack(
+        ...     name="demo",
+        ...     supply=SupplySpec("static", invokers=2),
+        ...     workloads=(WorkloadSpec("faas-stream", qps=2.0),),
+        ...     seed=7,
+        ...     horizon=60.0,
+        ... )
+        >>> [spec.kind for spec in stack.specs()]
+        ['cluster', 'supply', 'middleware', 'workload']
+        >>> stack.member_clusters()[0].name
+        'slurm'
+
+    Malformed stacks fail at construction, not mid-run::
+
+        >>> Stack(horizon=-1.0)
+        Traceback (most recent call last):
+        ...
+        ValueError: horizon must be positive
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)

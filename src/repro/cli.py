@@ -244,6 +244,60 @@ def _add_run_parser(sub) -> None:
     _add_no_store(parser)
 
 
+def _add_serve_parser(sub) -> None:
+    parser = sub.add_parser(
+        "serve", help="serve a stack's control plane over HTTP (live mode)",
+        description="Run a stack-mode config as a live wall-clock service: "
+                    "the same cluster/supply/middleware objects a simulated "
+                    "run builds, paced against real time and fronted by a "
+                    "stdlib HTTP server (POST /invoke/<function>, GET "
+                    "/healthz, GET /stats, POST /shutdown).  Workload "
+                    "sections are not attached — they describe the replay "
+                    "traffic (`repro replay`), but their function catalogue "
+                    "is deployed at startup.",
+    )
+    parser.add_argument("--config", required=True, metavar="PATH",
+                        help="stack-mode YAML (or JSON) config file")
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8380, metavar="PORT",
+                        help="listen port; 0 picks an ephemeral port "
+                             "(default: 8380)")
+    parser.add_argument("--speed", type=float, default=1.0, metavar="X",
+                        help="kernel seconds per wall second (default: 1 = "
+                             "real time; 60 runs a simulated minute per "
+                             "second)")
+
+
+def _add_replay_parser(sub) -> None:
+    parser = sub.add_parser(
+        "replay", help="replay a seeded workload against a live server",
+        description="Rebuild the config's faas-stream workload from its "
+                    "seed and replay it over HTTP — against --url (an "
+                    "already-running `repro serve`) or an in-process "
+                    "loopback server spun up from the same config.  Emits a "
+                    "StreamReport-compatible summary (stream_* metrics "
+                    "comparable with the simulated run) and records it in "
+                    "the results warehouse as run kind 'live'.",
+    )
+    parser.add_argument("--config", required=True, metavar="PATH",
+                        help="stack-mode YAML (or JSON) config file with a "
+                             "faas-stream workload")
+    parser.add_argument("--url", default=None, metavar="URL",
+                        help="target server (default: serve the config "
+                             "in-process on a loopback port)")
+    parser.add_argument("--speed", type=float, default=1.0, metavar="X",
+                        help="replay pace in kernel seconds per wall second "
+                             "(match the server's --speed)")
+    parser.add_argument("--horizon", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kernel-time horizon to replay (default: the "
+                             "workload's horizon, else the stack's)")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="also write the replay summary as JSON")
+    _add_no_store(parser)
+
+
 def _add_query_parser(sub) -> None:
     parser = sub.add_parser(
         "query", help="SQL + canned queries over the results warehouse",
@@ -351,6 +405,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_matrix_parser(sub)
     _add_bench_parser(sub)
     _add_run_parser(sub)
+    _add_serve_parser(sub)
+    _add_replay_parser(sub)
     _add_compose_parser(sub)
     _add_query_parser(sub)
     _add_report_parser(sub)
@@ -630,6 +686,82 @@ def _run_config(args) -> int:
     if getattr(args, "json_path", None):
         with open(args.json_path, "w") as handle:
             handle.write(result.to_json() + "\n")
+    return 0
+
+
+def _live_stack(command: str, path: str):
+    """Load a stack-mode config for the live verbs (usage errors exit)."""
+    from repro.api import config_mode, load_config_file, stack_from_config
+
+    try:
+        config = load_config_file(path)
+        if config_mode(config) != "stack":
+            raise ValueError(
+                "live mode needs a stack-mode config ({name, seed, horizon, "
+                "stack: {...}}); scenario configs wire their own workloads"
+            )
+        return stack_from_config(config)
+    except OSError as error:
+        raise SystemExit(f"{command}: {error}")
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"{command}: {message}")
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.live import LiveControlPlane, LiveServer
+
+    stack = _live_stack("serve", args.config)
+
+    async def serve() -> None:
+        try:
+            service = LiveControlPlane(stack, speed=args.speed)
+        except ValueError as error:
+            message = error.args[0] if error.args else error
+            raise SystemExit(f"serve: {message}")
+        server = LiveServer(service, host=args.host, port=args.port)
+        try:
+            host, port = await server.start()
+        except OSError as error:
+            raise SystemExit(f"serve: cannot bind {args.host}:{args.port} ({error})")
+        print(
+            f"serving stack {stack.name!r} at http://{host}:{port} "
+            f"(speed x{args.speed:g}) — POST /invoke/<function>, "
+            "GET /healthz, GET /stats, POST /shutdown",
+            flush=True,
+        )
+        try:
+            await server.wait_shutdown()
+        except asyncio.CancelledError:
+            await server.stop(drain=False)
+            raise
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_replay(args) -> int:
+    from repro.live import replay_config
+
+    stack = _live_stack("replay", args.config)
+    try:
+        summary = replay_config(
+            stack, url=args.url, speed=args.speed, horizon=args.horizon
+        )
+    except (TimeoutError, ConnectionError, OSError) as error:
+        raise SystemExit(f"replay: {error}")
+    except ValueError as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"replay: {message}")
+    print(summary.render())
+    if getattr(args, "json_path", None):
+        with open(args.json_path, "w") as handle:
+            handle.write(summary.to_json() + "\n")
     return 0
 
 
@@ -942,6 +1074,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "run":
         return _run_config(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "replay":
+        return _run_replay(args)
     if args.command == "compose":
         if not args.list_components:
             raise SystemExit(

@@ -193,6 +193,26 @@ class Controller:
     def invoker_topic(self, invoker_id: str) -> str:
         return f"invoker-{invoker_id}"
 
+    def snapshot(self) -> Dict[str, Any]:
+        """A pure-read state summary (the live-mode health endpoint).
+
+        Touches only incrementally-maintained counters — no registry
+        rescan, no simulation side effects — so a wall-clock service can
+        answer ``/healthz`` and ``/stats`` probes at any rate without
+        perturbing the control plane.
+        """
+        return {
+            "functions_deployed": len(self.registry),
+            "invokers_total": len(self.invokers),
+            "healthy_invokers": len(self._healthy_all),
+            "healthy_by_cluster": {
+                cid: len(pool) for cid, pool in self._healthy_pools.items() if pool
+            },
+            "inflight": len(self._pending),
+            "activations_total": len(self.records),
+            "unavailable_total": self.unavailable_count,
+        }
+
     @property
     def inflight_count(self) -> int:
         """Fleet-wide :meth:`inflight_count_for` (observability sugar)."""

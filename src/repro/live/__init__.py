@@ -1,0 +1,52 @@
+"""Live control-plane mode: the sim-to-real execution path.
+
+The middleware model (Broker / Controller / LoadBalancer / supply
+policies) normally lives inside simulated time — the kernel advances the
+clock event by event as fast as the CPU allows.  This package runs the
+**exact same objects** against the wall clock instead, behind a small
+clock + transport split:
+
+* :class:`~repro.live.clock.WallClock` — the clock half: an affine map
+  between kernel (simulated) seconds and wall (monotonic) seconds with a
+  configurable speed factor, so a deployment can run at real time
+  (``speed=1``) or accelerated (``speed=60`` = one sim minute per wall
+  second).
+* :class:`~repro.live.kernel.LiveKernel` — the scheduler: a queue
+  manager + work-signaler loop (modeled on the nanofaas control-plane
+  ``Scheduler``) that paces ``Environment.step()`` against the wall
+  clock and wakes instantly when the transport injects new work.
+* :class:`~repro.live.service.LiveControlPlane` — the service: builds a
+  stack (cluster × supply × middleware, the same YAML front door as
+  ``repro run``) on a live kernel and exposes ``invoke`` as a coroutine.
+* :class:`~repro.live.http.LiveServer` — the transport half: a
+  stdlib-asyncio HTTP server (``POST /invoke/<function>``, ``GET
+  /healthz``, ``GET /stats``) over the service.  No third-party HTTP
+  stack is required.
+* :class:`~repro.live.replay.ReplayDriver` — the load driver: replays a
+  seeded streaming workload (the same :func:`~repro.api.components.
+  build_stream_plan` sources the simulator uses) over real HTTP and
+  folds outcomes into a :class:`~repro.workloads.streaming.StreamReport`
+  -compatible summary that flows into the results warehouse as run kind
+  ``live``.
+
+Simulated mode is untouched by this package: nothing here is imported
+by the simulation path, and the golden-trace suite pins the simulated
+output byte for byte.  See ``docs/LIVE_MODE.md`` for the serve/replay
+quickstart and the sim-vs-live parity contract.
+"""
+
+from repro.live.clock import WallClock
+from repro.live.kernel import LiveKernel
+from repro.live.service import LiveControlPlane
+from repro.live.http import LiveServer
+from repro.live.replay import ReplayDriver, ReplaySummary, replay_config
+
+__all__ = [
+    "WallClock",
+    "LiveKernel",
+    "LiveControlPlane",
+    "LiveServer",
+    "ReplayDriver",
+    "ReplaySummary",
+    "replay_config",
+]

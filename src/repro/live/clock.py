@@ -1,0 +1,91 @@
+"""The clock half of the clock + transport split.
+
+A :class:`WallClock` is an affine map between **kernel time** (the
+simulated seconds the control plane reasons in) and **wall time** (the
+host's monotonic clock).  The map is anchored once, when the live kernel
+starts, and from then on
+
+.. code-block:: text
+
+    kernel_t  =  anchor_kernel + (wall_t - anchor_wall) * speed
+
+``speed`` is kernel seconds per wall second: ``1.0`` is real time,
+``60.0`` runs one simulated minute per wall second (useful for replaying
+a long workload quickly while still exercising real pacing and real
+HTTP), fractions slow the system down.
+
+The clock is deliberately dumb: it never sleeps and never touches the
+event loop.  The :class:`~repro.live.kernel.LiveKernel` owns all
+waiting; the clock only answers "what kernel time is it now?" and "how
+long until kernel time t?".  That keeps the contract small enough that
+the simulated path needs no counterpart object at all — simulated mode
+*is* the degenerate clock where every delay is zero and the event queue
+defines time, which is exactly what ``Environment.run()`` already does.
+
+Doctest — the affine map with an injected time source::
+
+    >>> ticks = iter([100.0, 100.5, 101.0])
+    >>> clock = WallClock(speed=2.0, time_fn=lambda: next(ticks))
+    >>> clock.start(kernel_now=10.0)       # anchored at wall 100.0
+    >>> clock.kernel_now()                 # wall 100.5 -> 10 + 0.5 * 2
+    11.0
+    >>> clock.wall_delay(16.0)             # wall 101.0 -> kernel 12; 4/2
+    2.0
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class WallClock:
+    """Affine kernel-time ↔ wall-time map with a speed factor.
+
+    ``time_fn`` defaults to :func:`time.monotonic`; tests inject a fake
+    to make pacing math exact.
+    """
+
+    __slots__ = ("speed", "_time_fn", "_anchor_wall", "_anchor_kernel")
+
+    def __init__(
+        self,
+        speed: float = 1.0,
+        time_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("clock speed must be positive")
+        self.speed = float(speed)
+        self._time_fn = time_fn or time.monotonic
+        self._anchor_wall: Optional[float] = None
+        self._anchor_kernel = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._anchor_wall is not None
+
+    def start(self, kernel_now: float = 0.0) -> None:
+        """Anchor the map: *this* wall instant is kernel time ``kernel_now``."""
+        self._anchor_wall = self._time_fn()
+        self._anchor_kernel = float(kernel_now)
+
+    def kernel_now(self) -> float:
+        """The current kernel time under the anchored map."""
+        if self._anchor_wall is None:
+            raise RuntimeError("clock not started; call start() first")
+        return self._anchor_kernel + (self._time_fn() - self._anchor_wall) * self.speed
+
+    def wall_delay(self, kernel_t: float) -> float:
+        """Wall seconds from now until kernel time ``kernel_t`` (>= 0).
+
+        A kernel time already in the past returns ``0.0`` — the caller
+        should process it immediately.
+        """
+        return max(0.0, (kernel_t - self.kernel_now()) / self.speed)
+
+    def wall_elapsed(self) -> float:
+        """Wall seconds since :meth:`start`."""
+        if self._anchor_wall is None:
+            raise RuntimeError("clock not started; call start() first")
+        return self._time_fn() - self._anchor_wall

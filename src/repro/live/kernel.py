@@ -1,0 +1,183 @@
+"""The live scheduler: a queue-manager + work-signaler event-step loop.
+
+This is the nanofaas control-plane ``Scheduler`` shape transplanted onto
+the simulation kernel.  nanofaas runs a single scheduler thread over a
+blocking queue of active functions plus a ``signalWork`` wakeup; here the
+single consumer is an asyncio task, the blocking queue is the **inbox**
+of injected work (thunks handed over by the HTTP transport), and the
+work signal is an :class:`asyncio.Event` that interrupts any pacing
+sleep the moment new work arrives.
+
+The loop body:
+
+1. Clear the signal, then drain the inbox (in that order — a submit that
+   lands between the drain and the next wait re-raises the signal, so no
+   wakeup is ever lost).
+2. ``t = env.peek()`` — the next scheduled kernel event.
+3. Nothing queued → park on the signal until the transport injects work.
+4. ``t`` still in the future → sleep until its wall time, but racing the
+   signal (``wait_for(signal, delay)``) so injection cuts the sleep
+   short.
+5. ``t`` is due → step the environment through every event whose kernel
+   time has been reached, in batches of ``max_batch`` with an
+   ``await asyncio.sleep(0)`` between batches so the transport coroutines
+   keep breathing under load.
+
+The same ``Environment`` semantics hold as in simulated mode — events
+fire in (time, priority, insertion) order — the kernel only *paces* them
+against the :class:`~repro.live.clock.WallClock` instead of collapsing
+all waiting to zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.live.clock import WallClock
+from repro.sim.core import EmptySchedule, Environment
+
+_INF = float("inf")
+
+
+class LiveKernel:
+    """Paces an :class:`Environment` against a :class:`WallClock`.
+
+    The kernel owns no sockets and no simulation objects; it is purely
+    the consumer loop.  Producers (the HTTP transport, the replay
+    driver) hand work over with :meth:`submit`, which runs the thunk on
+    the loop thread and wakes the scheduler.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        clock: Optional[WallClock] = None,
+        max_batch: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.env = env
+        self.clock = clock or WallClock()
+        self.max_batch = int(max_batch)
+        self._inbox: Deque[Callable[[], None]] = deque()
+        self._signal = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._running = False
+        self._finished = asyncio.Event()
+        #: kernel events processed by this live loop
+        self.steps = 0
+        #: thunks drained from the inbox
+        self.submissions = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, thunk: Callable[[], None]) -> None:
+        """Queue *thunk* to run on the scheduler loop and wake it.
+
+        Safe to call from any thread: off-loop callers are marshalled in
+        via ``call_soon_threadsafe``.  The thunk runs on the loop thread
+        before the next pacing decision, so it may freely start processes
+        and schedule events on the environment.
+        """
+        loop = self._loop
+        if loop is not None and loop is not _current_loop():
+            loop.call_soon_threadsafe(self._enqueue, thunk)
+        else:
+            self._enqueue(thunk)
+
+    def _enqueue(self, thunk: Callable[[], None]) -> None:
+        self._inbox.append(thunk)
+        self._signal.set()
+
+    def signal(self) -> None:
+        """Wake the scheduler without queueing work (e.g. after stop())."""
+        loop = self._loop
+        if loop is not None and loop is not _current_loop():
+            loop.call_soon_threadsafe(self._signal.set)
+        else:
+            self._signal.set()
+
+    # ------------------------------------------------------------------
+    # consumer loop
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current batch."""
+        self._running = False
+        self.signal()
+
+    async def wait_finished(self) -> None:
+        await self._finished.wait()
+
+    async def run(self) -> None:
+        """The scheduler loop; runs until :meth:`stop` is called.
+
+        Events already due when the loop observes them are processed
+        immediately; future events are paced to their wall time unless a
+        submission arrives first.
+        """
+        self._loop = asyncio.get_running_loop()
+        if not self.clock.started:
+            self.clock.start(kernel_now=self.env.now)
+        self._running = True
+        self._finished.clear()
+        env = self.env
+        clock = self.clock
+        inbox = self._inbox
+        signal = self._signal
+        try:
+            while self._running:
+                # 1. clear-then-drain: a submit landing after the drain
+                #    re-sets the signal, so the next wait returns at once.
+                signal.clear()
+                while inbox:
+                    thunk = inbox.popleft()
+                    self.submissions += 1
+                    thunk()
+
+                # 2. next kernel event
+                next_t = env.peek()
+                if next_t == _INF:
+                    await signal.wait()
+                    continue
+
+                # 3. pace: sleep until the event's wall time, racing the
+                #    work signal so injection cuts the sleep short.
+                delay = clock.wall_delay(next_t)
+                if delay > 0:
+                    try:
+                        await asyncio.wait_for(signal.wait(), timeout=delay)
+                    except asyncio.TimeoutError:
+                        pass
+                    continue
+
+                # 4. due: step through everything whose kernel time has
+                #    been reached, yielding between batches.
+                horizon = clock.kernel_now()
+                stepped = 0
+                while env.peek() <= horizon:
+                    try:
+                        env.step()
+                    except EmptySchedule:  # pragma: no cover - race guard
+                        break
+                    self.steps += 1
+                    stepped += 1
+                    if stepped >= self.max_batch:
+                        break
+                await asyncio.sleep(0)
+        finally:
+            self._running = False
+            self._finished.set()
+
+
+def _current_loop() -> Optional[asyncio.AbstractEventLoop]:
+    try:
+        return asyncio.get_running_loop()
+    except RuntimeError:
+        return None

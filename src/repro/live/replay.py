@@ -1,0 +1,287 @@
+"""Replay a seeded streaming workload over the wire.
+
+The simulator and the live service must be fed the **same invocation
+sequence** for a parity claim to mean anything, so the replay driver
+does not invent traffic: it rebuilds the exact
+:class:`~repro.workloads.streaming.StreamSource` a stack's
+``faas-stream`` workload spec describes — same named random stream
+(``RandomStreams(seed).stream("stream")``), same options through
+:func:`~repro.api.components.build_stream_plan` — and then *paces* the
+arrivals against the wall clock instead of the event queue, firing each
+invocation as a ``POST /invoke/<function>`` over a fresh loopback
+connection.
+
+Outcomes fold into the same :class:`~repro.workloads.streaming.
+StreamReport` aggregate the simulated probe produces (response times in
+kernel seconds, as reported by the server), wrapped in a
+:class:`ReplaySummary` that adds the wall-clock cost — so a live run
+emits ``stream_*`` metrics directly comparable with a simulated run of
+the same config, and flows into the results warehouse as run kind
+``live``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.api.components import build_stream_plan
+from repro.api.registry import COMPONENTS, ComponentRegistry, load_builtin_components
+from repro.api.stack import Stack, WorkloadSpec
+from repro.faas.activation import ActivationStatus
+from repro.live.http import LiveServer, http_request
+from repro.live.service import LiveControlPlane
+from repro.sim import RandomStreams
+from repro.workloads.faas_trace import Invocation
+from repro.workloads.streaming import StreamReport
+
+
+def member_cluster_ids(stack: Stack, registry: ComponentRegistry = COMPONENTS):
+    """Member cluster ids exactly as ``Stack.build`` assigns them.
+
+    Region-tagged sources mark invocations with member ids; the replay
+    client needs the same ids without building a whole system.
+    """
+    load_builtin_components()
+    ids = []
+    for index, spec in enumerate(stack.member_clusters()):
+        member = registry.get("cluster", spec.name).factory(**spec.options)
+        ids.append(member.cluster_id or f"c{index}")
+    return ids
+
+
+def stream_spec(stack: Stack) -> WorkloadSpec:
+    """The stack's ``faas-stream`` workload spec (the replay traffic)."""
+    for spec in stack.workloads:
+        if spec.name == "faas-stream":
+            return spec
+    raise ValueError(
+        "replay needs a 'faas-stream' workload in the stack config; "
+        f"declared workloads: {[spec.name for spec in stack.workloads]}"
+    )
+
+
+@dataclass
+class ReplaySummary:
+    """One live replay, summarized StreamReport-style plus wall cost."""
+
+    name: str
+    seed: int
+    horizon: float
+    speed: float
+    url: str
+    report: StreamReport
+    wall_time_s: float = 0.0
+    #: requests that failed at the transport layer (no activation JSON)
+    transport_errors: int = 0
+
+    def metrics(self) -> Dict[str, float]:
+        """``stream_*`` metrics (sim-comparable) plus ``live_*`` extras."""
+        out = self.report.metrics(prefix="stream_")
+        out["live_wall_time_s"] = self.wall_time_s
+        out["live_speed"] = self.speed
+        out["live_transport_errors"] = float(self.transport_errors)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stack": self.name,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "url": self.url,
+            "by_status": {k: self.report.by_status[k] for k in sorted(self.report.by_status)},
+            "metrics": {k: v for k, v in sorted(self.metrics().items())},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        from repro.analysis.report import render_kv
+
+        return render_kv(f"{self.name} — live replay report", self.metrics())
+
+
+class ReplayDriver:
+    """Paces a stack's seeded stream over HTTP against a live server."""
+
+    def __init__(
+        self,
+        stack: Stack,
+        host: str,
+        port: int,
+        speed: float = 1.0,
+        horizon: Optional[float] = None,
+        registry: ComponentRegistry = COMPONENTS,
+        max_concurrency: int = 256,
+        request_timeout: float = 60.0,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.stack = stack
+        self.host = host
+        self.port = port
+        self.speed = float(speed)
+        spec = stream_spec(stack)
+        options = dict(spec.options)
+        if horizon is None:
+            horizon = float(options.get("horizon", stack.horizon))
+        self.horizon = float(horizon)
+        rng = RandomStreams(stack.seed).stream("stream")
+        _functions, self.source = build_stream_plan(
+            rng, member_cluster_ids(stack, registry), options
+        )
+        self.report = StreamReport()
+        self._gate = asyncio.Semaphore(max_concurrency)
+        self._request_timeout = float(request_timeout)
+        self.transport_errors = 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    async def wait_ready(
+        self, min_invokers: int = 1, timeout: float = 30.0
+    ) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the fleet is up (or raise).
+
+        Live supplies register invokers asynchronously (in kernel time,
+        paced by the wall clock), so replay waits for capacity before
+        anchoring its arrival clock — otherwise a fast client would
+        measure the server's boot, not its steady state.
+        """
+        deadline = time.monotonic() + timeout
+        last: Dict[str, Any] = {}
+        while time.monotonic() < deadline:
+            try:
+                status, payload = await http_request(
+                    self.host, self.port, "GET", "/healthz", timeout=5.0
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError, ValueError):
+                status, payload = 0, {}
+            last = payload
+            if status == 200 and payload.get("healthy_invokers", 0) >= min_invokers:
+                return payload
+            await asyncio.sleep(0.05)
+        raise TimeoutError(
+            f"server at {self.url} not ready after {timeout}s (last: {last})"
+        )
+
+    async def run(self) -> ReplaySummary:
+        """Replay the full stream; returns when every request settled."""
+        started = time.monotonic()
+        self.report.run_horizon = self.horizon
+        tasks = []
+        for invocation in self.source.iter_invocations(self.horizon):
+            target_wall = started + invocation.time / self.speed
+            delay = target_wall - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.ensure_future(self._fire(invocation)))
+        if tasks:
+            await asyncio.gather(*tasks)
+        return ReplaySummary(
+            name=self.stack.name,
+            seed=self.stack.seed,
+            horizon=self.horizon,
+            speed=self.speed,
+            url=self.url,
+            report=self.report,
+            wall_time_s=time.monotonic() - started,
+            transport_errors=self.transport_errors,
+        )
+
+    async def _fire(self, invocation: Invocation) -> None:
+        payload: Dict[str, Any] = {"duration": invocation.duration}
+        if invocation.cluster is not None:
+            payload["cluster"] = invocation.cluster
+        async with self._gate:
+            try:
+                _status, body = await http_request(
+                    self.host,
+                    self.port,
+                    "POST",
+                    f"/invoke/{invocation.function}",
+                    payload,
+                    timeout=self._request_timeout,
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError, ValueError):
+                self.transport_errors += 1
+                self.report.add(ActivationStatus.FAILED, 0.0)
+                return
+        try:
+            status = ActivationStatus(body.get("status"))
+        except ValueError:
+            self.transport_errors += 1
+            self.report.add(ActivationStatus.FAILED, 0.0)
+            return
+        self.report.add(status, float(body.get("response_time") or 0.0))
+
+
+# ---------------------------------------------------------------------------
+# the one-call front door (CLI + tests)
+# ---------------------------------------------------------------------------
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    parsed = urlparse(url if "//" in url else f"http://{url}")
+    if not parsed.hostname or not parsed.port:
+        raise ValueError(f"need host:port in url, got {url!r}")
+    return parsed.hostname, parsed.port
+
+
+def replay_config(
+    stack: Stack,
+    url: Optional[str] = None,
+    speed: float = 1.0,
+    horizon: Optional[float] = None,
+    registry: ComponentRegistry = COMPONENTS,
+    store: bool = True,
+) -> ReplaySummary:
+    """Replay a stack's stream workload against a live server.
+
+    With ``url`` given, drives an already-running ``repro serve``
+    process; without it, spins up an in-process loopback server from the
+    same stack (build → serve → replay → drain) — the CI smoke path and
+    the parity test's live half.  With ``store`` the summary is captured
+    into the results warehouse (run kind ``live``) exactly like any
+    simulated run.
+    """
+    summary = asyncio.run(
+        _replay_async(stack, url, speed, horizon, registry)
+    )
+    if store:
+        from repro.warehouse import capture
+
+        capture.record_live(summary)
+    return summary
+
+
+async def _replay_async(
+    stack: Stack,
+    url: Optional[str],
+    speed: float,
+    horizon: Optional[float],
+    registry: ComponentRegistry,
+) -> ReplaySummary:
+    server: Optional[LiveServer] = None
+    if url is None:
+        service = LiveControlPlane(stack, speed=speed, registry=registry)
+        server = LiveServer(service, host="127.0.0.1", port=0)
+        host, port = await server.start()
+    else:
+        host, port = parse_url(url)
+    try:
+        driver = ReplayDriver(
+            stack, host, port, speed=speed, horizon=horizon, registry=registry
+        )
+        await driver.wait_ready()
+        return await driver.run()
+    finally:
+        if server is not None:
+            await server.stop(drain=True)

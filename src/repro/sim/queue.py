@@ -198,9 +198,16 @@ class CalendarQueue:
             self._size += 1
             return
         key = int(entry[0] * self._inv_width)
-        if key == self._cur_key:
-            # The bucket is mid-drain: the sorted batch must not grow,
-            # and the new entry may precede pending batch entries.
+        cur = self._cur_key
+        if cur is not None and key <= cur:
+            # The bucket is mid-drain (or peek has already claimed a
+            # *future* bucket and a push now lands at or before it —
+            # the peek-sleep-push pattern of the live kernel): the
+            # sorted batch must not grow, and the new entry may precede
+            # pending batch entries, so it goes through the incoming
+            # heap that both pop and peek compare against the batch
+            # head.  Filing it under an earlier bucket key instead
+            # would let the claimed batch drain first — out of order.
             _heappush(self._incoming, entry)
         else:
             buckets = self._buckets

@@ -42,6 +42,17 @@ class PilotRequest:
     shape); ``priority`` (when given) sets the within-tier priority —
     fib uses length-proportional priorities to force longest-first
     placement.
+
+    ::
+
+        >>> PilotRequest(seconds=900.0).is_flexible
+        False
+        >>> PilotRequest(seconds=900.0, time_min=300.0).is_flexible
+        True
+        >>> PilotRequest(seconds=0.0)
+        Traceback (most recent call last):
+        ...
+        ValueError: a pilot request needs a positive time limit
     """
 
     seconds: float
@@ -89,6 +100,20 @@ class SupplyObservation:
     the historical managers).
 
     Middleware fields are 0 for reduced stacks without a FaaS layer.
+
+    The derived views a policy usually reasons over::
+
+        >>> obs = SupplyObservation(
+        ...     now=15.0, round_index=1, pending=(), queue_depth=0,
+        ...     budget=10, running_pilots=2, idle_nodes=4, total_nodes=8,
+        ...     healthy_invokers=5, inflight_activations=7,
+        ...     buffered_activations=3)
+        >>> obs.backlog                 # unpulled broker messages
+        3
+        >>> obs.executing_activations   # pulled and running here
+        4
+        >>> obs.idle_invokers           # spare capacity right now
+        1
     """
 
     #: simulation time of this round
@@ -182,7 +207,18 @@ def fill_to_depth(
     time_min: Optional[float] = None,
     priority: Optional[float] = None,
 ) -> SubmissionPlan:
-    """A plan of ``deficit`` identical requests (no-op when <= 0)."""
+    """A plan of ``deficit`` identical requests (no-op when <= 0).
+
+    ::
+
+        >>> plan = fill_to_depth(3, 600.0, priority=600.0)
+        >>> len(plan)
+        3
+        >>> plan.requests[0].seconds
+        600.0
+        >>> fill_to_depth(-2, 600.0) is NO_SUBMISSIONS
+        True
+    """
     if deficit <= 0:
         return NO_SUBMISSIONS
     request = PilotRequest(seconds=seconds, time_min=time_min, priority=priority)
@@ -190,5 +226,15 @@ def fill_to_depth(
 
 
 def clamp(value: float, low: float, high: float) -> float:
-    """Saturate *value* into ``[low, high]``."""
+    """Saturate *value* into ``[low, high]``.
+
+    ::
+
+        >>> clamp(5.0, 0.0, 2.0)
+        2.0
+        >>> clamp(-1.0, 0.0, 2.0)
+        0.0
+        >>> clamp(1.5, 0.0, 2.0)
+        1.5
+    """
     return max(low, min(high, value))

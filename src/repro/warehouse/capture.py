@@ -119,3 +119,7 @@ def record_bench(record, label=None, artifact=None) -> Optional[str]:
 
 def record_stack(report, wall_time_s=None, shards=None) -> Optional[str]:
     return _capture("record_stack", report, wall_time_s=wall_time_s, shards=shards)
+
+
+def record_live(summary) -> Optional[str]:
+    return _capture("record_live", summary)

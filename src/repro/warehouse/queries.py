@@ -22,6 +22,23 @@ returns a :class:`~repro.analysis.tables.Table`:
     Runs whose identity (name, spec hash, seed, scale) recorded more
     than one distinct metrics digest — determinism drift across
     revisions.
+
+Every canned query is ordinary SQL over the store, so the example
+fits in a docstring (stores in examples live on disk, never
+``:memory:`` — read-only queries reopen the path)::
+
+    >>> import tempfile
+    >>> from pathlib import Path
+    >>> from repro.warehouse.store import RunRecord, RunStore
+    >>> path = Path(tempfile.mkdtemp()) / "wh.sqlite"
+    >>> store = RunStore(path)
+    >>> for policy, cov in [("fib", 0.61), ("var", 0.83)]:
+    ...     _ = store.record(RunRecord(kind="scenario", name="idleness",
+    ...         metrics={"coverage": cov}, seed=1,
+    ...         payload={"params": {"policy": policy}}))
+    >>> [row[0] for row in ranking(store, "coverage", "policy").rows]
+    ['var', 'fib']
+    >>> store.close()
 """
 
 from __future__ import annotations
@@ -278,6 +295,15 @@ CANNED: Dict[str, Callable[..., Table]] = {
 
 
 def run_canned(store, query, **options: Any) -> Table:
+    """Dispatch one canned query by name.
+
+    ::
+
+        >>> run_canned(None, "nope")
+        Traceback (most recent call last):
+        ...
+        ValueError: unknown canned query 'nope' (have: drift, ranking, regressions, trend)
+    """
     # *query* deliberately avoids the name ``name`` — several canned
     # queries take a ``name=`` filter option of their own
     try:

@@ -37,7 +37,7 @@ from repro.analysis.tables import Table
 from repro.warehouse.schema import SCHEMA_VERSION, migrate, schema_version
 
 #: run kinds the store records (free-form, but these are the builtins)
-RUN_KINDS = ("scenario", "sweep", "matrix", "bench", "stack")
+RUN_KINDS = ("scenario", "sweep", "matrix", "bench", "stack", "live")
 
 
 def _utc_now() -> str:
@@ -86,7 +86,25 @@ class RunRecord:
 
 
 class RunStore:
-    """Record, ingest, migrate, and query the results warehouse."""
+    """Record, ingest, migrate, and query the results warehouse.
+
+    Recording is idempotent by deterministic run id — the same results
+    land once, no matter how many runners report them (examples use a
+    real temp file, never ``:memory:``: :meth:`query` reopens the path
+    read-only, and an in-memory URI would reopen a *different*, empty
+    database)::
+
+        >>> import tempfile
+        >>> from pathlib import Path
+        >>> path = Path(tempfile.mkdtemp()) / "wh.sqlite"
+        >>> with RunStore(path) as store:
+        ...     first = store.record(RunRecord(kind="scenario", name="demo",
+        ...                                    metrics={"coverage": 0.5}, seed=1))
+        ...     again = store.record(RunRecord(kind="scenario", name="demo",
+        ...                                    metrics={"coverage": 0.5}, seed=1))
+        ...     first == again, store.run_count()
+        (True, 1)
+    """
 
     def __init__(self, path: os.PathLike, auto_backfill: bool = False) -> None:
         self.path = str(path)
@@ -320,6 +338,37 @@ class RunStore:
             )
         )
 
+    def record_live(self, summary) -> str:
+        """Record one live replay (:class:`~repro.live.replay.ReplaySummary`).
+
+        Live runs share the ``stream_*`` metric names with simulated
+        streaming runs, so one SQL query compares the two modes; the
+        ``live`` kind plus the target URL in the payload keep the
+        provenance unambiguous.
+        """
+        return self.record(
+            RunRecord(
+                kind="live",
+                name=summary.name,
+                metrics=dict(summary.metrics()),
+                spec_hash=provenance.spec_hash(
+                    {
+                        "stack": summary.name,
+                        "horizon": summary.horizon,
+                        "speed": summary.speed,
+                    }
+                ),
+                seed=summary.seed,
+                wall_time_s=summary.wall_time_s,
+                payload={
+                    "horizon": summary.horizon,
+                    "speed": summary.speed,
+                    "url": summary.url,
+                    "by_status": dict(summary.report.by_status),
+                },
+            )
+        )
+
     # ------------------------------------------------------------------
     # ingest / backfill
     # ------------------------------------------------------------------
@@ -392,7 +441,16 @@ class RunStore:
         """Run read-only SQL against the store; returns a Table.
 
         Uses a separate ``mode=ro`` connection so arbitrary SQL (the
-        ``repro query`` front door) cannot mutate the warehouse.
+        ``repro query`` front door) cannot mutate the warehouse::
+
+            >>> import tempfile
+            >>> from pathlib import Path
+            >>> path = Path(tempfile.mkdtemp()) / "wh.sqlite"
+            >>> with RunStore(path) as store:
+            ...     _ = store.record(RunRecord(kind="live", name="loopback",
+            ...         metrics={"stream_requests_total": 61.0}))
+            ...     store.query("select kind, name from runs").rows
+            [['live', 'loopback']]
         """
         uri = f"file:{self.path}?mode=ro"
         conn = sqlite3.connect(uri, uri=True, timeout=30.0)

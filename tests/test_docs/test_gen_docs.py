@@ -1,0 +1,35 @@
+"""docs/reference/ is a pure function of the registries — and in sync."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_reference_docs_in_sync():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 0, (
+        "docs/reference/ drifted from the registries — run "
+        "`python tools/gen_docs.py` and commit the result.\n"
+        + proc.stdout
+        + proc.stderr
+    )
+
+
+def test_handwritten_docs_exist_and_link():
+    architecture = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    live = (ROOT / "docs" / "LIVE_MODE.md").read_text()
+    assert "LIVE_MODE.md" in architecture
+    assert "reference/cli.md" in architecture
+    assert "live_loopback.yaml" in live
+    # every reference page ARCHITECTURE.md links to is committed
+    for page in ("scenarios", "components", "cli", "bench"):
+        assert (ROOT / "docs" / "reference" / f"{page}.md").is_file()

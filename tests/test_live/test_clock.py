@@ -1,0 +1,65 @@
+"""WallClock: the affine kernel-time ↔ wall-time map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live.clock import WallClock
+
+
+class FakeTime:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_real_time_identity_map():
+    wall = FakeTime(100.0)
+    clock = WallClock(speed=1.0, time_fn=wall)
+    clock.start(kernel_now=0.0)
+    wall.now = 103.5
+    assert clock.kernel_now() == pytest.approx(3.5)
+    assert clock.wall_elapsed() == pytest.approx(3.5)
+
+
+def test_speed_scales_kernel_time():
+    wall = FakeTime(10.0)
+    clock = WallClock(speed=60.0, time_fn=wall)
+    clock.start(kernel_now=0.0)
+    wall.now = 11.0  # one wall second -> one simulated minute
+    assert clock.kernel_now() == pytest.approx(60.0)
+
+
+def test_anchor_offsets_kernel_time():
+    wall = FakeTime(0.0)
+    clock = WallClock(speed=2.0, time_fn=wall)
+    clock.start(kernel_now=500.0)
+    wall.now = 3.0
+    assert clock.kernel_now() == pytest.approx(506.0)
+
+
+def test_wall_delay_future_and_past():
+    wall = FakeTime(0.0)
+    clock = WallClock(speed=4.0, time_fn=wall)
+    clock.start(kernel_now=0.0)
+    # kernel t=8 is 2 wall seconds away at x4
+    assert clock.wall_delay(8.0) == pytest.approx(2.0)
+    wall.now = 5.0  # kernel now = 20; t=8 is in the past
+    assert clock.wall_delay(8.0) == 0.0
+
+
+def test_unstarted_clock_raises():
+    clock = WallClock()
+    assert not clock.started
+    with pytest.raises(RuntimeError):
+        clock.kernel_now()
+    with pytest.raises(RuntimeError):
+        clock.wall_elapsed()
+
+
+@pytest.mark.parametrize("speed", [0.0, -1.0])
+def test_nonpositive_speed_rejected(speed):
+    with pytest.raises(ValueError):
+        WallClock(speed=speed)

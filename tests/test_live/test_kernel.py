@@ -1,0 +1,174 @@
+"""LiveKernel: queue-manager ordering, work-signaler wakeup, shutdown.
+
+The suite runs without pytest-asyncio: each test drives its own loop
+via ``asyncio.run``.  Clocks run fast (high speed factors) so wall
+waits stay in the milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.live.clock import WallClock
+from repro.live.kernel import LiveKernel
+from repro.sim import Environment
+
+
+def _kernel(speed: float = 1000.0, **kwargs) -> LiveKernel:
+    return LiveKernel(Environment(), WallClock(speed=speed), **kwargs)
+
+
+def test_events_fire_in_kernel_time_order():
+    """Events injected out of order still fire in (time, priority) order."""
+    kernel = _kernel()
+    env = kernel.env
+    fired = []
+
+    def waiter(delay, tag):
+        yield env.timeout(delay)
+        fired.append((env.now, tag))
+
+    async def main():
+        task = asyncio.ensure_future(kernel.run())
+        # Inject in shuffled delay order; the kernel must sort them.
+        for delay, tag in [(3.0, "c"), (1.0, "a"), (2.0, "b"), (1.0, "a2")]:
+            kernel.submit(lambda d=delay, t=tag: env.process(waiter(d, t)))
+        while len(fired) < 4:
+            await asyncio.sleep(0.001)
+        kernel.stop()
+        await task
+
+    asyncio.run(main())
+    assert [tag for _t, tag in fired] == ["a", "a2", "b", "c"]
+    assert [t for t, _tag in fired] == [1.0, 1.0, 2.0, 3.0]
+
+
+def test_signal_interrupts_pacing_sleep():
+    """A submission during a long pacing sleep is served immediately.
+
+    The far event is hours of wall time away; without the work signal
+    the injected immediate event would wait behind it.
+    """
+    kernel = LiveKernel(Environment(), WallClock(speed=1.0))
+    env = kernel.env
+    fired = []
+
+    def far():
+        yield env.timeout(10_000.0)
+        fired.append("far")
+
+    def near():
+        yield env.timeout(0.0)
+        fired.append("near")
+
+    async def main():
+        task = asyncio.ensure_future(kernel.run())
+        kernel.submit(lambda: env.process(far()))
+        await asyncio.sleep(0.05)  # kernel is now pacing toward t=10000
+        started = time.monotonic()
+        kernel.submit(lambda: env.process(near()))
+        while not fired:
+            await asyncio.sleep(0.001)
+        waited = time.monotonic() - started
+        kernel.stop()
+        await task
+        return waited
+
+    waited = asyncio.run(main())
+    assert fired == ["near"]
+    assert waited < 1.0  # woke on the signal, not the 10000 s timer
+
+
+def test_idle_kernel_parks_until_work_arrives():
+    kernel = _kernel()
+    env = kernel.env
+    fired = []
+
+    async def main():
+        task = asyncio.ensure_future(kernel.run())
+        await asyncio.sleep(0.02)  # empty schedule: parked on the signal
+        assert kernel.steps == 0
+
+        def tick():
+            yield env.timeout(0.0)
+            fired.append(env.now)
+
+        kernel.submit(lambda: env.process(tick()))
+        while not fired:
+            await asyncio.sleep(0.001)
+        kernel.stop()
+        await task
+
+    asyncio.run(main())
+    assert fired == [0.0]
+    assert kernel.submissions == 1
+
+
+def test_stop_wakes_parked_kernel():
+    kernel = _kernel()
+
+    async def main():
+        task = asyncio.ensure_future(kernel.run())
+        await asyncio.sleep(0.01)
+        assert kernel.running
+        kernel.stop()
+        await asyncio.wait_for(task, timeout=2.0)
+
+    asyncio.run(main())
+    assert not kernel.running
+
+
+def test_max_batch_yields_between_batches():
+    """A large due backlog is stepped in bounded batches, not one gulp."""
+    kernel = _kernel(max_batch=8)
+    env = kernel.env
+    fired = []
+
+    def tick(i):
+        yield env.timeout(0.0)
+        fired.append(i)
+
+    async def main():
+        task = asyncio.ensure_future(kernel.run())
+
+        def inject():
+            for i in range(50):
+                env.process(tick(i))
+
+        kernel.submit(inject)
+        while len(fired) < 50:
+            await asyncio.sleep(0.001)
+        kernel.stop()
+        await task
+
+    asyncio.run(main())
+    assert fired == list(range(50))
+
+
+def test_submit_threadsafe_from_other_thread():
+    import threading
+
+    kernel = _kernel()
+    env = kernel.env
+    fired = []
+
+    async def main():
+        task = asyncio.ensure_future(kernel.run())
+
+        def tick():
+            yield env.timeout(0.0)
+            fired.append("t")
+
+        thread = threading.Thread(
+            target=kernel.submit, args=(lambda: env.process(tick()),)
+        )
+        thread.start()
+        thread.join()
+        while not fired:
+            await asyncio.sleep(0.001)
+        kernel.stop()
+        await task
+
+    asyncio.run(main())
+    assert fired == ["t"]

@@ -1,0 +1,90 @@
+"""The loopback parity contract: sim and live agree for the same seed.
+
+One config (the committed ``examples/configs/live_loopback.yaml``), two
+execution modes.  The static supply keeps the system stationary and
+capacity is ample, so invocation **counts and outcome mix** must agree
+exactly — the replay driver rebuilds the identical seeded source, and
+every request succeeds in both modes.  Response-time *statistics* are
+only approximately equal (per-invoker RNG draws interleave differently
+under wall pacing) and are deliberately not pinned here; see
+``docs/LIVE_MODE.md`` for the full parity contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.config import load_config_file, stack_from_config
+from repro.live.replay import member_cluster_ids, replay_config, stream_spec
+from repro.warehouse import capture
+from repro.warehouse.store import RunStore
+
+CONFIG = "examples/configs/live_loopback.yaml"
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return stack_from_config(load_config_file(CONFIG))
+
+
+@pytest.fixture(scope="module")
+def simulated(stack):
+    report = stack.run()
+    return report.artifacts["stream-report"]
+
+
+@pytest.fixture(scope="module")
+def live(stack):
+    return replay_config(stack, speed=50.0, store=False)
+
+
+def test_config_is_live_ready(stack):
+    assert stream_spec(stack).name == "faas-stream"
+    assert member_cluster_ids(stack) == ["c0"]
+
+
+def test_same_invocation_counts(simulated, live):
+    assert live.report.total == simulated.total
+    assert live.report.total > 0
+
+
+def test_same_outcome_mix(simulated, live):
+    assert live.report.by_status == simulated.by_status
+    assert set(live.report.by_status) == {"SUCCESS"}
+
+
+def test_no_transport_errors(live):
+    assert live.transport_errors == 0
+    assert live.report.run_horizon == pytest.approx(20.0)
+
+
+def test_stream_metrics_are_comparable(simulated, live):
+    sim_metrics = simulated.metrics(prefix="stream_")
+    live_metrics = live.metrics()
+    assert live_metrics["stream_requests_total"] == sim_metrics["stream_requests_total"]
+    assert live_metrics["stream_accepted_share"] == sim_metrics["stream_accepted_share"]
+    assert (
+        live_metrics["stream_success_share_of_invoked"]
+        == sim_metrics["stream_success_share_of_invoked"]
+    )
+    # response stats exist in both; approximately equal, not pinned
+    assert live_metrics["stream_mean_response_s"] == pytest.approx(
+        sim_metrics["stream_mean_response_s"], rel=0.25
+    )
+
+
+def test_live_run_lands_in_warehouse(stack, tmp_path, monkeypatch):
+    db = tmp_path / "live.sqlite"
+    monkeypatch.chdir(tmp_path)  # no committed artifacts to backfill
+    monkeypatch.setenv("REPRO_WAREHOUSE", str(db))
+    capture.reset()
+    try:
+        summary = replay_config(stack, speed=50.0, horizon=5.0)
+    finally:
+        capture.reset()
+    with RunStore(db) as store:
+        rows = store.query(
+            "select kind, name, seed from runs where kind='live'"
+        ).rows
+    assert [tuple(row) for row in rows] == [("live", "live-loopback", 7)]
+    assert summary.report.total > 0

@@ -1,0 +1,124 @@
+"""LiveControlPlane: the asyncio ↔ kernel-process invocation bridge."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api.stack import Stack, SupplySpec, WorkloadSpec
+from repro.faas.activation import ActivationStatus
+from repro.live.service import LiveControlPlane, ServiceStopped, catalogue_functions
+
+SPEED = 200.0  # keep kernel waits (cold starts ~1 s) in the milliseconds
+
+
+def _stack(**kwargs) -> Stack:
+    defaults = dict(
+        name="live-unit",
+        supply=SupplySpec("static", invokers=2),
+        workloads=(
+            WorkloadSpec(
+                "faas-stream", functions=4, duration=0.05, azure_durations=False
+            ),
+        ),
+        seed=11,
+        horizon=60.0,
+    )
+    defaults.update(kwargs)
+    return Stack(**defaults)
+
+
+def test_catalogue_matches_stream_spec():
+    functions = catalogue_functions(_stack())
+    assert sorted(f.name for f in functions) == [
+        "sleep-000", "sleep-001", "sleep-002", "sleep-003",
+    ]
+    assert all(f.duration == 0.05 for f in functions)
+
+
+def test_invoke_succeeds_through_real_control_plane():
+    async def main():
+        service = LiveControlPlane(_stack(), speed=SPEED)
+        await service.start()
+        try:
+            result = await service.invoke("sleep-000", duration=0.05)
+        finally:
+            await service.stop()
+        return result, service
+
+    result, service = asyncio.run(main())
+    assert result.status is ActivationStatus.SUCCESS
+    assert result.response_time > 0.0
+    assert service.requests_total == 1
+    assert service.inflight == 0
+
+
+def test_unknown_function_fails_not_deployed():
+    async def main():
+        service = LiveControlPlane(_stack(), speed=SPEED)
+        await service.start()
+        try:
+            return await service.invoke("nope", duration=0.01)
+        finally:
+            await service.stop()
+
+    result = asyncio.run(main())
+    assert result.status is ActivationStatus.FAILED
+    assert "not deployed" in (result.error or "")
+
+
+def test_stop_drains_inflight_invocations():
+    """Graceful shutdown waits for accepted work (nanofaas stop contract)."""
+    async def main():
+        service = LiveControlPlane(_stack(), speed=SPEED)
+        await service.start()
+        pending = [
+            asyncio.ensure_future(service.invoke("sleep-001", duration=0.05))
+            for _ in range(5)
+        ]
+        await asyncio.sleep(0)  # let the submissions reach the kernel
+        await service.stop(drain=True)
+        results = await asyncio.gather(*pending)
+        return results, service
+
+    results, service = asyncio.run(main())
+    assert len(results) == 5
+    assert all(r.status is ActivationStatus.SUCCESS for r in results)
+    assert service.inflight == 0
+
+
+def test_invoke_after_stop_is_rejected():
+    async def main():
+        service = LiveControlPlane(_stack(), speed=SPEED)
+        await service.start()
+        await service.stop()
+        with pytest.raises(ServiceStopped):
+            await service.invoke("sleep-000")
+
+    asyncio.run(main())
+
+
+def test_snapshot_reports_controller_state():
+    async def main():
+        service = LiveControlPlane(_stack(), speed=SPEED)
+        await service.start()
+        try:
+            await service.invoke("sleep-000", duration=0.05)
+            return service.snapshot()
+        finally:
+            await service.stop()
+
+    snap = asyncio.run(main())
+    assert snap["functions_deployed"] == 4
+    assert snap["healthy_invokers"] == 2
+    assert snap["activations_total"] == 1
+    assert snap["requests_total"] == 1
+    assert snap["kernel_now"] > 0.0
+    assert snap["speed"] == SPEED
+
+
+def test_service_requires_middleware():
+    stack = _stack(supply=SupplySpec("none"), middleware=None, workloads=())
+    with pytest.raises(ValueError):
+        LiveControlPlane(stack, speed=SPEED)
